@@ -1,0 +1,83 @@
+package contribmax_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIsRun smoke-tests every command-line tool end to end against the
+// bundled testdata. Skipped under -short.
+func TestCLIsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests are slow; skipped with -short")
+	}
+	run := func(t *testing.T, args ...string) string {
+		t.Helper()
+		out, err := exec.Command("go", args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	t.Run("cmrun", func(t *testing.T) {
+		t.Parallel()
+		out := run(t, "run", "./cmd/cmrun",
+			"-program", "testdata/trade.dl", "-facts", "testdata/trade.facts",
+			"-target", "dealsWith(russia, ukraine)", "-k", "1", "-rr", "300", "-json")
+		if !strings.Contains(out, `"algorithm": "MagicSCM"`) || !strings.Contains(out, "gas") {
+			t.Errorf("cmrun output:\n%s", out)
+		}
+	})
+
+	t.Run("wddump", func(t *testing.T) {
+		t.Parallel()
+		dot := filepath.Join(t.TempDir(), "g.dot")
+		out := run(t, "run", "./cmd/wddump",
+			"-program", "testdata/trade.dl", "-facts", "testdata/trade.facts",
+			"-closure", "dealsWith(russia, ukraine)",
+			"-explain", "dealsWith(russia, ukraine)",
+			"-dot", dot)
+		for _, want := range []string{"WD graph:", "ancestor facts", "derivation 1 of", "wrote DOT"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("wddump missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("genwork-then-cmrun", func(t *testing.T) {
+		t.Parallel()
+		dir := t.TempDir()
+		out := run(t, "run", "./cmd/genwork", "-ds", "Trade", "-out", dir)
+		if !strings.Contains(out, "wrote") {
+			t.Fatalf("genwork output:\n%s", out)
+		}
+		out = run(t, "run", "./cmd/cmrun",
+			"-program", filepath.Join(dir, "trade.dl"), "-facts", filepath.Join(dir, "trade.facts"),
+			"-target", "dealsWith(russia, ukraine)", "-k", "1", "-rr", "200")
+		if !strings.Contains(out, "seeds (greedy order):") {
+			t.Errorf("cmrun on genwork output:\n%s", out)
+		}
+	})
+
+	t.Run("genwork-snapshot", func(t *testing.T) {
+		t.Parallel()
+		dir := t.TempDir()
+		run(t, "run", "./cmd/genwork", "-ds", "TC", "-size", "12", "-out", dir, "-snapshot")
+		out := run(t, "run", "./cmd/wddump",
+			"-program", filepath.Join(dir, "tc.dl"), "-facts", filepath.Join(dir, "tc.cmdb"))
+		if !strings.Contains(out, "WD graph:") {
+			t.Errorf("wddump on snapshot:\n%s", out)
+		}
+	})
+
+	t.Run("cmbench-csv", func(t *testing.T) {
+		t.Parallel()
+		out := run(t, "run", "./cmd/cmbench", "-fig", "7a", "-format", "csv")
+		if !strings.Contains(out, "OPT,MagicSCM") {
+			t.Errorf("cmbench CSV:\n%s", out)
+		}
+	})
+}

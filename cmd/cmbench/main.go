@@ -1,0 +1,125 @@
+// Command cmbench regenerates the paper's evaluation figures (Section V)
+// and prints each as a plain-text table: Figures 2 & 3 (per-RR graph size
+// and generation time vs output size), Figures 4 & 5 (graph size and
+// runtime vs number of RR sets), and Figures 7a/7b (approximation quality
+// vs the exhaustive optimum).
+//
+// Usage:
+//
+//	cmbench                 # all figures, quick scale
+//	cmbench -fig 2 -ds TC   # one figure, one dataset
+//	cmbench -full           # the full laptop-scale sweep (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"contribmax/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 7a, 7b, or all")
+		ds     = flag.String("ds", "all", "dataset: TC, Explain, IRIS, AMIE, or all")
+		full   = flag.Bool("full", false, "run the full-scale sweep (minutes) instead of the quick one")
+		format = flag.String("format", "text", "output format: text | csv")
+	)
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+	datasets := experiments.Datasets
+	if *ds != "all" {
+		datasets = []experiments.Dataset{experiments.Dataset(*ds)}
+		found := false
+		for _, d := range experiments.Datasets {
+			if d == datasets[0] {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown dataset %q", *ds)
+		}
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	emit := func(t *experiments.Table) error {
+		if *format == "csv" {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			t.Print(os.Stdout)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if want("2") || want("3") {
+		for _, d := range datasets {
+			fig2, fig3, err := experiments.FigureVaryingDataSize(d, scale)
+			if err != nil {
+				return err
+			}
+			if want("2") {
+				if err := emit(fig2); err != nil {
+					return err
+				}
+			}
+			if want("3") {
+				if err := emit(fig3); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if want("4") || want("5") {
+		for _, d := range datasets {
+			fig4, fig5, err := experiments.FigureVaryingRRSets(d, scale)
+			if err != nil {
+				return err
+			}
+			if want("4") {
+				if err := emit(fig4); err != nil {
+					return err
+				}
+			}
+			if want("5") {
+				if err := emit(fig5); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if want("7a") || strings.EqualFold(*fig, "7") {
+		t, err := experiments.Figure7a(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("7b") || strings.EqualFold(*fig, "7") {
+		t, err := experiments.Figure7b(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+// Command cmrepl is an interactive datalog shell: add rules and facts,
+// query with patterns, explain derivations, estimate probabilities, and
+// run contribution maximization from a prompt.
+//
+//	$ cmrepl
+//	> :load program testdata/trade.dl
+//	> :load facts testdata/trade.facts
+//	> ?- dealsWith(usa, X).
+//	> :explain dealsWith(usa, iran)
+//	> :solve k=2 dealsWith(usa, iran) dealsWith(russia, ukraine)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"contribmax/internal/repl"
+)
+
+func main() {
+	if err := repl.New().Run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cmrepl:", err)
+		os.Exit(1)
+	}
+}

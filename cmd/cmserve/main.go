@@ -1,0 +1,30 @@
+// Command cmserve runs the HTTP interface for Contribution Maximization —
+// the interactive front end the paper's conclusions propose: a form (and
+// JSON API) where users specify their input/output tuple sets of interest,
+// with patterns, and get the most contributing facts back.
+//
+// Usage:
+//
+//	cmserve -addr :8080
+//	# then open http://localhost:8080/ or:
+//	curl -s localhost:8080/api/solve -d '{"program":"...","facts":"...","targets":["p(a, X)"]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"contribmax/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+	fmt.Printf("contribmax: listening on http://%s/\n", *addr)
+	if err := http.ListenAndServe(*addr, server.New()); err != nil {
+		fmt.Fprintln(os.Stderr, "cmserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,145 @@
+// Command wddump materializes the full Weighted Derivation graph of a
+// program and database and reports its statistics, optionally exporting it
+// in Graphviz DOT format or printing the backward closure of a tuple.
+//
+// Usage:
+//
+//	wddump -program trade.dl -facts trade.facts            # stats only
+//	wddump ... -dot graph.dot                              # DOT export
+//	wddump ... -closure 'dealsWith(usa, iran)'             # ancestors of a tuple
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"contribmax"
+	"contribmax/internal/wdgraph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wddump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		programPath = flag.String("program", "", "path to the datalog program file (required)")
+		factsPath   = flag.String("facts", "", "path to the fact file or .cmdb snapshot (required)")
+		dotPath     = flag.String("dot", "", "write the graph in DOT format to this file")
+		closure     = flag.String("closure", "", "print the backward closure (ancestors) of this tuple")
+		explain     = flag.String("explain", "", "print the most probable derivation tree of this tuple")
+		topk        = flag.Int("topk", 1, "with -explain: print up to this many derivation trees, best first")
+		probability = flag.String("probability", "", "estimate this tuple's derivation probability (10k random executions)")
+	)
+	flag.Parse()
+	if *programPath == "" || *factsPath == "" {
+		flag.Usage()
+		return fmt.Errorf("need -program and -facts")
+	}
+	prog, err := contribmax.ParseProgramFile(*programPath)
+	if err != nil {
+		return err
+	}
+	db, err := contribmax.LoadDatabaseFile(*factsPath)
+	if err != nil {
+		return err
+	}
+	g, err := contribmax.BuildWDGraph(prog, db)
+	if err != nil {
+		return err
+	}
+
+	var factNodes, ruleNodes, edbNodes int
+	g.FactNodes(func(_ wdgraph.NodeID, n wdgraph.Node) {
+		factNodes++
+		if n.EDB {
+			edbNodes++
+		}
+	})
+	ruleNodes = g.NumNodes() - factNodes
+	fmt.Printf("WD graph: %d nodes (%d facts, %d edb, %d rule instantiations), %d edges, size %d\n",
+		g.NumNodes(), factNodes, edbNodes, ruleNodes, g.NumEdges(), g.Size())
+	fmt.Print(db.Stats())
+
+	if *closure != "" {
+		atom, err := contribmax.ParseAtom(*closure)
+		if err != nil {
+			return err
+		}
+		tuple, err := db.InternAtom(atom)
+		if err != nil {
+			return err
+		}
+		root, ok := g.FactID(atom.Predicate, tuple)
+		if !ok {
+			return fmt.Errorf("tuple %s is not in the WD graph (not derivable?)", atom)
+		}
+		fmt.Printf("backward closure of %s:\n", atom)
+		w := wdgraph.NewWalker(g)
+		syms := db.Symbols()
+		count := 0
+		w.ReverseClosure(root, func(v wdgraph.NodeID) {
+			n := g.Node(v)
+			if n.Kind != wdgraph.FactNode {
+				return
+			}
+			count++
+			fmt.Printf("  %s(", n.Pred)
+			for i, s := range n.Tuple {
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Print(syms.Name(s))
+			}
+			fmt.Println(")")
+		})
+		fmt.Printf("%d ancestor facts\n", count)
+	}
+
+	if *explain != "" {
+		atom, err := contribmax.ParseAtom(*explain)
+		if err != nil {
+			return err
+		}
+		trees, err := contribmax.ExplainTopK(prog, db, atom, *topk)
+		if err != nil {
+			return err
+		}
+		if len(trees) == 0 {
+			return fmt.Errorf("tuple %s is not derivable", atom)
+		}
+		for i, tree := range trees {
+			fmt.Printf("derivation %d of %s (p = %.4g):\n%s",
+				i+1, atom, tree.Prob, tree.Render(db.Symbols()))
+		}
+	}
+
+	if *probability != "" {
+		atom, err := contribmax.ParseAtom(*probability)
+		if err != nil {
+			return err
+		}
+		p, err := contribmax.DerivationProbability(prog, db, atom, 10000, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("P[%s derived] ~= %.4f (10k sampled executions)\n", atom, p)
+	}
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := wdgraph.WriteDOT(f, g, db.Symbols()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote DOT to %s\n", *dotPath)
+	}
+	return nil
+}

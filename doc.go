@@ -1,0 +1,52 @@
+// Package contribmax is a Go implementation of Contribution Maximization
+// (CM) in probabilistic datalog, reproducing the system of
+//
+//	Milo, Moskovitch, Youngmann.
+//	"Contribution Maximization in Probabilistic Datalog." ICDE 2020.
+//
+// Given a probabilistic datalog program (P, w), a database D, a candidate
+// set T1 ⊆ D of input facts, a target set T2 ⊆ P(D) of output facts, and a
+// budget k, the CM problem asks for the k-size subset of T1 whose joint
+// expected contribution to the derivation of T2 is maximal. Contribution is
+// defined over the Weighted Derivation (WD) graph — the union of all
+// derivation trees with rule probabilities as edge weights — as the
+// expected number of T2 facts reachable from the chosen seeds in a random
+// subgraph (one random execution of the probabilistic program).
+//
+// The package exposes the paper's four algorithms:
+//
+//   - NaiveCM: materialize the full WD graph, then run a targeted
+//     RIS-based influence-maximization algorithm over it.
+//   - MagicCM: never materialize the full graph; per sampled target,
+//     evaluate a probability-preserving Magic-Sets rewriting of the
+//     program to build only the backward-reachable subgraph.
+//   - MagicSampledCM (the paper's Magic^S / "Magic³"): additionally fold
+//     the RR-set edge sampling into the subgraph construction, so only the
+//     fired part of one random execution is ever materialized.
+//   - MagicGroupedCM (Magic^G): one grouped Magic-Sets rewriting for all
+//     sampled targets, one shared subgraph, per-RR sampled walks.
+//
+// All algorithms return the same (1 − 1/e − ε)-approximate solution in
+// expectation; they differ — dramatically — in time and memory, which the
+// bundled benchmark harness (bench_test.go, cmd/cmbench) quantifies per
+// figure of the paper.
+//
+// # Quick start
+//
+//	prog, _ := contribmax.ParseProgram(`
+//	    0.8 r1: dealsWith(A, B) :- dealsWith(B, A).
+//	    0.7 r2: dealsWith(A, B) :- exports(A, C), imports(B, C).
+//	    0.5 r3: dealsWith(A, B) :- dealsWith(A, F), dealsWith(F, B).
+//	`)
+//	db := contribmax.NewDatabase()
+//	facts, _ := contribmax.ParseFacts(`exports(france, wine). imports(germany, wine).`)
+//	db.InsertAll(facts)
+//	target, _ := contribmax.ParseAtom("dealsWith(france, germany)")
+//	res, _ := contribmax.MagicSampledCM(contribmax.Input{
+//	    Program: prog, DB: db.Database, T2: []contribmax.Atom{target}, K: 2,
+//	}, contribmax.Options{})
+//	fmt.Println(res.Seeds, res.EstContribution)
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory and the per-experiment index.
+package contribmax

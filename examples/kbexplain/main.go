@@ -1,0 +1,67 @@
+// Kbexplain demonstrates the paper's motivating use case (Section I):
+// tracing the critical sources of suspicious facts derived by AMIE-style
+// mined rules over a knowledge base. It generates a synthetic YAGO-like KB,
+// evaluates the 23-rule recursive program, picks a handful of derived
+// "influences" facts as suspicious, and asks Magic^S CM — the only
+// algorithm feasible on this program, per the paper's evaluation — which
+// base facts are most responsible for them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sort"
+
+	"contribmax"
+	"contribmax/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(2020, 5))
+	w := workload.AMIE(workload.AMIEDBParams{Countries: 12, People: 60}, rng)
+	db := contribmax.Database{Database: w.DB}
+	fmt.Printf("knowledge base: %d facts across %d relations\n",
+		db.TotalTuples(), len(db.RelationNames()))
+
+	// Evaluate to see what the mined rules derive.
+	if _, err := contribmax.Eval(w.Program, db); err != nil {
+		log.Fatal(err)
+	}
+	suspicious := db.Facts("influences")
+	sort.Slice(suspicious, func(i, j int) bool { return suspicious[i].String() < suspicious[j].String() })
+	if len(suspicious) == 0 {
+		log.Fatal("no influences facts derived; increase the KB size")
+	}
+	if len(suspicious) > 5 {
+		suspicious = suspicious[:5]
+	}
+	fmt.Println("suspicious derived facts under investigation:")
+	for _, a := range suspicious {
+		fmt.Println("  " + a.String())
+	}
+
+	// Which 5 base facts contribute most to them? (Note: evaluation above
+	// inserted derived facts into db; CM algorithms evaluate on scratch
+	// databases sharing only the edb relations, so this is safe.)
+	res, err := contribmax.MagicSampledCM(contribmax.Input{
+		Program: w.Program,
+		DB:      w.DB,
+		T2:      suspicious,
+		K:       5,
+	}, contribmax.Options{
+		Theta: contribmax.ThetaSpec{Explicit: 500},
+		Rand:  rng,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmost responsible base facts (check these sources first):")
+	for i, s := range res.Seeds {
+		fmt.Printf("  %d. %s\n", i+1, s)
+	}
+	fmt.Printf("joint contribution: %.3f of %d investigated facts\n",
+		res.EstContribution, len(suspicious))
+	fmt.Printf("cost: %d RR sets, avg materialized subgraph %.0f nodes+edges (full WD graph never built)\n",
+		res.Stats.NumRR, res.Stats.AvgGraphSize())
+}

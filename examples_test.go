@@ -1,0 +1,57 @@
+package contribmax_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program, asserting clean
+// exit and a recognizable fragment of its output, so the examples cannot
+// rot silently. Skipped under -short (each invocation pays a go-build).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; skipped with -short")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{
+			"dealsWith0(france, cuba)",
+			"Estimated joint contribution",
+		}},
+		{"./examples/trade", []string{
+			"Example 3.5",
+			"Example 3.7",
+			"dealsWith0(france, cuba)",
+		}},
+		{"./examples/bottleneck", []string{
+			"OPT pair:",
+			"Magic^S / OPT contribution ratio",
+		}},
+		{"./examples/kbexplain", []string{
+			"suspicious derived facts",
+			"most responsible base facts",
+		}},
+		{"./examples/uncertain", []string{
+			"most probable derivation",
+			"most contributing source facts",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module contribmax
+
+go 1.22

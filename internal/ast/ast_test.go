@@ -1,0 +1,374 @@
+package ast_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"contribmax/internal/ast"
+)
+
+func TestTermConstructorsAndPredicates(t *testing.T) {
+	v := ast.V("X")
+	c := ast.C("france")
+	if !v.IsVar() || v.IsConst() {
+		t.Error("V should be a variable")
+	}
+	if !c.IsConst() || c.IsVar() {
+		t.Error("C should be a constant")
+	}
+	if v.String() != "X" {
+		t.Errorf("v.String() = %q", v.String())
+	}
+	if c.String() != "france" {
+		t.Errorf("c.String() = %q", c.String())
+	}
+}
+
+func TestConstantQuoting(t *testing.T) {
+	cases := map[string]string{
+		"france":     "france",
+		"Upper":      `"Upper"`, // would lex as a variable
+		"has space":  `"has space"`,
+		"":           `""`,
+		"with-dash":  "with-dash",
+		"2pac":       "2pac",
+		"_under":     "_under",
+		"quote\"mid": `"quote\"mid"`,
+		// Numeric literals stay bare; anything else containing a dot must
+		// be quoted or it would re-lex as ident + statement terminator
+		// (regression caught by FuzzParseFacts).
+		"42":       "42",
+		"2.5":      "2.5",
+		"dot.name": `"dot.name"`,
+		"2.5.6":    `"2.5.6"`,
+		"2.":       `"2."`,
+		".5":       `".5"`,
+	}
+	for in, want := range cases {
+		if got := ast.C(in).String(); got != want {
+			t.Errorf("C(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := ast.NewAtom("deals", ast.V("X"), ast.C("cuba"))
+	if a.Arity() != 2 {
+		t.Errorf("arity = %d", a.Arity())
+	}
+	if a.IsGround() {
+		t.Error("atom with variable is not ground")
+	}
+	if got := a.String(); got != "deals(X, cuba)" {
+		t.Errorf("String = %q", got)
+	}
+	g := ast.NewAtom("deals", ast.C("usa"), ast.C("cuba"))
+	if !g.IsGround() {
+		t.Error("ground atom misclassified")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal")
+	}
+	if a.Equal(g) {
+		t.Error("distinct atoms equal")
+	}
+	r := a.Rename("other")
+	if r.Predicate != "other" || !r.Terms[0].IsVar() {
+		t.Errorf("rename = %v", r)
+	}
+}
+
+func TestAtomVarsOrderAndDedup(t *testing.T) {
+	a := ast.NewAtom("p", ast.V("X"), ast.V("Y"), ast.V("X"), ast.C("k"))
+	got := a.Vars(nil)
+	if fmt.Sprint(got) != "[X Y]" {
+		t.Errorf("Vars = %v", got)
+	}
+	got = ast.NewAtom("q", ast.V("Z")).Vars(got)
+	if fmt.Sprint(got) != "[X Y Z]" {
+		t.Errorf("Vars append = %v", got)
+	}
+}
+
+func TestRuleBasics(t *testing.T) {
+	r := ast.NewRule("r1", 0.8,
+		ast.NewAtom("tc", ast.V("X"), ast.V("Y")),
+		ast.NewAtom("e", ast.V("X"), ast.V("Y")),
+	)
+	if r.IsFact() {
+		t.Error("rule with body is not a fact")
+	}
+	if !r.RangeRestricted() {
+		t.Error("rule should be range-restricted")
+	}
+	if fmt.Sprint(r.Vars()) != "[X Y]" {
+		t.Errorf("Vars = %v", r.Vars())
+	}
+	bad := ast.NewRule("r2", 1,
+		ast.NewAtom("p", ast.V("X"), ast.V("Z")),
+		ast.NewAtom("e", ast.V("X"), ast.V("Y")),
+	)
+	if bad.RangeRestricted() {
+		t.Error("head var Z not in body; should not be range-restricted")
+	}
+	fact := ast.NewRule("f", 1, ast.NewAtom("p", ast.C("a")))
+	if !fact.IsFact() || !fact.RangeRestricted() {
+		t.Error("ground fact should be a range-restricted fact")
+	}
+	varFact := ast.NewRule("f2", 1, ast.NewAtom("p", ast.V("X")))
+	if varFact.RangeRestricted() {
+		t.Error("non-ground fact is not range-restricted")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := ast.NewRule("r1", 0.8,
+		ast.NewAtom("tc", ast.V("X"), ast.V("Y")),
+		ast.NewAtom("e", ast.V("X"), ast.V("Y")),
+	)
+	want := "0.8 r1: tc(X, Y) :- e(X, Y)."
+	if r.String() != want {
+		t.Errorf("String = %q, want %q", r.String(), want)
+	}
+	fact := ast.NewRule("", 1, ast.NewAtom("p", ast.C("a")))
+	if fact.String() != "1 p(a)." {
+		t.Errorf("fact String = %q", fact.String())
+	}
+}
+
+func TestProgramEDBIDB(t *testing.T) {
+	p := ast.NewProgram(
+		ast.NewRule("r1", 1, ast.NewAtom("tc", ast.V("X"), ast.V("Y")), ast.NewAtom("e", ast.V("X"), ast.V("Y"))),
+		ast.NewRule("r2", 0.8, ast.NewAtom("tc", ast.V("X"), ast.V("Y")), ast.NewAtom("tc", ast.V("X"), ast.V("Z")), ast.NewAtom("tc", ast.V("Z"), ast.V("Y"))),
+	)
+	if got := p.IDBs(); fmt.Sprint(got) != "[tc]" {
+		t.Errorf("IDBs = %v", got)
+	}
+	if got := p.EDBs(); fmt.Sprint(got) != "[e]" {
+		t.Errorf("EDBs = %v", got)
+	}
+	if !p.IsIDB("tc") || p.IsIDB("e") {
+		t.Error("IsIDB misclassifies")
+	}
+	if got := len(p.RulesFor("tc")); got != 2 {
+		t.Errorf("RulesFor(tc) = %d rules", got)
+	}
+	if _, ok := p.RuleByLabel("r2"); !ok {
+		t.Error("RuleByLabel(r2) missing")
+	}
+	if _, ok := p.RuleByLabel("zzz"); ok {
+		t.Error("RuleByLabel(zzz) should miss")
+	}
+	if !p.IsRecursive() {
+		t.Error("tc program is recursive")
+	}
+}
+
+func TestProgramNonRecursive(t *testing.T) {
+	p := ast.NewProgram(
+		ast.NewRule("r1", 1, ast.NewAtom("a", ast.V("X")), ast.NewAtom("b", ast.V("X"))),
+		ast.NewRule("r2", 1, ast.NewAtom("c", ast.V("X")), ast.NewAtom("a", ast.V("X"))),
+	)
+	if p.IsRecursive() {
+		t.Error("DAG program misclassified as recursive")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	ok := ast.NewProgram(ast.NewRule("r1", 0.5, ast.NewAtom("p", ast.V("X")), ast.NewAtom("q", ast.V("X"))))
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    *ast.Program
+	}{
+		{"empty label", ast.NewProgram(ast.NewRule("", 1, ast.NewAtom("p", ast.C("a"))))},
+		{"dup label", ast.NewProgram(
+			ast.NewRule("r", 1, ast.NewAtom("p", ast.C("a"))),
+			ast.NewRule("r", 1, ast.NewAtom("p", ast.C("b"))),
+		)},
+		{"bad prob", ast.NewProgram(ast.NewRule("r", 1.5, ast.NewAtom("p", ast.C("a"))))},
+		{"neg prob", ast.NewProgram(ast.NewRule("r", -0.1, ast.NewAtom("p", ast.C("a"))))},
+		{"not range-restricted", ast.NewProgram(ast.NewRule("r", 1, ast.NewAtom("p", ast.V("X"))))},
+		{"arity clash", ast.NewProgram(
+			ast.NewRule("r1", 1, ast.NewAtom("p", ast.C("a"))),
+			ast.NewRule("r2", 1, ast.NewAtom("p", ast.C("a"), ast.C("b"))),
+		)},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestProgramCloneIndependence(t *testing.T) {
+	p := ast.NewProgram(ast.NewRule("r1", 1, ast.NewAtom("p", ast.V("X")), ast.NewAtom("q", ast.V("X"))))
+	q := p.Clone()
+	q.Rules[0].Label = "changed"
+	q.Rules[0].Body[0].Terms[0] = ast.C("mutated")
+	if p.Rules[0].Label != "r1" || p.Rules[0].Body[0].Terms[0].IsConst() {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := ast.NewProgram(
+		ast.NewRule("r1", 0.8, ast.NewAtom("tc", ast.V("X"), ast.V("Y")), ast.NewAtom("e", ast.V("X"), ast.V("Y"))),
+	)
+	if !strings.Contains(p.String(), "0.8 r1: tc(X, Y) :- e(X, Y).") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestSubstApply(t *testing.T) {
+	s := ast.Subst{"X": "a", "Y": "b"}
+	a := ast.NewAtom("p", ast.V("X"), ast.V("Z"), ast.C("k"))
+	got := s.ApplyAtom(a)
+	if got.String() != "p(a, Z, k)" {
+		t.Errorf("ApplyAtom = %s", got)
+	}
+	r := ast.NewRule("r", 0.5,
+		ast.NewAtom("h", ast.V("X")),
+		ast.NewAtom("b", ast.V("X"), ast.V("Y")),
+	)
+	gr := s.ApplyRule(r)
+	if gr.String() != "0.5 r: h(a) :- b(a, b)." {
+		t.Errorf("ApplyRule = %s", gr)
+	}
+}
+
+func TestMatchAtom(t *testing.T) {
+	pat := ast.NewAtom("p", ast.V("X"), ast.V("X"), ast.C("k"))
+	if _, ok := ast.MatchAtom(nil, pat, mustGround("p", "a", "a", "k")); !ok {
+		t.Error("should match with X=a")
+	}
+	if _, ok := ast.MatchAtom(nil, pat, mustGround("p", "a", "b", "k")); ok {
+		t.Error("repeated variable mismatch should fail")
+	}
+	if _, ok := ast.MatchAtom(nil, pat, mustGround("p", "a", "a", "z")); ok {
+		t.Error("constant mismatch should fail")
+	}
+	s, ok := ast.MatchAtom(ast.Subst{"X": "a"}, ast.NewAtom("q", ast.V("X"), ast.V("Y")), mustGround("q", "a", "b"))
+	if !ok || s["Y"] != "b" {
+		t.Errorf("extension failed: %v %v", s, ok)
+	}
+	if _, ok := ast.MatchAtom(ast.Subst{"X": "z"}, ast.NewAtom("q", ast.V("X")), mustGround("q", "a")); ok {
+		t.Error("conflicting prior binding should fail")
+	}
+}
+
+func mustGround(pred string, cs ...string) ast.Atom {
+	terms := make([]ast.Term, len(cs))
+	for i, c := range cs {
+		terms[i] = ast.C(c)
+	}
+	return ast.NewAtom(pred, terms...)
+}
+
+func TestBuiltinPredicates(t *testing.T) {
+	if !ast.IsBuiltin("neq") || !ast.IsBuiltin("lt") || ast.IsBuiltin("friend") {
+		t.Error("IsBuiltin misclassifies")
+	}
+	cases := []struct {
+		pred, a, b string
+		want       bool
+	}{
+		{"eq", "x", "x", true},
+		{"eq", "x", "y", false},
+		{"neq", "x", "y", true},
+		{"lt", "2", "10", true},   // numeric
+		{"lt", "b", "a10", false}, // lexicographic
+		{"lte", "3", "3", true},
+		{"gt", "10", "9", true},
+		{"gte", "9", "10", false},
+		{"lt", "1.5", "1.25", false},
+		{"nosuch", "a", "b", false},
+	}
+	for _, c := range cases {
+		if got := ast.EvalBuiltin(c.pred, c.a, c.b); got != c.want {
+			t.Errorf("EvalBuiltin(%s, %q, %q) = %v, want %v", c.pred, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNegatedAtomSemantics(t *testing.T) {
+	a := ast.NewAtom("p", ast.V("X"))
+	n := a
+	n.Negated = true
+	if a.Equal(n) {
+		t.Error("negation must participate in equality")
+	}
+	if n.String() != "not p(X)" {
+		t.Errorf("String = %q", n.String())
+	}
+	if n.Positive().Negated {
+		t.Error("Positive() should strip negation")
+	}
+	if !n.Clone().Negated {
+		t.Error("Clone should preserve negation")
+	}
+	if !n.Rename("q").Negated {
+		t.Error("Rename should preserve negation")
+	}
+}
+
+func TestBindingVarsAndSafety(t *testing.T) {
+	r := ast.NewRule("r", 1,
+		ast.NewAtom("h", ast.V("X")),
+		ast.NewAtom("e", ast.V("X"), ast.V("Y")),
+		ast.NewAtom("lt", ast.V("X"), ast.V("Y")),
+	)
+	if got := fmt.Sprint(r.BindingVars()); got != "[X Y]" {
+		t.Errorf("BindingVars = %v", got)
+	}
+	if !r.Safe() {
+		t.Error("rule should be safe")
+	}
+	neg := ast.NewAtom("q", ast.V("Z"))
+	neg.Negated = true
+	r2 := ast.NewRule("r2", 1, ast.NewAtom("h", ast.V("X")),
+		ast.NewAtom("e", ast.V("X"), ast.V("Y")), neg)
+	if r2.Safe() {
+		t.Error("Z only in negated atom: unsafe")
+	}
+}
+
+func TestHasNegation(t *testing.T) {
+	p := ast.NewProgram(ast.NewRule("r", 1, ast.NewAtom("p", ast.V("X")), ast.NewAtom("e", ast.V("X"))))
+	if p.HasNegation() {
+		t.Error("positive program misclassified")
+	}
+	neg := ast.NewAtom("q", ast.V("X"))
+	neg.Negated = true
+	p.Add(ast.NewRule("r2", 1, ast.NewAtom("p", ast.V("X")), ast.NewAtom("e", ast.V("X")), neg))
+	if !p.HasNegation() {
+		t.Error("negation not detected")
+	}
+}
+
+func TestAritiesAndRuleEqual(t *testing.T) {
+	p := ast.NewProgram(
+		ast.NewRule("r1", 1, ast.NewAtom("p", ast.V("X")), ast.NewAtom("e", ast.V("X"), ast.V("Y"))),
+	)
+	ar := p.Arities()
+	if ar["p"] != 1 || ar["e"] != 2 {
+		t.Errorf("Arities = %v", ar)
+	}
+	r := p.Rules[0]
+	if !r.Equal(r.Clone()) {
+		t.Error("rule should equal its clone")
+	}
+	other := r.Clone()
+	other.Prob = 0.5
+	if r.Equal(other) {
+		t.Error("different probabilities should not be equal")
+	}
+	other2 := r.Clone()
+	other2.Body = append(other2.Body, ast.NewAtom("e", ast.V("Y"), ast.V("X")))
+	if r.Equal(other2) {
+		t.Error("different bodies should not be equal")
+	}
+}

@@ -1,0 +1,110 @@
+package ast
+
+import "strings"
+
+// Atom is a relational atom R(t1, ..., tn), possibly negated when used as
+// a rule-body literal.
+type Atom struct {
+	// Predicate is the relation name. Names are case-sensitive; by
+	// convention they start with a lower-case letter.
+	Predicate string
+	// Terms are the atom's arguments, in positional order.
+	Terms []Term
+	// Negated marks a negative body literal ("not R(...)"). Negation is
+	// only legal in rule bodies of stratified programs; Program.Validate
+	// enforces safety (every variable of a negated atom must occur in a
+	// positive, non-built-in body atom).
+	Negated bool
+}
+
+// NewAtom builds an atom from a predicate name and terms.
+func NewAtom(pred string, terms ...Term) Atom {
+	return Atom{Predicate: pred, Terms: terms}
+}
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Terms) }
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Terms {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars appends the names of the variables occurring in the atom to dst, in
+// order of first occurrence, skipping duplicates already present in dst, and
+// returns the extended slice. Pass nil to collect from scratch.
+func (a Atom) Vars(dst []string) []string {
+	for _, t := range a.Terms {
+		if !t.IsVar() {
+			continue
+		}
+		if !containsString(dst, t.Name) {
+			dst = append(dst, t.Name)
+		}
+	}
+	return dst
+}
+
+// Rename returns a copy of the atom with the predicate replaced.
+func (a Atom) Rename(pred string) Atom {
+	return Atom{Predicate: pred, Terms: a.Terms, Negated: a.Negated}
+}
+
+// Clone returns a deep copy of the atom (fresh Terms slice).
+func (a Atom) Clone() Atom {
+	ts := make([]Term, len(a.Terms))
+	copy(ts, a.Terms)
+	return Atom{Predicate: a.Predicate, Terms: ts, Negated: a.Negated}
+}
+
+// Positive returns the atom with negation stripped.
+func (a Atom) Positive() Atom {
+	a.Negated = false
+	return a
+}
+
+// Equal reports structural equality of two atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Predicate != b.Predicate || len(a.Terms) != len(b.Terms) || a.Negated != b.Negated {
+		return false
+	}
+	for i := range a.Terms {
+		if a.Terms[i] != b.Terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the atom in source syntax, e.g. dealsWith(X, "cuba") or
+// not visited(X).
+func (a Atom) String() string {
+	var sb strings.Builder
+	if a.Negated {
+		sb.WriteString("not ")
+	}
+	sb.WriteString(a.Predicate)
+	sb.WriteByte('(')
+	for i, t := range a.Terms {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package ast
+
+import "strconv"
+
+// Built-in comparison predicates. They are evaluated natively by the
+// engine rather than looked up in a relation: a built-in atom in a rule
+// body is a filter over already-bound variables. Built-ins never appear in
+// rule heads, are not extensional or intensional, and contribute no nodes
+// to the WD graph (they carry no uncertainty).
+//
+// Comparisons are numeric when both arguments parse as numbers and
+// lexicographic over the symbol names otherwise.
+const (
+	BuiltinEq  = "eq"  // eq(X, Y): X == Y
+	BuiltinNeq = "neq" // neq(X, Y): X != Y
+	BuiltinLt  = "lt"  // lt(X, Y): X < Y
+	BuiltinLte = "lte" // lte(X, Y): X <= Y
+	BuiltinGt  = "gt"  // gt(X, Y): X > Y
+	BuiltinGte = "gte" // gte(X, Y): X >= Y
+)
+
+// IsBuiltin reports whether pred is a built-in comparison predicate.
+func IsBuiltin(pred string) bool {
+	switch pred {
+	case BuiltinEq, BuiltinNeq, BuiltinLt, BuiltinLte, BuiltinGt, BuiltinGte:
+		return true
+	}
+	return false
+}
+
+// EvalBuiltin evaluates a built-in comparison over two constant names. It
+// returns false for unknown predicates (Validate rejects them earlier).
+func EvalBuiltin(pred, a, b string) bool {
+	cmp := compareConsts(a, b)
+	switch pred {
+	case BuiltinEq:
+		return cmp == 0
+	case BuiltinNeq:
+		return cmp != 0
+	case BuiltinLt:
+		return cmp < 0
+	case BuiltinLte:
+		return cmp <= 0
+	case BuiltinGt:
+		return cmp > 0
+	case BuiltinGte:
+		return cmp >= 0
+	}
+	return false
+}
+
+// compareConsts orders two constant names: numerically when both parse as
+// floats, lexicographically otherwise.
+func compareConsts(a, b string) int {
+	fa, ea := strconv.ParseFloat(a, 64)
+	fb, eb := strconv.ParseFloat(b, 64)
+	if ea == nil && eb == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

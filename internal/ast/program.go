@@ -1,0 +1,254 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is a finite set of probabilistic datalog rules. The order of
+// Rules is preserved from construction; it has no semantic meaning but keeps
+// output deterministic.
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram builds a program from rules.
+func NewProgram(rules ...Rule) *Program {
+	return &Program{Rules: rules}
+}
+
+// Add appends a rule to the program.
+func (p *Program) Add(r Rule) { p.Rules = append(p.Rules, r) }
+
+// IDBs returns the set of intensional predicate names (those appearing in
+// some rule head), sorted for determinism.
+func (p *Program) IDBs() []string {
+	set := map[string]bool{}
+	for _, r := range p.Rules {
+		set[r.Head.Predicate] = true
+	}
+	return sortedKeys(set)
+}
+
+// EDBs returns the set of extensional predicate names: those appearing in
+// rule bodies but never in a head, sorted for determinism.
+func (p *Program) EDBs() []string {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Predicate] = true
+	}
+	set := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, b := range r.Body {
+			if !idb[b.Predicate] && !IsBuiltin(b.Predicate) {
+				set[b.Predicate] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// HasNegation reports whether any rule body contains a negated atom.
+func (p *Program) HasNegation() bool {
+	for _, r := range p.Rules {
+		for _, b := range r.Body {
+			if b.Negated {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsIDB reports whether pred appears in some rule head.
+func (p *Program) IsIDB(pred string) bool {
+	for _, r := range p.Rules {
+		if r.Head.Predicate == pred {
+			return true
+		}
+	}
+	return false
+}
+
+// RulesFor returns the rules whose head predicate is pred, in program order.
+func (p *Program) RulesFor(pred string) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.Head.Predicate == pred {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RuleByLabel returns the rule with the given label and whether it exists.
+func (p *Program) RuleByLabel(label string) (Rule, bool) {
+	for _, r := range p.Rules {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Arities returns the arity of every predicate mentioned in the program.
+// It is an error (reported by Validate) for a predicate to be used with two
+// different arities; Arities records the first one seen.
+func (p *Program) Arities() map[string]int {
+	ar := map[string]int{}
+	record := func(a Atom) {
+		if _, ok := ar[a.Predicate]; !ok {
+			ar[a.Predicate] = a.Arity()
+		}
+	}
+	for _, r := range p.Rules {
+		record(r.Head)
+		for _, b := range r.Body {
+			record(b)
+		}
+	}
+	return ar
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	rules := make([]Rule, len(p.Rules))
+	for i, r := range p.Rules {
+		rules[i] = r.Clone()
+	}
+	return &Program{Rules: rules}
+}
+
+// IsRecursive reports whether the program's predicate dependency graph has a
+// cycle through idb predicates (i.e. some idb transitively depends on
+// itself).
+func (p *Program) IsRecursive() bool {
+	deps := map[string][]string{}
+	for _, r := range p.Rules {
+		for _, b := range r.Body {
+			if p.IsIDB(b.Predicate) {
+				deps[r.Head.Predicate] = append(deps[r.Head.Predicate], b.Predicate)
+			}
+		}
+	}
+	// DFS cycle detection over the idb dependency graph.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(u string) bool {
+		color[u] = gray
+		for _, v := range deps[u] {
+			switch color[v] {
+			case gray:
+				return true
+			case white:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range deps {
+		if color[u] == white && visit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the program one rule per line, in rule order.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, r := range p.Rules {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Validate checks static well-formedness:
+//   - all probabilities lie in [0, 1],
+//   - rule labels are unique and non-empty,
+//   - every rule is range-restricted and safe (variables of negated and
+//     built-in atoms occur in positive body atoms),
+//   - predicates are used with a consistent arity,
+//   - heads are positive, non-built-in atoms,
+//   - built-in comparison atoms are binary.
+//
+// Stratifiability of negation is checked by the engine at evaluation time,
+// not here (it is a property of the whole program's dependency graph).
+//
+// It returns the first error found, or nil.
+func (p *Program) Validate() error {
+	labels := map[string]bool{}
+	arities := map[string]int{}
+	checkArity := func(a Atom, where string) error {
+		if prev, ok := arities[a.Predicate]; ok {
+			if prev != a.Arity() {
+				return fmt.Errorf("predicate %s used with arities %d and %d (%s)", a.Predicate, prev, a.Arity(), where)
+			}
+		} else {
+			arities[a.Predicate] = a.Arity()
+		}
+		return nil
+	}
+	for i, r := range p.Rules {
+		where := fmt.Sprintf("rule %d (%s)", i, r.Label)
+		if r.Label == "" {
+			return fmt.Errorf("%s: empty label", where)
+		}
+		if labels[r.Label] {
+			return fmt.Errorf("%s: duplicate label %q", where, r.Label)
+		}
+		labels[r.Label] = true
+		if r.Prob < 0 || r.Prob > 1 {
+			return fmt.Errorf("%s: probability %g outside [0,1]", where, r.Prob)
+		}
+		if !r.RangeRestricted() {
+			return fmt.Errorf("%s: not range-restricted (head variable missing from positive body)", where)
+		}
+		if !r.Safe() {
+			return fmt.Errorf("%s: unsafe (negated/built-in atom variable missing from positive body)", where)
+		}
+		if r.Head.Negated {
+			return fmt.Errorf("%s: negated head", where)
+		}
+		if IsBuiltin(r.Head.Predicate) {
+			return fmt.Errorf("%s: built-in predicate %s in rule head", where, r.Head.Predicate)
+		}
+		if err := checkArity(r.Head, where); err != nil {
+			return err
+		}
+		for _, b := range r.Body {
+			if IsBuiltin(b.Predicate) {
+				if b.Arity() != 2 {
+					return fmt.Errorf("%s: built-in %s must be binary", where, b.Predicate)
+				}
+				if b.Negated {
+					return fmt.Errorf("%s: negated built-in %s (use the complementary comparison)", where, b.Predicate)
+				}
+				continue
+			}
+			if err := checkArity(b, where); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,70 @@
+package ast
+
+// Subst is a substitution mapping variable names to constant names. It is
+// used by tests and by the Magic-Sets transformation when reasoning about
+// rule instantiations at the AST level; the evaluation engine uses its own
+// interned representation (internal/engine).
+type Subst map[string]string
+
+// ApplyTerm substitutes t under s. A variable bound by s becomes a constant;
+// an unbound variable and any constant pass through unchanged.
+func (s Subst) ApplyTerm(t Term) Term {
+	if t.IsVar() {
+		if c, ok := s[t.Name]; ok {
+			return C(c)
+		}
+	}
+	return t
+}
+
+// ApplyAtom substitutes every term of a under s.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	ts := make([]Term, len(a.Terms))
+	for i, t := range a.Terms {
+		ts[i] = s.ApplyTerm(t)
+	}
+	return Atom{Predicate: a.Predicate, Terms: ts}
+}
+
+// ApplyRule substitutes every atom of r under s (label and probability are
+// preserved).
+func (s Subst) ApplyRule(r Rule) Rule {
+	body := make([]Atom, len(r.Body))
+	for i, b := range r.Body {
+		body[i] = s.ApplyAtom(b)
+	}
+	return Rule{Label: r.Label, Prob: r.Prob, Head: s.ApplyAtom(r.Head), Body: body}
+}
+
+// MatchAtom attempts to extend s so that pattern, under the extension,
+// equals ground. It returns the extended substitution and true on success;
+// on failure it returns nil and false. s itself is never mutated.
+func MatchAtom(s Subst, pattern, ground Atom) (Subst, bool) {
+	if pattern.Predicate != ground.Predicate || len(pattern.Terms) != len(ground.Terms) {
+		return nil, false
+	}
+	out := Subst{}
+	for k, v := range s {
+		out[k] = v
+	}
+	for i, t := range pattern.Terms {
+		g := ground.Terms[i]
+		if !g.IsConst() {
+			return nil, false
+		}
+		if t.IsConst() {
+			if t.Name != g.Name {
+				return nil, false
+			}
+			continue
+		}
+		if bound, ok := out[t.Name]; ok {
+			if bound != g.Name {
+				return nil, false
+			}
+			continue
+		}
+		out[t.Name] = g.Name
+	}
+	return out, true
+}

@@ -1,0 +1,119 @@
+// Package ast defines the abstract syntax of (probabilistic) datalog
+// programs: terms, atoms, rules, and programs.
+//
+// A probabilistic datalog program is a finite set of rules
+//
+//	p r: h(u0) :- b1(u1), ..., bn(un).
+//
+// where p in [0,1] is the rule's firing probability, r is an optional rule
+// label, h is an intensional (idb) relation and each bi is either an
+// extensional (edb) or intensional relation. Every variable in the head must
+// appear in the body (range restriction).
+package ast
+
+import "fmt"
+
+// TermKind discriminates the two kinds of datalog terms.
+type TermKind uint8
+
+const (
+	// Var is a variable term (e.g. X). Variables are identified by name.
+	Var TermKind = iota
+	// Const is a constant term (e.g. "france"). Constants are identified by
+	// their symbol name; interning to dense ids happens in internal/db.
+	Const
+)
+
+// Term is a datalog term: a variable or a constant.
+//
+// Terms are small value types and are copied freely. Two terms are equal
+// (==) iff they have the same kind and name, which is exactly datalog term
+// identity.
+type Term struct {
+	Kind TermKind
+	Name string
+}
+
+// V returns a variable term with the given name.
+func V(name string) Term { return Term{Kind: Var, Name: name} }
+
+// C returns a constant term with the given symbol name.
+func C(name string) Term { return Term{Kind: Const, Name: name} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Kind == Var }
+
+// IsConst reports whether the term is a constant.
+func (t Term) IsConst() bool { return t.Kind == Const }
+
+// String renders the term in source syntax. Variables print as their name;
+// constants print quoted only when they could be confused with a variable
+// (datalog convention: variables start with an upper-case letter).
+func (t Term) String() string {
+	if t.Kind == Var {
+		return t.Name
+	}
+	if needsQuote(t.Name) {
+		return fmt.Sprintf("%q", t.Name)
+	}
+	return t.Name
+}
+
+// needsQuote reports whether a constant symbol must be quoted to survive a
+// round trip through the parser (it would otherwise lex as a variable, a
+// different token sequence, or fail to lex as a bare symbol). Plain
+// numeric literals ("42", "2.5") stay bare — the lexer reads them as one
+// number token; any other dotted name must be quoted ("a.b" would lex as
+// the identifier "a" followed by a statement terminator).
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	if isNumberLiteral(s) {
+		return false
+	}
+	c := s[0]
+	if c >= 'A' && c <= 'Z' { // would parse as a variable
+		return true
+	}
+	if !isBareStart(c) {
+		return true
+	}
+	for i := 1; i < len(s); i++ {
+		if !isBareInner(s[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNumberLiteral matches exactly what the lexer reads as one number
+// token: digits, optionally followed by '.' and more digits.
+func isNumberLiteral(s string) bool {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return false
+	}
+	if i == len(s) {
+		return true
+	}
+	if s[i] != '.' {
+		return false
+	}
+	j := i + 1
+	for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+		j++
+	}
+	return j > i+1 && j == len(s)
+}
+
+func isBareStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func isBareInner(c byte) bool {
+	return isBareStart(c) || c >= 'A' && c <= 'Z' || c == '-'
+}

@@ -1,0 +1,123 @@
+package cm_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/cm"
+	"contribmax/internal/im"
+	"contribmax/internal/workload"
+)
+
+// starInput builds the Section V-C case-study instance: the directed TC
+// program of Example 4.2 over a star-with-sinks graph; T2 is the set of
+// tc(spoke, sink) reachability facts, T1 all edges, k = 2.
+func starInput(t *testing.T, l, m int) cm.Input {
+	t.Helper()
+	d, spokes, sinks := workload.StarWithSinks(l, m)
+	var T2 []ast.Atom
+	for _, sp := range spokes {
+		for _, sk := range sinks {
+			T2 = append(T2, ast.NewAtom("tc", ast.C(sp), ast.C(sk)))
+		}
+	}
+	return cm.Input{
+		Program: workload.TCProgramDirected(1.0, 0.8),
+		DB:      d,
+		T2:      T2,
+		K:       2,
+	}
+}
+
+// TestCaseStudyOptPicksBottleneckPair reproduces the qualitative claim of
+// Section V-C: with two sinks, the optimal pair takes one edge from each
+// sink chain (the "bottleneck" pair), never two edges of the same chain.
+func TestCaseStudyOptPicksBottleneckPair(t *testing.T) {
+	in := starInput(t, 4, 2)
+	opt, err := cm.BruteForceOPT(in, 20000, rand.New(rand.NewPCG(77, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Seeds) != 2 {
+		t.Fatalf("opt seeds = %v", opt.Seeds)
+	}
+	chain := func(a ast.Atom) string {
+		// Chain edges are edge(a, vI_1) and edge(vI_1, vI_2); spokes are
+		// edge(aJ, a). Classify by the sink index if present.
+		s := a.String()
+		switch {
+		case contains(s, "v1_"):
+			return "v1"
+		case contains(s, "v2_"):
+			return "v2"
+		default:
+			return "spoke"
+		}
+	}
+	c0, c1 := chain(opt.Seeds[0]), chain(opt.Seeds[1])
+	if !(c0 == "v1" && c1 == "v2" || c0 == "v2" && c1 == "v1") {
+		t.Errorf("OPT seeds %v are not one-per-sink-chain (%s, %s)", opt.Seeds, c0, c1)
+	}
+	if opt.SubsetsExamined == 0 {
+		t.Error("no subsets examined")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// TestCaseStudyApproximationRatio is Figure 7's quantitative check: over
+// growing star instances, Magic^S CM's contribution (measured by the
+// Monte-Carlo estimator, like OPT's) must stay within the (1 − 1/e)
+// guarantee, with a small statistical slack.
+func TestCaseStudyApproximationRatio(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 6))
+	for _, sz := range []struct{ l, m int }{{3, 2}, {5, 2}, {4, 3}} {
+		sz := sz
+		t.Run(fmt.Sprintf("l=%d,m=%d", sz.l, sz.m), func(t *testing.T) {
+			in := starInput(t, sz.l, sz.m)
+			opt, err := cm.BruteForceOPT(in, 20000, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cm.MagicSampledCM(in, cm.Options{
+				Theta: im.ThetaSpec{Explicit: 1500},
+				Rand:  rng,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Evaluate both seed sets with one estimator (common ground
+			// truth).
+			est, err := cm.NewEstimator(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const samples = 20000
+			optC, err := est.Contribution(opt.Seeds, samples, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotC, err := est.Contribution(res.Seeds, samples, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := (1 - 1/math.E) * optC
+			if gotC < bound-0.1 {
+				t.Errorf("Magic^S contribution %.3f below (1-1/e)·OPT = %.3f (OPT %.3f, seeds %v)",
+					gotC, bound, optC, res.Seeds)
+			}
+		})
+	}
+}

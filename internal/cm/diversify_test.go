@@ -1,0 +1,127 @@
+package cm_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"contribmax/internal/cm"
+	"contribmax/internal/im"
+	"contribmax/internal/workload"
+)
+
+// TestDiversificationConstraint implements the paper's future-work
+// scenario: unconstrained CM may take all k seeds from one relation; with
+// MaxSeedsPerRelation = 1 every seed must come from a different table.
+func TestDiversificationConstraint(t *testing.T) {
+	// Two parallel evidence chains for each target: exports/imports pairs.
+	// Both top contributors for the single target are exports facts;
+	// constrained selection must take one exports and one imports fact.
+	prog := workload.TradeProgram()
+	d := workload.TradeDB()
+	in := cm.Input{
+		Program: prog,
+		DB:      d,
+		T2:      atoms(t, "dealsWith(usa, iran)", "dealsWith(pakistan, india)"),
+		K:       3,
+	}
+	opts := cm.Options{
+		Theta: im.ThetaSpec{Explicit: 1500},
+		Rand:  rand.New(rand.NewPCG(5, 5)),
+	}
+
+	unconstrained, err := cm.NaiveCM(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.MaxSeedsPerRelation = 1
+	opts.Rand = rand.New(rand.NewPCG(5, 5))
+	constrained, err := cm.NaiveCM(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(constrained.Seeds) != 3 {
+		t.Fatalf("constrained seeds = %v", constrained.Seeds)
+	}
+	perRel := map[string]int{}
+	for _, s := range constrained.Seeds {
+		rel := s.Predicate
+		perRel[rel]++
+		if perRel[rel] > 1 {
+			t.Errorf("relation %s used %d times under MaxSeedsPerRelation=1: %v",
+				rel, perRel[rel], constrained.Seeds)
+		}
+	}
+	// The constraint can only lose coverage.
+	if constrained.EstContribution > unconstrained.EstContribution+1e-9 {
+		t.Errorf("constrained %.4f > unconstrained %.4f",
+			constrained.EstContribution, unconstrained.EstContribution)
+	}
+	// There are 3 edb relations (exports, imports, dealsWith0): the three
+	// seeds must cover all of them.
+	if len(perRel) != 3 {
+		t.Errorf("seeds span %d relations, want 3: %v", len(perRel), constrained.Seeds)
+	}
+}
+
+// TestRankingIndividualVsJoint reproduces the Example 3.7 contrast as an
+// API feature: the top-2 candidates by individual contribution are NOT the
+// jointly optimal 2-set on the running example, because the two
+// individually strongest tuples cover the same targets.
+func TestRankingIndividualVsJoint(t *testing.T) {
+	w := workload.Trade()
+	in := cm.Input{
+		Program: w.Program,
+		DB:      w.DB,
+		T2: atoms(t,
+			"dealsWith(usa, iran)",
+			"dealsWith(pakistan, india)",
+			"dealsWith(russia, ukraine)",
+		),
+		K: 2,
+	}
+	res, err := cm.NaiveCM(in, cm.Options{
+		Theta:          im.ThetaSpec{Explicit: 2000},
+		RankCandidates: true,
+		Rand:           rand.New(rand.NewPCG(11, 7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) == 0 {
+		t.Fatal("ranking empty")
+	}
+	// Ranking is sorted descending.
+	for i := 1; i < len(res.Ranking); i++ {
+		if res.Ranking[i].Coverage > res.Ranking[i-1].Coverage {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+	// The jointly selected set must cover the russia-ukraine component;
+	// the top-2 individual candidates must not (they both serve the
+	// usa-iran / pakistan-india component, which is the paper's point).
+	topIndividual := map[string]bool{
+		res.Ranking[0].Fact.String(): true,
+		res.Ranking[1].Fact.String(): true,
+	}
+	russiaTuples := map[string]bool{"exports(russia, gas)": true, "imports(ukraine, gas)": true}
+	for f := range topIndividual {
+		if russiaTuples[f] {
+			t.Fatalf("unexpected: top-2 individual already covers russia-ukraine: %v", topIndividual)
+		}
+	}
+	coversRussia := false
+	for _, s := range res.Seeds {
+		if russiaTuples[s.String()] {
+			coversRussia = true
+		}
+	}
+	if !coversRussia {
+		t.Errorf("joint selection %v misses the russia-ukraine component", res.Seeds)
+	}
+	// Individual estimates are bounded by |T2| and the top one is the best
+	// single candidate, matching its own coverage count.
+	if res.Ranking[0].EstContribution <= 0 || res.Ranking[0].EstContribution > 3 {
+		t.Errorf("top individual contribution = %g", res.Ranking[0].EstContribution)
+	}
+}

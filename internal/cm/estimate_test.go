@@ -1,0 +1,161 @@
+package cm_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/cm"
+	"contribmax/internal/workload"
+)
+
+// TestPaperExample35Qualitative validates the claims of Example 3.5 on the
+// running trade example (Table I). The paper's absolute scores (≈0.5, 0.35,
+// 0.6) depend on the exact portion of the YAGO-derived database that is not
+// reproducible from Table I alone; the properties the example demonstrates
+// are checked instead:
+//
+//  1. dealsWith(france, cuba) contributes to both targets while
+//     exports(france, vinegar) reaches mainly one, so the former scores
+//     strictly higher;
+//  2. the joint contribution is at most the sum of the individual ones
+//     (shared sub-paths), and
+//  3. at least the maximum of the two.
+func TestPaperExample35Qualitative(t *testing.T) {
+	w := workload.Trade()
+	T2 := atoms(t, "dealsWith(usa, iran)", "dealsWith(pakistan, india)")
+	est, err := cm.NewEstimator(cm.Input{Program: w.Program, DB: w.DB, T2: T2, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(35, 35))
+	const samples = 60000
+	fc := atoms(t, "dealsWith0(france, cuba)")
+	fv := atoms(t, "exports(france, vinegar)")
+	c1, err := est.Contribution(fc, samples, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := est.Contribution(fv, samples, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := est.Contribution(append(fc, fv...), samples, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 0.02
+	if c1 <= c2+tol {
+		t.Errorf("c(france-cuba)=%.3f should exceed c(exports vinegar)=%.3f", c1, c2)
+	}
+	if joint > c1+c2+tol {
+		t.Errorf("joint %.3f exceeds sum %.3f", joint, c1+c2)
+	}
+	if joint < math.Max(c1, c2)-tol {
+		t.Errorf("joint %.3f below max(%.3f, %.3f)", joint, c1, c2)
+	}
+	for _, c := range []float64{c1, c2, joint} {
+		if c <= 0 || c > float64(len(T2)) {
+			t.Errorf("contribution %.3f outside (0, |T2|]", c)
+		}
+	}
+}
+
+// TestEstimatorExactOnChain checks the estimator against a closed-form
+// case: a single derivation chain edge(a,b) -r1-> tc(a,b) where r1 has
+// probability p gives contribution exactly p; extending by the recursive
+// rule multiplies the path probabilities.
+func TestEstimatorExactOnChain(t *testing.T) {
+	prog := workload.TCProgramDirected(0.6, 0.5)
+	d := mustFactsDB(t, `edge(a, b).`)
+	est, err := cm.NewEstimator(cm.Input{Program: prog, DB: d, T2: atoms(t, "tc(a, b)"), K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	got, err := est.Contribution(atoms(t, "edge(a, b)"), 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.6) > 0.01 {
+		t.Errorf("contribution = %.4f, want 0.6", got)
+	}
+}
+
+func TestEstimatorTwoHopChain(t *testing.T) {
+	// edge(a,b), edge(b,c): the WD graph has rule nodes I1 = r1(a,b),
+	// I2 = r1(b,c) and I3 = r2 deriving tc(a,c) from {tc(a,b), tc(b,c)}.
+	// Under Definition 3.4 (reachability in the random subgraph):
+	//   c({edge(a,b), edge(b,c)}) = P[I3 ∧ (I1 ∨ I2)] = 0.5·(1−0.4²) = 0.42
+	//   c({edge(a,b)})            = P[I3 ∧ I1]        = 0.5·0.6      = 0.30
+	// (I3's second parent does not gate reachability — the marginal
+	// contribution ignores other parts of the derivation, Example 3.5.)
+	prog := workload.TCProgramDirected(0.6, 0.5)
+	d := mustFactsDB(t, `edge(a, b). edge(b, c).`)
+	est, err := cm.NewEstimator(cm.Input{Program: prog, DB: d, T2: atoms(t, "tc(a, c)"), K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(10, 10))
+	const samples = 200000
+	both, err := est.Contribution(atoms(t, "edge(a, b)", "edge(b, c)"), samples, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(both-0.42) > 0.01 {
+		t.Errorf("joint contribution = %.4f, want 0.42", both)
+	}
+	one, err := est.Contribution(atoms(t, "edge(a, b)"), samples, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one-0.3) > 0.01 {
+		t.Errorf("single contribution = %.4f, want 0.30", one)
+	}
+}
+
+func TestEstimatorUnknownSeedIgnored(t *testing.T) {
+	prog := workload.TCProgramDirected(1, 0.5)
+	d := mustFactsDB(t, `edge(a, b).`)
+	est, err := cm.NewEstimator(cm.Input{Program: prog, DB: d, T2: atoms(t, "tc(a, b)"), K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	got, err := est.Contribution([]ast.Atom{atom(t, "edge(zz, zz)")}, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("unknown seed contribution = %g, want 0", got)
+	}
+	if _, err := est.Contribution([]ast.Atom{ast.NewAtom("edge", ast.V("X"), ast.C("b"))}, 10, rng); err == nil {
+		t.Error("non-ground seed should error")
+	}
+}
+
+func TestContributionCI(t *testing.T) {
+	prog := workload.TCProgramDirected(0.6, 0.5)
+	d := mustFactsDB(t, `edge(a, b).`)
+	est, err := cm.NewEstimator(cm.Input{Program: prog, DB: d, T2: atoms(t, "tc(a, b)"), K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(21, 22))
+	mean, stderr, err := est.ContributionCI(atoms(t, "edge(a, b)"), 50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bernoulli(0.6): stderr = sqrt(0.6*0.4/50000) ~= 0.00219.
+	if math.Abs(mean-0.6) > 0.01 {
+		t.Errorf("mean = %.4f", mean)
+	}
+	if stderr < 0.0015 || stderr > 0.0030 {
+		t.Errorf("stderr = %.5f, want ~0.0022", stderr)
+	}
+	// Degenerate inputs.
+	if m, se, err := est.ContributionCI(nil, 100, rng); err != nil || m != 0 || se != 0 {
+		t.Errorf("empty seeds: %v %v %v", m, se, err)
+	}
+}

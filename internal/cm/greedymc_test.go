@@ -1,0 +1,81 @@
+package cm_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"contribmax/internal/cm"
+	"contribmax/internal/workload"
+)
+
+// TestGreedyMCMatchesRISOnClearCut: the classic MC-greedy baseline must
+// find the same answer as the RIS algorithms on the unambiguous instance.
+func TestGreedyMCMatchesRISOnClearCut(t *testing.T) {
+	prog := workload.TCProgramDirected(1.0, 0.8)
+	d := mustFactsDB(t, `
+		edge(a, b). edge(b, c).
+		edge(x, y). edge(y, z).
+	`)
+	in := cm.Input{
+		Program: prog,
+		DB:      d,
+		T2:      atoms(t, "tc(a, c)", "tc(x, z)"),
+		K:       2,
+	}
+	res, err := cm.GreedyMCCM(in, cm.GreedyMCOptions{
+		Simulations: 400,
+		Options:     cm.Options{Rand: rand.New(rand.NewPCG(7, 7))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chainA, chainX int
+	for _, s := range seedsOf(res) {
+		switch s {
+		case "edge(a, b)", "edge(b, c)":
+			chainA++
+		case "edge(x, y)", "edge(y, z)":
+			chainX++
+		}
+	}
+	if chainA != 1 || chainX != 1 {
+		t.Errorf("GreedyMC seeds %v do not split across chains", res.Seeds)
+	}
+	if res.EstContribution < 1.0 {
+		t.Errorf("contribution = %g", res.EstContribution)
+	}
+	if res.Algorithm != "GreedyMC" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+}
+
+// TestGreedyMCAgreesWithEstimator: the returned contribution must agree
+// with an independent Monte-Carlo estimate of the same seed set.
+func TestGreedyMCAgreesWithEstimator(t *testing.T) {
+	prog := workload.TCProgram(1.0, 0.8)
+	rng := rand.New(rand.NewPCG(12, 13))
+	d := workload.RandomGraphM(8, 16, rng)
+	derived := evalFacts(t, prog, d, "tc")
+	if len(derived) < 4 {
+		t.Skip("sparse instance")
+	}
+	in := cm.Input{Program: prog, DB: d, T2: derived[:4], K: 2}
+	res, err := cm.GreedyMCCM(in, cm.GreedyMCOptions{
+		Simulations: 1500,
+		Options:     cm.Options{Rand: rand.New(rand.NewPCG(1, 1))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cm.NewEstimator(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := est.Contribution(res.Seeds, 20000, rand.New(rand.NewPCG(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.EstContribution - want; diff > 0.15 || diff < -0.15 {
+		t.Errorf("GreedyMC estimate %.3f vs estimator %.3f", res.EstContribution, want)
+	}
+}

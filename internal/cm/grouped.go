@@ -1,0 +1,110 @@
+package cm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/im"
+	"contribmax/internal/magic"
+	"contribmax/internal/wdgraph"
+)
+
+// MagicGroupedCM is the Magic^G CM variant of Remark 1: instead of building
+// one subgraph per sampled tuple, it applies the Magic-Sets transformation
+// once for the whole set of sampled tuples, materializes the union subgraph
+// once, keeps it in memory, and draws every RR set from it with independent
+// reverse sampled walks.
+//
+// The in-construction sampling optimization cannot be combined with
+// grouping (the per-RR samples must be independent, which a single shared
+// construction cannot provide), so the union graph is built unsampled —
+// which is why, as the paper's experiments show, Magic^G CM's memory
+// footprint grows with the number of RR sets while Magic^S CM's does not.
+func MagicGroupedCM(in Input, opts Options) (*Result, error) {
+	inst, err := prepare(in)
+	if err != nil {
+		return nil, err
+	}
+	rng := opts.rng()
+	start := time.Now()
+	res := &Result{Algorithm: "MagicGCM"}
+
+	// In fixed-θ mode the grouped transformation covers exactly the
+	// distinct sampled root tuples (Remark 1); in adaptive mode the number
+	// of roots is unknown in advance, so the transformation covers all of
+	// T2 and roots are drawn lazily.
+	var roots []int
+	distinct := map[int]bool{}
+	if opts.Adaptive {
+		for ti := range inst.targets {
+			distinct[ti] = true
+		}
+	} else {
+		theta := inst.theta(opts)
+		roots = make([]int, theta)
+		for i := range roots {
+			roots[i] = drawTarget(rng, len(inst.targets))
+			distinct[roots[i]] = true
+		}
+	}
+	distinctSorted := make([]int, 0, len(distinct))
+	for ti := range distinct {
+		distinctSorted = append(distinctSorted, ti)
+	}
+	sort.Ints(distinctSorted)
+	queryAtoms := make([]ast.Atom, 0, len(distinctSorted))
+	for _, ti := range distinctSorted {
+		queryAtoms = append(queryAtoms, inst.atomOf(inst.targets[ti]))
+	}
+
+	buildStart := time.Now()
+	tr, err := magic.TransformWith(in.Program, queryAtoms, opts.SIPS)
+	if err != nil {
+		return nil, fmt.Errorf("MagicGCM: %w", err)
+	}
+	g, err := buildMagicGraph(in, tr, nil, false)
+	if err != nil {
+		return nil, fmt.Errorf("MagicGCM: %w", err)
+	}
+	res.Stats.BuildTime = time.Since(buildStart)
+	recordBuild(&res.Stats, g)
+
+	candOfNode := candidateIndex(g, inst)
+	targetIDs := make([]wdgraph.NodeID, len(inst.targets))
+	targetOK := make([]bool, len(inst.targets))
+	for i, t := range inst.targets {
+		targetIDs[i], targetOK[i] = g.FactID(t.Pred, t.Tuple)
+	}
+	if opts.Parallelism > 1 && !opts.Adaptive {
+		parallelWalkPhase(inst, opts, res, rng, g, targetIDs, targetOK, candOfNode, roots)
+	} else {
+		walker := wdgraph.NewWalker(g)
+		var members []im.CandidateID
+		next := 0
+		gen := func() []im.CandidateID {
+			var ti int
+			if opts.Adaptive || next >= len(roots) {
+				ti = drawTarget(rng, len(inst.targets))
+			} else {
+				ti = roots[next]
+				next++
+			}
+			members = members[:0]
+			if targetOK[ti] {
+				walker.ReverseReachable(targetIDs[ti], rng, false, func(v wdgraph.NodeID) {
+					if c := candOfNode[v]; c >= 0 {
+						members = append(members, im.CandidateID(c))
+					}
+				})
+			}
+			return members
+		}
+		runRRPhase(inst, opts, res, gen)
+	}
+
+	finishSelection(inst, opts, res)
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,343 @@
+// Package cm implements the paper's Contribution Maximization algorithms:
+// NaiveCM (Algorithm 2), MagicCM (Algorithm 3), Magic^S CM (Algorithm 3
+// with in-construction sampling, Section IV-B2), and Magic^G CM (the
+// grouped variant of Remark 1), plus a Monte-Carlo contribution estimator
+// and a near-exact OPT oracle for the case study of Section V-C.
+package cm
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+	"contribmax/internal/im"
+	"contribmax/internal/magic"
+)
+
+// Input is one CM problem instance: find the k-size subset of T1 with the
+// maximal expected contribution to T2 (Definition 3.6).
+type Input struct {
+	Program *ast.Program
+	DB      *db.Database
+	// T1 is the candidate set of edb facts; nil means "all edb facts in
+	// the database" (the paper's default experimental setting).
+	T1 []ast.Atom
+	// T2 is the target set of output (idb) facts.
+	T2 []ast.Atom
+	// K is the seed-set size.
+	K int
+}
+
+// Options tunes the algorithms.
+type Options struct {
+	// Theta selects the number of RR sets (see im.ThetaSpec). The zero
+	// value uses the paper's default: 30% of |T2|.
+	Theta im.ThetaSpec
+	// Adaptive switches to IMM-style adaptive sampling (Remark 2 of the
+	// paper): the RR-set count is derived online from a certified lower
+	// bound on OPT instead of Theta. Theta.Epsilon / Theta.Delta /
+	// Theta.MaxAuto parameterize it.
+	Adaptive bool
+	// Rand drives all sampling. nil means a fixed-seed PCG source, making
+	// runs reproducible by default.
+	Rand *rand.Rand
+	// LazyGreedy switches the selection phase to the CELF lazy-evaluation
+	// greedy. The selection is bit-identical to the default greedy; CELF
+	// is faster when candidates are many and coverage is skewed.
+	LazyGreedy bool
+	// SIPS selects the Magic-Sets sideways-information-passing strategy
+	// for the Magic variants (see magic.SIPS); the default LeftToRight is
+	// the textbook strategy.
+	SIPS magic.SIPS
+	// RankCandidates additionally fills Result.Ranking with every
+	// candidate's *individual* estimated contribution, computed from the
+	// same RR pool. The paper's Examples 1.1/3.7 turn on the difference
+	// between the top-k individually ranked tuples and the jointly optimal
+	// k-set; this exposes both sides.
+	RankCandidates bool
+	// MaxSeedsPerRelation, when positive, caps how many selected seeds may
+	// come from any one database relation — the diversification constraint
+	// proposed in the paper's conclusions (set to 1 to force every seed
+	// from a different table). Selection becomes greedy under a partition
+	// matroid (1/2-approximation of the constrained optimum). Incompatible
+	// with LazyGreedy (the constraint wins).
+	MaxSeedsPerRelation int
+	// Parallelism fans RR-set generation out over this many goroutines:
+	// per-tuple subgraph constructions for MagicCM / Magic^S CM, reverse
+	// walks over the shared graph for NaiveCM / Magic^G CM. 0 or 1 means
+	// sequential; the adaptive mode is inherently sequential and ignores
+	// this. For any fixed seed, every parallel level > 1 produces the
+	// same result (walk slots are pre-seeded); the sequential path draws
+	// from the rng in a different order and may differ statistically
+	// equivalently.
+	Parallelism int
+}
+
+func (o Options) rng() *rand.Rand {
+	if o.Rand != nil {
+		return o.Rand
+	}
+	return rand.New(rand.NewPCG(0xC0FFEE, 0xD15EA5E))
+}
+
+// Result is the outcome of a CM algorithm run.
+type Result struct {
+	// Algorithm names the algorithm that produced the result.
+	Algorithm string
+	// Seeds is the selected k-size (or smaller, see im.Greedy) subset of
+	// T1, in greedy selection order.
+	Seeds []ast.Atom
+	// EstContribution is the RIS estimate |T2|·coverage/θ of the seeds'
+	// expected contribution to T2.
+	EstContribution float64
+	// SeedGains[i] is the marginal number of RR sets newly covered by
+	// Seeds[i] during greedy selection — a per-seed importance signal.
+	SeedGains []int
+	// Ranking, filled when Options.RankCandidates is set, lists every T1
+	// candidate with its individual contribution estimate, sorted
+	// descending (ties by first appearance). Selecting the top k of this
+	// list is the single-tuple ranking the paper contrasts with CM's
+	// joint selection.
+	Ranking []CandidateScore
+	// Stats records the cost measurements the paper's evaluation reports.
+	Stats Stats
+
+	// rrColl retains the RR collection for the selection phase.
+	rrColl *im.RRCollection
+}
+
+// Stats carries the measurements plotted in the paper's Figures 2–5.
+type Stats struct {
+	NumRR       int   // RR sets generated (θ)
+	GraphBuilds int   // WD (sub)graph constructions
+	CoveredRR   int   // RR sets covered by the selected seeds
+	TotalNodes  int64 // summed over all constructed graphs
+	TotalEdges  int64
+	MaxNodes    int // largest single constructed graph
+	MaxEdges    int
+	// PeakResidentSize is the largest graph size (nodes+edges) held in
+	// memory at any point: the full graph for NaiveCM and Magic^G CM, the
+	// largest per-RR subgraph for MagicCM / Magic^S CM (which discard each
+	// subgraph after one use, Section V-A).
+	PeakResidentSize int
+
+	BuildTime  time.Duration // graph construction time (all builds)
+	RRGenTime  time.Duration // total RR generation incl. per-RR builds
+	SelectTime time.Duration // greedy maximum-coverage phase
+	TotalTime  time.Duration
+
+	// AdaptiveLowerBound is IMM's certified lower bound on OPT (adaptive
+	// mode only); AdaptiveCapped reports the MaxRR cap was hit.
+	AdaptiveLowerBound float64
+	AdaptiveCapped     bool
+}
+
+// AvgGraphSize returns the average constructed-graph size (nodes+edges) per
+// build — the y-axis of Figures 2 and 4.
+func (s Stats) AvgGraphSize() float64 {
+	if s.GraphBuilds == 0 {
+		return 0
+	}
+	return float64(s.TotalNodes+s.TotalEdges) / float64(s.GraphBuilds)
+}
+
+// PerRRTime returns the amortized time to produce one RR set — the y-axis
+// of Figure 3. For NaiveCM this amortizes the one-time full-graph
+// construction over the RR sets, as the paper does.
+func (s Stats) PerRRTime() time.Duration {
+	if s.NumRR == 0 {
+		return 0
+	}
+	return (s.BuildTime + s.RRGenTime) / time.Duration(s.NumRR)
+}
+
+// CandidateScore is one candidate's individual contribution estimate.
+type CandidateScore struct {
+	// Fact is the candidate input fact.
+	Fact ast.Atom
+	// Coverage is the number of RR sets containing the candidate.
+	Coverage int
+	// EstContribution is |T2|·Coverage/θ — the RIS estimate of the
+	// candidate's individual expected contribution to T2.
+	EstContribution float64
+}
+
+// FactHandle identifies a ground fact by predicate and interned tuple.
+type FactHandle struct {
+	Pred  string
+	Tuple db.Tuple
+}
+
+func (f FactHandle) key() string { return f.Pred + "\x00" + f.Tuple.Key() }
+
+// instance is a resolved Input: candidates and targets interned against the
+// database symbol table.
+type instance struct {
+	in         Input
+	candidates []FactHandle
+	candOf     map[string]im.CandidateID // fact key -> candidate id
+	targets    []FactHandle
+}
+
+// prepare validates and resolves an Input.
+func prepare(in Input) (*instance, error) {
+	if in.Program == nil || in.DB == nil {
+		return nil, fmt.Errorf("cm: nil program or database")
+	}
+	if err := in.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("cm: %w", err)
+	}
+	if in.K <= 0 {
+		return nil, fmt.Errorf("cm: K must be positive, got %d", in.K)
+	}
+	if len(in.T2) == 0 {
+		return nil, fmt.Errorf("cm: empty target set T2")
+	}
+	inst := &instance{in: in, candOf: make(map[string]im.CandidateID)}
+
+	// Pre-intern every constant of the program so that no symbol-table
+	// writes happen during (possibly parallel) evaluation: the transformed
+	// programs introduce no constants beyond the program's and the
+	// targets' (which InternAtom below covers).
+	for _, r := range in.Program.Rules {
+		internAtomConsts(in.DB, r.Head)
+		for _, b := range r.Body {
+			internAtomConsts(in.DB, b)
+		}
+	}
+
+	addCandidate := func(h FactHandle) {
+		k := h.key()
+		if _, dup := inst.candOf[k]; dup {
+			return
+		}
+		inst.candOf[k] = im.CandidateID(len(inst.candidates))
+		inst.candidates = append(inst.candidates, h)
+	}
+
+	if in.T1 == nil {
+		// All edb facts, in deterministic (relation creation, insertion)
+		// order.
+		edb := map[string]bool{}
+		for _, p := range in.Program.EDBs() {
+			edb[p] = true
+		}
+		for _, name := range in.DB.RelationNames() {
+			if !edb[name] {
+				continue
+			}
+			rel, _ := in.DB.Lookup(name)
+			for i := 0; i < rel.Len(); i++ {
+				addCandidate(FactHandle{Pred: name, Tuple: rel.Tuple(db.TupleID(i))})
+			}
+		}
+	} else {
+		for _, a := range in.T1 {
+			h, err := handleOf(in.DB, a)
+			if err != nil {
+				return nil, fmt.Errorf("cm: T1 atom %s: %w", a, err)
+			}
+			if rel, ok := in.DB.Lookup(a.Predicate); !ok {
+				return nil, fmt.Errorf("cm: T1 atom %s: unknown relation", a)
+			} else if _, present := rel.Contains(h.Tuple); !present {
+				return nil, fmt.Errorf("cm: T1 atom %s is not a database fact", a)
+			}
+			addCandidate(h)
+		}
+	}
+	if len(inst.candidates) == 0 {
+		return nil, fmt.Errorf("cm: empty candidate set T1")
+	}
+
+	seenT2 := map[string]bool{}
+	for _, a := range in.T2 {
+		h, err := handleOf(in.DB, a)
+		if err != nil {
+			return nil, fmt.Errorf("cm: T2 atom %s: %w", a, err)
+		}
+		if !in.Program.IsIDB(a.Predicate) {
+			return nil, fmt.Errorf("cm: T2 atom %s is not intensional", a)
+		}
+		if seenT2[h.key()] {
+			continue
+		}
+		seenT2[h.key()] = true
+		inst.targets = append(inst.targets, h)
+	}
+	return inst, nil
+}
+
+// internAtomConsts interns the constant terms of an atom (variables are
+// skipped).
+func internAtomConsts(database *db.Database, a ast.Atom) {
+	for _, t := range a.Terms {
+		if t.IsConst() {
+			database.Symbols().Intern(t.Name)
+		}
+	}
+}
+
+// handleOf interns a ground atom against the database symbol table.
+func handleOf(database *db.Database, a ast.Atom) (FactHandle, error) {
+	t, err := database.InternAtom(a)
+	if err != nil {
+		return FactHandle{}, err
+	}
+	return FactHandle{Pred: a.Predicate, Tuple: t}, nil
+}
+
+// atomOf converts a handle back to a ground atom.
+func (inst *instance) atomOf(h FactHandle) ast.Atom {
+	syms := inst.in.DB.Symbols()
+	terms := make([]ast.Term, len(h.Tuple))
+	for i, s := range h.Tuple {
+		terms[i] = ast.C(syms.Name(s))
+	}
+	return ast.Atom{Predicate: h.Pred, Terms: terms}
+}
+
+// seedsToAtoms maps greedy-selected candidate ids to ground atoms.
+func (inst *instance) seedsToAtoms(seeds []im.CandidateID) []ast.Atom {
+	out := make([]ast.Atom, len(seeds))
+	for i, s := range seeds {
+		out[i] = inst.atomOf(inst.candidates[int(s)])
+	}
+	return out
+}
+
+// relationGroups assigns each candidate a dense group id per source
+// relation, for the partition-matroid selection.
+func (inst *instance) relationGroups() []int32 {
+	ids := map[string]int32{}
+	out := make([]int32, len(inst.candidates))
+	for i, h := range inst.candidates {
+		id, ok := ids[h.Pred]
+		if !ok {
+			id = int32(len(ids))
+			ids[h.Pred] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// theta resolves the RR-set count for this instance.
+func (inst *instance) theta(opts Options) int {
+	return opts.Theta.Theta(len(inst.candidates), len(inst.targets), inst.in.K)
+}
+
+// scratchFor returns a fresh database sharing in.DB's symbol table and edb
+// relations (by reference). All evaluations — full WD graph construction
+// included — run on such scratch databases, so the caller's database is
+// never mutated with derived facts.
+func scratchFor(in Input) *db.Database {
+	scratch := in.DB.CloneSchema()
+	for _, pred := range in.Program.EDBs() {
+		if rel, ok := in.DB.Lookup(pred); ok {
+			scratch.Attach(rel)
+		}
+	}
+	return scratch
+}

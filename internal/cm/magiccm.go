@@ -1,0 +1,248 @@
+package cm
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/engine"
+	"contribmax/internal/im"
+	"contribmax/internal/magic"
+	"contribmax/internal/wdgraph"
+)
+
+// MagicCM is NaiveCM with the on-the-fly subgraph construction of Section
+// IV-B1 (Algorithm 3): no full WD graph is ever materialized. For each
+// sampled target tuple t, the Magic-Sets-transformed program (P^m_t, w^m_t)
+// is evaluated over D, yielding (Proposition 4.4) exactly the subgraph of
+// the WD graph backward-reachable from t; the RR set is then sampled from
+// that subgraph and the subgraph is discarded.
+func MagicCM(in Input, opts Options) (*Result, error) {
+	return magicVariant(in, opts, "MagicCM", false)
+}
+
+// MagicSampledCM is the paper's Magic^S CM (written Magic³CM in places):
+// MagicCM with the RR sampling folded into the subgraph construction
+// (Section IV-B2). Every origin-rule instantiation is drawn to fire with
+// probability w(r) *during* evaluation — one draw per origin instantiation,
+// shared by all of its Magic-Sets modified rules — so only the fired part
+// of the subgraph is ever materialized, and the subsequent RR extraction is
+// a deterministic reverse reachability.
+func MagicSampledCM(in Input, opts Options) (*Result, error) {
+	return magicVariant(in, opts, "MagicSCM", true)
+}
+
+func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, error) {
+	inst, err := prepare(in)
+	if err != nil {
+		return nil, err
+	}
+	rng := opts.rng()
+	start := time.Now()
+	res := &Result{Algorithm: name}
+
+	// The transformed program for a target depends only on the target, so
+	// it is computed once per distinct target and reused across RR sets
+	// (the graph, of course, is rebuilt — and re-sampled — per RR set).
+	// The cache is lock-guarded for the parallel path.
+	var trMu sync.Mutex
+	transforms := make([]*magic.Transformed, len(inst.targets))
+	transformFor := func(ti int) (*magic.Transformed, error) {
+		trMu.Lock()
+		defer trMu.Unlock()
+		if transforms[ti] == nil {
+			tr, err := magic.TransformWith(in.Program, []ast.Atom{inst.atomOf(inst.targets[ti])}, opts.SIPS)
+			if err != nil {
+				return nil, err
+			}
+			transforms[ti] = tr
+		}
+		return transforms[ti], nil
+	}
+
+	// oneRR builds the subgraph for target ti, draws the RR set with rng
+	// r, and records build stats into st.
+	oneRR := func(ti int, r *rand.Rand, st *Stats, buf []im.CandidateID) ([]im.CandidateID, error) {
+		tr, err := transformFor(ti)
+		if err != nil {
+			return nil, err
+		}
+		g, err := buildMagicGraph(in, tr, r, sampled)
+		if err != nil {
+			return nil, err
+		}
+		recordBuild(st, g)
+		// PeakResidentSize for the per-tuple variants is the largest single
+		// subgraph: each one is discarded after use (Section V-A).
+		return collectRR(g, inst, inst.targets[ti], r, sampled, buf), nil
+	}
+
+	if opts.Parallelism > 1 && !opts.Adaptive {
+		if err := parallelRRPhase(inst, opts, res, rng, oneRR); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+	} else {
+		var members []im.CandidateID
+		var genErr error
+		gen := func() []im.CandidateID {
+			members = members[:0]
+			if genErr != nil {
+				return members
+			}
+			out, err := oneRR(drawTarget(rng, len(inst.targets)), rng, &res.Stats, members)
+			if err != nil {
+				genErr = err
+				return members
+			}
+			return out
+		}
+		runRRPhase(inst, opts, res, gen)
+		if genErr != nil {
+			return nil, fmt.Errorf("%s: %w", name, genErr)
+		}
+	}
+
+	finishSelection(inst, opts, res)
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// parallelRRPhase distributes θ independent RR constructions over
+// Options.Parallelism workers. Determinism: the target index and a
+// dedicated PCG seed are pre-drawn for every RR slot from the master rng,
+// so the resulting RR multiset does not depend on scheduling; per-worker
+// stats are merged afterwards.
+func parallelRRPhase(inst *instance, opts Options, res *Result, rng *rand.Rand,
+	oneRR func(ti int, r *rand.Rand, st *Stats, buf []im.CandidateID) ([]im.CandidateID, error)) error {
+
+	rrStart := time.Now()
+	theta := inst.theta(opts)
+	type slot struct {
+		ti    int
+		seedA uint64
+		seedB uint64
+	}
+	slots := make([]slot, theta)
+	for i := range slots {
+		slots[i] = slot{
+			ti:    drawTarget(rng, len(inst.targets)),
+			seedA: rng.Uint64(),
+			seedB: rng.Uint64(),
+		}
+	}
+	sets := make([][]im.CandidateID, theta)
+	errs := make([]error, opts.Parallelism)
+	stats := make([]Stats, opts.Parallelism)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []im.CandidateID
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= theta {
+					return
+				}
+				r := rand.New(rand.NewPCG(slots[i].seedA, slots[i].seedB))
+				out, err := oneRR(slots[i].ti, r, &stats[w], buf[:0])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				set := make([]im.CandidateID, len(out))
+				copy(set, out)
+				sets[i] = set
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for w := range stats {
+		mergeStats(&res.Stats, &stats[w])
+	}
+	coll := im.NewRRCollection(len(inst.candidates))
+	for _, set := range sets {
+		coll.Add(set)
+	}
+	res.rrColl = coll
+	res.Stats.NumRR = theta
+	res.Stats.RRGenTime += time.Since(rrStart)
+	return nil
+}
+
+// mergeStats folds a worker's build accounting into dst.
+func mergeStats(dst, src *Stats) {
+	dst.GraphBuilds += src.GraphBuilds
+	dst.TotalNodes += src.TotalNodes
+	dst.TotalEdges += src.TotalEdges
+	if src.MaxNodes > dst.MaxNodes {
+		dst.MaxNodes = src.MaxNodes
+	}
+	if src.MaxEdges > dst.MaxEdges {
+		dst.MaxEdges = src.MaxEdges
+	}
+	if src.PeakResidentSize > dst.PeakResidentSize {
+		dst.PeakResidentSize = src.PeakResidentSize
+	}
+}
+
+// buildMagicGraph evaluates the transformed program over a scratch database
+// (sharing the original edb relations) and returns the projected WD
+// subgraph. With sampled=true a fresh SampledGate vetoes instantiations, so
+// the returned graph is one random execution.
+func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bool) (*wdgraph.Graph, error) {
+	scratch := in.DB.CloneSchema()
+	for _, pred := range in.Program.EDBs() {
+		if rel, ok := in.DB.Lookup(pred); ok {
+			scratch.Attach(rel)
+		}
+	}
+	eng, err := engine.New(tr.Program, scratch)
+	if err != nil {
+		return nil, err
+	}
+	b := wdgraph.NewBuilder(tr.Projection())
+	var gate engine.FireGate
+	if sampled {
+		gate = magic.NewSampledGate(tr, eng, rng)
+	}
+	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate}); err != nil {
+		return nil, err
+	}
+	return b.Graph(), nil
+}
+
+// collectRR extracts the RR set of target from g: the T1 candidates from
+// which target is reachable. For the unsampled variant the reverse walk
+// draws each edge with its weight; for the sampled variant the graph itself
+// is already one random execution, so the walk is deterministic.
+func collectRR(g *wdgraph.Graph, inst *instance, target FactHandle, rng *rand.Rand, sampledGraph bool, members []im.CandidateID) []im.CandidateID {
+	root, ok := g.FactID(target.Pred, target.Tuple)
+	if !ok {
+		// Target not derived: empty RR set. This cannot happen for the
+		// unsampled variant when the target is genuinely in P(D); for the
+		// sampled variant it corresponds to an execution in which the
+		// target was not derived.
+		return members
+	}
+	walker := wdgraph.NewWalker(g)
+	walker.ReverseReachable(root, rng, sampledGraph, func(v wdgraph.NodeID) {
+		n := g.Node(v)
+		if n.Kind != wdgraph.FactNode || !n.EDB {
+			return
+		}
+		if c, ok := inst.candOf[n.Pred+"\x00"+n.Tuple.Key()]; ok {
+			members = append(members, c)
+		}
+	})
+	return members
+}

@@ -1,0 +1,155 @@
+package cm
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"contribmax/internal/im"
+	"contribmax/internal/wdgraph"
+)
+
+// NaiveCM is Algorithm 2: materialize the full WD graph with Algorithm 1,
+// then run the adjusted RIS-based IM algorithm over it — RR roots sampled
+// from T2, RR members filtered to T1, greedy maximum coverage for the seed
+// selection. It provides a (1 − 1/e − ε)-approximation with probability
+// ≥ 1 − δ (Proposition 4.1) but materializes a graph polynomial in |D|,
+// which is what the optimized variants avoid.
+func NaiveCM(in Input, opts Options) (*Result, error) {
+	inst, err := prepare(in)
+	if err != nil {
+		return nil, err
+	}
+	rng := opts.rng()
+	start := time.Now()
+	res := &Result{Algorithm: "NaiveCM"}
+
+	// Phase 1: full WD graph (Algorithm 1). Definition 3.1 includes a node
+	// for every edb fact in D, hence the preload.
+	buildStart := time.Now()
+	g, _, err := wdgraph.Build(in.Program, scratchFor(in), nil, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.BuildTime = time.Since(buildStart)
+	recordBuild(&res.Stats, g)
+	res.Stats.PeakResidentSize = g.Size()
+
+	// Phase 2: RR sets via reverse sampled walks from random T2 roots.
+	// Precompute per-node candidate ids so walks avoid per-visit key
+	// construction.
+	candOfNode := candidateIndex(g, inst)
+	targetIDs := make([]wdgraph.NodeID, len(inst.targets))
+	targetOK := make([]bool, len(inst.targets))
+	for i, t := range inst.targets {
+		targetIDs[i], targetOK[i] = g.FactID(t.Pred, t.Tuple)
+	}
+	if opts.Parallelism > 1 && !opts.Adaptive {
+		parallelWalkPhase(inst, opts, res, rng, g, targetIDs, targetOK, candOfNode, nil)
+	} else {
+		walker := wdgraph.NewWalker(g)
+		var members []im.CandidateID
+		gen := func() []im.CandidateID {
+			members = members[:0]
+			ti := rng.IntN(len(inst.targets))
+			if targetOK[ti] {
+				walker.ReverseReachable(targetIDs[ti], rng, false, func(v wdgraph.NodeID) {
+					if c := candOfNode[v]; c >= 0 {
+						members = append(members, im.CandidateID(c))
+					}
+				})
+			}
+			return members
+		}
+		runRRPhase(inst, opts, res, gen)
+	}
+
+	finishSelection(inst, opts, res)
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// candidateIndex maps every node of g to its T1 candidate id, or -1.
+func candidateIndex(g *wdgraph.Graph, inst *instance) []int32 {
+	out := make([]int32, g.NumNodes())
+	for i := range out {
+		out[i] = -1
+	}
+	for ci, h := range inst.candidates {
+		if id, ok := g.FactID(h.Pred, h.Tuple); ok {
+			out[id] = int32(ci)
+		}
+	}
+	return out
+}
+
+// recordBuild accumulates one constructed graph into the stats.
+func recordBuild(s *Stats, g *wdgraph.Graph) {
+	n, e := g.NumNodes(), g.NumEdges()
+	s.GraphBuilds++
+	s.TotalNodes += int64(n)
+	s.TotalEdges += int64(e)
+	if n > s.MaxNodes {
+		s.MaxNodes = n
+	}
+	if e > s.MaxEdges {
+		s.MaxEdges = e
+	}
+	if n+e > s.PeakResidentSize {
+		s.PeakResidentSize = n + e
+	}
+}
+
+// finishSelection runs the greedy coverage phase shared by all algorithms
+// and fills the result from res.rrColl.
+func finishSelection(inst *instance, opts Options, res *Result) {
+	selStart := time.Now()
+	var gr im.GreedyResult
+	switch {
+	case opts.MaxSeedsPerRelation > 0:
+		gr = im.GreedyPartition(res.rrColl, inst.in.K, inst.relationGroups(), opts.MaxSeedsPerRelation)
+	case opts.LazyGreedy:
+		gr = im.GreedyCELF(res.rrColl, inst.in.K)
+	default:
+		gr = im.Greedy(res.rrColl, inst.in.K)
+	}
+	res.Stats.SelectTime = time.Since(selStart)
+	res.Stats.CoveredRR = gr.Covered
+	res.Seeds = inst.seedsToAtoms(gr.Seeds)
+	res.SeedGains = gr.Gains
+	if res.rrColl.Len() > 0 {
+		res.EstContribution = float64(len(inst.targets)) * float64(gr.Covered) / float64(res.rrColl.Len())
+	}
+	if opts.RankCandidates {
+		res.Ranking = rankCandidates(inst, res.rrColl)
+	}
+}
+
+// rankCandidates computes every candidate's individual coverage over the
+// RR pool and returns the descending ranking.
+func rankCandidates(inst *instance, coll *im.RRCollection) []CandidateScore {
+	counts := make([]int, len(inst.candidates))
+	for i := 0; i < coll.Len(); i++ {
+		// Distinct candidates per set: a candidate may appear once per set
+		// at most (RR walks visit each node once), so plain counting works.
+		for _, m := range coll.Set(i) {
+			counts[m]++
+		}
+	}
+	theta := coll.Len()
+	out := make([]CandidateScore, len(inst.candidates))
+	for c := range inst.candidates {
+		out[c] = CandidateScore{
+			Fact:     inst.atomOf(inst.candidates[c]),
+			Coverage: counts[c],
+		}
+		if theta > 0 {
+			out[c].EstContribution = float64(len(inst.targets)) * float64(counts[c]) / float64(theta)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Coverage > out[j].Coverage })
+	return out
+}
+
+// drawTarget picks a uniform random target index.
+func drawTarget(rng *rand.Rand, n int) int { return rng.IntN(n) }

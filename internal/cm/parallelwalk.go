@@ -1,0 +1,84 @@
+package cm
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contribmax/internal/im"
+	"contribmax/internal/wdgraph"
+)
+
+// parallelWalkPhase is the shared-graph analogue of parallelRRPhase, used
+// by NaiveCM and Magic^G CM: θ independent reverse sampled walks over one
+// immutable graph, each worker with its own Walker (the graph itself is
+// safe for concurrent reads once built). Walk slots are pre-seeded from the
+// master rng, so results are deterministic regardless of scheduling or
+// worker count.
+// roots, when non-nil, fixes the walk roots (Magic^G CM pre-draws them so
+// the grouped transformation covers exactly the sampled tuples); nil draws
+// them here.
+func parallelWalkPhase(inst *instance, opts Options, res *Result, rng *rand.Rand,
+	g *wdgraph.Graph, targetIDs []wdgraph.NodeID, targetOK []bool, candOfNode []int32, roots []int) {
+
+	rrStart := time.Now()
+	theta := inst.theta(opts)
+	type slot struct {
+		ti    int
+		seedA uint64
+		seedB uint64
+	}
+	slots := make([]slot, theta)
+	for i := range slots {
+		ti := 0
+		if roots != nil {
+			ti = roots[i%len(roots)]
+		} else {
+			ti = drawTarget(rng, len(inst.targets))
+		}
+		slots[i] = slot{
+			ti:    ti,
+			seedA: rng.Uint64(),
+			seedB: rng.Uint64(),
+		}
+	}
+	sets := make([][]im.CandidateID, theta)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			walker := wdgraph.NewWalker(g)
+			var buf []im.CandidateID
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= theta {
+					return
+				}
+				buf = buf[:0]
+				s := slots[i]
+				if targetOK[s.ti] {
+					r := rand.New(rand.NewPCG(s.seedA, s.seedB))
+					walker.ReverseReachable(targetIDs[s.ti], r, false, func(v wdgraph.NodeID) {
+						if c := candOfNode[v]; c >= 0 {
+							buf = append(buf, im.CandidateID(c))
+						}
+					})
+				}
+				set := make([]im.CandidateID, len(buf))
+				copy(set, buf)
+				sets[i] = set
+			}
+		}()
+	}
+	wg.Wait()
+	coll := im.NewRRCollection(len(inst.candidates))
+	for _, set := range sets {
+		coll.Add(set)
+	}
+	res.rrColl = coll
+	res.Stats.NumRR = theta
+	res.Stats.RRGenTime += time.Since(rrStart)
+}

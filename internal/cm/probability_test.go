@@ -1,0 +1,84 @@
+package cm_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"contribmax/internal/cm"
+	"contribmax/internal/workload"
+)
+
+func TestDerivationProbabilityOneHop(t *testing.T) {
+	prog := workload.TCProgramDirected(0.6, 0.5)
+	d := mustFactsDB(t, `edge(a, b).`)
+	p, err := cm.DerivationProbability(prog, d, atom(t, "tc(a, b)"), 30000, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.6) > 0.01 {
+		t.Errorf("P[tc(a,b)] = %.4f, want 0.6", p)
+	}
+}
+
+// TestDerivationProbabilityConjunctive pins down the semantic difference
+// between derivation probability (AND over an instantiation's bodies) and
+// the reachability-based contribution (OR over paths, Definition 3.4):
+// tc(a, c) needs r1(a,b) ∧ r1(b,c) ∧ r2 — probability 0.6·0.6·0.5 = 0.18 —
+// while the contribution of {edge(a,b), edge(b,c)} to it is
+// 0.5·(1−0.4²) = 0.42 (TestEstimatorTwoHopChain).
+func TestDerivationProbabilityConjunctive(t *testing.T) {
+	prog := workload.TCProgramDirected(0.6, 0.5)
+	d := mustFactsDB(t, `edge(a, b). edge(b, c).`)
+	p, err := cm.DerivationProbability(prog, d, atom(t, "tc(a, c)"), 60000, rand.New(rand.NewPCG(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.18) > 0.008 {
+		t.Errorf("P[tc(a,c)] = %.4f, want 0.18", p)
+	}
+}
+
+func TestDerivationProbabilityDisjunctive(t *testing.T) {
+	// The undirected program derives tc(a, b) through two independent
+	// one-hop rules: r1 over edge(a,b) (p=0.6) and r2 over edge(b,a)
+	// (p=0.5), so P ≥ 1 − (1−0.6)(1−0.5) = 0.8, with additional mass from
+	// r3 compositions.
+	prog := workload.TCProgram3(0.6, 0.5, 0.9)
+	d := mustFactsDB(t, `edge(a, b). edge(b, a).`)
+	p, err := cm.DerivationProbability(prog, d, atom(t, "tc(a, b)"), 60000, rand.New(rand.NewPCG(3, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derivations of tc(a,b): r1 over edge(a,b) (0.6), r2 over edge(b,a)
+	// (0.5), plus r3 compositions via tc(a,x),tc(x,b) which add more mass;
+	// at minimum 0.8.
+	if p < 0.8-0.01 || p > 1 {
+		t.Errorf("P[tc(a,b)] = %.4f, want >= 0.8", p)
+	}
+}
+
+func TestDerivationProbabilityUnderivable(t *testing.T) {
+	prog := workload.TCProgramDirected(1, 1)
+	d := mustFactsDB(t, `edge(a, b).`)
+	// tc(b, a) is not derivable at all: the transformation still works and
+	// every sample misses.
+	p, err := cm.DerivationProbability(prog, d, atom(t, "tc(b, a)"), 100, rand.New(rand.NewPCG(4, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("P = %g, want 0", p)
+	}
+}
+
+func TestDerivationProbabilityErrors(t *testing.T) {
+	prog := workload.TCProgramDirected(1, 1)
+	d := mustFactsDB(t, `edge(a, b).`)
+	if _, err := cm.DerivationProbability(prog, d, atom(t, "tc(a, b)"), 0, nil); err == nil {
+		t.Error("zero samples should error")
+	}
+	if _, err := cm.DerivationProbability(prog, d, atom(t, "edge(a, b)"), 10, nil); err == nil {
+		t.Error("edb target should error (not intensional)")
+	}
+}

@@ -1,0 +1,140 @@
+package cm_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/cm"
+	"contribmax/internal/db"
+	"contribmax/internal/engine"
+	"contribmax/internal/im"
+)
+
+// randomCMInstance builds a random positive probabilistic program and
+// database with at least minTargets derivable idb tuples, or ok=false.
+func randomCMInstance(rng *rand.Rand, minTargets int) (prog *ast.Program, d *db.Database, targets []ast.Atom, ok bool) {
+	type predSig struct {
+		name  string
+		arity int
+	}
+	idb := []predSig{{"p0", 1}, {"p1", 2}}
+	edb := []predSig{{"e0", 1}, {"e1", 2}}
+	vars := []string{"X", "Y", "Z"}
+	randAtom := func(p predSig) ast.Atom {
+		terms := make([]ast.Term, p.arity)
+		for i := range terms {
+			terms[i] = ast.V(vars[rng.IntN(len(vars))])
+		}
+		return ast.NewAtom(p.name, terms...)
+	}
+	prog = ast.NewProgram()
+	n := rng.IntN(3) + 2
+	for i := 0; i < n; i++ {
+		head := idb[rng.IntN(len(idb))]
+		nBody := rng.IntN(2) + 1
+		var body []ast.Atom
+		for j := 0; j < nBody; j++ {
+			if rng.IntN(2) == 0 {
+				body = append(body, randAtom(edb[rng.IntN(len(edb))]))
+			} else {
+				body = append(body, randAtom(idb[rng.IntN(len(idb))]))
+			}
+		}
+		bodyVars := ast.NewRule("", 1, ast.NewAtom("x"), body...).BodyVars()
+		if len(bodyVars) == 0 {
+			continue
+		}
+		terms := make([]ast.Term, head.arity)
+		for j := range terms {
+			terms[j] = ast.V(bodyVars[rng.IntN(len(bodyVars))])
+		}
+		prog.Add(ast.Rule{
+			Label: fmt.Sprintf("r%d", i),
+			Prob:  0.4 + 0.6*rng.Float64(),
+			Head:  ast.NewAtom(head.name, terms...),
+			Body:  body,
+		})
+	}
+	if len(prog.Rules) == 0 || prog.Validate() != nil {
+		return nil, nil, nil, false
+	}
+	d = db.NewDatabase()
+	for i := 0; i < rng.IntN(8)+4; i++ {
+		if rng.IntN(2) == 0 {
+			d.MustInsertAtom(ast.NewAtom("e0", ast.C(fmt.Sprintf("c%d", rng.IntN(3)))))
+		} else {
+			d.MustInsertAtom(ast.NewAtom("e1",
+				ast.C(fmt.Sprintf("c%d", rng.IntN(3))), ast.C(fmt.Sprintf("c%d", rng.IntN(3)))))
+		}
+	}
+	// Evaluate on a scratch to collect derivable targets.
+	scratch := d.CloneSchema()
+	for _, p := range prog.EDBs() {
+		if rel, found := d.Lookup(p); found {
+			scratch.Attach(rel)
+		}
+	}
+	eng, err := engine.New(prog, scratch)
+	if err != nil {
+		return nil, nil, nil, false
+	}
+	if _, err := eng.Run(engine.Options{MaxRounds: 100}); err != nil {
+		return nil, nil, nil, false
+	}
+	for _, pred := range prog.IDBs() {
+		targets = append(targets, scratch.Facts(pred)...)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].String() < targets[j].String() })
+	if len(targets) < minTargets {
+		return nil, nil, nil, false
+	}
+	if len(targets) > 6 {
+		targets = targets[:6]
+	}
+	return prog, d, targets, true
+}
+
+// TestNaiveMagicAgreeOnRandomPrograms is the Proposition 4.4 end-to-end
+// property test on random programs: NaiveCM's and MagicCM's contribution
+// estimates come from the same RR-set distribution, so with a large θ they
+// must agree statistically on every instance.
+func TestNaiveMagicAgreeOnRandomPrograms(t *testing.T) {
+	instances := 0
+	for trial := 0; trial < 200 && instances < 15; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 0xA9EE))
+		prog, d, targets, ok := randomCMInstance(rng, 2)
+		if !ok {
+			continue
+		}
+		instances++
+		in := cm.Input{Program: prog, DB: d, T2: targets, K: 2}
+		opt := func(seed uint64) cm.Options {
+			return cm.Options{
+				Theta: im.ThetaSpec{Explicit: 1500},
+				Rand:  rand.New(rand.NewPCG(seed, 99)),
+			}
+		}
+		naive, err := cm.NaiveCM(in, opt(1))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, prog)
+		}
+		magicRes, err := cm.MagicCM(in, opt(2))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, prog)
+		}
+		// Absolute tolerance: each estimate has stderr <= |T2|/(2*sqrt(θ));
+		// allow 6 combined sigmas.
+		tol := 6 * float64(len(targets)) / math.Sqrt(1500)
+		if diff := math.Abs(naive.EstContribution - magicRes.EstContribution); diff > tol {
+			t.Errorf("trial %d: naive %.3f vs magic %.3f (diff %.3f > tol %.3f)\n%s",
+				trial, naive.EstContribution, magicRes.EstContribution, diff, tol, prog)
+		}
+	}
+	if instances < 5 {
+		t.Fatalf("only %d usable instances", instances)
+	}
+}

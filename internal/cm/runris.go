@@ -1,0 +1,41 @@
+package cm
+
+import (
+	"time"
+
+	"contribmax/internal/im"
+)
+
+// runRRPhase generates the RR collection for an instance: fixed-count per
+// Options.Theta, or IMM-adaptive (Options.Adaptive) where the count is
+// derived online from a certified lower bound on OPT (Remark 2). gen
+// produces one RR set per call; it may reuse its output buffer (the
+// collection copies).
+func runRRPhase(inst *instance, opts Options, res *Result, gen im.RRGenerator) *im.RRCollection {
+	start := time.Now()
+	defer func() {
+		res.Stats.RRGenTime += time.Since(start)
+		res.Stats.NumRR = res.rrColl.Len()
+	}()
+	if opts.Adaptive {
+		coll, _, immStats := im.IMM(gen, im.IMMParams{
+			Epsilon:       opts.Theta.Epsilon,
+			Delta:         opts.Theta.Delta,
+			NumTargets:    len(inst.targets),
+			NumCandidates: len(inst.candidates),
+			K:             inst.in.K,
+			MaxRR:         opts.Theta.MaxAuto,
+		})
+		res.Stats.AdaptiveLowerBound = immStats.LowerBound
+		res.Stats.AdaptiveCapped = immStats.Capped
+		res.rrColl = coll
+		return coll
+	}
+	theta := inst.theta(opts)
+	coll := im.NewRRCollection(len(inst.candidates))
+	for i := 0; i < theta; i++ {
+		coll.Add(gen())
+	}
+	res.rrColl = coll
+	return coll
+}

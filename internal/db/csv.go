@@ -1,0 +1,80 @@
+package db
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LoadCSV bulk-loads rows from r into the relation pred, one tuple per
+// record. arity fixes the relation's width; records with a different field
+// count are an error. If header is true the first record is skipped.
+// It returns the number of newly inserted (non-duplicate) tuples.
+//
+// This is the bulk ingestion path for real datasets (knowledge-base dumps,
+// edge lists); the textual fact files of internal/parser remain the
+// human-readable path.
+func (d *Database) LoadCSV(pred string, arity int, r io.Reader, header bool) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = arity
+	cr.ReuseRecord = true
+	rel := d.Relation(pred, arity)
+	added := 0
+	first := true
+	t := make(Tuple, arity)
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return added, nil
+		}
+		if err != nil {
+			return added, fmt.Errorf("db: loading %s: %w", pred, err)
+		}
+		if first && header {
+			first = false
+			continue
+		}
+		first = false
+		for i, field := range record {
+			t[i] = d.symbols.Intern(field)
+		}
+		if _, fresh := rel.Insert(t); fresh {
+			added++
+		}
+	}
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func (d *Database) LoadCSVFile(pred string, arity int, path string, header bool) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := d.LoadCSV(pred, arity, f, header)
+	if err != nil {
+		return n, fmt.Errorf("%s: %w", path, err)
+	}
+	return n, nil
+}
+
+// WriteCSV writes the relation pred as CSV rows to w (no header).
+func (d *Database) WriteCSV(pred string, w io.Writer) error {
+	rel, ok := d.relations[pred]
+	if !ok {
+		return fmt.Errorf("db: unknown relation %s", pred)
+	}
+	cw := csv.NewWriter(w)
+	record := make([]string, rel.Arity())
+	for id := 0; id < rel.Len(); id++ {
+		for i, s := range rel.Tuple(TupleID(id)) {
+			record[i] = d.symbols.Name(s)
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,53 @@
+package db_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"contribmax/internal/db"
+)
+
+func TestLoadCSVAndWriteCSV(t *testing.T) {
+	d := db.NewDatabase()
+	n, err := d.LoadCSV("exports", 2, strings.NewReader("country,product\nfrance,wine\ncuba,tobacco\nfrance,wine\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("added = %d, want 2 (duplicate skipped)", n)
+	}
+	rel, _ := d.Lookup("exports")
+	if rel.Len() != 2 {
+		t.Errorf("len = %d", rel.Len())
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV("exports", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "france,wine\ncuba,tobacco\n" {
+		t.Errorf("WriteCSV = %q", got)
+	}
+	if err := d.WriteCSV("missing", &buf); err == nil {
+		t.Error("unknown relation should error")
+	}
+}
+
+func TestLoadCSVArityMismatch(t *testing.T) {
+	d := db.NewDatabase()
+	if _, err := d.LoadCSV("e", 2, strings.NewReader("a,b,c\n"), false); err == nil {
+		t.Error("3 fields into arity 2 should error")
+	}
+}
+
+func TestLoadCSVQuotedFields(t *testing.T) {
+	d := db.NewDatabase()
+	n, err := d.LoadCSV("p", 2, strings.NewReader("\"has, comma\",\"multi\nline\"\n"), false)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	facts := d.Facts("p")
+	if facts[0].Terms[0].Name != "has, comma" {
+		t.Errorf("field = %q", facts[0].Terms[0].Name)
+	}
+}

@@ -1,0 +1,168 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"contribmax/internal/ast"
+)
+
+// Database is a collection of named relations sharing one symbol table.
+type Database struct {
+	symbols   *SymbolTable
+	relations map[string]*Relation
+	order     []string // creation order, for deterministic iteration
+}
+
+// NewDatabase returns an empty database with a fresh symbol table.
+func NewDatabase() *Database {
+	return &Database{
+		symbols:   NewSymbolTable(),
+		relations: make(map[string]*Relation),
+	}
+}
+
+// Symbols returns the database's symbol table.
+func (d *Database) Symbols() *SymbolTable { return d.symbols }
+
+// Relation returns the relation named pred, creating it with the given
+// arity if absent. It panics if the relation exists with a different arity,
+// which indicates an invalid program (ast.Program.Validate catches this for
+// parsed programs).
+func (d *Database) Relation(pred string, arity int) *Relation {
+	if r, ok := d.relations[pred]; ok {
+		if r.arity != arity {
+			panic(fmt.Sprintf("db: relation %s used with arities %d and %d", pred, r.arity, arity))
+		}
+		return r
+	}
+	r := NewRelation(pred, arity)
+	d.relations[pred] = r
+	d.order = append(d.order, pred)
+	return r
+}
+
+// Lookup returns the relation named pred if present.
+func (d *Database) Lookup(pred string) (*Relation, bool) {
+	r, ok := d.relations[pred]
+	return r, ok
+}
+
+// RelationNames returns all relation names in creation order.
+func (d *Database) RelationNames() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// InsertAtom interns and inserts a ground atom. It returns the relation,
+// the tuple id and whether the tuple was newly added. It returns an error
+// if the atom is not ground.
+func (d *Database) InsertAtom(a ast.Atom) (*Relation, TupleID, bool, error) {
+	t, err := d.InternAtom(a)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	rel := d.Relation(a.Predicate, a.Arity())
+	id, added := rel.Insert(t)
+	return rel, id, added, nil
+}
+
+// MustInsertAtom is InsertAtom for callers that know the atom is ground
+// (e.g. generated workloads); it panics on a non-ground atom.
+func (d *Database) MustInsertAtom(a ast.Atom) (TupleID, bool) {
+	_, id, added, err := d.InsertAtom(a)
+	if err != nil {
+		panic(err)
+	}
+	return id, added
+}
+
+// InternAtom interns the constants of a ground atom into a tuple without
+// inserting it anywhere.
+func (d *Database) InternAtom(a ast.Atom) (Tuple, error) {
+	t := make(Tuple, len(a.Terms))
+	for i, term := range a.Terms {
+		if !term.IsConst() {
+			return nil, fmt.Errorf("db: atom %s is not ground", a)
+		}
+		t[i] = d.symbols.Intern(term.Name)
+	}
+	return t, nil
+}
+
+// AtomOf reconstructs the ground atom for a tuple of a relation.
+func (d *Database) AtomOf(rel *Relation, id TupleID) ast.Atom {
+	t := rel.Tuple(id)
+	terms := make([]ast.Term, len(t))
+	for i, s := range t {
+		terms[i] = ast.C(d.symbols.Name(s))
+	}
+	return ast.Atom{Predicate: rel.Name(), Terms: terms}
+}
+
+// Facts returns all tuples of pred as ground atoms, in insertion order. It
+// returns nil if the relation does not exist.
+func (d *Database) Facts(pred string) []ast.Atom {
+	rel, ok := d.relations[pred]
+	if !ok {
+		return nil
+	}
+	out := make([]ast.Atom, rel.Len())
+	for i := 0; i < rel.Len(); i++ {
+		out[i] = d.AtomOf(rel, TupleID(i))
+	}
+	return out
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (d *Database) TotalTuples() int {
+	n := 0
+	for _, r := range d.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// CloneSchema returns a new empty database sharing this database's symbol
+// table. Sharing the table keeps symbol ids stable across the original
+// database and per-query scratch databases built by the Magic-Sets
+// algorithms, so tuples can be compared across databases by value.
+func (d *Database) CloneSchema() *Database {
+	return &Database{
+		symbols:   d.symbols,
+		relations: make(map[string]*Relation),
+	}
+}
+
+// Attach shares an existing relation (typically an edb relation of another
+// database with the same symbol table) under its own name. The relation is
+// shared by reference: the Magic-Sets algorithms attach the original edb
+// relations to per-query scratch databases so that edb data and its lazily
+// built indexes are reused across queries. It panics if a different
+// relation is already registered under the name.
+func (d *Database) Attach(rel *Relation) {
+	if prev, ok := d.relations[rel.Name()]; ok {
+		if prev != rel {
+			panic(fmt.Sprintf("db: relation %s already attached", rel.Name()))
+		}
+		return
+	}
+	d.relations[rel.Name()] = rel
+	d.order = append(d.order, rel.Name())
+}
+
+// Stats returns a deterministic, human-readable per-relation tuple count
+// summary, for debugging and the wddump tool.
+func (d *Database) Stats() string {
+	names := make([]string, 0, len(d.relations))
+	for n := range d.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += fmt.Sprintf("%s/%d: %d tuples\n", n, d.relations[n].arity, d.relations[n].Len())
+	}
+	return s
+}

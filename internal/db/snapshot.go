@@ -1,0 +1,176 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot format: a compact binary serialization of a database, so large
+// generated or imported fact sets load without re-parsing text. Layout
+// (all integers unsigned varints, strings length-prefixed):
+//
+//	magic "CMDB" version 1
+//	symbolCount, symbols...            (in id order)
+//	relationCount
+//	  per relation: name, arity, tupleCount, tuples (arity syms each)
+//
+// Relations are written in creation order, tuples in insertion order, so a
+// load reproduces ids exactly — snapshots are stable fixtures for
+// deterministic experiments.
+const (
+	snapshotMagic   = "CMDB"
+	snapshotVersion = 1
+)
+
+// WriteSnapshot serializes the database to w.
+func (d *Database) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, snapshotVersion)
+	writeUvarint(bw, uint64(d.symbols.Len()))
+	for i := 0; i < d.symbols.Len(); i++ {
+		writeString(bw, d.symbols.Name(Sym(i)))
+	}
+	writeUvarint(bw, uint64(len(d.order)))
+	for _, name := range d.order {
+		rel := d.relations[name]
+		writeString(bw, name)
+		writeUvarint(bw, uint64(rel.Arity()))
+		writeUvarint(bw, uint64(rel.Len()))
+		for id := 0; id < rel.Len(); id++ {
+			for _, s := range rel.Tuple(TupleID(id)) {
+				writeUvarint(bw, uint64(s))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a database written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Database, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("db: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("db: not a snapshot (magic %q)", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("db: unsupported snapshot version %d", version)
+	}
+	d := NewDatabase()
+	nSyms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nSyms; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		if got := d.symbols.Intern(name); got != Sym(i) {
+			return nil, fmt.Errorf("db: snapshot symbol %q duplicated", name)
+		}
+	}
+	nRels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nRels; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		arity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if arity > 31 {
+			return nil, fmt.Errorf("db: snapshot relation %s arity %d exceeds 31", name, arity)
+		}
+		nTuples, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		rel := d.Relation(name, int(arity))
+		t := make(Tuple, arity)
+		for j := uint64(0); j < nTuples; j++ {
+			for k := range t {
+				v, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				if v >= nSyms {
+					return nil, fmt.Errorf("db: snapshot tuple references unknown symbol %d", v)
+				}
+				t[k] = Sym(v)
+			}
+			rel.Insert(t)
+		}
+	}
+	return d, nil
+}
+
+// SaveSnapshot writes the database to a file.
+func (d *Database) SaveSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSnapshot reads a database from a file.
+func LoadSnapshot(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	const maxString = 1 << 20
+	if n > maxString {
+		return "", fmt.Errorf("db: snapshot string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,107 @@
+package db_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := db.NewDatabase()
+	d.MustInsertAtom(ast.NewAtom("exports", ast.C("france"), ast.C("wine")))
+	d.MustInsertAtom(ast.NewAtom("exports", ast.C("cuba"), ast.C("tobacco")))
+	d.MustInsertAtom(ast.NewAtom("flag", ast.C("on")))
+	d.MustInsertAtom(ast.NewAtom("weird", ast.C("With Space"), ast.C(""), ast.C("日本")))
+
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.RelationNames()) != fmt.Sprint(d.RelationNames()) {
+		t.Errorf("relation order changed: %v vs %v", got.RelationNames(), d.RelationNames())
+	}
+	for _, name := range d.RelationNames() {
+		if fmt.Sprint(got.Facts(name)) != fmt.Sprint(d.Facts(name)) {
+			t.Errorf("%s: %v vs %v", name, got.Facts(name), d.Facts(name))
+		}
+	}
+	// Symbol ids must be identical (tuple ids and keys stay stable).
+	if got.Symbols().Len() != d.Symbols().Len() {
+		t.Errorf("symbol count %d vs %d", got.Symbols().Len(), d.Symbols().Len())
+	}
+}
+
+func TestSnapshotRoundTripRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		d := db.NewDatabase()
+		nRel := rng.Intn(4) + 1
+		for r := 0; r < nRel; r++ {
+			arity := rng.Intn(3) + 1
+			pred := fmt.Sprintf("r%d", r)
+			n := rng.Intn(50)
+			for i := 0; i < n; i++ {
+				terms := make([]ast.Term, arity)
+				for j := range terms {
+					terms[j] = ast.C(fmt.Sprintf("c%d", rng.Intn(20)))
+				}
+				d.MustInsertAtom(ast.NewAtom(pred, terms...))
+			}
+		}
+		var buf bytes.Buffer
+		if err := d.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range d.RelationNames() {
+			if fmt.Sprint(got.Facts(name)) != fmt.Sprint(d.Facts(name)) {
+				t.Fatalf("trial %d relation %s mismatch", trial, name)
+			}
+		}
+	}
+}
+
+func TestSnapshotFileHelpers(t *testing.T) {
+	d := db.NewDatabase()
+	d.MustInsertAtom(ast.NewAtom("e", ast.C("a"), ast.C("b")))
+	path := filepath.Join(t.TempDir(), "snap.cmdb")
+	if err := d.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalTuples() != 1 {
+		t.Errorf("tuples = %d", got.TotalTuples())
+	}
+	if _, err := db.LoadSnapshot(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOPE"),
+		[]byte("CMDB\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"), // absurd version
+		[]byte("CMDB\x01\x02\x01a"),                            // truncated symbols
+	}
+	for i, c := range cases {
+		if _, err := db.ReadSnapshot(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package db
+
+import "strings"
+
+// Tuple is a sequence of interned symbols. Tuples are immutable by
+// convention: once inserted into a relation they must not be modified.
+type Tuple []Sym
+
+// Key packs the tuple into a string usable as a map key. The packing is
+// 4 bytes per symbol, big-endian, which is injective for a fixed arity.
+func (t Tuple) Key() string {
+	var sb strings.Builder
+	sb.Grow(4 * len(t))
+	for _, s := range t {
+		sb.WriteByte(byte(s >> 24))
+		sb.WriteByte(byte(s >> 16))
+		sb.WriteByte(byte(s >> 8))
+		sb.WriteByte(byte(s))
+	}
+	return sb.String()
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a fresh copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// projKey packs the symbols of t at the given positions into a map key. It
+// is used for binding-pattern index keys; positions must be sorted.
+func projKey(t Tuple, positions []int) string {
+	var sb strings.Builder
+	sb.Grow(4 * len(positions))
+	for _, p := range positions {
+		s := t[p]
+		sb.WriteByte(byte(s >> 24))
+		sb.WriteByte(byte(s >> 16))
+		sb.WriteByte(byte(s >> 8))
+		sb.WriteByte(byte(s))
+	}
+	return sb.String()
+}

@@ -1,0 +1,209 @@
+// Package engine implements bottom-up semi-naive evaluation of datalog
+// programs over internal/db databases.
+//
+// The engine is deterministic: it computes the full consequence P(D) of a
+// program. The probabilistic semantics of the paper is layered on top by
+// its consumers in two ways:
+//
+//   - a DerivationListener observes every rule instantiation exactly once,
+//     which is what the WD-graph builder (Algorithm 1 of the paper) needs;
+//   - a FireGate can veto instantiations before they fire, which is how the
+//     Magic^S CM algorithm folds the rule-probability sampling into graph
+//     construction (Section IV-B2 of the paper).
+package engine
+
+import (
+	"fmt"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+)
+
+// atomTerm is one argument position of a compiled atom: either a constant
+// symbol or a reference to a variable slot of the rule.
+type atomTerm struct {
+	isVar bool
+	slot  int    // variable slot index when isVar
+	sym   db.Sym // interned constant otherwise
+}
+
+// compiledAtom is an atom with terms resolved to variable slots / interned
+// constants and the predicate resolved to its relation.
+type compiledAtom struct {
+	pred  string
+	arity int
+	rel   *db.Relation
+	terms []atomTerm
+}
+
+// compiledCheck is a non-binding body literal evaluated after the positive
+// join: a built-in comparison or a negated atom. Safety (ast.Rule.Safe)
+// guarantees all its variables are bound by the positive atoms.
+type compiledCheck struct {
+	builtin bool
+	negated bool
+	pred    string
+	rel     *db.Relation // negated checks only
+	terms   []atomTerm
+}
+
+// compiledRule is a rule with a dense variable slot assignment. body holds
+// the positive, non-built-in atoms (the joinable literals); checks holds
+// built-ins and negated atoms.
+type compiledRule struct {
+	src      ast.Rule
+	index    int
+	varNames []string // slot -> variable name
+	head     compiledAtom
+	body     []compiledAtom
+	checks   []compiledCheck
+
+	// plans[d] is the join order used when body position d carries the
+	// delta: plans[d][0] == d, and the remaining positions are ordered
+	// bound-first (greedily maximizing already-bound argument positions)
+	// so index lookups stay selective. Join order affects only cost, never
+	// the result set; the semi-naive watermark of each atom depends on its
+	// original position, not its place in the plan.
+	plans [][]int
+}
+
+// buildPlans fills cr.plans with a greedy bound-first order per delta
+// position.
+func (cr *compiledRule) buildPlans() {
+	n := len(cr.body)
+	cr.plans = make([][]int, n)
+	for d := 0; d < n; d++ {
+		bound := make([]bool, len(cr.varNames))
+		bind := func(a *compiledAtom) {
+			for _, t := range a.terms {
+				if t.isVar {
+					bound[t.slot] = true
+				}
+			}
+		}
+		score := func(a *compiledAtom) int {
+			s := 0
+			for _, t := range a.terms {
+				if !t.isVar || bound[t.slot] {
+					s++
+				}
+			}
+			return s
+		}
+		plan := make([]int, 0, n)
+		used := make([]bool, n)
+		plan = append(plan, d)
+		used[d] = true
+		bind(&cr.body[d])
+		for len(plan) < n {
+			best, bestScore := -1, -1
+			for p := 0; p < n; p++ {
+				if used[p] {
+					continue
+				}
+				if s := score(&cr.body[p]); s > bestScore {
+					best, bestScore = p, s
+				}
+			}
+			plan = append(plan, best)
+			used[best] = true
+			bind(&cr.body[best])
+		}
+		cr.plans[d] = plan
+	}
+}
+
+// compile resolves a program against a database: it interns all constants,
+// assigns variable slots per rule, and resolves (creating when necessary)
+// the relation of every predicate.
+func compile(prog *ast.Program, database *db.Database) ([]*compiledRule, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: invalid program: %w", err)
+	}
+	rules := make([]*compiledRule, len(prog.Rules))
+	for i, r := range prog.Rules {
+		cr := &compiledRule{src: r, index: i}
+		slots := map[string]int{}
+		slotOf := func(name string) int {
+			if s, ok := slots[name]; ok {
+				return s
+			}
+			s := len(cr.varNames)
+			slots[name] = s
+			cr.varNames = append(cr.varNames, name)
+			return s
+		}
+		compileAtom := func(a ast.Atom) (compiledAtom, error) {
+			if a.Arity() > 31 {
+				return compiledAtom{}, fmt.Errorf("engine: predicate %s arity %d exceeds 31", a.Predicate, a.Arity())
+			}
+			ca := compiledAtom{
+				pred:  a.Predicate,
+				arity: a.Arity(),
+				rel:   database.Relation(a.Predicate, a.Arity()),
+				terms: make([]atomTerm, a.Arity()),
+			}
+			for j, t := range a.Terms {
+				if t.IsVar() {
+					ca.terms[j] = atomTerm{isVar: true, slot: slotOf(t.Name)}
+				} else {
+					ca.terms[j] = atomTerm{sym: database.Symbols().Intern(t.Name)}
+				}
+			}
+			return ca, nil
+		}
+		// Terms of a check atom are compiled without resolving a relation
+		// (built-ins have none).
+		compileTerms := func(a ast.Atom) []atomTerm {
+			terms := make([]atomTerm, a.Arity())
+			for j, t := range a.Terms {
+				if t.IsVar() {
+					terms[j] = atomTerm{isVar: true, slot: slotOf(t.Name)}
+				} else {
+					terms[j] = atomTerm{sym: database.Symbols().Intern(t.Name)}
+				}
+			}
+			return terms
+		}
+		// Positive body first so that head and check variables reuse body
+		// slots (range restriction and safety guarantee they all occur in
+		// positive body atoms).
+		var err error
+		for _, b := range r.Body {
+			if b.Negated || ast.IsBuiltin(b.Predicate) {
+				continue
+			}
+			ca, err := compileAtom(b)
+			if err != nil {
+				return nil, err
+			}
+			cr.body = append(cr.body, ca)
+		}
+		for _, b := range r.Body {
+			switch {
+			case ast.IsBuiltin(b.Predicate):
+				cr.checks = append(cr.checks, compiledCheck{
+					builtin: true,
+					pred:    b.Predicate,
+					terms:   compileTerms(b),
+				})
+			case b.Negated:
+				if b.Arity() > 31 {
+					return nil, fmt.Errorf("engine: predicate %s arity %d exceeds 31", b.Predicate, b.Arity())
+				}
+				cr.checks = append(cr.checks, compiledCheck{
+					negated: true,
+					pred:    b.Predicate,
+					rel:     database.Relation(b.Predicate, b.Arity()),
+					terms:   compileTerms(b),
+				})
+			}
+		}
+		if cr.head, err = compileAtom(r.Head); err != nil {
+			return nil, err
+		}
+		cr.buildPlans()
+		rules[i] = cr
+	}
+	return rules, nil
+}

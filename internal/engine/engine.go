@@ -1,0 +1,496 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+)
+
+// FactRef identifies a ground fact as a tuple of a relation.
+type FactRef struct {
+	Rel *db.Relation
+	ID  db.TupleID
+}
+
+// Derivation describes one fired rule instantiation. Body aliases an
+// engine-internal buffer: listeners must copy it if they retain it past the
+// callback.
+type Derivation struct {
+	// RuleIndex is the index of the rule in the program passed to New.
+	RuleIndex int
+	// Rule is the source rule.
+	Rule *ast.Rule
+	// Head is the derived fact.
+	Head FactRef
+	// HeadNew reports whether the head fact was first derived by this
+	// instantiation (false when the fact already existed).
+	HeadNew bool
+	// Body holds the instantiated positive body facts, in body order.
+	// Built-in and negated literals are filters, not facts, and do not
+	// appear here.
+	Body []FactRef
+}
+
+// DerivationListener observes every fired rule instantiation exactly once.
+type DerivationListener func(d Derivation)
+
+// FireGate decides whether a candidate rule instantiation fires. vars holds
+// the instantiation's variable bindings indexed consistently with
+// Engine.RuleVarNames(ruleIndex); it aliases an engine-internal buffer and
+// must not be retained. Returning false suppresses the instantiation: no
+// listener call and no head insertion.
+type FireGate interface {
+	ShouldFire(ruleIndex int, vars []db.Sym) bool
+}
+
+// Options configures one evaluation run.
+type Options struct {
+	// Listener, if non-nil, observes every fired instantiation.
+	Listener DerivationListener
+	// Gate, if non-nil, can veto instantiations before they fire.
+	Gate FireGate
+	// MaxRounds bounds the number of semi-naive rounds as a safety net
+	// against runaway programs; 0 means unbounded (datalog always
+	// terminates, so this is belt-and-suspenders for debugging).
+	MaxRounds int
+	// DisableJoinReorder evaluates rule bodies strictly left to right
+	// (after the delta atom) instead of the greedy bound-first order. Join
+	// order never changes results; the flag exists for the ablation
+	// benchmark.
+	DisableJoinReorder bool
+}
+
+// Stats summarizes an evaluation run.
+type Stats struct {
+	Rounds         int
+	Instantiations int64 // fired instantiations (post-gate)
+	Suppressed     int64 // instantiations vetoed by the gate
+	NewFacts       int64 // idb tuples first derived during the run
+	Elapsed        time.Duration
+	// FiredByRule[i] counts rule i's fired instantiations (indexes follow
+	// the program's rule order) — the per-rule profile that identifies
+	// which rules dominate evaluation cost.
+	FiredByRule []int64
+}
+
+// HottestRule returns the index of the rule with the most fired
+// instantiations, or -1 when nothing fired.
+func (s Stats) HottestRule() int {
+	best, bestN := -1, int64(0)
+	for i, n := range s.FiredByRule {
+		if n > bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
+// Engine evaluates one program over one database. Construct with New, then
+// call Run once. An Engine is single-use and not safe for concurrent use.
+type Engine struct {
+	prog  *ast.Program
+	db    *db.Database
+	rules []*compiledRule
+	ran   bool
+}
+
+// New compiles prog against database. All predicates mentioned by the
+// program are resolved (idb relations are created empty if absent).
+func New(prog *ast.Program, database *db.Database) (*Engine, error) {
+	rules, err := compile(prog, database)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{prog: prog, db: database, rules: rules}, nil
+}
+
+// RuleVarNames returns the variable slot names of rule ruleIndex, in slot
+// order. Gates use this to map slot bindings back to source variables.
+func (e *Engine) RuleVarNames(ruleIndex int) []string {
+	return e.rules[ruleIndex].varNames
+}
+
+// Run evaluates to fixpoint. It may be called once.
+func (e *Engine) Run(opts Options) (Stats, error) {
+	if e.ran {
+		return Stats{}, fmt.Errorf("engine: Run called twice")
+	}
+	e.ran = true
+	start := time.Now()
+	var stats Stats
+
+	stats.FiredByRule = make([]int64, len(e.rules))
+	ev := &evaluator{engine: e, opts: opts, stats: &stats}
+	if err := ev.run(); err != nil {
+		return stats, err
+	}
+
+	stats.Elapsed = time.Since(start)
+	if opts.MaxRounds > 0 && stats.Rounds >= opts.MaxRounds {
+		return stats, fmt.Errorf("engine: exceeded MaxRounds=%d", opts.MaxRounds)
+	}
+	return stats, nil
+}
+
+// evaluator holds the mutable state of one Run.
+type evaluator struct {
+	engine *Engine
+	opts   Options
+	stats  *Stats
+
+	// watermarks: processedLen[rel] is the tuple count of rel that has been
+	// fully processed by previous rounds; roundLen[rel] is the count
+	// snapshot at the start of the current round. Tuples with id in
+	// [processedLen, roundLen) form the current delta.
+	processedLen map[*db.Relation]int
+	roundLen     map[*db.Relation]int
+
+	// scratch buffers reused across instantiations.
+	vars     []db.Sym
+	bound    []bool
+	bodyRefs []FactRef
+	boundBuf db.Tuple
+	checkBuf db.Tuple
+}
+
+func (ev *evaluator) run() error {
+	e := ev.engine
+	strata, err := Stratify(e.prog)
+	if err != nil {
+		return err
+	}
+	ev.processedLen = make(map[*db.Relation]int)
+	ev.roundLen = make(map[*db.Relation]int)
+	rels := map[*db.Relation]bool{}
+	for _, r := range e.rules {
+		rels[r.head.rel] = true
+		for _, b := range r.body {
+			rels[b.rel] = true
+		}
+		for _, c := range r.checks {
+			if c.rel != nil {
+				rels[c.rel] = true
+			}
+		}
+	}
+	// Deterministic iteration order for the relation set.
+	relList := make([]*db.Relation, 0, len(rels))
+	for rel := range rels {
+		relList = append(relList, rel)
+	}
+	sort.Slice(relList, func(i, j int) bool { return relList[i].Name() < relList[j].Name() })
+
+	for _, ruleIdxs := range strata {
+		ev.runStratum(ruleIdxs, relList)
+		if ev.opts.MaxRounds > 0 && ev.stats.Rounds >= ev.opts.MaxRounds {
+			return nil
+		}
+	}
+	return nil
+}
+
+// runStratum evaluates one stratum's rules to fixpoint. At stratum entry
+// all existing tuples count as unprocessed delta, so rules see everything
+// derived by earlier strata exactly once.
+func (ev *evaluator) runStratum(ruleIdxs []int, relList []*db.Relation) {
+	e := ev.engine
+	for _, rel := range relList {
+		ev.processedLen[rel] = 0
+	}
+
+	// Fact rules of this stratum fire once, before the first round.
+	for _, ri := range ruleIdxs {
+		if cr := e.rules[ri]; len(cr.body) == 0 {
+			ev.fireFactRule(cr)
+		}
+	}
+
+	for {
+		if ev.opts.MaxRounds > 0 && ev.stats.Rounds >= ev.opts.MaxRounds {
+			return
+		}
+		// Snapshot the round: delta = [processedLen, roundLen).
+		hasDelta := false
+		for _, rel := range relList {
+			n := rel.Len()
+			ev.roundLen[rel] = n
+			if n > ev.processedLen[rel] {
+				hasDelta = true
+			}
+		}
+		if !hasDelta {
+			return
+		}
+		ev.stats.Rounds++
+		for _, ri := range ruleIdxs {
+			cr := e.rules[ri]
+			if len(cr.body) == 0 {
+				continue
+			}
+			ev.applyRule(cr)
+		}
+		for _, rel := range relList {
+			ev.processedLen[rel] = ev.roundLen[rel]
+		}
+	}
+}
+
+// fireFactRule handles a rule with no positive body atoms: a single
+// instantiation with no variables (possibly guarded by ground checks, e.g.
+// `p(a) :- lt(1, 2).`).
+func (ev *evaluator) fireFactRule(cr *compiledRule) {
+	ev.resetScratch(cr)
+	ev.completeInstantiation(cr)
+}
+
+// applyRule runs the semi-naive decomposition of one rule: one pass per
+// body position i, where atom i ranges over the current delta of its
+// relation, atoms before i range over strictly-old tuples, and atoms after
+// i range over old-plus-delta tuples. This fires every instantiation
+// exactly once across the whole run.
+func (ev *evaluator) applyRule(cr *compiledRule) {
+	for i := range cr.body {
+		rel := cr.body[i].rel
+		lo, hi := ev.processedLen[rel], ev.roundLen[rel]
+		if lo >= hi {
+			continue
+		}
+		// Prune the whole pass when any atom's id range is empty (e.g. a
+		// strictly-old range before anything was processed): no
+		// instantiation can complete, regardless of join order.
+		viable := true
+		for j := range cr.body {
+			if j == i {
+				continue
+			}
+			jrel := cr.body[j].rel
+			var max int
+			if j < i {
+				max = ev.processedLen[jrel]
+			} else {
+				max = ev.roundLen[jrel]
+			}
+			if max == 0 {
+				viable = false
+				break
+			}
+		}
+		if !viable {
+			continue
+		}
+		ev.resetScratch(cr)
+		ev.joinFrom(cr, i, 0)
+	}
+}
+
+// resetScratch prepares the per-instantiation scratch buffers for cr.
+func (ev *evaluator) resetScratch(cr *compiledRule) {
+	n := len(cr.varNames)
+	if cap(ev.vars) < n {
+		ev.vars = make([]db.Sym, n)
+		ev.bound = make([]bool, n)
+	}
+	ev.vars = ev.vars[:n]
+	ev.bound = ev.bound[:n]
+	for j := range ev.bound {
+		ev.bound[j] = false
+	}
+	if cap(ev.bodyRefs) < len(cr.body) {
+		ev.bodyRefs = make([]FactRef, len(cr.body))
+	}
+	ev.bodyRefs = ev.bodyRefs[:len(cr.body)]
+}
+
+// joinFrom matches body atoms in plan order: deltaPos first, then the
+// remaining atoms bound-first (or left to right under
+// DisableJoinReorder). step counts how many atoms have been matched.
+func (ev *evaluator) joinFrom(cr *compiledRule, deltaPos, step int) {
+	if step == len(cr.body) {
+		ev.completeInstantiation(cr)
+		return
+	}
+	// Determine which atom this step matches.
+	var pos int
+	if ev.opts.DisableJoinReorder {
+		pos = stepAtom(deltaPos, step)
+	} else {
+		pos = cr.plans[deltaPos][step]
+	}
+	atom := &cr.body[pos]
+	rel := atom.rel
+	var minID, maxID int
+	switch {
+	case pos == deltaPos:
+		minID, maxID = ev.processedLen[rel], ev.roundLen[rel]
+	case pos < deltaPos:
+		minID, maxID = 0, ev.processedLen[rel]
+	default:
+		minID, maxID = 0, ev.roundLen[rel]
+	}
+	if minID >= maxID {
+		return
+	}
+	ev.scanAtom(cr, atom, pos, minID, maxID, func() {
+		ev.joinFrom(cr, deltaPos, step+1)
+	})
+}
+
+// stepAtom maps a step number to a body position: step 0 is the delta
+// position; later steps walk the remaining positions in order.
+func stepAtom(deltaPos, step int) int {
+	if step == 0 {
+		return deltaPos
+	}
+	if step <= deltaPos {
+		return step - 1
+	}
+	return step
+}
+
+// scanAtom enumerates the tuples of atom's relation with id in
+// [minID, maxID) that are consistent with the current bindings, extends the
+// bindings, records the body fact, and calls next for each match. Bindings
+// made here are rolled back before returning.
+func (ev *evaluator) scanAtom(cr *compiledRule, atom *compiledAtom, pos, minID, maxID int, next func()) {
+	rel := atom.rel
+	// Build the bound-position mask and lookup tuple.
+	if cap(ev.boundBuf) < atom.arity {
+		ev.boundBuf = make(db.Tuple, atom.arity)
+	}
+	lookup := ev.boundBuf[:atom.arity]
+	var mask uint32
+	for j, t := range atom.terms {
+		switch {
+		case !t.isVar:
+			mask |= 1 << uint(j)
+			lookup[j] = t.sym
+		case ev.bound[t.slot]:
+			mask |= 1 << uint(j)
+			lookup[j] = ev.vars[t.slot]
+		}
+	}
+
+	tryTuple := func(id db.TupleID) {
+		t := rel.Tuple(id)
+		// Bind unbound variable positions, checking repeated variables.
+		var newlyBound [31]int
+		nNew := 0
+		ok := true
+		for j, term := range atom.terms {
+			if !term.isVar {
+				// Constants are always part of the lookup mask, so the index
+				// path guarantees a match, and the scan path (mask==0) only
+				// occurs for constant-free atoms.
+				continue
+			}
+			if ev.bound[term.slot] {
+				if ev.vars[term.slot] != t[j] {
+					ok = false
+					break
+				}
+				continue
+			}
+			ev.vars[term.slot] = t[j]
+			ev.bound[term.slot] = true
+			newlyBound[nNew] = term.slot
+			nNew++
+		}
+		if ok {
+			ev.bodyRefs[pos] = FactRef{Rel: rel, ID: id}
+			next()
+		}
+		for k := 0; k < nNew; k++ {
+			ev.bound[newlyBound[k]] = false
+		}
+	}
+
+	if ids, usedIndex := rel.LookupPattern(mask, lookup); usedIndex {
+		// ids are ascending; restrict to [minID, maxID).
+		start := sort.Search(len(ids), func(i int) bool { return int(ids[i]) >= minID })
+		for _, id := range ids[start:] {
+			if int(id) >= maxID {
+				break
+			}
+			tryTuple(id)
+		}
+		return
+	}
+	// No bound positions: scan the id range, verifying constants inline
+	// (none exist when mask==0, but keep the check for clarity).
+	for id := minID; id < maxID; id++ {
+		tryTuple(db.TupleID(id))
+	}
+}
+
+// completeInstantiation is called with all positive body atoms matched: it
+// evaluates the rule's checks (an instantiation failing a check does not
+// exist), consults the gate, inserts the head, and notifies the listener.
+func (ev *evaluator) completeInstantiation(cr *compiledRule) {
+	for i := range cr.checks {
+		if !ev.evalCheck(&cr.checks[i]) {
+			return
+		}
+	}
+	if ev.opts.Gate != nil && !ev.opts.Gate.ShouldFire(cr.index, ev.vars) {
+		ev.stats.Suppressed++
+		return
+	}
+	ev.emit(cr)
+}
+
+// evalCheck evaluates one built-in or negated literal under the current
+// (fully bound, by safety) variable bindings.
+func (ev *evaluator) evalCheck(c *compiledCheck) bool {
+	symOf := func(t atomTerm) db.Sym {
+		if t.isVar {
+			return ev.vars[t.slot]
+		}
+		return t.sym
+	}
+	if c.builtin {
+		symbols := ev.engine.db.Symbols()
+		return ast.EvalBuiltin(c.pred, symbols.Name(symOf(c.terms[0])), symbols.Name(symOf(c.terms[1])))
+	}
+	// Negated atom: succeed iff the tuple is absent. The relation was
+	// fully computed by an earlier stratum (or is extensional), so the
+	// check is stable.
+	if cap(ev.checkBuf) < len(c.terms) {
+		ev.checkBuf = make(db.Tuple, len(c.terms))
+	}
+	t := ev.checkBuf[:len(c.terms)]
+	for i, term := range c.terms {
+		t[i] = symOf(term)
+	}
+	_, present := c.rel.Contains(t)
+	return !present
+}
+
+func (ev *evaluator) emit(cr *compiledRule) {
+	headRel := cr.head.rel
+	ht := make(db.Tuple, cr.head.arity)
+	for j, t := range cr.head.terms {
+		if t.isVar {
+			ht[j] = ev.vars[t.slot]
+		} else {
+			ht[j] = t.sym
+		}
+	}
+	id, added := headRel.Insert(ht)
+	ev.stats.Instantiations++
+	ev.stats.FiredByRule[cr.index]++
+	if added {
+		ev.stats.NewFacts++
+	}
+	if ev.opts.Listener != nil {
+		ev.opts.Listener(Derivation{
+			RuleIndex: cr.index,
+			Rule:      &cr.src,
+			Head:      FactRef{Rel: headRel, ID: id},
+			HeadNew:   added,
+			Body:      ev.bodyRefs[:len(cr.body)],
+		})
+	}
+}

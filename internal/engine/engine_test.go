@@ -1,0 +1,401 @@
+package engine_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+	"contribmax/internal/engine"
+	"contribmax/internal/parser"
+)
+
+// mustProgram parses a program or fails the test.
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse program: %v", err)
+	}
+	return p
+}
+
+// mustFacts inserts parsed facts into a fresh database.
+func mustFacts(t *testing.T, src string) *db.Database {
+	t.Helper()
+	facts, err := parser.ParseFacts(src)
+	if err != nil {
+		t.Fatalf("parse facts: %v", err)
+	}
+	d := db.NewDatabase()
+	for _, f := range facts {
+		if _, _, _, err := d.InsertAtom(f); err != nil {
+			t.Fatalf("insert %s: %v", f, err)
+		}
+	}
+	return d
+}
+
+// run evaluates and returns the derived atoms of pred as sorted strings.
+func run(t *testing.T, prog *ast.Program, d *db.Database, pred string) []string {
+	t.Helper()
+	eng, err := engine.New(prog, d)
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	if _, err := eng.Run(engine.Options{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var out []string
+	for _, a := range d.Facts(pred) {
+		out = append(out, a.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestNonRecursiveJoin(t *testing.T) {
+	prog := mustProgram(t, `
+		deals(A, B) :- exports(A, C), imports(B, C).
+	`)
+	d := mustFacts(t, `
+		exports(france, wine). exports(cuba, tobacco).
+		imports(germany, wine). imports(india, tobacco). imports(usa, wine).
+	`)
+	got := run(t, prog, d, "deals")
+	want := []string{
+		"deals(cuba, india)",
+		"deals(france, germany)",
+		"deals(france, usa)",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("deals = %v, want %v", got, want)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	prog := mustProgram(t, `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`)
+	d := mustFacts(t, `
+		e(a, b). e(b, c). e(c, d). e(d, e).
+	`)
+	got := run(t, prog, d, "tc")
+	// A 5-node path has C(5,2) = 10 ordered reachable pairs.
+	if len(got) != 10 {
+		t.Fatalf("tc has %d facts, want 10: %v", len(got), got)
+	}
+	for _, want := range []string{"tc(a, e)", "tc(a, b)", "tc(b, e)"} {
+		if !containsStr(got, want) {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestTransitiveClosureCycle(t *testing.T) {
+	prog := mustProgram(t, `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- tc(X, Z), e(Z, Y).
+	`)
+	d := mustFacts(t, `e(a, b). e(b, c). e(c, a).`)
+	got := run(t, prog, d, "tc")
+	if len(got) != 9 {
+		t.Fatalf("tc over a 3-cycle has %d facts, want 9: %v", len(got), got)
+	}
+}
+
+func TestRepeatedVariableInBody(t *testing.T) {
+	prog := mustProgram(t, `
+		loop(X) :- e(X, X).
+	`)
+	d := mustFacts(t, `e(a, a). e(a, b). e(c, c).`)
+	got := run(t, prog, d, "loop")
+	want := []string{"loop(a)", "loop(c)"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("loop = %v, want %v", got, want)
+	}
+}
+
+func TestConstantsInRule(t *testing.T) {
+	prog := mustProgram(t, `
+		fromFrance(P) :- exports(france, P).
+		special(P) :- exports(france, P), imports(usa, P).
+	`)
+	d := mustFacts(t, `
+		exports(france, wine). exports(france, oil). exports(cuba, sugar).
+		imports(usa, oil).
+	`)
+	if got := run(t, prog, d, "fromFrance"); len(got) != 2 {
+		t.Errorf("fromFrance = %v, want 2 facts", got)
+	}
+	if got := run2(t, d, "special"); fmt.Sprint(got) != "[special(oil)]" {
+		t.Errorf("special = %v, want [special(oil)]", got)
+	}
+}
+
+// run2 just reads already-derived facts (the previous run call evaluated the
+// full program).
+func run2(t *testing.T, d *db.Database, pred string) []string {
+	t.Helper()
+	var out []string
+	for _, a := range d.Facts(pred) {
+		out = append(out, a.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFactRule(t *testing.T) {
+	prog := mustProgram(t, `
+		seed(a, b).
+		p(X, Y) :- seed(X, Y).
+	`)
+	d := db.NewDatabase()
+	if got := run(t, prog, d, "p"); fmt.Sprint(got) != "[p(a, b)]" {
+		t.Errorf("p = %v", got)
+	}
+}
+
+func TestEachInstantiationFiresExactlyOnce(t *testing.T) {
+	prog := mustProgram(t, `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`)
+	d := mustFacts(t, `e(a, b). e(b, c). e(c, d). e(a, c). e(b, d).`)
+	seen := map[string]int{}
+	eng, err := engine.New(prog, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(engine.Options{Listener: func(dv engine.Derivation) {
+		key := fmt.Sprint(dv.RuleIndex, dv.Head.Rel.Name(), dv.Head.ID)
+		for _, b := range dv.Body {
+			key += fmt.Sprint("|", b.Rel.Name(), b.ID)
+		}
+		seen[key]++
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("instantiation %s fired %d times", k, n)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no instantiations observed")
+	}
+}
+
+func TestGateVeto(t *testing.T) {
+	prog := mustProgram(t, `
+		r1: tc(X, Y) :- e(X, Y).
+		r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`)
+	d := mustFacts(t, `e(a, b). e(b, c).`)
+	eng, err := engine.New(prog, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Veto all instantiations of r2 (rule index 1): only base edges derive.
+	stats, err := eng.Run(engine.Options{Gate: gateFunc(func(ruleIndex int, _ []db.Sym) bool {
+		return ruleIndex != 1
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Suppressed == 0 {
+		t.Error("expected suppressed instantiations")
+	}
+	got := run2(t, d, "tc")
+	want := []string{"tc(a, b)", "tc(b, c)"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("tc = %v, want %v", got, want)
+	}
+}
+
+type gateFunc func(ruleIndex int, vars []db.Sym) bool
+
+func (f gateFunc) ShouldFire(ruleIndex int, vars []db.Sym) bool { return f(ruleIndex, vars) }
+
+func TestGateSeesBindings(t *testing.T) {
+	prog := mustProgram(t, `
+		p(X, Y) :- e(X, Y).
+	`)
+	d := mustFacts(t, `e(a, b). e(c, d).`)
+	eng, err := engine.New(prog, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := eng.RuleVarNames(0)
+	if len(names) != 2 {
+		t.Fatalf("var names = %v", names)
+	}
+	xi, yi := indexOf(names, "X"), indexOf(names, "Y")
+	var bindings [][2]string
+	_, err = eng.Run(engine.Options{Gate: gateFunc(func(_ int, vars []db.Sym) bool {
+		bindings = append(bindings, [2]string{d.Symbols().Name(vars[xi]), d.Symbols().Name(vars[yi])})
+		return true
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(bindings, func(i, j int) bool { return bindings[i][0] < bindings[j][0] })
+	if fmt.Sprint(bindings) != "[[a b] [c d]]" {
+		t.Errorf("bindings = %v", bindings)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	prog := mustProgram(t, `p(X) :- e(X).`)
+	d := mustFacts(t, `e(a).`)
+	eng, _ := engine.New(prog, d)
+	if _, err := eng.Run(engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(engine.Options{}); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestHeadNewFlag(t *testing.T) {
+	prog := mustProgram(t, `
+		p(X) :- e(X, Y).
+	`)
+	d := mustFacts(t, `e(a, b). e(a, c).`)
+	eng, _ := engine.New(prog, d)
+	news := 0
+	total := 0
+	_, err := eng.Run(engine.Options{Listener: func(dv engine.Derivation) {
+		total++
+		if dv.HeadNew {
+			news++
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || news != 1 {
+		t.Errorf("total=%d news=%d, want 2 and 1", total, news)
+	}
+}
+
+func TestSelfJoinSameRelationDelta(t *testing.T) {
+	// Regression guard for the semi-naive delta decomposition on self-joins:
+	// path counting over two hops.
+	prog := mustProgram(t, `
+		two(X, Z) :- e(X, Y), e(Y, Z).
+	`)
+	d := mustFacts(t, `e(a, b). e(b, c). e(c, d).`)
+	got := run(t, prog, d, "two")
+	want := []string{"two(a, c)", "two(b, d)"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("two = %v, want %v", got, want)
+	}
+}
+
+func TestZeroArityPredicate(t *testing.T) {
+	prog := mustProgram(t, `
+		trigger :- e(a, X).
+		q(X) :- trigger, e(Y, X).
+	`)
+	d := mustFacts(t, `e(a, b). e(b, c).`)
+	got := run(t, prog, d, "q")
+	want := []string{"q(b)", "q(c)"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("q = %v, want %v", got, want)
+	}
+}
+
+func TestLinearVsNonLinearTCAgree(t *testing.T) {
+	facts := `e(a, b). e(b, c). e(c, d). e(d, a). e(b, e2). e(e2, f).`
+	linear := mustProgram(t, `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- tc(X, Z), e(Z, Y).
+	`)
+	nonlinear := mustProgram(t, `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`)
+	d1 := mustFacts(t, facts)
+	d2 := mustFacts(t, facts)
+	g1 := run(t, linear, d1, "tc")
+	g2 := run(t, nonlinear, d2, "tc")
+	if fmt.Sprint(g1) != fmt.Sprint(g2) {
+		t.Errorf("linear %v != nonlinear %v", g1, g2)
+	}
+}
+
+func indexOf(xs []string, s string) int {
+	for i, x := range xs {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func containsStr(xs []string, s string) bool { return indexOf(xs, s) >= 0 }
+
+func TestMaxRoundsAborts(t *testing.T) {
+	prog := mustProgram(t, `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`)
+	d := mustFacts(t, `e(a, b). e(b, c). e(c, d). e(d, e2). e(e2, f).`)
+	eng, err := engine.New(prog, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := eng.Run(engine.Options{MaxRounds: 1})
+	if stats.Rounds > 1 {
+		t.Errorf("rounds = %d, want <= 1", stats.Rounds)
+	}
+	// Round 1 only lifts base edges; transitive pairs need more rounds.
+	if got := len(d.Facts("tc")); got != 5 {
+		t.Errorf("tc after 1 round = %d, want 5 (base lifts only)", got)
+	}
+}
+
+func TestArityLimit(t *testing.T) {
+	terms := make([]ast.Term, 32)
+	for i := range terms {
+		terms[i] = ast.V(fmt.Sprintf("V%d", i))
+	}
+	prog := ast.NewProgram(ast.Rule{
+		Label: "r",
+		Prob:  1,
+		Head:  ast.NewAtom("wide", terms...),
+		Body:  []ast.Atom{ast.NewAtom("src", terms...)},
+	})
+	d := db.NewDatabase()
+	if _, err := engine.New(prog, d); err == nil {
+		t.Error("arity 32 should be rejected")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	d := mustFacts(t, `e(a).`)
+	eng, err := engine.New(ast.NewProgram(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run(engine.Options{})
+	if err != nil || stats.NewFacts != 0 {
+		t.Errorf("empty program: stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	prog := mustProgram(t, `tc(X, Y) :- e(X, Y).`)
+	eng, err := engine.New(prog, db.NewDatabase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run(engine.Options{})
+	if err != nil || stats.Instantiations != 0 {
+		t.Errorf("empty db: stats=%+v err=%v", stats, err)
+	}
+}

@@ -1,0 +1,308 @@
+package engine_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"contribmax/internal/engine"
+	"contribmax/internal/parser"
+)
+
+func TestStratifyPositiveProgramSingleStratum(t *testing.T) {
+	prog := mustProgram(t, `
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`)
+	strata, err := engine.Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 1 || len(strata[0]) != 2 {
+		t.Errorf("strata = %v", strata)
+	}
+}
+
+func TestStratifyLayersNegation(t *testing.T) {
+	prog := mustProgram(t, `
+		reach(X) :- source(X).
+		reach(Y) :- reach(X), e(X, Y).
+		unreached(X) :- node(X), not reach(X).
+		summary(X) :- unreached(X), important(X).
+	`)
+	strata, err := engine.Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 2 {
+		t.Fatalf("strata = %v, want 2", strata)
+	}
+	// reach rules (indexes 0, 1) below the negation consumers (2, 3).
+	if fmt.Sprint(strata[0]) != "[0 1]" || fmt.Sprint(strata[1]) != "[2 3]" {
+		t.Errorf("strata = %v", strata)
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	prog := mustProgram(t, `
+		p(X) :- base(X), not q(X).
+		q(X) :- base(X), not p(X).
+	`)
+	if _, err := engine.Stratify(prog); err == nil {
+		t.Error("negation cycle should not stratify")
+	}
+}
+
+func TestNegationSetDifference(t *testing.T) {
+	prog := mustProgram(t, `
+		onlyA(X) :- a(X), not b(X).
+	`)
+	d := mustFacts(t, `a(1). a(2). a(3). b(2).`)
+	got := run(t, prog, d, "onlyA")
+	want := []string{"onlyA(1)", "onlyA(3)"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("onlyA = %v, want %v", got, want)
+	}
+}
+
+func TestNegationOverDerivedRelation(t *testing.T) {
+	// Unreachable nodes: negation over a recursively computed relation.
+	prog := mustProgram(t, `
+		reach(X) :- source(X).
+		reach(Y) :- reach(X), e(X, Y).
+		unreached(X) :- node(X), not reach(X).
+	`)
+	d := mustFacts(t, `
+		node(a). node(b). node(c). node(d).
+		source(a).
+		e(a, b). e(b, c). e(d, d).
+	`)
+	got := run(t, prog, d, "unreached")
+	want := []string{"unreached(d)"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("unreached = %v, want %v", got, want)
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	prog := mustProgram(t, `
+		p(X) :- base(X), not q(X).
+		q(X) :- mark(X).
+		r(X) :- base(X), not p(X).
+	`)
+	d := mustFacts(t, `base(1). base(2). mark(1).`)
+	// q = {1}; p = base \ q = {2}; r = base \ p = {1}.
+	if got := run(t, prog, d, "r"); fmt.Sprint(got) != "[r(1)]" {
+		t.Errorf("r = %v", got)
+	}
+}
+
+func TestNegatedEDB(t *testing.T) {
+	prog := mustProgram(t, `
+		noFriend(X, Y) :- person(X), person(Y), not friend(X, Y), neq(X, Y).
+	`)
+	d := mustFacts(t, `person(ann). person(bob). person(cat). friend(ann, bob).`)
+	got := run(t, prog, d, "noFriend")
+	if len(got) != 5 { // 6 ordered pairs minus friend(ann,bob)
+		t.Errorf("noFriend = %v, want 5 tuples", got)
+	}
+}
+
+func TestBuiltinsComparisons(t *testing.T) {
+	prog := mustProgram(t, `
+		older(X, Y) :- age(X, A), age(Y, B), gt(A, B).
+		adult(X) :- age(X, A), gte(A, 18).
+		peer(X, Y) :- age(X, A), age(Y, A), neq(X, Y).
+	`)
+	d := mustFacts(t, `age(ann, 30). age(bob, 17). age(cat, 30).`)
+	if got := run(t, prog, d, "older"); fmt.Sprint(got) != "[older(ann, bob) older(cat, bob)]" {
+		t.Errorf("older = %v", got)
+	}
+	if got := run2(t, d, "adult"); fmt.Sprint(got) != "[adult(ann) adult(cat)]" {
+		t.Errorf("adult = %v", got)
+	}
+	if got := run2(t, d, "peer"); fmt.Sprint(got) != "[peer(ann, cat) peer(cat, ann)]" {
+		t.Errorf("peer = %v", got)
+	}
+}
+
+func TestBuiltinNumericVsLexicographic(t *testing.T) {
+	prog := mustProgram(t, `
+		numless(X, Y) :- v(X), v(Y), lt(X, Y).
+	`)
+	// Numerically 9 < 10, lexicographically "9" > "10": values that parse
+	// as numbers must compare numerically.
+	d := mustFacts(t, `v(9). v(10).`)
+	if got := run(t, prog, d, "numless"); fmt.Sprint(got) != "[numless(9, 10)]" {
+		t.Errorf("numless = %v", got)
+	}
+	prog2 := mustProgram(t, `
+		lexless(X, Y) :- w(X), w(Y), lt(X, Y).
+	`)
+	d2 := mustFacts(t, `w(apple). w(pear).`)
+	if got := run(t, prog2, d2, "lexless"); fmt.Sprint(got) != "[lexless(apple, pear)]" {
+		t.Errorf("lexless = %v", got)
+	}
+}
+
+func TestGroundBuiltinGuard(t *testing.T) {
+	prog := mustProgram(t, `
+		yes(ok) :- lt(1, 2).
+		no(bad) :- lt(2, 1).
+	`)
+	d := mustFacts(t, `dummy(x).`)
+	if got := run(t, prog, d, "yes"); fmt.Sprint(got) != "[yes(ok)]" {
+		t.Errorf("yes = %v", got)
+	}
+	if got := run2(t, d, "no"); len(got) != 0 {
+		t.Errorf("no = %v, want empty", got)
+	}
+}
+
+func TestBuiltinBodyExcludedFromDerivationBody(t *testing.T) {
+	prog := mustProgram(t, `
+		p(X, Y) :- e(X, Y), neq(X, Y).
+	`)
+	d := mustFacts(t, `e(a, b). e(c, c).`)
+	eng, err := engine.New(prog, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bodies int
+	_, err = eng.Run(engine.Options{Listener: func(dv engine.Derivation) {
+		bodies = len(dv.Body)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bodies != 1 {
+		t.Errorf("derivation body length = %d, want 1 (builtin excluded)", bodies)
+	}
+	if got := run2(t, d, "p"); fmt.Sprint(got) != "[p(a, b)]" {
+		t.Errorf("p = %v", got)
+	}
+}
+
+func TestValidationRejectsUnsafeNegation(t *testing.T) {
+	cases := []string{
+		`p(X) :- a(X), not q(X, Y).`,   // Y only in negated atom
+		`p(X) :- a(X), lt(X, Y).`,      // Y only in builtin
+		`p(X) :- not q(X).`,            // no positive binding at all
+		`lt(X, Y) :- a(X), a(Y).`,      // builtin head
+		`p(X) :- a(X), neq(X).`,        // builtin arity
+		`p(X) :- a(X), not neq(X, X).`, // negated builtin
+	}
+	for _, src := range cases {
+		if _, err := parser.ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q): want validation error", src)
+		}
+	}
+}
+
+func TestUnstratifiableRunFails(t *testing.T) {
+	prog := mustProgram(t, `
+		p(X) :- base(X), not q(X).
+		q(X) :- base(X), not p(X).
+	`)
+	d := mustFacts(t, `base(1).`)
+	eng, err := engine.New(prog, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(engine.Options{}); err == nil {
+		t.Error("Run should fail on unstratifiable program")
+	}
+}
+
+// TestJoinReorderSameResults: the greedy bound-first join order must
+// produce exactly the same fixpoint and the same instantiation multiset as
+// strict left-to-right evaluation.
+func TestJoinReorderSameResults(t *testing.T) {
+	progSrc := `
+		0.9 j1: tri(X, Y, Z) :- e(X, Y), e(Y, Z), e(Z, X).
+		0.8 j2: far(X, Z) :- e(X, Y), hub(W), e(Y, Z).
+		0.7 j3: mix(X, Z) :- big(Z), e(X, Y), e(Y, Z).
+	`
+	factsSrc := `
+		e(a, b). e(b, c). e(c, a). e(b, d). e(d, a). e(c, d).
+		hub(h1). hub(h2). big(a). big(d).
+	`
+	collect := func(disable bool) (map[string]int, []string) {
+		prog := mustProgram(t, progSrc)
+		d := mustFacts(t, factsSrc)
+		eng, err := engine.New(prog, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts := map[string]int{}
+		if _, err := eng.Run(engine.Options{
+			DisableJoinReorder: disable,
+			Listener: func(dv engine.Derivation) {
+				key := fmt.Sprint(dv.RuleIndex, "|", dv.Head.Rel.Name(), dv.Head.Rel.Tuple(dv.Head.ID))
+				for _, b := range dv.Body {
+					key += fmt.Sprint("|", b.Rel.Name(), b.Rel.Tuple(b.ID))
+				}
+				insts[key]++
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var facts []string
+		for _, pred := range []string{"tri", "far", "mix"} {
+			for _, a := range d.Facts(pred) {
+				facts = append(facts, a.String())
+			}
+		}
+		sort.Strings(facts)
+		return insts, facts
+	}
+	optInsts, optFacts := collect(false)
+	refInsts, refFacts := collect(true)
+	if fmt.Sprint(optFacts) != fmt.Sprint(refFacts) {
+		t.Errorf("facts differ:\n opt %v\n ref %v", optFacts, refFacts)
+	}
+	if len(optInsts) != len(refInsts) {
+		t.Fatalf("instantiation counts differ: %d vs %d", len(optInsts), len(refInsts))
+	}
+	for k, n := range optInsts {
+		if refInsts[k] != n {
+			t.Errorf("instantiation %s: %d vs %d", k, n, refInsts[k])
+		}
+	}
+}
+
+func TestPerRuleStats(t *testing.T) {
+	prog := mustProgram(t, `
+		r1: tc(X, Y) :- e(X, Y).
+		r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`)
+	d := mustFacts(t, `e(a, b). e(b, c). e(c, d).`)
+	eng, err := engine.New(prog, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.FiredByRule) != 2 {
+		t.Fatalf("FiredByRule = %v", stats.FiredByRule)
+	}
+	if stats.FiredByRule[0] != 3 {
+		t.Errorf("r1 fired %d, want 3", stats.FiredByRule[0])
+	}
+	// 4-node path: r2 instantiations = triples (x<z<y): (a,b,c),(a,b,d via
+	// tc(b,d)),(a,c,d),(b,c,d) = 4.
+	if stats.FiredByRule[1] != 4 {
+		t.Errorf("r2 fired %d, want 4", stats.FiredByRule[1])
+	}
+	if sum := stats.FiredByRule[0] + stats.FiredByRule[1]; sum != stats.Instantiations {
+		t.Errorf("per-rule sum %d != total %d", sum, stats.Instantiations)
+	}
+	if stats.HottestRule() != 1 {
+		t.Errorf("hottest = %d, want 1", stats.HottestRule())
+	}
+	if (engine.Stats{}).HottestRule() != -1 {
+		t.Error("empty stats hottest should be -1")
+	}
+}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"contribmax/internal/ast"
+)
+
+// Stratify partitions the program's rules into evaluation strata: rules
+// are grouped by their head predicate's stratum, where a predicate's
+// stratum is at least that of every positive idb body predicate of its
+// rules and strictly greater than that of every negated idb body
+// predicate. Extensional predicates live at stratum 0.
+//
+// It returns the rule indexes per stratum, in ascending stratum order, or
+// an error if the program is not stratifiable (a recursive cycle passes
+// through negation).
+func Stratify(prog *ast.Program) ([][]int, error) {
+	idb := map[string]bool{}
+	for _, r := range prog.Rules {
+		idb[r.Head.Predicate] = true
+	}
+	stratum := map[string]int{}
+	limit := len(idb) + 1
+
+	// Iterate to fixpoint; the stratum of any predicate is bounded by the
+	// number of idb predicates in a stratifiable program, so exceeding the
+	// bound proves a negative cycle.
+	changed := true
+	for changed {
+		changed = false
+		for _, r := range prog.Rules {
+			h := r.Head.Predicate
+			for _, b := range r.Body {
+				if !idb[b.Predicate] {
+					continue
+				}
+				need := stratum[b.Predicate]
+				if b.Negated {
+					need++
+				}
+				if stratum[h] < need {
+					stratum[h] = need
+					if stratum[h] > limit {
+						return nil, fmt.Errorf("engine: program is not stratifiable (negation cycle through %s)", h)
+					}
+					changed = true
+				}
+			}
+		}
+	}
+
+	byStratum := map[int][]int{}
+	for i, r := range prog.Rules {
+		s := stratum[r.Head.Predicate]
+		byStratum[s] = append(byStratum[s], i)
+	}
+	levels := make([]int, 0, len(byStratum))
+	for s := range byStratum {
+		levels = append(levels, s)
+	}
+	sort.Ints(levels)
+	out := make([][]int, 0, len(levels))
+	for _, s := range levels {
+		out = append(out, byStratum[s])
+	}
+	return out, nil
+}

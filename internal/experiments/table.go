@@ -1,0 +1,135 @@
+// Package experiments drives the reproduction of the paper's evaluation
+// (Section V): one driver per figure, each emitting the same series the
+// paper plots, as plain-text tables. The cmd/cmbench binary and the
+// module's bench_test.go are thin wrappers over these drivers.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is one figure's data: a labeled x column and one y column per
+// series (algorithm). NaN cells render as "-" and mean "not run /
+// infeasible at this scale", mirroring the paper's missing points.
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Series  []string
+	XLabels []string
+	Cells   [][]float64 // Cells[row][series]
+}
+
+// AddRow appends one x point with one value per series.
+func (t *Table) AddRow(x string, values ...float64) {
+	t.XLabels = append(t.XLabels, x)
+	row := make([]float64, len(t.Series))
+	copy(row, values)
+	for i := len(values); i < len(t.Series); i++ {
+		row[i] = math.NaN()
+	}
+	t.Cells = append(t.Cells, row)
+}
+
+// Value returns the cell for (row, series name); NaN if missing.
+func (t *Table) Value(row int, series string) float64 {
+	for i, s := range t.Series {
+		if s == series {
+			return t.Cells[row][i]
+		}
+	}
+	return math.NaN()
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	fmt.Fprintf(w, "  x = %s, y = %s\n", t.XLabel, t.YLabel)
+	headers := append([]string{t.XLabel}, t.Series...)
+	widths := make([]int, len(headers))
+	rows := make([][]string, len(t.XLabels))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for r := range t.XLabels {
+		cells := make([]string, len(headers))
+		cells[0] = t.XLabels[r]
+		for c, v := range t.Cells[r] {
+			cells[c+1] = formatCell(v)
+		}
+		for i, cell := range cells {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		rows[r] = cells
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		sb.WriteString("  ")
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	printRow(headers)
+	for _, cells := range rows {
+		printRow(cells)
+	}
+}
+
+// WriteCSV renders the table as CSV: a comment line with the title, a
+// header row, then one row per x point (missing cells empty).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if _, err := fmt.Fprintf(w, "# %s (x = %s, y = %s)\n", t.Title, t.XLabel, t.YLabel); err != nil {
+		return err
+	}
+	if err := cw.Write(append([]string{t.XLabel}, t.Series...)); err != nil {
+		return err
+	}
+	record := make([]string, len(t.Series)+1)
+	for r := range t.XLabels {
+		record[0] = t.XLabels[r]
+		for c, v := range t.Cells[r] {
+			if math.IsNaN(v) {
+				record[c+1] = ""
+			} else {
+				record[c+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

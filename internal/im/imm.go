@@ -1,0 +1,125 @@
+package im
+
+import "math"
+
+// RRGenerator produces one random RR set (candidate ids, possibly empty).
+// The CM algorithms supply generators that hide how the set is produced —
+// a reverse walk over the materialized WD graph for NaiveCM, a per-tuple
+// Magic-Sets construction for the Magic variants.
+type RRGenerator func() []CandidateID
+
+// IMMParams parameterizes the adaptive sampling of IMM (Tang, Shi, Xiao:
+// "Influence Maximization in Near-Linear Time", adapted to the targeted CM
+// setting): the number of RR sets is derived from a statistically tested
+// lower bound on OPT rather than fixed in advance — the paper's Remark 2
+// policy, with the unknown graph size replaced by the |T2| upper bound.
+type IMMParams struct {
+	// Epsilon is the additive approximation error (default 0.1).
+	Epsilon float64
+	// Delta is the failure probability (default 1/NumTargets).
+	Delta float64
+	// NumTargets is |T2|, the influence normalizer.
+	NumTargets int
+	// NumCandidates is |T1|, sizing the union bound over seed sets.
+	NumCandidates int
+	// K is the seed-set size.
+	K int
+	// MaxRR caps the total number of generated RR sets (0 = 100·|T2|,
+	// a pragmatic bound since the theoretical constants are conservative).
+	MaxRR int
+}
+
+func (p *IMMParams) fill() {
+	if p.Epsilon <= 0 {
+		p.Epsilon = 0.1
+	}
+	if p.Delta <= 0 {
+		n := p.NumTargets
+		if n < 2 {
+			n = 2
+		}
+		p.Delta = 1 / float64(n)
+	}
+	if p.MaxRR <= 0 {
+		p.MaxRR = 100 * p.NumTargets
+		if p.MaxRR < 1000 {
+			p.MaxRR = 1000
+		}
+	}
+	if p.K > p.NumCandidates {
+		p.K = p.NumCandidates
+	}
+}
+
+// IMMStats reports what the adaptive phase did.
+type IMMStats struct {
+	// Phase1RR is the number of RR sets generated while bounding OPT.
+	Phase1RR int
+	// TotalRR is the final collection size.
+	TotalRR int
+	// LowerBound is the certified lower bound on OPT.
+	LowerBound float64
+	// Capped reports that MaxRR stopped generation before the theoretical
+	// count was reached (the result is still a valid greedy solution, with
+	// a looser guarantee).
+	Capped bool
+}
+
+// IMM runs the two-phase adaptive RIS scheme: phase 1 halves a guess x of
+// OPT until a greedy solution over the sets generated so far certifies
+// OPT ≥ x (yielding lower bound LB); phase 2 tops up to θ = λ*/LB sets.
+// It returns the collection, the final greedy result over it, and stats.
+func IMM(gen RRGenerator, p IMMParams) (*RRCollection, GreedyResult, IMMStats) {
+	p.fill()
+	var stats IMMStats
+	coll := NewRRCollection(p.NumCandidates)
+	nT := float64(p.NumTargets)
+
+	generateTo := func(target int) {
+		if target > p.MaxRR {
+			target = p.MaxRR
+			stats.Capped = true
+		}
+		for coll.Len() < target {
+			coll.Add(gen())
+		}
+	}
+
+	lnDeltaInv := math.Log(1 / p.Delta)
+	logN := math.Log2(nT)
+	if logN < 1 {
+		logN = 1
+	}
+	epsPrime := math.Sqrt2 * p.Epsilon
+	lambdaPrime := (2 + 2*epsPrime/3) *
+		(lnChoose(p.NumCandidates, p.K) + lnDeltaInv + math.Log(logN)) *
+		nT / (epsPrime * epsPrime)
+
+	// Phase 1: find a lower bound on OPT.
+	lb := 1.0
+	for i := 1; float64(i) <= logN-1; i++ {
+		x := nT / math.Pow(2, float64(i))
+		thetaI := int(math.Ceil(lambdaPrime / x))
+		generateTo(thetaI)
+		res := Greedy(coll, p.K)
+		est := nT * float64(res.Covered) / float64(coll.Len())
+		if est >= (1+epsPrime)*x {
+			lb = est / (1 + epsPrime)
+			break
+		}
+		if stats.Capped {
+			break
+		}
+	}
+	stats.Phase1RR = coll.Len()
+	stats.LowerBound = lb
+
+	// Phase 2: top up to the certified count.
+	alpha := math.Sqrt(lnDeltaInv + math.Ln2)
+	beta := math.Sqrt((1 - 1/math.E) * (lnChoose(p.NumCandidates, p.K) + lnDeltaInv + math.Ln2))
+	lambdaStar := 2 * nT * math.Pow((1-1/math.E)*alpha+beta, 2) / (p.Epsilon * p.Epsilon)
+	generateTo(int(math.Ceil(lambdaStar / lb)))
+	stats.TotalRR = coll.Len()
+
+	return coll, Greedy(coll, p.K), stats
+}

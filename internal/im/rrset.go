@@ -1,0 +1,70 @@
+// Package im implements the Influence Maximization machinery the CM
+// algorithms are built on: storage for Reverse Reachable (RR) sets, the
+// greedy maximum-coverage selection of the RIS framework, and the choice of
+// the number of RR sets to generate (θ).
+//
+// The targeted-IM adjustment of Section IV-A — seeds restricted to T1 and
+// RR roots drawn from T2 — is realized by the callers: they generate RR
+// sets rooted at T2 tuples and filter members to T1 candidates before
+// adding them here.
+package im
+
+// CandidateID indexes the candidate universe (the set T1). Candidates are
+// dense ids assigned by the caller.
+type CandidateID int32
+
+// RRCollection accumulates RR sets over a fixed candidate universe.
+type RRCollection struct {
+	numCandidates int
+	sets          [][]CandidateID
+	totalMembers  int64
+}
+
+// NewRRCollection returns an empty collection over numCandidates
+// candidates.
+func NewRRCollection(numCandidates int) *RRCollection {
+	return &RRCollection{numCandidates: numCandidates}
+}
+
+// Add appends one RR set. Empty sets are legal (an RR walk that reached no
+// candidate) and count toward the total; they can never be covered, which
+// correctly lowers the coverage-based contribution estimate. Add keeps its
+// own copy of members.
+func (c *RRCollection) Add(members []CandidateID) {
+	set := make([]CandidateID, len(members))
+	copy(set, members)
+	c.sets = append(c.sets, set)
+	c.totalMembers += int64(len(members))
+}
+
+// Len returns the number of RR sets added.
+func (c *RRCollection) Len() int { return len(c.sets) }
+
+// NumCandidates returns the size of the candidate universe.
+func (c *RRCollection) NumCandidates() int { return c.numCandidates }
+
+// TotalMembers returns the summed size of all RR sets.
+func (c *RRCollection) TotalMembers() int64 { return c.totalMembers }
+
+// Set returns the i-th RR set. The slice is internal; do not modify.
+func (c *RRCollection) Set(i int) []CandidateID { return c.sets[i] }
+
+// CoverageOf returns how many RR sets contain at least one member of seeds.
+// It is the coverage function F_R(S) of the RIS framework; the contribution
+// estimate is |T2| * CoverageOf(S) / Len().
+func (c *RRCollection) CoverageOf(seeds []CandidateID) int {
+	inSeed := make([]bool, c.numCandidates)
+	for _, s := range seeds {
+		inSeed[s] = true
+	}
+	covered := 0
+	for _, set := range c.sets {
+		for _, m := range set {
+			if inSeed[m] {
+				covered++
+				break
+			}
+		}
+	}
+	return covered
+}

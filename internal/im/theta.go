@@ -1,0 +1,115 @@
+package im
+
+import (
+	"math"
+)
+
+// ThetaSpec selects the number of RR sets to generate.
+//
+// The paper's experiments size θ as a fraction of |T2| (default 30%,
+// Section V-A); RIS theory sizes it from the required error ε and failure
+// probability δ plus graph-size upper bounds (Remark 2). Both policies are
+// supported:
+//
+//   - if Explicit > 0 it wins;
+//   - else if Auto is set, the TIM-style bound is used (capped by MaxAuto
+//     if positive, since the theoretical constants are very conservative);
+//   - else Fraction of the target-set size is used (0 means the default
+//     0.3).
+type ThetaSpec struct {
+	Explicit int
+	Fraction float64
+	// Min floors the fraction-based count; useful when |T2| is small (the
+	// paper's fraction policy assumes |T2| ≈ 100). Ignored by Explicit
+	// and Auto.
+	Min     int
+	Auto    bool
+	Epsilon float64 // default 0.1
+	Delta   float64 // default 1/n for universe size n
+	MaxAuto int
+}
+
+// DefaultFraction is the default number of RR sets as a fraction of |T2|,
+// the paper's experimental setting.
+const DefaultFraction = 0.3
+
+// Theta resolves the spec for a problem with numCandidates possible seeds
+// (|T1|), numTargets target tuples (|T2|), and seed-set size k. The result
+// is always at least 1.
+func (s ThetaSpec) Theta(numCandidates, numTargets, k int) int {
+	if s.Explicit > 0 {
+		return s.Explicit
+	}
+	if s.Auto {
+		t := timBound(numCandidates, numTargets, k, s.epsilon(), s.delta(numCandidates))
+		if s.MaxAuto > 0 && t > s.MaxAuto {
+			t = s.MaxAuto
+		}
+		if t < 1 {
+			t = 1
+		}
+		return t
+	}
+	f := s.Fraction
+	if f <= 0 {
+		f = DefaultFraction
+	}
+	t := int(math.Round(f * float64(numTargets)))
+	if t < s.Min {
+		t = s.Min
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (s ThetaSpec) epsilon() float64 {
+	if s.Epsilon > 0 {
+		return s.Epsilon
+	}
+	return 0.1
+}
+
+func (s ThetaSpec) delta(n int) float64 {
+	if s.Delta > 0 {
+		return s.Delta
+	}
+	if n < 2 {
+		n = 2
+	}
+	return 1 / float64(n)
+}
+
+// timBound is the TIM-style sample-count bound θ = (8+2ε)·m·(ln(1/δ) +
+// ln C(n,k) + ln 2)/(OPT·ε²) with the unknown OPT lower-bounded by 1
+// (every target contributes at least one derivation tree rooted in T1 when
+// the instance is non-trivial), n = |T1| and m = |T2|. Since the WD graph
+// is not materialized by the Magic variants, m serves as the upper bound on
+// the number of "target nodes" (Remark 2); generating more sets than needed
+// only tightens the approximation.
+func timBound(n, m, k int, eps, delta float64) int {
+	if n < 1 || m < 1 {
+		return 1
+	}
+	if k > n {
+		k = n
+	}
+	lam := (8 + 2*eps) * float64(m) * (math.Log(1/delta) + lnChoose(n, k) + math.Ln2) / (eps * eps)
+	if lam > 1e9 {
+		return 1 << 30
+	}
+	return int(math.Ceil(lam))
+}
+
+// lnChoose returns ln C(n, k) via log-gamma.
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

@@ -1,0 +1,96 @@
+// Package magic implements the Magic-Sets transformation for probabilistic
+// datalog programs (Section IV-B1 of the paper): given a program (P, w) and
+// one or more ground query atoms, it produces a transformed program
+// (P^m, w^m) whose bottom-up evaluation derives exactly the facts relevant
+// to the queries, with probabilities assigned per Definition 4.3 (modified
+// rules inherit their origin rule's probability; magic, seed, and query
+// rules get probability 1).
+//
+// The transformation uses the standard full left-to-right sideways
+// information passing strategy (SIPS): when a rule body is processed, every
+// variable of an already-processed body atom is considered bound.
+package magic
+
+import (
+	"strings"
+
+	"contribmax/internal/ast"
+)
+
+// Adornment is a binding pattern: one byte per argument position, 'b' for
+// bound, 'f' for free.
+type Adornment string
+
+// AllBound returns the all-'b' adornment of the given arity (the adornment
+// of a ground query atom).
+func AllBound(arity int) Adornment {
+	return Adornment(strings.Repeat("b", arity))
+}
+
+// BoundPositions returns the indices of bound positions, in order.
+func (a Adornment) BoundPositions() []int {
+	var out []int
+	for i := 0; i < len(a); i++ {
+		if a[i] == 'b' {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumBound returns the number of bound positions.
+func (a Adornment) NumBound() int {
+	n := 0
+	for i := 0; i < len(a); i++ {
+		if a[i] == 'b' {
+			n++
+		}
+	}
+	return n
+}
+
+// adornmentFor computes the adornment of atom given the set of bound
+// variable names: a position is bound iff its term is a constant or a bound
+// variable.
+func adornmentFor(atom ast.Atom, bound map[string]bool) Adornment {
+	var sb strings.Builder
+	sb.Grow(atom.Arity())
+	for _, t := range atom.Terms {
+		if t.IsConst() || bound[t.Name] {
+			sb.WriteByte('b')
+		} else {
+			sb.WriteByte('f')
+		}
+	}
+	return Adornment(sb.String())
+}
+
+// Naming scheme for generated predicates. The '@' separator cannot occur in
+// bare parsed identifiers, so generated names never collide with user
+// predicates.
+
+// AdornedPred returns the name of the adorned version of pred.
+func AdornedPred(pred string, a Adornment) string {
+	return pred + "@" + string(a)
+}
+
+// MagicPred returns the name of the magic predicate for pred^a.
+func MagicPred(pred string, a Adornment) string {
+	return "m@" + pred + "@" + string(a)
+}
+
+// SplitAdorned parses an adorned or magic predicate name. It returns the
+// original predicate, the adornment, whether the name is a magic predicate,
+// and ok=false for plain (untransformed) names.
+func SplitAdorned(name string) (orig string, a Adornment, isMagic bool, ok bool) {
+	rest := name
+	if strings.HasPrefix(rest, "m@") {
+		isMagic = true
+		rest = rest[2:]
+	}
+	i := strings.LastIndexByte(rest, '@')
+	if i < 0 {
+		return "", "", false, false
+	}
+	return rest[:i], Adornment(rest[i+1:]), isMagic, true
+}

@@ -1,0 +1,86 @@
+package magic
+
+import (
+	"math/rand/v2"
+	"strings"
+
+	"contribmax/internal/db"
+	"contribmax/internal/engine"
+)
+
+// SampledGate implements Magic^S CM's in-construction sampling (Section
+// IV-B2): each *origin-rule* instantiation is drawn to fire exactly once,
+// with probability w(origin), and the decision is shared by every modified
+// rule generated from that origin rule. Magic and seed rules always fire.
+//
+// A SampledGate represents one random execution; use a fresh gate per RR
+// set so draws are independent across RR sets.
+type SampledGate struct {
+	rng    *rand.Rand
+	rules  []gateRule
+	drawn  map[string]bool
+	keyBuf strings.Builder
+	// Draws counts fresh coin flips (for tests and stats).
+	Draws int64
+}
+
+type gateRule struct {
+	sample bool // false: always fire (magic/seed, or prob == 1)
+	prob   float64
+	origin string
+	// slots[i] is the engine variable-slot index holding the value of the
+	// origin rule's i-th variable.
+	slots []int
+}
+
+// NewSampledGate builds a gate for the transformed program t as compiled by
+// eng (the engine must have been constructed from t.Program).
+func NewSampledGate(t *Transformed, eng *engine.Engine, rng *rand.Rand) *SampledGate {
+	g := &SampledGate{rng: rng, drawn: make(map[string]bool)}
+	g.rules = make([]gateRule, len(t.Meta))
+	for i, m := range t.Meta {
+		if m.Kind != Modified || m.OriginProb >= 1 {
+			g.rules[i] = gateRule{sample: false}
+			continue
+		}
+		names := eng.RuleVarNames(i)
+		pos := map[string]int{}
+		for j, n := range names {
+			pos[n] = j
+		}
+		slots := make([]int, len(m.OriginVars))
+		for j, v := range m.OriginVars {
+			// Every origin variable occurs in the modified rule (its body
+			// embeds the full origin body), so the lookup always succeeds
+			// for valid transforms.
+			slots[j] = pos[v]
+		}
+		g.rules[i] = gateRule{sample: true, prob: m.OriginProb, origin: m.Origin, slots: slots}
+	}
+	return g
+}
+
+// ShouldFire implements engine.FireGate.
+func (g *SampledGate) ShouldFire(ruleIndex int, vars []db.Sym) bool {
+	r := &g.rules[ruleIndex]
+	if !r.sample {
+		return true
+	}
+	g.keyBuf.Reset()
+	g.keyBuf.WriteString(r.origin)
+	for _, s := range r.slots {
+		v := vars[s]
+		g.keyBuf.WriteByte(byte(v >> 24))
+		g.keyBuf.WriteByte(byte(v >> 16))
+		g.keyBuf.WriteByte(byte(v >> 8))
+		g.keyBuf.WriteByte(byte(v))
+	}
+	key := g.keyBuf.String()
+	if d, ok := g.drawn[key]; ok {
+		return d
+	}
+	g.Draws++
+	d := g.rng.Float64() < r.prob
+	g.drawn[key] = d
+	return d
+}

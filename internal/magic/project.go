@@ -1,0 +1,27 @@
+package magic
+
+import "contribmax/internal/wdgraph"
+
+// Projection returns the WD-graph projection for a transformed program:
+// only modified rules produce instantiation nodes (labeled and weighted by
+// their origin rule), adorned predicates map back to the origin predicate,
+// magic predicates are dropped from rule bodies, and the leading magic atom
+// of each modified rule is excluded via KeepBody. The graph built under
+// this projection is (per Proposition 4.4) isomorphic to the subgraph of
+// the full WD graph reachable backwards from the query tuples.
+func (t *Transformed) Projection() *wdgraph.Projection {
+	meta := t.Meta
+	return &wdgraph.Projection{
+		IncludeRule: func(i int) bool { return meta[i].Kind == Modified },
+		RuleLabel:   func(i int) string { return meta[i].Origin },
+		RuleWeight:  func(i int) float64 { return meta[i].OriginProb },
+		MapPred: func(pred string) (string, bool, bool) {
+			orig, ok := t.OrigPred(pred)
+			if !ok {
+				return "", false, false
+			}
+			return orig, t.OrigEDB(orig), true
+		},
+		KeepBody: func(i int) []int { return meta[i].KeepBody },
+	}
+}

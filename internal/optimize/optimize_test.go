@@ -1,0 +1,215 @@
+package optimize_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+	"contribmax/internal/engine"
+	"contribmax/internal/optimize"
+	"contribmax/internal/parser"
+	"contribmax/internal/workload"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFoldTrueBuiltins(t *testing.T) {
+	p := mustProgram(t, `
+		p(X) :- e(X), lt(1, 2).
+		q(X) :- e(X), lte(X, X).
+	`)
+	out, rep := optimize.Program(p)
+	if rep.FoldedAtoms != 2 {
+		t.Errorf("folded = %d, want 2", rep.FoldedAtoms)
+	}
+	for _, r := range out.Rules {
+		if len(r.Body) != 1 {
+			t.Errorf("rule %s body = %v, want single atom", r.Label, r.Body)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropUnsatisfiable(t *testing.T) {
+	p := mustProgram(t, `
+		p(X) :- e(X), lt(2, 1).
+		q(X) :- e(X), neq(X, X).
+		r(X) :- e(X).
+	`)
+	out, rep := optimize.Program(p)
+	if rep.DroppedUnsatisfiable != 2 {
+		t.Errorf("dropped = %d, want 2", rep.DroppedUnsatisfiable)
+	}
+	if len(out.Rules) != 1 || out.Rules[0].Head.Predicate != "r" {
+		t.Errorf("rules = %v", out.Rules)
+	}
+}
+
+func TestDropSelfSupport(t *testing.T) {
+	p := mustProgram(t, `
+		p(X) :- p(X).
+		p(X) :- p(X), e(X).
+		q(X) :- e(X).
+	`)
+	out, rep := optimize.Program(p)
+	if rep.DroppedSelfSupport != 2 {
+		t.Errorf("dropped = %d, want 2", rep.DroppedSelfSupport)
+	}
+	if len(out.Rules) != 1 {
+		t.Errorf("rules = %v", out.Rules)
+	}
+}
+
+func TestDedupOnlyDeterministicRules(t *testing.T) {
+	p := mustProgram(t, `
+		1.0 a: p(X, Y) :- e(X, Y).
+		1.0 b: p(A, B) :- e(A, B).
+		0.5 c: q(X, Y) :- e(X, Y).
+		0.5 d: q(A, B) :- e(A, B).
+	`)
+	out, rep := optimize.Program(p)
+	if rep.DroppedDuplicates != 1 {
+		t.Errorf("dropped = %d, want 1 (only the prob-1 duplicate)", rep.DroppedDuplicates)
+	}
+	// The two 0.5 rules are independent firing chances and must survive.
+	if n := len(out.RulesFor("q")); n != 2 {
+		t.Errorf("q rules = %d, want 2", n)
+	}
+}
+
+func TestNoChangeReport(t *testing.T) {
+	p := mustProgram(t, `p(X) :- e(X, Y), neq(X, Y).`)
+	out, rep := optimize.Program(p)
+	if rep.Changed() {
+		t.Errorf("unexpected changes: %+v", rep)
+	}
+	if !out.Rules[0].Equal(p.Rules[0]) {
+		t.Error("rule altered without report")
+	}
+	// Original must not be mutated.
+	p2, _ := optimize.Program(mustProgram(t, `p(X) :- e(X), lt(1, 2).`))
+	_ = p2
+}
+
+// TestOptimizePreservesFixpoint is the property test: on random programs
+// extended with random built-in guards, the optimized program must derive
+// exactly the same facts.
+func TestOptimizePreservesFixpoint(t *testing.T) {
+	for trial := 0; trial < 120; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 0xBEE))
+		prog := randomGuardedProgram(rng)
+		if prog.Validate() != nil {
+			continue
+		}
+		opt, _ := optimize.Program(prog)
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("trial %d: optimized program invalid: %v\n%s", trial, err, opt)
+		}
+		d1 := randomDB(rng)
+		d2 := cloneDB(t, d1)
+		f1 := evalAll(t, prog, d1)
+		f2 := evalAll(t, opt, d2)
+		if f1 != f2 {
+			t.Fatalf("trial %d: fixpoints differ\noriginal:\n%s\noptimized:\n%s\n%s\nvs\n%s",
+				trial, prog, opt, f1, f2)
+		}
+	}
+}
+
+func randomGuardedProgram(rng *rand.Rand) *ast.Program {
+	prog := ast.NewProgram()
+	preds := []string{"p", "q"}
+	vars := []string{"X", "Y"}
+	builtins := []string{ast.BuiltinEq, ast.BuiltinNeq, ast.BuiltinLt, ast.BuiltinLte, ast.BuiltinGt, ast.BuiltinGte}
+	n := rng.IntN(5) + 1
+	for i := 0; i < n; i++ {
+		head := ast.NewAtom(preds[rng.IntN(2)], ast.V("X"))
+		body := []ast.Atom{ast.NewAtom("e", ast.V("X"), ast.V("Y"))}
+		if rng.IntN(2) == 0 {
+			body = append(body, ast.NewAtom(preds[rng.IntN(2)], ast.V("Y")))
+		}
+		// A random guard: constants, same-var, or mixed.
+		b := builtins[rng.IntN(len(builtins))]
+		switch rng.IntN(3) {
+		case 0:
+			body = append(body, ast.NewAtom(b, ast.C(strconv(rng.IntN(3))), ast.C(strconv(rng.IntN(3)))))
+		case 1:
+			v := vars[rng.IntN(2)]
+			body = append(body, ast.NewAtom(b, ast.V(v), ast.V(v)))
+		default:
+			body = append(body, ast.NewAtom(b, ast.V(vars[rng.IntN(2)]), ast.V(vars[rng.IntN(2)])))
+		}
+		prog.Add(ast.Rule{Label: fmt.Sprintf("r%d", i), Prob: 1, Head: head, Body: body})
+	}
+	return prog
+}
+
+func strconv(i int) string { return fmt.Sprintf("%d", i) }
+
+func randomDB(rng *rand.Rand) *db.Database {
+	d := db.NewDatabase()
+	n := rng.IntN(10) + 2
+	for i := 0; i < n; i++ {
+		d.MustInsertAtom(ast.NewAtom("e",
+			ast.C(strconv(rng.IntN(4))), ast.C(strconv(rng.IntN(4)))))
+	}
+	return d
+}
+
+func cloneDB(t *testing.T, d *db.Database) *db.Database {
+	t.Helper()
+	out := db.NewDatabase()
+	for _, name := range d.RelationNames() {
+		for _, f := range d.Facts(name) {
+			out.MustInsertAtom(f)
+		}
+	}
+	return out
+}
+
+func evalAll(t *testing.T, prog *ast.Program, d *db.Database) string {
+	t.Helper()
+	eng, err := engine.New(prog, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(engine.Options{MaxRounds: 100}); err != nil {
+		t.Fatal(err)
+	}
+	var facts []string
+	for _, pred := range []string{"p", "q"} {
+		for _, a := range d.Facts(pred) {
+			facts = append(facts, a.String())
+		}
+	}
+	sort.Strings(facts)
+	return fmt.Sprint(facts)
+}
+
+// TestOptimizeWorkloadProgramsUnchanged: the curated workload programs
+// contain nothing to optimize away (sanity that the optimizer is not
+// overeager).
+func TestOptimizeWorkloadProgramsUnchanged(t *testing.T) {
+	for _, p := range []*ast.Program{
+		workload.TCProgram(1, 0.8),
+		workload.ExplainProgram(),
+		workload.IRISProgram(),
+		workload.AMIEProgram(),
+	} {
+		if _, rep := optimize.Program(p); rep.Changed() {
+			t.Errorf("optimizer changed a workload program: %+v", rep)
+		}
+	}
+}

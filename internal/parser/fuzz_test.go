@@ -1,0 +1,91 @@
+package parser_test
+
+import (
+	"testing"
+
+	"contribmax/internal/parser"
+)
+
+// FuzzParseProgram asserts the parser's crash-freedom and the
+// parse-render-parse fixpoint: any input either fails with an error or
+// yields a program whose rendering re-parses to an equal program.
+func FuzzParseProgram(f *testing.F) {
+	for _, seed := range []string{
+		"p(X) :- q(X).",
+		"0.8 r1: dealsWith(A, B) :- dealsWith(B, A).",
+		`p("we\"ird", X) :- q(X, 42), not r(X), lt(X, 9).`,
+		"% comment\nflag :- e(a, X).",
+		".5 p(a).",
+		"p(X :- q(X).",
+		"p() :- .",
+		":-",
+		"0.8",
+		"p(\"unterminated",
+		"不(X) :- q(X).",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := prog.String()
+		back, err := parser.ParseProgram(rendered)
+		if err != nil {
+			t.Fatalf("rendering did not re-parse: %v\ninput: %q\nrendered: %q", err, src, rendered)
+		}
+		if len(back.Rules) != len(prog.Rules) {
+			t.Fatalf("rule count changed after round trip: %d -> %d\ninput: %q", len(prog.Rules), len(back.Rules), src)
+		}
+		for i := range prog.Rules {
+			if !prog.Rules[i].Equal(back.Rules[i]) {
+				t.Fatalf("rule %d changed after round trip:\n was %s\n now %s\ninput: %q",
+					i, prog.Rules[i], back.Rules[i], src)
+			}
+		}
+	})
+}
+
+// FuzzParseFacts: same crash-freedom and round-trip property for fact
+// files.
+func FuzzParseFacts(f *testing.F) {
+	for _, seed := range []string{
+		"exports(france, wine).",
+		`p("a b", "").`,
+		"p(1). p(2.5). p(2pac).",
+		"p(X).",
+		"p(",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		facts, err := parser.ParseFacts(src)
+		if err != nil {
+			return
+		}
+		var sb stringsBuilder
+		if err := parser.WriteFacts(&sb, facts); err != nil {
+			t.Fatalf("WriteFacts on parsed facts: %v", err)
+		}
+		back, err := parser.ParseFacts(sb.String())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nrendered: %q", err, sb.String())
+		}
+		if len(back) != len(facts) {
+			t.Fatalf("fact count changed: %d -> %d", len(facts), len(back))
+		}
+		for i := range facts {
+			if !facts[i].Equal(back[i]) {
+				t.Fatalf("fact %d changed: %s -> %s", i, facts[i], back[i])
+			}
+		}
+	})
+}
+
+// stringsBuilder is a minimal strings.Builder stand-in kept local so the
+// fuzz file's imports stay tiny.
+type stringsBuilder struct{ b []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) { s.b = append(s.b, p...); return len(p), nil }
+func (s *stringsBuilder) String() string              { return string(s.b) }

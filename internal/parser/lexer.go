@@ -1,0 +1,263 @@
+// Package parser implements the textual syntax for probabilistic datalog
+// programs and fact files.
+//
+// Program syntax (one rule per statement, '.'-terminated):
+//
+//	% comments run to end of line; # also starts a comment
+//	0.8 r1: dealsWith(A, B) :- dealsWith(B, A).
+//	0.7 r2: dealsWith(A, B) :- exports(A, C), imports(B, C).
+//	dealsWith(france, cuba).          % a fact rule; probability defaults to 1
+//
+// Identifiers starting with an upper-case letter are variables; identifiers
+// starting with a lower-case letter, a digit, or an underscore are constant
+// or predicate symbols; arbitrary constants may be written as double-quoted
+// strings with Go escape rules.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF       tokenKind = iota
+	tokIdent               // lower-case-leading bare symbol: predicate or constant
+	tokVariable            // upper-case-leading identifier
+	tokNumber              // numeric literal (used for probabilities and numeric constants)
+	tokString              // double-quoted constant
+	tokLParen              // (
+	tokRParen              // )
+	tokComma               // ,
+	tokPeriod              // .
+	tokColon               // :
+	tokColonDash           // :-
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVariable:
+		return "variable"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokColon:
+		return "':'"
+	case tokColonDash:
+		return "':-'"
+	}
+	return "unknown token"
+}
+
+// token is a lexical token with its source position (1-based line/column).
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer scans datalog source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token, skipping whitespace and comments.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.advance(1)
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case c == ')':
+		l.advance(1)
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case c == ',':
+		l.advance(1)
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case c == ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			l.advance(2)
+			return token{kind: tokColonDash, text: ":-", line: line, col: col}, nil
+		}
+		l.advance(1)
+		return token{kind: tokColon, text: ":", line: line, col: col}, nil
+	case c == '"':
+		return l.lexString(line, col)
+	case c >= '0' && c <= '9':
+		return l.lexNumberOrIdent(line, col)
+	case c == '.':
+		// Distinguish a statement terminator from a leading-dot float like
+		// ".5": a '.' followed by a digit is a number.
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			return l.lexNumberOrIdent(line, col)
+		}
+		l.advance(1)
+		return token{kind: tokPeriod, text: ".", line: line, col: col}, nil
+	case isIdentStart(rune(c)):
+		return l.lexIdent(line, col)
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if unicode.IsUpper(r) || unicode.IsLetter(r) {
+		return l.lexIdent(line, col)
+	}
+	return token{}, l.errorf(line, col, "unexpected character %q", r)
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '%' || c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString(line, col int) (token, error) {
+	// Find the closing quote, honoring backslash escapes, then let strconv
+	// handle the unescaping.
+	start := l.pos
+	l.advance(1) // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '\\':
+			l.advance(2)
+		case '"':
+			l.advance(1)
+			raw := l.src[start:l.pos]
+			s, err := strconv.Unquote(raw)
+			if err != nil {
+				return token{}, l.errorf(line, col, "bad string literal %s: %v", raw, err)
+			}
+			return token{kind: tokString, text: s, line: line, col: col}, nil
+		case '\n':
+			return token{}, l.errorf(line, col, "unterminated string literal")
+		default:
+			l.advance(1)
+		}
+	}
+	return token{}, l.errorf(line, col, "unterminated string literal")
+}
+
+// lexNumberOrIdent scans a token starting with a digit or '.'. If the
+// scanned characters continue into identifier characters (e.g. "2pac"), the
+// whole run is an identifier constant; otherwise it is a number.
+func (l *lexer) lexNumberOrIdent(line, col int) (token, error) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.advance(1)
+			continue
+		}
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			seenDot = true
+			l.advance(1)
+			continue
+		}
+		break
+	}
+	// Identifier continuation turns the whole run into a bare symbol.
+	if l.pos < len(l.src) && isIdentInner(rune(l.src[l.pos])) {
+		for l.pos < len(l.src) && isIdentInner(rune(l.src[l.pos])) {
+			l.advance(1)
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+}
+
+func (l *lexer) lexIdent(line, col int) (token, error) {
+	start := l.pos
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	first := r
+	l.advance(size)
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentInner(r) {
+			break
+		}
+		l.advance(size)
+	}
+	text := l.src[start:l.pos]
+	if unicode.IsUpper(first) {
+		return token{kind: tokVariable, text: text, line: line, col: col}, nil
+	}
+	return token{kind: tokIdent, text: text, line: line, col: col}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentInner(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Error is a parse error with a source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,374 @@
+package parser
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"contribmax/internal/ast"
+)
+
+// ParseProgram parses probabilistic datalog source text into a Program.
+// Rules without an explicit label get sequential labels r1, r2, ...; rules
+// without an explicit probability default to 1. The returned program has
+// been validated (ast.Program.Validate).
+func ParseProgram(src string) (*ast.Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return nil, err
+	}
+	prog := ast.NewProgram()
+	auto := 0
+	used := map[string]bool{}
+	for p.tok.kind != tokEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		if r.Label == "" {
+			for {
+				auto++
+				r.Label = "r" + strconv.Itoa(auto)
+				if !used[r.Label] {
+					break
+				}
+			}
+		}
+		used[r.Label] = true
+		prog.Add(r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseProgramFile reads and parses a program file.
+func ParseProgramFile(path string) (*ast.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ParseProgram(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return prog, nil
+}
+
+// ParseFacts parses a fact file: ground atoms, one per '.'-terminated
+// statement, without probabilities or labels. It returns the atoms in
+// source order.
+func ParseFacts(src string) ([]ast.Atom, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return nil, err
+	}
+	var out []ast.Atom
+	for p.tok.kind != tokEOF {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		if !a.IsGround() {
+			return nil, p.errHeref("fact %s contains variables", a)
+		}
+		if err := p.expect(tokPeriod); err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ProbFact is a ground atom with an associated probability, as parsed from
+// a probabilistic fact file ("0.9 exports(france, wine).").
+type ProbFact struct {
+	Atom ast.Atom
+	Prob float64
+}
+
+// ParseProbFacts parses a fact file in which each ground atom may carry an
+// optional leading probability (default 1):
+//
+//	0.9 exports(france, wine).
+//	imports(germany, wine).
+func ParseProbFacts(src string) ([]ProbFact, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return nil, err
+	}
+	var out []ProbFact
+	for p.tok.kind != tokEOF {
+		pf := ProbFact{Prob: 1}
+		if p.tok.kind == tokNumber {
+			f, err := strconv.ParseFloat(p.tok.text, 64)
+			if err != nil {
+				return nil, p.errHeref("bad probability %q: %v", p.tok.text, err)
+			}
+			if f < 0 || f > 1 {
+				return nil, p.errHeref("probability %g outside [0,1]", f)
+			}
+			pf.Prob = f
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		if !a.IsGround() {
+			return nil, p.errHeref("fact %s contains variables", a)
+		}
+		if err := p.expect(tokPeriod); err != nil {
+			return nil, err
+		}
+		pf.Atom = a
+		out = append(out, pf)
+	}
+	return out, nil
+}
+
+// ParseFactsReader parses facts from an io.Reader.
+func ParseFactsReader(r io.Reader) ([]ast.Atom, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseFacts(string(data))
+}
+
+// ParseFactsFile reads and parses a fact file.
+func ParseFactsFile(path string) ([]ast.Atom, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	facts, err := ParseFacts(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return facts, nil
+}
+
+// WriteFacts writes ground atoms one per line in the fact-file syntax that
+// ParseFacts reads back (the inverse operation, round-trip safe thanks to
+// constant quoting).
+func WriteFacts(w io.Writer, facts []ast.Atom) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range facts {
+		if !f.IsGround() {
+			return fmt.Errorf("parser: fact %s contains variables", f)
+		}
+		if _, err := bw.WriteString(f.String()); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(".\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseAtom parses a single ground or non-ground atom, e.g. for specifying
+// target tuples on a command line: "dealsWith(usa, iran)".
+func ParseAtom(src string) (ast.Atom, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return ast.Atom{}, err
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	// An optional trailing period is tolerated.
+	if p.tok.kind == tokPeriod {
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Atom{}, p.errHeref("unexpected %s after atom", p.tok.kind)
+	}
+	return a, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) prime() error { return p.advance() }
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) error {
+	if p.tok.kind != kind {
+		return p.errHeref("expected %s, found %s %q", kind, p.tok.kind, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) errHeref(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseRule parses one statement:
+//
+//	[prob] [label :] head [:- body] .
+func (p *parser) parseRule() (ast.Rule, error) {
+	r := ast.Rule{Prob: 1}
+	if p.tok.kind == tokNumber {
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return r, p.errHeref("bad probability %q: %v", p.tok.text, err)
+		}
+		r.Prob = f
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+	}
+	// A label is an identifier immediately followed by ':'. We need one
+	// token of lookahead: stash the ident, peek at the next token, and if it
+	// is not ':' the ident begins the head atom instead.
+	if p.tok.kind == tokIdent {
+		ident := p.tok
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+		if p.tok.kind == tokColon {
+			r.Label = ident.text
+			if err := p.advance(); err != nil {
+				return r, err
+			}
+			head, err := p.parseAtom()
+			if err != nil {
+				return r, err
+			}
+			r.Head = head
+		} else {
+			head, err := p.parseAtomWithPred(ident)
+			if err != nil {
+				return r, err
+			}
+			r.Head = head
+		}
+	} else {
+		head, err := p.parseAtom()
+		if err != nil {
+			return r, err
+		}
+		r.Head = head
+	}
+	if p.tok.kind == tokColonDash {
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+		for {
+			b, err := p.parseBodyLiteral()
+			if err != nil {
+				return r, err
+			}
+			r.Body = append(r.Body, b)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return r, err
+			}
+		}
+	}
+	if err := p.expect(tokPeriod); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// parseBodyLiteral parses a body atom with an optional "not" prefix. The
+// word "not" is a keyword only when another identifier follows (so a
+// predicate literally named "not" still parses as the atom not(...)).
+func (p *parser) parseBodyLiteral() (ast.Atom, error) {
+	if p.tok.kind == tokIdent && p.tok.text == "not" {
+		not := p.tok
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+		if p.tok.kind == tokIdent {
+			a, err := p.parseAtom()
+			if err != nil {
+				return ast.Atom{}, err
+			}
+			a.Negated = true
+			return a, nil
+		}
+		return p.parseAtomWithPred(not)
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (ast.Atom, error) {
+	if p.tok.kind != tokIdent {
+		return ast.Atom{}, p.errHeref("expected predicate name, found %s %q", p.tok.kind, p.tok.text)
+	}
+	pred := p.tok
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	return p.parseAtomWithPred(pred)
+}
+
+// parseAtomWithPred parses the argument list of an atom whose predicate
+// token has already been consumed. A bare predicate with no parenthesis is a
+// zero-ary atom (used by Magic-Sets boolean query predicates).
+func (p *parser) parseAtomWithPred(pred token) (ast.Atom, error) {
+	a := ast.Atom{Predicate: pred.text}
+	if p.tok.kind != tokLParen {
+		return a, nil
+	}
+	if err := p.advance(); err != nil {
+		return a, err
+	}
+	if p.tok.kind == tokRParen {
+		return a, p.advance()
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return a, err
+		}
+		a.Terms = append(a.Terms, t)
+		switch p.tok.kind {
+		case tokComma:
+			if err := p.advance(); err != nil {
+				return a, err
+			}
+		case tokRParen:
+			return a, p.advance()
+		default:
+			return a, p.errHeref("expected ',' or ')' in argument list, found %s %q", p.tok.kind, p.tok.text)
+		}
+	}
+}
+
+func (p *parser) parseTerm() (ast.Term, error) {
+	switch p.tok.kind {
+	case tokVariable:
+		t := ast.V(p.tok.text)
+		return t, p.advance()
+	case tokIdent, tokNumber, tokString:
+		t := ast.C(p.tok.text)
+		return t, p.advance()
+	default:
+		return ast.Term{}, p.errHeref("expected term, found %s %q", p.tok.kind, p.tok.text)
+	}
+}

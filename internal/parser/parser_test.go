@@ -1,0 +1,391 @@
+package parser_test
+
+import (
+	"contribmax/internal/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"contribmax/internal/parser"
+)
+
+func TestParseProgramBasics(t *testing.T) {
+	src := `
+		% the paper's Example 1.1
+		0.8 r1: dealsWith(A, B) :- dealsWith(B, A).
+		0.7 r2: dealsWith(A, B) :- exports(A, C), imports(B, C).
+		0.5 r3: dealsWith(A, B) :- dealsWith(A, F), dealsWith(F, B).
+	`
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	r := p.Rules[1]
+	if r.Label != "r2" || r.Prob != 0.7 || r.Head.Predicate != "dealsWith" || len(r.Body) != 2 {
+		t.Errorf("r2 parsed wrong: %v", r)
+	}
+	if !r.Body[0].Terms[1].IsVar() || r.Body[0].Terms[1].Name != "C" {
+		t.Errorf("r2 body = %v", r.Body)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	p, err := parser.ParseProgram(`
+		p(X) :- q(X).
+		0.5 p(X) :- r(X).
+		named: p(X) :- s(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Prob != 1 || p.Rules[0].Label != "r1" {
+		t.Errorf("rule 0 = %v", p.Rules[0])
+	}
+	if p.Rules[1].Prob != 0.5 || p.Rules[1].Label != "r2" {
+		t.Errorf("rule 1 = %v", p.Rules[1])
+	}
+	if p.Rules[2].Label != "named" {
+		t.Errorf("rule 2 label = %q", p.Rules[2].Label)
+	}
+}
+
+func TestAutoLabelSkipsTaken(t *testing.T) {
+	p, err := parser.ParseProgram(`
+		r1: p(X) :- q(X).
+		p(X) :- s(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[1].Label == "r1" {
+		t.Error("auto label collided with explicit r1")
+	}
+}
+
+func TestParseFactRuleAndLeadingDotFloat(t *testing.T) {
+	p, err := parser.ParseProgram(`
+		seedFact(a, b).
+		.5 half: p(X) :- seedFact(X, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Rules[0].IsFact() || p.Rules[0].Prob != 1 {
+		t.Errorf("fact rule = %v", p.Rules[0])
+	}
+	if p.Rules[1].Prob != 0.5 {
+		t.Errorf("prob = %g", p.Rules[1].Prob)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p, err := parser.ParseProgram(`
+		% percent comment
+		# hash comment
+		// slash comment
+		p(X) :- q(X). % trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Errorf("rules = %d", len(p.Rules))
+	}
+}
+
+func TestParseQuotedConstants(t *testing.T) {
+	p, err := parser.ParseProgram(`p(X) :- q(X, "United States", "tab\tchar").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Rules[0].Body[0]
+	if b.Terms[1].Name != "United States" || b.Terms[2].Name != "tab\tchar" {
+		t.Errorf("quoted terms = %v", b.Terms)
+	}
+}
+
+func TestParseNumericAndMixedConstants(t *testing.T) {
+	facts, err := parser.ParseFacts(`age(alice, 42). code(2pac, a1b2).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if facts[0].Terms[1].Name != "42" {
+		t.Errorf("numeric constant = %v", facts[0].Terms[1])
+	}
+	if facts[1].Terms[0].Name != "2pac" {
+		t.Errorf("mixed constant = %v", facts[1].Terms[0])
+	}
+}
+
+func TestParseZeroArity(t *testing.T) {
+	p, err := parser.ParseProgram(`
+		flag :- q(X).
+		flag2() :- flag.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Head.Arity() != 0 || p.Rules[1].Body[0].Arity() != 0 {
+		t.Errorf("zero-arity parse: %v", p.Rules)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`p(X) :- q(X)`,                         // missing period
+		`p(X :- q(X).`,                         // bad paren
+		`p(X) :- .`,                            // empty body atom
+		`2 p(X) :- q(X).`,                      // probability out of range
+		`p(X, Y) :- q(X).`,                     // not range-restricted
+		`p("unterminated :- q(X).`,             // unterminated string
+		`p(X) :- q(X), .`,                      // trailing comma
+		`r1: p(X) :- q(X). r1: p(X) :- s(X).`,  // duplicate labels
+		`p(X) :- q(X). p(X, Y) :- q(X), s(Y).`, // arity clash
+	}
+	for _, src := range cases {
+		if _, err := parser.ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q): want error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := parser.ParseProgram("p(X) :- q(X).\np(Y :- r(Y).")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q lacks line 2 position", err)
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	facts, err := parser.ParseFacts(`
+		exports(france, wine).
+		imports(germany, wine). % comment
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 2 || facts[0].String() != "exports(france, wine)" {
+		t.Errorf("facts = %v", facts)
+	}
+	if _, err := parser.ParseFacts(`exports(france, X).`); err == nil {
+		t.Error("non-ground fact should error")
+	}
+	if _, err := parser.ParseFactsReader(strings.NewReader("p(a).")); err != nil {
+		t.Errorf("reader parse: %v", err)
+	}
+}
+
+func TestParseAtom(t *testing.T) {
+	a, err := parser.ParseAtom("dealsWith(usa, iran)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "dealsWith(usa, iran)" {
+		t.Errorf("atom = %s", a)
+	}
+	if _, err := parser.ParseAtom("dealsWith(usa, iran)."); err != nil {
+		t.Errorf("trailing period should be tolerated: %v", err)
+	}
+	if _, err := parser.ParseAtom("p(a) q(b)"); err == nil {
+		t.Error("trailing junk should error")
+	}
+	v, err := parser.ParseAtom("tc(X, b)")
+	if err != nil || !v.Terms[0].IsVar() {
+		t.Errorf("variable atom: %v %v", v, err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `0.8 r1: dealsWith(A, B) :- dealsWith(B, A).
+0.7 r2: deals2(A, B) :- exports(A, C), imports(B, C).
+1 f1: seed(a, "Weird Const").
+`
+	p1, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := parser.ParseProgram(p1.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\nsource:\n%s", err, p1.String())
+	}
+	if len(p1.Rules) != len(p2.Rules) {
+		t.Fatalf("rule count changed")
+	}
+	for i := range p1.Rules {
+		if !p1.Rules[i].Equal(p2.Rules[i]) {
+			t.Errorf("rule %d changed: %v vs %v", i, p1.Rules[i], p2.Rules[i])
+		}
+	}
+}
+
+func TestParseProgramValidatedOutput(t *testing.T) {
+	p, err := parser.ParseProgram(`p(X) :- q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("parsed program should be valid: %v", err)
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	p, err := parser.ParseProgram(`
+		unreached(X) :- node(X), not reach(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Rules[0].Body
+	if b[0].Negated || !b[1].Negated {
+		t.Errorf("negation flags = %v %v", b[0].Negated, b[1].Negated)
+	}
+	if b[1].Predicate != "reach" {
+		t.Errorf("negated predicate = %q", b[1].Predicate)
+	}
+}
+
+func TestParsePredicateNamedNot(t *testing.T) {
+	// "not" followed by '(' is the atom not(...), not a negation.
+	p, err := parser.ParseProgram(`p(X) :- not(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Rules[0].Body[0]
+	if b.Negated || b.Predicate != "not" {
+		t.Errorf("atom = %v negated=%v", b, b.Negated)
+	}
+}
+
+func TestNegationRoundTrip(t *testing.T) {
+	src := "1 r1: unreached(X) :- node(X), not reach(X), neq(X, sentinel).\n"
+	p1, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != src {
+		t.Errorf("render = %q, want %q", p1.String(), src)
+	}
+	p2, err := parser.ParseProgram(p1.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Rules[0].Equal(p2.Rules[0]) {
+		t.Error("negation did not round-trip")
+	}
+}
+
+func TestParseRejectsNegatedHead(t *testing.T) {
+	// A head cannot be negated; "not p(X) :- q(X)." parses the head as
+	// predicate "not"... with arity mismatch or as negation? The grammar
+	// only allows negation in bodies, so this must fail to parse or
+	// validate.
+	if _, err := parser.ParseProgram(`not p(X) :- q(X).`); err == nil {
+		t.Error("negated head should not parse")
+	}
+}
+
+func TestWriteFactsRoundTrip(t *testing.T) {
+	src := `exports(france, wine). weird("Upper Case", "with space"). empty("").`
+	facts, err := parser.ParseFacts(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := parser.WriteFacts(&buf, facts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := parser.ParseFacts(buf.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(back) != len(facts) {
+		t.Fatalf("count changed: %d vs %d", len(back), len(facts))
+	}
+	for i := range facts {
+		if !facts[i].Equal(back[i]) {
+			t.Errorf("fact %d changed: %s vs %s", i, facts[i], back[i])
+		}
+	}
+}
+
+func TestWriteFactsRejectsVariables(t *testing.T) {
+	a, _ := parser.ParseAtom("p(X)")
+	var buf strings.Builder
+	if err := parser.WriteFacts(&buf, []ast.Atom{a}); err == nil {
+		t.Error("variable fact should error")
+	}
+}
+
+func TestParseFilesHelpers(t *testing.T) {
+	dir := t.TempDir()
+	progPath := filepath.Join(dir, "p.dl")
+	factsPath := filepath.Join(dir, "f.facts")
+	os.WriteFile(progPath, []byte("p(X) :- q(X)."), 0o644)
+	os.WriteFile(factsPath, []byte("q(a). q(b)."), 0o644)
+
+	prog, err := parser.ParseProgramFile(progPath)
+	if err != nil || len(prog.Rules) != 1 {
+		t.Fatalf("ParseProgramFile: %v %v", prog, err)
+	}
+	facts, err := parser.ParseFactsFile(factsPath)
+	if err != nil || len(facts) != 2 {
+		t.Fatalf("ParseFactsFile: %v %v", facts, err)
+	}
+	if _, err := parser.ParseProgramFile(filepath.Join(dir, "missing.dl")); err == nil {
+		t.Error("missing program file should error")
+	}
+	if _, err := parser.ParseFactsFile(filepath.Join(dir, "missing.facts")); err == nil {
+		t.Error("missing fact file should error")
+	}
+	// Parse errors carry the file name.
+	os.WriteFile(progPath, []byte("broken("), 0o644)
+	if _, err := parser.ParseProgramFile(progPath); err == nil || !strings.Contains(err.Error(), "p.dl") {
+		t.Errorf("error should name the file: %v", err)
+	}
+}
+
+func TestParseProbFactsBasics(t *testing.T) {
+	pf, err := parser.ParseProbFacts(`
+		0.9 exports(france, wine).
+		imports(germany, wine).
+		.25 flag(on).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf) != 3 || pf[0].Prob != 0.9 || pf[1].Prob != 1 || pf[2].Prob != 0.25 {
+		t.Fatalf("probfacts = %v", pf)
+	}
+	for _, bad := range []string{`1.5 p(a).`, `0.5 p(X).`, `0.5 p(a)`} {
+		if _, err := parser.ParseProbFacts(bad); err == nil {
+			t.Errorf("ParseProbFacts(%q): want error", bad)
+		}
+	}
+}
+
+// TestDottedConstantRoundTrip is the regression test for the quoting bug
+// found by FuzzParseFacts: constants containing dots (other than plain
+// numeric literals) must render quoted.
+func TestDottedConstantRoundTrip(t *testing.T) {
+	for _, name := range []string{"a.b", "2.5.6", "v1.2-rc", "2.", "x."} {
+		facts := []ast.Atom{ast.NewAtom("p", ast.C(name))}
+		var sb strings.Builder
+		if err := parser.WriteFacts(&sb, facts); err != nil {
+			t.Fatal(err)
+		}
+		back, err := parser.ParseFacts(sb.String())
+		if err != nil {
+			t.Fatalf("%q: re-parse: %v (rendered %q)", name, err, sb.String())
+		}
+		if len(back) != 1 || !back[0].Equal(facts[0]) {
+			t.Errorf("%q: round trip changed: %v", name, back)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package server implements the HTTP interface the paper's conclusions
+// propose as future work: "a graphical interface, allowing users to easily
+// specify their input/output tuple-set of interest, using patterns". It
+// serves a minimal HTML form plus JSON endpoints:
+//
+//	GET  /            the form (program, facts, target patterns, k, ...)
+//	POST /solve       form submission, renders an HTML result
+//	POST /api/solve   JSON in/out (SolveRequest -> SolveResponse)
+//	POST /api/explain JSON: most probable derivation of one tuple
+//
+// The handler is stateless: every request carries its program and facts.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"time"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/cm"
+	"contribmax/internal/db"
+	"contribmax/internal/engine"
+	"contribmax/internal/im"
+	"contribmax/internal/magic"
+	"contribmax/internal/parser"
+	"contribmax/internal/provenance"
+	"contribmax/internal/wdgraph"
+)
+
+// SolveRequest is the JSON (and form) input for /api/solve.
+type SolveRequest struct {
+	// Program is probabilistic datalog source text.
+	Program string `json:"program"`
+	// Facts is fact-file source text.
+	Facts string `json:"facts"`
+	// Targets are output tuples or patterns (variables allowed; patterns
+	// are expanded against the program's derived facts).
+	Targets []string `json:"targets"`
+	// K is the seed-set size (default 5).
+	K int `json:"k"`
+	// Algorithm: naive | magic | magics (default) | magicg.
+	Algorithm string `json:"algorithm"`
+	// RR is the number of RR sets (default 1000).
+	RR int `json:"rr"`
+	// MaxSeedsPerRelation is the diversification cap (0 = none).
+	MaxSeedsPerRelation int `json:"maxSeedsPerRelation"`
+	// Seed is the random seed (default 1).
+	Seed uint64 `json:"seed"`
+}
+
+// SolveResponse is the JSON output of /api/solve.
+type SolveResponse struct {
+	Algorithm       string   `json:"algorithm"`
+	Seeds           []string `json:"seeds"`
+	SeedGains       []int    `json:"seedGains"`
+	EstContribution float64  `json:"estContribution"`
+	Targets         []string `json:"targets"`
+	RRSets          int      `json:"rrSets"`
+	AvgGraphSize    float64  `json:"avgGraphSize"`
+	PeakGraphSize   int      `json:"peakGraphSize"`
+	TotalMillis     float64  `json:"totalMillis"`
+}
+
+// ExplainRequest is the JSON input for /api/explain.
+type ExplainRequest struct {
+	Program string `json:"program"`
+	Facts   string `json:"facts"`
+	Target  string `json:"target"`
+}
+
+// ExplainResponse is the JSON output of /api/explain.
+type ExplainResponse struct {
+	Target      string  `json:"target"`
+	Derivable   bool    `json:"derivable"`
+	Probability float64 `json:"probability,omitempty"`
+	Tree        string  `json:"tree,omitempty"`
+}
+
+// New returns the HTTP handler.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", handleForm)
+	mux.HandleFunc("POST /solve", handleSolveForm)
+	mux.HandleFunc("POST /api/solve", handleSolveAPI)
+	mux.HandleFunc("POST /api/explain", handleExplainAPI)
+	return mux
+}
+
+// solve runs one CM request.
+func solve(req SolveRequest) (*SolveResponse, error) {
+	if req.K <= 0 {
+		req.K = 5
+	}
+	if req.RR <= 0 {
+		req.RR = 1000
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "magics"
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	prog, err := parser.ParseProgram(req.Program)
+	if err != nil {
+		return nil, fmt.Errorf("program: %w", err)
+	}
+	database, err := loadFacts(req.Facts)
+	if err != nil {
+		return nil, fmt.Errorf("facts: %w", err)
+	}
+	targets, err := expandTargets(prog, database, req.Targets)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no targets (patterns matched no derived facts?)")
+	}
+
+	in := cm.Input{Program: prog, DB: database, T2: targets, K: req.K}
+	opts := cm.Options{
+		Theta:               im.ThetaSpec{Explicit: req.RR},
+		MaxSeedsPerRelation: req.MaxSeedsPerRelation,
+		Rand:                rand.New(rand.NewPCG(req.Seed, req.Seed^0x5EED)),
+	}
+	var res *cm.Result
+	switch req.Algorithm {
+	case "naive":
+		res, err = cm.NaiveCM(in, opts)
+	case "magic":
+		res, err = cm.MagicCM(in, opts)
+	case "magics":
+		res, err = cm.MagicSampledCM(in, opts)
+	case "magicg":
+		res, err = cm.MagicGroupedCM(in, opts)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := &SolveResponse{
+		Algorithm:       res.Algorithm,
+		SeedGains:       res.SeedGains,
+		EstContribution: res.EstContribution,
+		RRSets:          res.Stats.NumRR,
+		AvgGraphSize:    res.Stats.AvgGraphSize(),
+		PeakGraphSize:   res.Stats.PeakResidentSize,
+		TotalMillis:     float64(res.Stats.TotalTime) / float64(time.Millisecond),
+	}
+	for _, s := range res.Seeds {
+		out.Seeds = append(out.Seeds, s.String())
+	}
+	for _, a := range targets {
+		out.Targets = append(out.Targets, a.String())
+	}
+	return out, nil
+}
+
+func loadFacts(src string) (*db.Database, error) {
+	facts, err := parser.ParseFacts(src)
+	if err != nil {
+		return nil, err
+	}
+	d := db.NewDatabase()
+	for _, f := range facts {
+		if _, _, _, err := d.InsertAtom(f); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// expandTargets parses target lines; non-ground patterns are expanded
+// against the derived facts.
+func expandTargets(prog *ast.Program, database *db.Database, lines []string) ([]ast.Atom, error) {
+	var ground, patterns []ast.Atom
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		a, err := parser.ParseAtom(line)
+		if err != nil {
+			return nil, fmt.Errorf("target %q: %w", line, err)
+		}
+		if a.IsGround() {
+			ground = append(ground, a)
+		} else {
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) > 0 {
+		scratch := database.CloneSchema()
+		for _, pred := range prog.EDBs() {
+			if rel, ok := database.Lookup(pred); ok {
+				scratch.Attach(rel)
+			}
+		}
+		eng, err := engine.New(prog, scratch)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.Run(engine.Options{}); err != nil {
+			return nil, err
+		}
+		for _, p := range patterns {
+			matches, err := scratch.Match(p)
+			if err != nil {
+				return nil, fmt.Errorf("pattern %s: %w", p, err)
+			}
+			ground = append(ground, matches...)
+		}
+	}
+	return ground, nil
+}
+
+// explain runs one explanation request.
+func explain(req ExplainRequest) (*ExplainResponse, error) {
+	prog, err := parser.ParseProgram(req.Program)
+	if err != nil {
+		return nil, fmt.Errorf("program: %w", err)
+	}
+	database, err := loadFacts(req.Facts)
+	if err != nil {
+		return nil, fmt.Errorf("facts: %w", err)
+	}
+	target, err := parser.ParseAtom(strings.TrimSpace(req.Target))
+	if err != nil {
+		return nil, fmt.Errorf("target: %w", err)
+	}
+	if !target.IsGround() {
+		return nil, fmt.Errorf("target %s must be ground", target)
+	}
+	out := &ExplainResponse{Target: target.String()}
+
+	tr, err := magic.Transform(prog, []ast.Atom{target})
+	if err != nil {
+		return nil, err
+	}
+	scratch := database.CloneSchema()
+	for _, pred := range prog.EDBs() {
+		if rel, ok := database.Lookup(pred); ok {
+			scratch.Attach(rel)
+		}
+	}
+	eng, err := engine.New(tr.Program, scratch)
+	if err != nil {
+		return nil, err
+	}
+	b := wdgraph.NewBuilder(tr.Projection())
+	if _, err := eng.Run(engine.Options{Listener: b.Listener()}); err != nil {
+		return nil, err
+	}
+	g := b.Graph()
+	tuple, err := database.InternAtom(target)
+	if err != nil {
+		return nil, err
+	}
+	root, ok := g.FactID(target.Predicate, tuple)
+	if !ok {
+		return out, nil // not derivable
+	}
+	tree, ok := provenance.BestDerivation(g, root)
+	if !ok {
+		return out, nil
+	}
+	out.Derivable = true
+	out.Probability = tree.Prob
+	out.Tree = tree.Render(database.Symbols())
+	return out, nil
+}
+
+func handleSolveAPI(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := solve(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+func handleExplainAPI(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := explain(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+func handleForm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	pageTmpl.Execute(w, pageData{Req: exampleRequest()})
+}
+
+func handleSolveForm(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req := SolveRequest{
+		Program:   r.FormValue("program"),
+		Facts:     r.FormValue("facts"),
+		Targets:   strings.Split(r.FormValue("targets"), "\n"),
+		Algorithm: r.FormValue("algorithm"),
+	}
+	fmt.Sscanf(r.FormValue("k"), "%d", &req.K)
+	fmt.Sscanf(r.FormValue("rr"), "%d", &req.RR)
+	fmt.Sscanf(r.FormValue("diverse"), "%d", &req.MaxSeedsPerRelation)
+	fmt.Sscanf(r.FormValue("seed"), "%d", &req.Seed)
+
+	data := pageData{Req: req}
+	res, err := solve(req)
+	if err != nil {
+		data.Error = err.Error()
+	} else {
+		data.Res = res
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	pageTmpl.Execute(w, data)
+}
+
+type pageData struct {
+	Req   SolveRequest
+	Res   *SolveResponse
+	Error string
+}
+
+// exampleRequest pre-fills the form with the paper's running example.
+func exampleRequest() SolveRequest {
+	return SolveRequest{
+		Program: `1.0 r0: dealsWith(A, B) :- dealsWith0(A, B).
+0.8 r1: dealsWith(A, B) :- dealsWith(B, A).
+0.7 r2: dealsWith(A, B) :- exports(A, C), imports(B, C).
+0.5 r3: dealsWith(A, B) :- dealsWith(A, F), dealsWith(F, B).`,
+		Facts: `exports(france, wine).    exports(france, vinegar). exports(france, oil).
+exports(cuba, tobacco).   exports(cuba, sugar).     exports(cuba, nickel).
+exports(russia, gas).
+imports(germany, wine).   imports(usa, vinegar).    imports(pakistan, oil).
+imports(india, tobacco).  imports(denmark, sugar).  imports(iran, nickel).
+imports(ukraine, gas).
+dealsWith0(france, cuba).`,
+		Targets:   []string{"dealsWith(usa, iran)", "dealsWith(russia, ukraine)"},
+		K:         2,
+		Algorithm: "magics",
+		RR:        1000,
+		Seed:      1,
+	}
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>contribmax</title><style>
+body { font-family: sans-serif; margin: 2em auto; max-width: 60em; }
+textarea { width: 100%; font-family: monospace; }
+label { display: block; margin-top: 0.6em; font-weight: bold; }
+.row input, .row select { margin-right: 1.2em; }
+.err { color: #b00; white-space: pre-wrap; }
+.res { background: #f4f4f4; padding: 1em; margin-top: 1em; }
+</style></head><body>
+<h1>Contribution Maximization</h1>
+<p>Which <i>k</i> input facts contribute the most to these output tuples?
+Targets may be patterns (variables match derived facts).</p>
+<form method="post" action="/solve">
+<label>Probabilistic datalog program</label>
+<textarea name="program" rows="7">{{.Req.Program}}</textarea>
+<label>Facts</label>
+<textarea name="facts" rows="9">{{.Req.Facts}}</textarea>
+<label>Targets (one per line; patterns allowed, e.g. dealsWith(usa, Y))</label>
+<textarea name="targets" rows="3">{{range .Req.Targets}}{{.}}
+{{end}}</textarea>
+<div class="row">
+<label>Options</label>
+k <input name="k" size="3" value="{{.Req.K}}">
+algorithm <select name="algorithm">
+  <option{{if eq .Req.Algorithm "magics"}} selected{{end}}>magics</option>
+  <option{{if eq .Req.Algorithm "magic"}} selected{{end}}>magic</option>
+  <option{{if eq .Req.Algorithm "magicg"}} selected{{end}}>magicg</option>
+  <option{{if eq .Req.Algorithm "naive"}} selected{{end}}>naive</option>
+</select>
+RR sets <input name="rr" size="6" value="{{.Req.RR}}">
+max/relation <input name="diverse" size="3" value="{{.Req.MaxSeedsPerRelation}}">
+seed <input name="seed" size="6" value="{{.Req.Seed}}">
+<button type="submit">Solve</button>
+</div>
+</form>
+{{if .Error}}<div class="res err">{{.Error}}</div>{{end}}
+{{if .Res}}<div class="res">
+<b>{{.Res.Algorithm}}</b>: estimated contribution {{printf "%.3f" .Res.EstContribution}}
+to {{len .Res.Targets}} targets ({{.Res.RRSets}} RR sets,
+peak graph {{.Res.PeakGraphSize}}, {{printf "%.1f" .Res.TotalMillis}} ms)
+<ol>{{range .Res.Seeds}}<li><code>{{.}}</code></li>{{end}}</ol>
+</div>{{end}}
+</body></html>`))

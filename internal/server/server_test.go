@@ -1,0 +1,203 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"contribmax/internal/server"
+)
+
+const tcProgram = `1.0 r1: tc(X, Y) :- edge(X, Y).
+0.8 r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).`
+
+const tcFacts = `edge(a, b). edge(b, c). edge(x, y).`
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSolveAPI(t *testing.T) {
+	ts := newServer(t)
+	req := server.SolveRequest{
+		Program: tcProgram,
+		Facts:   tcFacts,
+		Targets: []string{"tc(a, c)"},
+		K:       1,
+		RR:      400,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/api/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Seeds) != 1 {
+		t.Fatalf("seeds = %v", out.Seeds)
+	}
+	if s := out.Seeds[0]; s != "edge(a, b)" && s != "edge(b, c)" {
+		t.Errorf("seed = %s", s)
+	}
+	if out.EstContribution <= 0 || out.RRSets != 400 {
+		t.Errorf("response = %+v", out)
+	}
+}
+
+func TestSolveAPIPatternTargets(t *testing.T) {
+	ts := newServer(t)
+	req := server.SolveRequest{
+		Program: tcProgram,
+		Facts:   tcFacts,
+		Targets: []string{"tc(a, Y)"},
+		K:       1,
+		RR:      300,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/api/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	// tc(a, b) and tc(a, c) both match the pattern.
+	if len(out.Targets) != 2 {
+		t.Errorf("targets = %v, want 2", out.Targets)
+	}
+}
+
+func TestSolveAPIBadInput(t *testing.T) {
+	ts := newServer(t)
+	cases := []server.SolveRequest{
+		{Program: "syntax error(", Facts: tcFacts, Targets: []string{"tc(a, b)"}},
+		{Program: tcProgram, Facts: "bad(", Targets: []string{"tc(a, b)"}},
+		{Program: tcProgram, Facts: tcFacts, Targets: []string{"zz(Q)"}},
+		{Program: tcProgram, Facts: tcFacts, Targets: nil},
+	}
+	for i, req := range cases {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/api/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("case %d: want error status", i)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/api/solve", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d", resp.StatusCode)
+	}
+}
+
+func TestExplainAPI(t *testing.T) {
+	ts := newServer(t)
+	req := server.ExplainRequest{Program: tcProgram, Facts: tcFacts, Target: "tc(a, c)"}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/api/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out server.ExplainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Derivable {
+		t.Fatal("tc(a, c) should be derivable")
+	}
+	if out.Probability != 0.8 {
+		t.Errorf("probability = %g, want 0.8", out.Probability)
+	}
+	if !strings.Contains(out.Tree, "edge(a, b)") {
+		t.Errorf("tree missing leaf:\n%s", out.Tree)
+	}
+
+	// Underivable tuple.
+	req.Target = "tc(c, a)"
+	body, _ = json.Marshal(req)
+	resp2, err := http.Post(ts.URL+"/api/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 server.ExplainResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Derivable {
+		t.Error("tc(c, a) should not be derivable")
+	}
+}
+
+func TestFormPages(t *testing.T) {
+	ts := newServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET / status = %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "Contribution Maximization") {
+		t.Error("form page missing title")
+	}
+
+	form := url.Values{
+		"program":   {tcProgram},
+		"facts":     {tcFacts},
+		"targets":   {"tc(a, c)"},
+		"k":         {"1"},
+		"algorithm": {"magics"},
+		"rr":        {"300"},
+		"seed":      {"1"},
+	}
+	resp2, err := http.PostForm(ts.URL+"/solve", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var buf2 bytes.Buffer
+	buf2.ReadFrom(resp2.Body)
+	if !strings.Contains(buf2.String(), "edge(") {
+		t.Errorf("solve page missing seeds:\n%s", buf2.String())
+	}
+
+	// Errors surface in the page rather than a 500.
+	form.Set("program", "broken(")
+	resp3, err := http.PostForm(ts.URL+"/solve", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var buf3 bytes.Buffer
+	buf3.ReadFrom(resp3.Body)
+	if !strings.Contains(buf3.String(), "err") {
+		t.Error("error not rendered")
+	}
+}

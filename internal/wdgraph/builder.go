@@ -1,0 +1,255 @@
+package wdgraph
+
+import (
+	"strconv"
+	"strings"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+	"contribmax/internal/engine"
+)
+
+// Projection controls how fired rule instantiations map into WD-graph nodes
+// and edges. The identity projection (used by NaiveCM, Algorithm 1) records
+// every instantiation as-is; the Magic-Sets algorithms use a projection that
+// drops magic/query/seed rules, strips adornments from predicate names, and
+// drops magic body atoms — which is what makes the constructed graph
+// isomorphic to the relevant subgraph of the full WD graph (Section IV-B1).
+type Projection struct {
+	// IncludeRule reports whether instantiations of rule i appear in the
+	// graph at all.
+	IncludeRule func(ruleIndex int) bool
+	// RuleLabel returns the label recorded on instantiation nodes of rule
+	// i. Magic-Sets modified rules return their origin rule's label so that
+	// instantiations of different adorned versions of one origin rule merge
+	// into a single node.
+	RuleLabel func(ruleIndex int) string
+	// RuleWeight returns the probability w(r) put on the instantiation's
+	// out-edge.
+	RuleWeight func(ruleIndex int) float64
+	// MapPred maps a predicate to the name recorded on fact nodes and
+	// reports whether facts of that predicate are edb. ok=false drops the
+	// fact (used for magic predicates in rule bodies).
+	MapPred func(pred string) (mapped string, edb bool, ok bool)
+	// KeepBody returns the body positions of rule i that carry original
+	// (non-magic) atoms; nil keeps all positions.
+	KeepBody func(ruleIndex int) []int
+}
+
+// IdentityProjection returns the projection matching Definition 3.1 for an
+// untransformed program: all rules included, fact predicates unchanged, edb
+// = predicates never appearing in a rule head.
+func IdentityProjection(prog *ast.Program) *Projection {
+	edb := map[string]bool{}
+	for _, p := range prog.EDBs() {
+		edb[p] = true
+	}
+	rules := prog.Rules
+	return &Projection{
+		IncludeRule: func(int) bool { return true },
+		RuleLabel:   func(i int) string { return rules[i].Label },
+		RuleWeight:  func(i int) float64 { return rules[i].Prob },
+		MapPred: func(pred string) (string, bool, bool) {
+			return pred, edb[pred], true
+		},
+		KeepBody: func(int) []int { return nil },
+	}
+}
+
+// Builder incrementally constructs a Graph from engine derivations. It is
+// the paper's Algorithm 1, generalized with a Projection.
+type Builder struct {
+	proj  *Projection
+	g     *Graph
+	rules map[string]NodeID // rule-instantiation dedup key -> node
+	keyB  strings.Builder
+}
+
+// NewBuilder returns a builder using proj.
+func NewBuilder(proj *Projection) *Builder {
+	return &Builder{
+		proj: proj,
+		g: &Graph{
+			factIDs: make(map[string]NodeID),
+		},
+		rules: make(map[string]NodeID),
+	}
+}
+
+// Graph returns the graph built so far. The builder must not be used after
+// the graph has been handed to concurrent readers.
+func (b *Builder) Graph() *Graph { return b.g }
+
+// AddFact ensures a node for the fact pred(t) (already projected) and
+// returns its id.
+func (b *Builder) AddFact(pred string, t db.Tuple, edb bool) NodeID {
+	key := factKey(pred, t)
+	if id, ok := b.g.factIDs[key]; ok {
+		return id
+	}
+	id := NodeID(len(b.g.nodes))
+	b.g.nodes = append(b.g.nodes, Node{Kind: FactNode, Pred: pred, Tuple: t, EDB: edb})
+	b.g.in = append(b.g.in, nil)
+	b.g.out = append(b.g.out, nil)
+	b.g.factIDs[key] = id
+	return id
+}
+
+// PreloadEDB adds a node for every tuple of every edb relation of prog
+// present in database, matching Definition 3.1's "a distinct node per each
+// edb in D". NaiveCM uses this; the Magic variants deliberately do not.
+func (b *Builder) PreloadEDB(prog *ast.Program, database *db.Database) {
+	for _, pred := range prog.EDBs() {
+		rel, ok := database.Lookup(pred)
+		if !ok {
+			continue
+		}
+		mapped, edb, keep := b.proj.MapPred(pred)
+		if !keep {
+			continue
+		}
+		for i := 0; i < rel.Len(); i++ {
+			b.AddFact(mapped, rel.Tuple(db.TupleID(i)), edb)
+		}
+	}
+}
+
+// Listener returns the engine.DerivationListener that feeds this builder.
+func (b *Builder) Listener() engine.DerivationListener {
+	return func(d engine.Derivation) { b.observe(d) }
+}
+
+func (b *Builder) observe(d engine.Derivation) {
+	if !b.proj.IncludeRule(d.RuleIndex) {
+		return
+	}
+	headPred, headEDB, ok := b.proj.MapPred(d.Head.Rel.Name())
+	if !ok {
+		return
+	}
+	headID := b.AddFact(headPred, d.Head.Rel.Tuple(d.Head.ID), headEDB)
+
+	keep := b.proj.KeepBody(d.RuleIndex)
+	var bodyIDs [32]NodeID
+	n := 0
+	record := func(ref engine.FactRef) bool {
+		pred, edb, ok := b.proj.MapPred(ref.Rel.Name())
+		if !ok {
+			return true // dropped (magic atom)
+		}
+		if n >= len(bodyIDs) {
+			return false
+		}
+		bodyIDs[n] = b.AddFact(pred, ref.Rel.Tuple(ref.ID), edb)
+		n++
+		return true
+	}
+	if keep == nil {
+		for _, ref := range d.Body {
+			if !record(ref) {
+				return
+			}
+		}
+	} else {
+		for _, pos := range keep {
+			if !record(d.Body[pos]) {
+				return
+			}
+		}
+	}
+
+	label := b.proj.RuleLabel(d.RuleIndex)
+	// Dedup key: label, head node, body nodes. Two adorned versions of one
+	// origin rule instantiation produce identical keys and merge.
+	b.keyB.Reset()
+	b.keyB.WriteString(label)
+	writeID := func(id NodeID) {
+		b.keyB.WriteByte(byte(id >> 24))
+		b.keyB.WriteByte(byte(id >> 16))
+		b.keyB.WriteByte(byte(id >> 8))
+		b.keyB.WriteByte(byte(id))
+	}
+	writeID(headID)
+	for i := 0; i < n; i++ {
+		writeID(bodyIDs[i])
+	}
+	key := b.keyB.String()
+	if _, seen := b.rules[key]; seen {
+		return
+	}
+	ruleID := NodeID(len(b.g.nodes))
+	b.g.nodes = append(b.g.nodes, Node{Kind: RuleNode, Pred: label})
+	b.g.in = append(b.g.in, nil)
+	b.g.out = append(b.g.out, nil)
+	b.rules[key] = ruleID
+
+	w := b.proj.RuleWeight(d.RuleIndex)
+	// body -> rule edges, weight 1.
+	for i := 0; i < n; i++ {
+		u := bodyIDs[i]
+		b.g.out[u] = append(b.g.out[u], Edge{To: ruleID, W: 1})
+		b.g.in[ruleID] = append(b.g.in[ruleID], Edge{To: u, W: 1})
+	}
+	// rule -> head edge, weight w(r).
+	b.g.out[ruleID] = append(b.g.out[ruleID], Edge{To: headID, W: w})
+	b.g.in[headID] = append(b.g.in[headID], Edge{To: ruleID, W: w})
+}
+
+// Build evaluates prog over database and returns the projected WD graph.
+// preloadEDB adds nodes for all edb facts up front (Definition 3.1); gate,
+// if non-nil, is consulted before every instantiation (Magic^S CM's
+// in-construction sampling).
+func Build(prog *ast.Program, database *db.Database, proj *Projection, preloadEDB bool, gate engine.FireGate) (*Graph, engine.Stats, error) {
+	if proj == nil {
+		proj = IdentityProjection(prog)
+	}
+	b := NewBuilder(proj)
+	if preloadEDB {
+		b.PreloadEDB(prog, database)
+	}
+	eng, err := engine.New(prog, database)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	stats, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate})
+	if err != nil {
+		return nil, stats, err
+	}
+	return b.Graph(), stats, nil
+}
+
+// DebugString renders a small graph for tests and the wddump tool.
+func (g *Graph) DebugString(symbols *db.SymbolTable) string {
+	var sb strings.Builder
+	for i, n := range g.nodes {
+		sb.WriteString(strconv.Itoa(i))
+		sb.WriteString(": ")
+		if n.Kind == RuleNode {
+			sb.WriteString("[rule ")
+			sb.WriteString(n.Pred)
+			sb.WriteString("]")
+		} else {
+			sb.WriteString(n.Pred)
+			sb.WriteByte('(')
+			for j, s := range n.Tuple {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(symbols.Name(s))
+			}
+			sb.WriteByte(')')
+			if n.EDB {
+				sb.WriteString(" edb")
+			}
+		}
+		sb.WriteString(" ->")
+		for _, e := range g.out[i] {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.Itoa(int(e.To)))
+			sb.WriteString("@")
+			sb.WriteString(strconv.FormatFloat(e.W, 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

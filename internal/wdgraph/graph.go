@@ -1,0 +1,100 @@
+// Package wdgraph implements the Weighted Derivation (WD) graph of
+// Definition 3.1: a directed weighted graph with one node per edb fact, per
+// derived idb fact, and per rule instantiation; every instantiation node
+// has weight-1 in-edges from its body facts and one out-edge, weighted by
+// the rule's probability, to its head fact.
+//
+// The package also implements the random-subgraph semantics of Definition
+// 3.4: reverse reachability walks that draw each edge independently with
+// its weight (used for RR-set generation in the RIS framework) and forward
+// sampling (used by the Monte-Carlo contribution estimator).
+package wdgraph
+
+import "contribmax/internal/db"
+
+// NodeID indexes a node of a Graph.
+type NodeID int32
+
+// NodeKind discriminates fact nodes from rule-instantiation nodes.
+type NodeKind uint8
+
+const (
+	// FactNode is an edb or idb fact.
+	FactNode NodeKind = iota
+	// RuleNode is a rule instantiation r(inst).
+	RuleNode
+)
+
+// Node is one WD-graph node.
+type Node struct {
+	Kind NodeKind
+	// Pred and Tuple identify a fact node. For rule nodes Pred holds the
+	// rule label and Tuple is nil.
+	Pred  string
+	Tuple db.Tuple
+	// EDB marks fact nodes of extensional relations (candidate seeds live
+	// among these).
+	EDB bool
+}
+
+// Edge is a weighted directed edge endpoint.
+type Edge struct {
+	To NodeID
+	W  float64
+}
+
+// Graph is a WD graph. Build one with a Builder. Graphs are immutable after
+// building and safe for concurrent reads.
+type Graph struct {
+	nodes []Node
+	in    [][]Edge // in[v] = edges (u -> v) stored as {To: u, W}
+	out   [][]Edge // out[u] = edges (u -> v) stored as {To: v, W}
+
+	factIDs map[string]NodeID // pred + "\x00" + tuple key -> node
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// Size returns nodes + edges, the quantity the paper reports as the graph's
+// memory footprint.
+func (g *Graph) Size() int { return g.NumNodes() + g.NumEdges() }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// FactID returns the node id of the fact pred(tuple) and whether it exists.
+func (g *Graph) FactID(pred string, t db.Tuple) (NodeID, bool) {
+	id, ok := g.factIDs[factKey(pred, t)]
+	return id, ok
+}
+
+// In returns the in-edges of v ({To: source, W: weight}). The slice is
+// internal; callers must not modify it.
+func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+
+// Out returns the out-edges of u. The slice is internal; callers must not
+// modify it.
+func (g *Graph) Out(u NodeID) []Edge { return g.out[u] }
+
+// FactNodes calls fn for every fact node.
+func (g *Graph) FactNodes(fn func(id NodeID, n Node)) {
+	for i, n := range g.nodes {
+		if n.Kind == FactNode {
+			fn(NodeID(i), n)
+		}
+	}
+}
+
+func factKey(pred string, t db.Tuple) string {
+	return pred + "\x00" + t.Key()
+}

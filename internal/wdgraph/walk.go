@@ -1,0 +1,104 @@
+package wdgraph
+
+import "math/rand/v2"
+
+// Walker performs repeated sampled reachability walks over one graph,
+// reusing visitation state across walks (epoch-stamped marks) so that a
+// walk costs O(visited) rather than O(graph).
+type Walker struct {
+	g       *Graph
+	visited []int32
+	epoch   int32
+	queue   []NodeID
+}
+
+// NewWalker returns a walker over g.
+func NewWalker(g *Graph) *Walker {
+	return &Walker{g: g, visited: make([]int32, g.NumNodes())}
+}
+
+func (w *Walker) begin() {
+	w.epoch++
+	if w.epoch == 0 { // wrapped; reset marks
+		for i := range w.visited {
+			w.visited[i] = -1
+		}
+		w.epoch = 1
+	}
+	w.queue = w.queue[:0]
+}
+
+func (w *Walker) mark(v NodeID) bool {
+	if w.visited[v] == w.epoch {
+		return false
+	}
+	w.visited[v] = w.epoch
+	return true
+}
+
+// ReverseReachable walks backwards from root, crossing each in-edge
+// independently with probability equal to its weight (Definition 3.4's
+// random subgraph, explored lazily as in the RIS framework). It calls visit
+// for every node reached, including root. If deterministic is true every
+// edge is crossed with probability 1, which is correct when the graph was
+// already sampled during construction (Magic^S CM).
+//
+// rng may be nil only when deterministic is true.
+func (w *Walker) ReverseReachable(root NodeID, rng *rand.Rand, deterministic bool, visit func(NodeID)) {
+	w.begin()
+	w.mark(root)
+	w.queue = append(w.queue, root)
+	visit(root)
+	for len(w.queue) > 0 {
+		v := w.queue[len(w.queue)-1]
+		w.queue = w.queue[:len(w.queue)-1]
+		for _, e := range w.g.in[v] {
+			if w.visited[e.To] == w.epoch {
+				continue
+			}
+			if !deterministic && e.W < 1 && rng.Float64() >= e.W {
+				continue
+			}
+			w.mark(e.To)
+			w.queue = append(w.queue, e.To)
+			visit(e.To)
+		}
+	}
+}
+
+// ForwardReach walks forward from the seed nodes, crossing each out-edge
+// independently with probability equal to its weight, and calls visit for
+// every node reached (including the seeds). It is the forward analogue used
+// by the Monte-Carlo contribution estimator: one call simulates one random
+// program execution restricted to derivations reachable from the seeds.
+func (w *Walker) ForwardReach(seeds []NodeID, rng *rand.Rand, visit func(NodeID)) {
+	w.begin()
+	for _, s := range seeds {
+		if w.mark(s) {
+			w.queue = append(w.queue, s)
+			visit(s)
+		}
+	}
+	for len(w.queue) > 0 {
+		v := w.queue[len(w.queue)-1]
+		w.queue = w.queue[:len(w.queue)-1]
+		for _, e := range w.g.out[v] {
+			if w.visited[e.To] == w.epoch {
+				continue
+			}
+			if e.W < 1 && rng.Float64() >= e.W {
+				continue
+			}
+			w.mark(e.To)
+			w.queue = append(w.queue, e.To)
+			visit(e.To)
+		}
+	}
+}
+
+// ReverseClosure computes deterministic reverse reachability (every edge
+// crossed), returning nothing but invoking visit per reached node. It is
+// used to identify the ancestors of a target in an unsampled graph.
+func (w *Walker) ReverseClosure(root NodeID, visit func(NodeID)) {
+	w.ReverseReachable(root, nil, true, visit)
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+)
+
+// AMIEProgram returns a 23-rule recursive probabilistic program in the
+// style of the rules AMIE mines from YAGO (Section V, "AMIE"): Horn rules
+// over knowledge-base relations, with confidence weights. The paper's
+// program and the YAGO database are not redistributable, so this
+// reproduction pairs mined-rule-shaped Horn clauses (including the paper's
+// Example 1.1 dealsWith rules) with the synthetic YAGO-style knowledge base
+// of AMIEDB; it preserves the properties the experiments depend on:
+// recursion through several idb predicates, multiple rules per head
+// predicate, and very high rule-instantiation fan-out.
+func AMIEProgram() *ast.Program {
+	return mustParse(`
+		% trade (the paper's Example 1.1 rules a1-a3)
+		0.80 a1:  dealsWith(A, B)    :- dealsWith(B, A).
+		0.70 a2:  dealsWith(A, B)    :- exports(A, C), imports(B, C).
+		0.50 a3:  dealsWith(A, B)    :- dealsWith(A, F), dealsWith(F, B).
+		0.60 a4:  dealsWith(A, B)    :- tradeAgreement(A, B).
+		% geography
+		0.90 a5:  inRegion(C, R)     :- locatedIn(C, R).
+		0.65 a6:  inRegion(C, R)     :- locatedIn(C, M), inRegion(M, R).
+		0.85 a7:  neighbors(A, B)    :- adjacent(A, B).
+		0.55 a8:  neighbors(A, B)    :- neighbors(B, A).
+		% people
+		0.85 a9:  livesIn(P, C)      :- residesIn(P, C).
+		0.80 a10: livesIn(P, C)      :- bornIn(P, C).
+		0.60 a11: livesIn(P, C)      :- marriedTo(P, Q), livesIn(Q, C).
+		0.90 a12: marriedTo(A, B)    :- spouse(A, B).
+		0.75 a13: marriedTo(A, B)    :- marriedTo(B, A).
+		0.70 a14: citizenOf(P, C)    :- bornIn(P, T), cityOf(T, C).
+		0.55 a15: citizenOf(P, C)    :- livesIn(P, T), cityOf(T, C).
+		0.80 a16: knowsPerson(A, B)  :- knows(A, B).
+		0.50 a17: knowsPerson(A, B)  :- knowsPerson(B, A).
+		0.45 a18: knowsPerson(A, B)  :- worksFor(A, E), worksFor(B, E).
+		% derived economy / society
+		0.60 a19: influences(A, B)   :- dealsWith(A, B), biggerGDP(A, B).
+		0.65 a20: compatriots(A, B)  :- citizenOf(A, C), citizenOf(B, C).
+		0.55 a21: tradePartnerOf(P, B) :- citizenOf(P, A), dealsWith(A, B).
+		0.70 a22: connected(A, B)    :- dealsWith(A, B).
+		0.50 a23: connected(A, B)    :- connected(A, M), connected(M, B).
+	`)
+}
+
+// AMIEDBParams sizes the synthetic YAGO-style knowledge base.
+type AMIEDBParams struct {
+	Countries int // default 20
+	Cities    int // default 3 per country
+	People    int // default 10 per country
+	Products  int // default 15
+	Employers int // default People/5
+}
+
+func (p *AMIEDBParams) fill() {
+	if p.Countries <= 0 {
+		p.Countries = 20
+	}
+	if p.Cities <= 0 {
+		p.Cities = 3 * p.Countries
+	}
+	if p.People <= 0 {
+		p.People = 10 * p.Countries
+	}
+	if p.Products <= 0 {
+		p.Products = 15
+	}
+	if p.Employers <= 0 {
+		p.Employers = p.People/5 + 1
+	}
+}
+
+// AMIEDB generates the synthetic knowledge base: countries in regions,
+// cities in countries, people born/residing/working/married, import/export
+// product flows, trade agreements, adjacency, and GDP order. All populated
+// relations are extensional in AMIEProgram.
+func AMIEDB(params AMIEDBParams, rng *rand.Rand) *db.Database {
+	params.fill()
+	d := db.NewDatabase()
+	country := func(i int) ast.Term { return ast.C(fmt.Sprintf("country%d", i)) }
+	city := func(i int) ast.Term { return ast.C(fmt.Sprintf("city%d", i)) }
+	person := func(i int) ast.Term { return ast.C(fmt.Sprintf("person%d", i)) }
+	product := func(i int) ast.Term { return ast.C(fmt.Sprintf("product%d", i)) }
+	employer := func(i int) ast.Term { return ast.C(fmt.Sprintf("org%d", i)) }
+	region := func(i int) ast.Term { return ast.C(fmt.Sprintf("region%d", i)) }
+	add := func(pred string, terms ...ast.Term) {
+		d.MustInsertAtom(ast.NewAtom(pred, terms...))
+	}
+
+	nRegions := params.Countries/5 + 1
+	for i := 0; i < params.Cities; i++ {
+		c := rng.IntN(params.Countries)
+		add("cityOf", city(i), country(c))
+		add("locatedIn", city(i), country(c))
+	}
+	for i := 0; i < params.Countries; i++ {
+		add("locatedIn", country(i), region(rng.IntN(nRegions)))
+		for k := 0; k < 2; k++ {
+			add("exports", country(i), product(rng.IntN(params.Products)))
+			add("imports", country(i), product(rng.IntN(params.Products)))
+		}
+		if rng.Float64() < 0.3 {
+			add("tradeAgreement", country(i), country(rng.IntN(params.Countries)))
+		}
+		if j := rng.IntN(params.Countries); j != i {
+			add("adjacent", country(i), country(j))
+			add("biggerGDP", country(max(i, j)), country(min(i, j)))
+		}
+	}
+	for i := 0; i < params.People; i++ {
+		add("bornIn", person(i), city(rng.IntN(params.Cities)))
+		if rng.Float64() < 0.5 {
+			add("residesIn", person(i), city(rng.IntN(params.Cities)))
+		}
+		if rng.Float64() < 0.3 {
+			if j := rng.IntN(params.People); j != i {
+				add("spouse", person(i), person(j))
+			}
+		}
+		add("worksFor", person(i), employer(rng.IntN(params.Employers)))
+		if rng.Float64() < 0.4 {
+			if j := rng.IntN(params.People); j != i {
+				add("knows", person(i), person(j))
+			}
+		}
+	}
+	return d
+}
+
+// AMIE builds the AMIE-style workload.
+func AMIE(params AMIEDBParams, rng *rand.Rand) Workload {
+	return Workload{Name: "AMIE", Program: AMIEProgram(), DB: AMIEDB(params, rng)}
+}

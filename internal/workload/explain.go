@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+)
+
+// ExplainProgram returns the 3-rule recursive program used for the
+// "Explain" dataset (Section V; the paper takes it from the Explain
+// benchmark of [23], with a randomly populated, gradually growing
+// database). The program derives a reachability-style "related" relation
+// from two base relations, mixing a linear recursion with a union:
+//
+//	0.9 x1: related(X, Y) :- friend(X, Y).
+//	0.7 x2: related(X, Y) :- colleague(X, Y).
+//	0.6 x3: related(X, Y) :- related(X, Z), friend(Z, Y).
+func ExplainProgram() *ast.Program {
+	return mustParse(`
+		0.9 x1: related(X, Y) :- friend(X, Y).
+		0.7 x2: related(X, Y) :- colleague(X, Y).
+		0.6 x3: related(X, Y) :- related(X, Z), friend(Z, Y).
+	`)
+}
+
+// ExplainDB randomly populates the Explain base relations with nPeople
+// people, each with avgDeg random friend edges and avgDeg/2 colleague
+// edges. Growing nPeople grows the output roughly quadratically along
+// friendship chains, mirroring the paper's "gradually growing" setup.
+func ExplainDB(nPeople, avgDeg int, rng *rand.Rand) *db.Database {
+	d := db.NewDatabase()
+	person := func(i int) ast.Term { return ast.C(fmt.Sprintf("p%d", i)) }
+	addEdges := func(pred string, count int) {
+		for added := 0; added < count; {
+			i, j := rng.IntN(nPeople), rng.IntN(nPeople)
+			if i == j {
+				continue
+			}
+			if _, fresh := d.MustInsertAtom(ast.NewAtom(pred, person(i), person(j))); fresh {
+				added++
+			}
+		}
+	}
+	addEdges("friend", nPeople*avgDeg)
+	addEdges("colleague", nPeople*avgDeg/2)
+	return d
+}
+
+// Explain builds the Explain workload.
+func Explain(nPeople, avgDeg int, rng *rand.Rand) Workload {
+	return Workload{Name: "Explain", Program: ExplainProgram(), DB: ExplainDB(nPeople, avgDeg, rng)}
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+)
+
+// IRISProgram returns an 8-rule, multi-stratum, non-recursive program in
+// the style of the IRIS benchmark program of Section V (the original ships
+// with the IRIS datalog engine; this reproduction preserves its shape: a
+// layered cascade of joins and unions over base relations, no recursion,
+// heavy fan-out in the upper strata).
+//
+// Schema: person(P), worksAt(P, C), locatedIn(C, CT), knows(P, P),
+// project(C, J).
+func IRISProgram() *ast.Program {
+	return mustParse(`
+		0.9 i1: colleague(X, Y)  :- worksAt(X, C), worksAt(Y, C), neq(X, Y).
+		0.8 i2: cityOf(P, CT)    :- worksAt(P, C), locatedIn(C, CT).
+		0.7 i3: contact(X, Y)    :- knows(X, Y).
+		0.6 i4: contact(X, Y)    :- colleague(X, Y).
+		0.8 i5: sameCity(X, Y)   :- cityOf(X, CT), cityOf(Y, CT), neq(X, Y).
+		0.5 i6: mayMeet(X, Y)    :- contact(X, Y), sameCity(X, Y).
+		0.9 i7: worksOn(P, J)    :- worksAt(P, C), project(C, J).
+		0.6 i8: collaborate(X, Y, J) :- worksOn(X, J), worksOn(Y, J), contact(X, Y).
+	`)
+}
+
+// IRISDB populates the IRIS schema: nPeople people spread over nCompanies
+// companies in nCities cities, with random knows edges and projects. The
+// colleague/sameCity joins make the output size grow quadratically within
+// companies and cities, reproducing the benchmark's output blow-up.
+func IRISDB(nPeople, nCompanies, nCities, nProjects int, rng *rand.Rand) *db.Database {
+	d := db.NewDatabase()
+	p := func(i int) ast.Term { return ast.C(fmt.Sprintf("p%d", i)) }
+	c := func(i int) ast.Term { return ast.C(fmt.Sprintf("c%d", i)) }
+	ct := func(i int) ast.Term { return ast.C(fmt.Sprintf("ct%d", i)) }
+	j := func(i int) ast.Term { return ast.C(fmt.Sprintf("j%d", i)) }
+
+	for i := 0; i < nPeople; i++ {
+		d.MustInsertAtom(ast.NewAtom("worksAt", p(i), c(rng.IntN(nCompanies))))
+	}
+	for i := 0; i < nCompanies; i++ {
+		d.MustInsertAtom(ast.NewAtom("locatedIn", c(i), ct(rng.IntN(nCities))))
+	}
+	for k := 0; k < nPeople; k++ {
+		x, y := rng.IntN(nPeople), rng.IntN(nPeople)
+		if x != y {
+			d.MustInsertAtom(ast.NewAtom("knows", p(x), p(y)))
+		}
+	}
+	for i := 0; i < nProjects; i++ {
+		d.MustInsertAtom(ast.NewAtom("project", c(rng.IntN(nCompanies)), j(i)))
+	}
+	return d
+}
+
+// IRIS builds the IRIS-style workload.
+func IRIS(nPeople, nCompanies, nCities, nProjects int, rng *rand.Rand) Workload {
+	return Workload{
+		Name:    "IRIS",
+		Program: IRISProgram(),
+		DB:      IRISDB(nPeople, nCompanies, nCities, nProjects, rng),
+	}
+}

@@ -1,0 +1,187 @@
+// Package workload generates the datasets of the paper's experimental
+// study (Section V): the Transitive Closure (TC) family over synthetic
+// graphs, the 3-rule recursive Explain program, an IRIS-style 8-rule
+// non-recursive program, and an AMIE-style 23-rule recursive program over a
+// synthetic YAGO-like knowledge base, plus the running dealsWith example of
+// Table I and the star-with-sinks case-study graphs of Section V-C.
+//
+// Every generator is deterministic given its parameters and seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+	"contribmax/internal/parser"
+)
+
+// Workload bundles a probabilistic program with a populated database.
+type Workload struct {
+	Name    string
+	Program *ast.Program
+	DB      *db.Database
+}
+
+// mustParse panics on parse errors of built-in programs (they are constants
+// of this package; a failure is a bug, covered by tests).
+func mustParse(src string) *ast.Program {
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		panic(fmt.Sprintf("workload: bad built-in program: %v", err))
+	}
+	return p
+}
+
+// TCProgram returns the paper's 3-rule probabilistic Transitive Closure
+// program over an undirected graph (Section V, "Transitive Closure"):
+// the base rule lifts each edge in both directions, and the recursive rule
+// composes paths. Base-rule probabilities default to pBase and the
+// recursive rule to pRec (the paper's Example 4.2 uses 1.0 / 0.8).
+func TCProgram(pBase, pRec float64) *ast.Program {
+	return mustParse(fmt.Sprintf(`
+		%g r1: tc(X, Y) :- edge(X, Y).
+		%g r2: tc(X, Y) :- edge(Y, X).
+		%g r3: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`, pBase, pBase, pRec))
+}
+
+// TCProgram3 returns the undirected TC program with a distinct probability
+// per rule (forward lift, backward lift, recursive composition).
+func TCProgram3(pFwd, pBwd, pRec float64) *ast.Program {
+	return mustParse(fmt.Sprintf(`
+		%g r1: tc(X, Y) :- edge(X, Y).
+		%g r2: tc(X, Y) :- edge(Y, X).
+		%g r3: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`, pFwd, pBwd, pRec))
+}
+
+// TCProgramDirected returns the 2-rule directed probabilistic TC program of
+// Example 4.2 (used by the Section V-C case study, where reachability
+// direction matters).
+func TCProgramDirected(pBase, pRec float64) *ast.Program {
+	return mustParse(fmt.Sprintf(`
+		%g r1: tc(X, Y) :- edge(X, Y).
+		%g r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`, pBase, pRec))
+}
+
+// node returns the i-th synthetic node constant.
+func node(i int) ast.Term { return ast.C(fmt.Sprintf("n%d", i)) }
+
+// edgeFact builds edge(ni, nj).
+func edgeFact(i, j int) ast.Atom { return ast.NewAtom("edge", node(i), node(j)) }
+
+// CompleteGraph populates a database with the edges of the complete
+// directed graph on n nodes (no self loops): the paper's "fully connected"
+// TC inputs.
+func CompleteGraph(n int) *db.Database {
+	d := db.NewDatabase()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				d.MustInsertAtom(edgeFact(i, j))
+			}
+		}
+	}
+	return d
+}
+
+// RandomGraph populates a database with a G(n, p) random directed graph
+// (each ordered pair an edge independently with probability p).
+func RandomGraph(n int, p float64, rng *rand.Rand) *db.Database {
+	d := db.NewDatabase()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				d.MustInsertAtom(edgeFact(i, j))
+			}
+		}
+	}
+	return d
+}
+
+// RandomGraphM populates a database with exactly m distinct random directed
+// edges on n nodes.
+func RandomGraphM(n, m int, rng *rand.Rand) *db.Database {
+	d := db.NewDatabase()
+	added := 0
+	for added < m {
+		i, j := rng.IntN(n), rng.IntN(n)
+		if i == j {
+			continue
+		}
+		if _, fresh := d.MustInsertAtom(edgeFact(i, j)); fresh {
+			added++
+		}
+	}
+	return d
+}
+
+// RingChordGraph populates a database with a strongly connected sparse
+// directed graph: a ring over n nodes plus `chords` random extra edges.
+// This is the shape behind the paper's TC scaling experiment, where ~1K
+// input tuples generate ~1M output tuples: the closure of a strongly
+// connected graph is the complete relation, so outputs grow as n² from
+// only O(n) inputs.
+func RingChordGraph(n, chords int, rng *rand.Rand) *db.Database {
+	d := db.NewDatabase()
+	for i := 0; i < n; i++ {
+		d.MustInsertAtom(edgeFact(i, (i+1)%n))
+	}
+	added := 0
+	for added < chords {
+		i, j := rng.IntN(n), rng.IntN(n)
+		if i == j || (i+1)%n == j {
+			continue
+		}
+		if _, fresh := d.MustInsertAtom(edgeFact(i, j)); fresh {
+			added++
+		}
+	}
+	return d
+}
+
+// RandomizeWeights returns a copy of prog with every rule's probability
+// drawn uniformly from [0, 1) — the paper's default experimental setting
+// ("all rules have been randomly assigned with probabilities in the range
+// of [0,1]").
+func RandomizeWeights(prog *ast.Program, rng *rand.Rand) *ast.Program {
+	out := prog.Clone()
+	for i := range out.Rules {
+		out.Rules[i].Prob = rng.Float64()
+	}
+	return out
+}
+
+// StarWithSinks builds the Section V-C case-study graph (Figure 6): a star
+// whose internal node a has l spoke nodes a1..al with edges (ai -> a), and
+// m "sink" chains of length 2 hanging from a: for each sink s, edges
+// (a -> s1) and (s1 -> s2). The function returns the database plus the
+// spoke names and the terminal sink names for building T2.
+func StarWithSinks(l, m int) (d *db.Database, spokes []string, sinks []string) {
+	d = db.NewDatabase()
+	add := func(x, y string) {
+		d.MustInsertAtom(ast.NewAtom("edge", ast.C(x), ast.C(y)))
+	}
+	for i := 1; i <= l; i++ {
+		sp := fmt.Sprintf("a%d", i)
+		spokes = append(spokes, sp)
+		add(sp, "a")
+	}
+	for i := 1; i <= m; i++ {
+		mid := fmt.Sprintf("v%d_1", i)
+		end := fmt.Sprintf("v%d_2", i)
+		add("a", mid)
+		add(mid, end)
+		sinks = append(sinks, end)
+	}
+	return d, spokes, sinks
+}
+
+// TC builds the undirected-TC workload over a graph database produced by
+// one of the graph generators above.
+func TC(d *db.Database) Workload {
+	return Workload{Name: "TC", Program: TCProgram(1.0, 0.8), DB: d}
+}

@@ -1,0 +1,215 @@
+package workload_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"contribmax/internal/engine"
+	"contribmax/internal/workload"
+)
+
+// derive evaluates the workload (on a scratch database sharing edbs) and
+// returns the number of derived tuples of pred.
+func derive(t *testing.T, w workload.Workload, pred string) int {
+	t.Helper()
+	scratch := w.DB.CloneSchema()
+	for _, p := range w.Program.EDBs() {
+		if rel, ok := w.DB.Lookup(p); ok {
+			scratch.Attach(rel)
+		}
+	}
+	eng, err := engine.New(w.Program, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rel, ok := scratch.Lookup(pred)
+	if !ok {
+		return 0
+	}
+	return rel.Len()
+}
+
+func TestProgramsValidate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, w := range []workload.Workload{
+		workload.TC(workload.CompleteGraph(4)),
+		workload.Explain(20, 3, rng),
+		workload.IRIS(30, 5, 3, 10, rng),
+		workload.AMIE(workload.AMIEDBParams{}, rng),
+		workload.Trade(),
+	} {
+		if err := w.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.DB.TotalTuples() == 0 {
+			t.Errorf("%s: empty database", w.Name)
+		}
+	}
+}
+
+func TestRuleCountsMatchPaper(t *testing.T) {
+	if got := len(workload.TCProgram(1, 0.8).Rules); got != 3 {
+		t.Errorf("TC rules = %d, want 3 (Section V)", got)
+	}
+	if got := len(workload.ExplainProgram().Rules); got != 3 {
+		t.Errorf("Explain rules = %d, want 3", got)
+	}
+	if got := len(workload.IRISProgram().Rules); got != 8 {
+		t.Errorf("IRIS rules = %d, want 8", got)
+	}
+	if got := len(workload.AMIEProgram().Rules); got != 23 {
+		t.Errorf("AMIE rules = %d, want 23", got)
+	}
+}
+
+func TestRecursionShapes(t *testing.T) {
+	if !workload.TCProgram(1, 0.8).IsRecursive() {
+		t.Error("TC should be recursive")
+	}
+	if !workload.ExplainProgram().IsRecursive() {
+		t.Error("Explain should be recursive")
+	}
+	if workload.IRISProgram().IsRecursive() {
+		t.Error("IRIS should be non-recursive")
+	}
+	if !workload.AMIEProgram().IsRecursive() {
+		t.Error("AMIE should be recursive")
+	}
+}
+
+func TestCompleteGraphTC(t *testing.T) {
+	n := 5
+	w := workload.TC(workload.CompleteGraph(n))
+	if got, want := w.DB.TotalTuples(), n*(n-1); got != want {
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+	// Undirected TC over a complete graph reaches every ordered pair,
+	// including the diagonal via round trips.
+	if got, want := derive(t, w, "tc"), n*n; got != want {
+		t.Errorf("tc = %d, want %d", got, want)
+	}
+}
+
+func TestRandomGraphM(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	d := workload.RandomGraphM(10, 25, rng)
+	if d.TotalTuples() != 25 {
+		t.Errorf("edges = %d, want 25", d.TotalTuples())
+	}
+}
+
+func TestRandomGraphDeterministicPerSeed(t *testing.T) {
+	d1 := workload.RandomGraph(8, 0.4, rand.New(rand.NewPCG(5, 5)))
+	d2 := workload.RandomGraph(8, 0.4, rand.New(rand.NewPCG(5, 5)))
+	f1 := fmt.Sprint(d1.Facts("edge"))
+	f2 := fmt.Sprint(d2.Facts("edge"))
+	if f1 != f2 {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestStarWithSinks(t *testing.T) {
+	d, spokes, sinks := workload.StarWithSinks(5, 2)
+	if len(spokes) != 5 || len(sinks) != 2 {
+		t.Fatalf("spokes=%v sinks=%v", spokes, sinks)
+	}
+	// Edges: 5 spokes + 2 chains of 2 = 9.
+	if d.TotalTuples() != 9 {
+		t.Errorf("edges = %d, want 9", d.TotalTuples())
+	}
+	// Every tc(spoke, sink) must be derivable.
+	w := workload.Workload{Name: "star", Program: workload.TCProgramDirected(1, 0.8), DB: d}
+	scratch := derivedSet(t, w, "tc")
+	for _, sp := range spokes {
+		for _, sk := range sinks {
+			if !scratch[fmt.Sprintf("tc(%s, %s)", sp, sk)] {
+				t.Errorf("tc(%s, %s) not derivable", sp, sk)
+			}
+		}
+	}
+}
+
+func derivedSet(t *testing.T, w workload.Workload, pred string) map[string]bool {
+	t.Helper()
+	scratch := w.DB.CloneSchema()
+	for _, p := range w.Program.EDBs() {
+		if rel, ok := w.DB.Lookup(p); ok {
+			scratch.Attach(rel)
+		}
+	}
+	eng, err := engine.New(w.Program, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, a := range scratch.Facts(pred) {
+		out[a.String()] = true
+	}
+	return out
+}
+
+func TestExplainGrowsWithInput(t *testing.T) {
+	small := derive(t, workload.Explain(15, 2, rand.New(rand.NewPCG(3, 3))), "related")
+	large := derive(t, workload.Explain(40, 2, rand.New(rand.NewPCG(3, 3))), "related")
+	if small <= 0 || large <= small {
+		t.Errorf("related: small=%d large=%d; output should grow", small, large)
+	}
+}
+
+func TestIRISProducesAllIDBs(t *testing.T) {
+	w := workload.IRIS(40, 5, 3, 12, rand.New(rand.NewPCG(4, 4)))
+	for _, pred := range []string{"colleague", "cityOf", "contact", "sameCity", "mayMeet", "worksOn", "collaborate"} {
+		if derive(t, w, pred) == 0 {
+			t.Errorf("IRIS derived no %s tuples", pred)
+		}
+	}
+}
+
+func TestAMIEProducesTradeChains(t *testing.T) {
+	w := workload.AMIE(workload.AMIEDBParams{Countries: 10, People: 40}, rand.New(rand.NewPCG(6, 6)))
+	if derive(t, w, "dealsWith") == 0 {
+		t.Error("AMIE derived no dealsWith tuples")
+	}
+	if derive(t, w, "connected") == 0 {
+		t.Error("AMIE derived no connected tuples")
+	}
+	edb := map[string]bool{}
+	for _, p := range w.Program.EDBs() {
+		edb[p] = true
+	}
+	// All populated relations must be extensional w.r.t. the program (no
+	// edb/idb mixing).
+	for _, name := range w.DB.RelationNames() {
+		if !edb[name] {
+			t.Errorf("populated relation %s is not extensional in the program", name)
+		}
+	}
+}
+
+func TestTradeExampleDerivesPaperTargets(t *testing.T) {
+	w := workload.Trade()
+	got := derivedSet(t, w, "dealsWith")
+	for _, target := range []string{
+		"dealsWith(usa, iran)",
+		"dealsWith(pakistan, india)",
+		"dealsWith(russia, ukraine)",
+	} {
+		if !got[target] {
+			t.Errorf("running example does not derive %s", target)
+		}
+	}
+}
+
+func TestTCProgramWeights(t *testing.T) {
+	p := workload.TCProgram(0.9, 0.7)
+	if p.Rules[0].Prob != 0.9 || p.Rules[2].Prob != 0.7 {
+		t.Errorf("weights not threaded: %v", p.Rules)
+	}
+}
