@@ -1,0 +1,33 @@
+# Development targets. CI (.github/workflows/ci.yml) runs check + lint.
+
+GO ?= go
+
+# Every checked-in datalog program outside the seeded-defect corpus
+# (testdata/analysis holds intentionally broken programs with .golden
+# expectations; the golden test in internal/analysis covers those).
+DL_PROGRAMS := $(shell find examples testdata -name '*.dl' -not -path 'testdata/analysis/*' | sort)
+
+.PHONY: all build test race check lint fmt
+
+all: check lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages that evaluate programs concurrently.
+race:
+	$(GO) test -race ./internal/cm ./internal/im ./internal/engine
+
+check: build test race
+	$(GO) vet ./...
+
+# Static-analyze every example and testdata program; warnings are
+# reported but only errors (or missing files) fail the build.
+lint:
+	$(GO) run ./cmd/cmlint $(DL_PROGRAMS)
+
+fmt:
+	gofmt -l -w .

@@ -1,0 +1,214 @@
+// Command cmlint statically analyzes probabilistic datalog programs and
+// reports diagnostics with source positions and stable codes (CM000–CM012,
+// documented in docs/DIALECT.md).
+//
+// Usage:
+//
+//	cmlint [flags] program.dl...         # lint files
+//	cmlint [flags] -                     # lint stdin
+//
+// Flags:
+//
+//	-facts file.facts   treat the fact file's predicates as the edb schema
+//	-query p,q          analyze relative to these query/target predicates
+//	-json               emit machine-readable JSON, one object per file
+//	-W error            promote warnings to errors (exit code 1)
+//	-q                  suppress info-severity findings
+//
+// Programs may embed the same configuration as comments, so corpora lint
+// without per-file flags:
+//
+//	%! query: dealsWith
+//	%! facts: trade.facts
+//
+// Exit codes: 0 clean (or warnings without -W error), 1 diagnostics at the
+// failing severity, 2 usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"contribmax/internal/analysis"
+	"contribmax/internal/ast"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		factsFlag = fs.String("facts", "", "comma-separated fact files giving the edb schema")
+		queryFlag = fs.String("query", "", "comma-separated query/target predicates")
+		jsonFlag  = fs.Bool("json", false, "emit JSON diagnostics")
+		wFlag     = fs.String("W", "", `"error" promotes warnings to errors`)
+		quiet     = fs.Bool("q", false, "suppress info-severity findings")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *wFlag != "" && *wFlag != "error" {
+		fmt.Fprintf(stderr, "cmlint: -W accepts only \"error\", got %q\n", *wFlag)
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "cmlint: no input files (use - for stdin)")
+		fs.Usage()
+		return 2
+	}
+
+	failSeverity := analysis.Error
+	if *wFlag == "error" {
+		failSeverity = analysis.Warning
+	}
+
+	exit := 0
+	var results []analysis.FileResult
+	for _, path := range paths {
+		var res analysis.FileResult
+		if path == "-" {
+			src, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				fmt.Fprintf(stderr, "cmlint: reading stdin: %v\n", err)
+				return 2
+			}
+			res = analysis.LintSource("-", withFlagDirectives(string(src), *factsFlag, *queryFlag), analysis.Options{})
+		} else {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "cmlint: %v\n", err)
+				return 2
+			}
+			res = analysis.LintSource(path, withFlagDirectives(string(data), *factsFlag, *queryFlag), analysis.Options{})
+		}
+		if *quiet {
+			res.Diagnostics = dropInfo(res.Diagnostics)
+		}
+		results = append(results, res)
+		for _, d := range res.Diagnostics {
+			if d.Severity >= failSeverity && exit == 0 {
+				exit = 1
+			}
+		}
+		if !*jsonFlag {
+			for _, d := range res.Diagnostics {
+				fmt.Fprintf(stdout, "%s:%s\n", res.Path, d)
+			}
+		}
+	}
+	if *jsonFlag {
+		if err := writeJSON(stdout, results); err != nil {
+			fmt.Fprintf(stderr, "cmlint: %v\n", err)
+			return 2
+		}
+	}
+	return exit
+}
+
+// withFlagDirectives appends -facts/-query flag values as lint directives,
+// so the one directive code path handles both sources of configuration.
+// Appending (not prepending) keeps every source position unchanged.
+// Directive-supplied fact paths resolve against the program file's
+// directory, so flag paths — conventionally working-directory-relative —
+// are made absolute first.
+func withFlagDirectives(src, facts, query string) string {
+	var sb strings.Builder
+	for _, f := range splitList(facts) {
+		if abs, err := absPath(f); err == nil {
+			f = abs
+		}
+		sb.WriteString("%! facts: " + f + "\n")
+	}
+	if q := splitList(query); len(q) > 0 {
+		sb.WriteString("%! query: " + strings.Join(q, " ") + "\n")
+	}
+	if sb.Len() == 0 {
+		return src
+	}
+	return src + "\n" + sb.String()
+}
+
+func absPath(p string) (string, error) {
+	if strings.HasPrefix(p, "/") {
+		return p, nil
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	return wd + "/" + p, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func dropInfo(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Severity != analysis.Info {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// jsonDiagnostic is the machine-readable diagnostic shape. Positions are
+// 1-based; zero line means unknown.
+type jsonDiagnostic struct {
+	File     string        `json:"file"`
+	Severity string        `json:"severity"`
+	Code     string        `json:"code"`
+	Line     int           `json:"line"`
+	Col      int           `json:"col"`
+	EndLine  int           `json:"endLine,omitempty"`
+	EndCol   int           `json:"endCol,omitempty"`
+	Message  string        `json:"message"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+type jsonRelated struct {
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w io.Writer, results []analysis.FileResult) error {
+	out := []jsonDiagnostic{}
+	for _, res := range results {
+		for _, d := range res.Diagnostics {
+			jd := jsonDiagnostic{
+				File:     res.Path,
+				Severity: d.Severity.String(),
+				Code:     string(d.Code),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Col,
+				Message:  d.Message,
+			}
+			if end := d.Span.End; end.IsValid() && end != (ast.Pos{Line: d.Pos.Line, Col: d.Pos.Col}) {
+				jd.EndLine, jd.EndCol = end.Line, end.Col
+			}
+			for _, r := range d.Related {
+				jd.Related = append(jd.Related, jsonRelated{Line: r.Pos.Line, Col: r.Pos.Col, Message: r.Message})
+			}
+			out = append(out, jd)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

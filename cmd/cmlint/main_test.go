@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	clean := write(t, dir, "clean.dl", "p(X) :- q(X).\n")
+	warn := write(t, dir, "warn.dl", "0.0 dead: p(X) :- q(X).\np(X) :- q(X).\n")
+	broken := write(t, dir, "broken.dl", "p(X :- q(X).\n")
+
+	var out, errBuf strings.Builder
+	if code := run([]string{clean}, &out, &errBuf); code != 0 {
+		t.Errorf("clean file: exit %d, want 0 (stderr %q)", code, errBuf.String())
+	}
+	if code := run([]string{warn}, &out, &errBuf); code != 0 {
+		t.Errorf("warnings without -W error: exit %d, want 0", code)
+	}
+	if code := run([]string{"-W", "error", warn}, &out, &errBuf); code != 1 {
+		t.Errorf("warnings with -W error: exit %d, want 1", code)
+	}
+	if code := run([]string{broken}, &out, &errBuf); code != 1 {
+		t.Errorf("parse error: exit %d, want 1", code)
+	}
+	if code := run([]string{filepath.Join(dir, "missing.dl")}, &out, &errBuf); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if code := run([]string{"-W", "bogus", clean}, &out, &errBuf); code != 2 {
+		t.Errorf("bad -W value: exit %d, want 2", code)
+	}
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Errorf("no inputs: exit %d, want 2", code)
+	}
+}
+
+func TestRunTextOutputHasPositionsAndCodes(t *testing.T) {
+	dir := t.TempDir()
+	bad := write(t, dir, "bad.dl", "p(X, Y) :- q(X).\n")
+	var out, errBuf strings.Builder
+	if code := run([]string{bad}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	got := out.String() + errBuf.String()
+	if !strings.Contains(got, "1:6") || !strings.Contains(got, "CM004") {
+		t.Errorf("output %q lacks position 1:6 or code CM004", got)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	bad := write(t, dir, "bad.dl", "p(X, Y) :- q(X).\n")
+	var out, errBuf strings.Builder
+	if code := run([]string{"-json", bad}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errBuf.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatalf("no diagnostics in JSON output: %s", out.String())
+	}
+	d := diags[0]
+	if d.Code != "CM004" || d.Line != 1 || d.Col != 6 || d.File != bad {
+		t.Errorf("first diagnostic = %+v, want CM004 at 1:6 in %s", d, bad)
+	}
+}
+
+func TestRunQueryAndFactsFlags(t *testing.T) {
+	dir := t.TempDir()
+	facts := write(t, dir, "edb.facts", "e(a, b).\n")
+	prog := write(t, dir, "prog.dl", "p(X) :- e(X, Y).\ndead(X) :- e(X, X).\n")
+	var out, errBuf strings.Builder
+	if code := run([]string{"-facts", facts, "-query", "p", prog}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr %q)", code, errBuf.String())
+	}
+	got := out.String() + errBuf.String()
+	if !strings.Contains(got, "CM009") {
+		t.Errorf("output %q lacks CM009 for the unreachable rule", got)
+	}
+	if strings.Contains(got, "CM008") {
+		t.Errorf("output %q reports CM008 though e is in the fact file", got)
+	}
+}

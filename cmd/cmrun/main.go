@@ -53,6 +53,7 @@ func run() error {
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout")
 		diverse     = flag.Int("diverse", 0, "max seeds per relation (1 = every seed from a different table; 0 = unconstrained)")
 		estimate    = flag.Bool("estimate", false, "re-estimate the seeds' contribution with 10k Monte-Carlo samples (builds the full WD graph)")
+		nolint      = flag.Bool("nolint", false, "skip the static-analysis gate (errors still fail inside the algorithms; warnings are not printed)")
 	)
 	var targets targetList
 	flag.Var(&targets, "target", "target output tuple or pattern, e.g. 'dealsWith(usa, iran)' or 'dealsWith(usa, Y)' (repeatable, required; patterns match against the program's derived facts)")
@@ -62,9 +63,15 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("need -program, -facts, and at least one -target")
 	}
-	prog, err := contribmax.ParseProgramFile(*programPath)
+	// Parse loose so the static-analysis gate below reports every finding
+	// with source positions, not just the first validation error.
+	src, err := os.ReadFile(*programPath)
 	if err != nil {
 		return err
+	}
+	prog, err := contribmax.ParseProgramLoose(string(src))
+	if err != nil {
+		return fmt.Errorf("%s: %w", *programPath, err)
 	}
 	db, err := contribmax.LoadDatabaseFile(*factsPath)
 	if err != nil {
@@ -82,6 +89,27 @@ func run() error {
 		} else {
 			patterns = append(patterns, a)
 		}
+	}
+	if !*nolint {
+		// Fail fast with positioned diagnostics (and surface warnings)
+		// before any evaluation or graph construction. Roots are all target
+		// predicates, ground and pattern alike.
+		diags := contribmax.AnalyzeWithDB(prog, db, append(append([]contribmax.Atom{}, T2...), patterns...))
+		fatal := false
+		for _, d := range diags {
+			if d.Severity >= contribmax.SeverityWarning {
+				fmt.Fprintf(os.Stderr, "%s:%s\n", *programPath, d)
+			}
+			if d.Severity == contribmax.SeverityError {
+				fatal = true
+			}
+		}
+		if fatal {
+			return fmt.Errorf("program rejected by static analysis (run cmlint %s for details, or -nolint to bypass)", *programPath)
+		}
+	} else if err := prog.Validate(); err != nil {
+		// -nolint keeps the engine's own validation as the only gate.
+		return fmt.Errorf("%s: %w", *programPath, err)
 	}
 	if len(patterns) > 0 {
 		// Evaluate on a scratch database sharing the edb relations, then
@@ -118,6 +146,7 @@ func run() error {
 		MaxSeedsPerRelation: *diverse,
 		Parallelism:         *parallel,
 		Rand:                rand.New(rand.NewPCG(*seed, *seed^0x9E3779B9)),
+		SkipAnalysis:        true,
 	}
 	var res *contribmax.Result
 	switch *algo {

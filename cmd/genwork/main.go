@@ -42,24 +42,9 @@ func run() error {
 	flag.Parse()
 
 	rng := rand.New(rand.NewPCG(*seed, *seed^0xABCDEF))
-	var w workload.Workload
-	switch strings.ToLower(*ds) {
-	case "tc":
-		w = workload.Workload{
-			Name:    "TC",
-			Program: workload.TCProgram3(0.61, 0.44, 0.22),
-			DB:      workload.RingChordGraph(*size, *size/2, rng),
-		}
-	case "explain":
-		w = workload.Explain(*size, 3, rng)
-	case "iris":
-		w = workload.IRIS(*size, *size/10+2, *size/40+2, *size/4+2, rng)
-	case "amie":
-		w = workload.AMIE(workload.AMIEDBParams{Countries: *size, People: 6 * *size}, rng)
-	case "trade":
-		w = workload.Trade()
-	default:
-		return fmt.Errorf("unknown dataset %q", *ds)
+	w, err := workload.ByName(*ds, *size, rng)
+	if err != nil {
+		return err
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

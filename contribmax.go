@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"strings"
 
+	"contribmax/internal/analysis"
 	"contribmax/internal/ast"
 	"contribmax/internal/cm"
 	"contribmax/internal/db"
@@ -56,6 +57,21 @@ type (
 	// DerivationTree is a derivation tree of an output tuple (Section II
 	// of the paper); see Explain.
 	DerivationTree = provenance.Tree
+
+	// Diagnostic is one static-analysis finding (severity, stable code,
+	// source position, message); see Analyze.
+	Diagnostic = analysis.Diagnostic
+	// AnalysisOptions configures Analyze (extensional schema, query roots).
+	AnalysisOptions = analysis.Options
+	// Severity grades a Diagnostic.
+	Severity = analysis.Severity
+)
+
+// Diagnostic severities, in ascending order.
+const (
+	SeverityInfo    = analysis.Info
+	SeverityWarning = analysis.Warning
+	SeverityError   = analysis.Error
 )
 
 // V returns a variable term.
@@ -75,6 +91,12 @@ func ParseProgram(src string) (*Program, error) { return parser.ParseProgram(src
 
 // ParseProgramFile reads and parses a program file.
 func ParseProgramFile(path string) (*Program, error) { return parser.ParseProgramFile(path) }
+
+// ParseProgramLoose parses program text without the well-formedness
+// validation ParseProgram runs, so semantically ill-formed programs still
+// yield an AST. Pair it with Analyze to get the full positioned diagnostic
+// list instead of the first validation error.
+func ParseProgramLoose(src string) (*Program, error) { return parser.ParseProgramLoose(src) }
 
 // ParseFacts parses ground atoms ("exports(france, wine).") from source
 // text.
@@ -215,6 +237,38 @@ func ApplyFactProbabilities(prog *Program, facts []ProbFact, d Database) (*Progr
 		return nil, fmt.Errorf("contribmax: %w", err)
 	}
 	return out, nil
+}
+
+// Analyze runs the static analyzer over prog: safety and range
+// restriction, probability validation, arity consistency, undefined and
+// unreachable predicates, negation through recursion, and Magic-Sets
+// applicability, each reported with a stable code (CM001–CM012) and source
+// positions when the program was parsed from text. The same checks gate
+// every CM algorithm by default (see Options.SkipAnalysis); call Analyze
+// directly for the full finding list rather than the first error.
+func Analyze(prog *Program, opts AnalysisOptions) []Diagnostic {
+	return analysis.Analyze(prog, opts)
+}
+
+// AnalyzeWithDB is Analyze with the extensional schema and query roots
+// derived from a database and target atoms, matching the gate the CM
+// algorithms run in front of an Input.
+func AnalyzeWithDB(prog *Program, d Database, targets []Atom) []Diagnostic {
+	edb := map[string]int{}
+	for _, name := range d.RelationNames() {
+		if rel, ok := d.Lookup(name); ok {
+			edb[name] = rel.Arity()
+		}
+	}
+	var roots []string
+	seen := map[string]bool{}
+	for _, a := range targets {
+		if !seen[a.Predicate] {
+			seen[a.Predicate] = true
+			roots = append(roots, a.Predicate)
+		}
+	}
+	return analysis.Analyze(prog, analysis.Options{EDB: edb, Roots: roots})
 }
 
 // OptimizeReport counts the simplifications Optimize performed.

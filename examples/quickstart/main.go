@@ -4,36 +4,30 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"contribmax"
 )
 
+// The probabilistic datalog program and the Table I database live in
+// sibling files so `make lint` (cmlint) checks them like any other
+// program in the repo.
+var (
+	//go:embed program.dl
+	programSrc string
+	//go:embed trade.facts
+	factsSrc string
+)
+
 func main() {
-	// The probabilistic datalog program: AMIE-style mined rules with
-	// confidence weights. Rule r0 copies the extensional dealsWith facts
-	// (footnote 2 of the paper).
-	prog, err := contribmax.ParseProgram(`
-		1.0 r0: dealsWith(A, B) :- dealsWith0(A, B).
-		0.8 r1: dealsWith(A, B) :- dealsWith(B, A).
-		0.7 r2: dealsWith(A, B) :- exports(A, C), imports(B, C).
-		0.5 r3: dealsWith(A, B) :- dealsWith(A, F), dealsWith(F, B).
-	`)
+	prog, err := contribmax.ParseProgram(programSrc)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The database of Table I.
-	db, err := contribmax.LoadDatabase(`
-		exports(france, wine).    exports(france, vinegar). exports(france, oil).
-		exports(cuba, tobacco).   exports(cuba, sugar).     exports(cuba, nickel).
-		exports(russia, gas).
-		imports(germany, wine).   imports(usa, vinegar).    imports(pakistan, oil).
-		imports(india, tobacco).  imports(denmark, sugar).  imports(iran, nickel).
-		imports(ukraine, gas).
-		dealsWith0(france, cuba).
-	`)
+	db, err := contribmax.LoadDatabase(factsSrc)
 	if err != nil {
 		log.Fatal(err)
 	}

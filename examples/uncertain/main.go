@@ -7,6 +7,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -14,25 +15,24 @@ import (
 	"contribmax"
 )
 
+// Program and confidence-weighted facts live in sibling files so `make
+// lint` (cmlint) checks them like any other program in the repo.
+var (
+	//go:embed program.dl
+	programSrc string
+	//go:embed extracted.facts
+	probFactsSrc string
+)
+
 func main() {
 	// Mined rules with confidences.
-	prog, err := contribmax.ParseProgram(`
-		0.8 r1: dealsWith(A, B) :- dealsWith(B, A).
-		0.7 r2: dealsWith(A, B) :- exports(A, C), imports(B, C).
-		0.5 r3: dealsWith(A, B) :- dealsWith(A, F), dealsWith(F, B).
-	`)
+	prog, err := contribmax.ParseProgram(programSrc)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Extracted facts, each with the extractor's confidence.
-	probFacts, err := contribmax.ParseProbFacts(`
-		0.95 exports(france, wine).
-		0.60 exports(france, vinegar).
-		0.90 imports(germany, wine).
-		0.70 imports(usa, vinegar).
-		0.50 imports(usa, wine).
-	`)
+	probFacts, err := contribmax.ParseProbFacts(probFactsSrc)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,374 @@
+package analysis
+
+import (
+	"strings"
+
+	"contribmax/internal/ast"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// EDB maps extensional predicate names to their arities, typically
+	// harvested from a loaded database. When nil, the analyzer assumes
+	// nothing about the extensional schema: body-only predicates are taken
+	// to be legitimate edb relations and CM008 is never reported.
+	EDB map[string]int
+	// Roots lists the query/target predicates the program is evaluated
+	// for. When non-empty, the analyzer additionally reports rules that
+	// cannot contribute to any root (CM009) and Magic-Sets free-variable
+	// explosions along the roots' dependency cone (CM011). Targets that no
+	// rule defines are reported as CM008.
+	Roots []string
+}
+
+// Analyze runs every analysis pass over prog and returns the diagnostics
+// sorted by source position. A nil or empty program yields none.
+//
+// Error-severity diagnostics are a superset of ast.Program.Validate's
+// rejections; a program with no Error diagnostics evaluates without
+// arity/safety panics and stratifies.
+func Analyze(prog *ast.Program, opts Options) []Diagnostic {
+	if prog == nil {
+		return nil
+	}
+	l := &list{}
+	g := NewDepGraph(prog)
+	checkRules(l, prog)
+	checkArities(l, prog, opts)
+	checkDefinitions(l, prog, g, opts)
+	checkStratification(l, g)
+	checkAdornments(l, prog, g, opts)
+	Sort(l.diags)
+	return l.diags
+}
+
+// checkRules runs the per-rule passes: labels, probabilities, range
+// restriction, safety, built-in misuse, and singleton variables.
+func checkRules(l *list, prog *ast.Program) {
+	labelAt := map[string]ast.Pos{}
+	for _, r := range prog.Rules {
+		span := r.Span()
+
+		// Labels (CM001).
+		if r.Label == "" {
+			l.errorf(CodeLabel, r.Pos, span, "rule has an empty label")
+		} else if first, dup := labelAt[r.Label]; dup {
+			d := l.errorf(CodeLabel, r.Pos, span, "duplicate rule label %q", r.Label)
+			d.Related = append(d.Related, Related{Pos: first, Message: "first defined here"})
+		} else {
+			labelAt[r.Label] = r.Pos
+		}
+
+		// Probabilities (CM002, CM003).
+		if r.Prob < 0 || r.Prob > 1 || r.Prob != r.Prob {
+			l.errorf(CodeProbRange, r.Pos, span, "probability %g of rule %s is outside [0,1]", r.Prob, r.Label)
+		} else if r.Prob == 0 {
+			l.warnf(CodeDeadRule, r.Pos, span, "rule %s has probability 0 and can never fire", r.Label)
+		}
+
+		// Head shape (CM007).
+		if r.Head.Negated {
+			l.errorf(CodeBuiltinMisuse, r.Head.Pos, span, "rule %s has a negated head", r.Label)
+		}
+		if ast.IsBuiltin(r.Head.Predicate) {
+			l.errorf(CodeBuiltinMisuse, r.Head.Pos, span, "built-in predicate %s cannot be a rule head", r.Head.Predicate)
+		}
+
+		// Range restriction (CM004) and safety (CM005), reported per
+		// offending variable at the variable's own position.
+		binding := map[string]bool{}
+		for _, b := range r.Body {
+			if b.Negated || ast.IsBuiltin(b.Predicate) {
+				continue
+			}
+			for _, t := range b.Terms {
+				if t.IsVar() {
+					binding[t.Name] = true
+				}
+			}
+		}
+		reported := map[string]bool{}
+		for _, t := range r.Head.Terms {
+			if t.IsVar() && !binding[t.Name] && !reported[t.Name] {
+				reported[t.Name] = true
+				if r.IsFact() {
+					l.errorf(CodeRangeRestriction, t.Pos, span,
+						"fact %s contains variable %s (facts must be ground)", r.Label, t.Name)
+				} else {
+					l.errorf(CodeRangeRestriction, t.Pos, span,
+						"head variable %s of rule %s is not bound by a positive body atom", t.Name, r.Label)
+				}
+			}
+		}
+		for _, b := range r.Body {
+			builtin := ast.IsBuiltin(b.Predicate)
+			if builtin {
+				if b.Arity() != 2 {
+					l.errorf(CodeBuiltinMisuse, b.Pos, span,
+						"built-in %s must be binary, used with %d argument(s)", b.Predicate, b.Arity())
+				}
+				if b.Negated {
+					l.errorf(CodeBuiltinMisuse, b.Pos, span,
+						"negated built-in %s (use the complementary comparison)", b.Predicate)
+				}
+			}
+			if !b.Negated && !builtin {
+				continue
+			}
+			what := "negated atom"
+			if builtin {
+				what = "built-in " + b.Predicate
+			}
+			for _, t := range b.Terms {
+				if t.IsVar() && !binding[t.Name] && !reported[t.Name] {
+					reported[t.Name] = true
+					l.errorf(CodeUnsafe, t.Pos, span,
+						"variable %s of %s in rule %s is not bound by a positive body atom", t.Name, what, r.Label)
+				}
+			}
+		}
+
+		// Singleton variables (CM012): one occurrence across the whole
+		// rule is usually a typo; _-prefixed names opt out.
+		count := map[string]int{}
+		firstAt := map[string]ast.Pos{}
+		countAtom := func(a ast.Atom) {
+			for _, t := range a.Terms {
+				if !t.IsVar() {
+					continue
+				}
+				count[t.Name]++
+				if count[t.Name] == 1 {
+					firstAt[t.Name] = t.Pos
+				}
+			}
+		}
+		countAtom(r.Head)
+		for _, b := range r.Body {
+			countAtom(b)
+		}
+		for _, v := range sortedVarNames(count) {
+			if count[v] == 1 && !strings.HasPrefix(v, "_") && !reported[v] {
+				l.infof(CodeSingletonVar, firstAt[v], span,
+					"variable %s occurs only once in rule %s (prefix with _ if intentional)", v, r.Label)
+			}
+		}
+	}
+}
+
+// checkArities verifies every predicate keeps one arity across rule heads,
+// bodies, and the extensional database (CM006).
+func checkArities(l *list, prog *ast.Program, opts Options) {
+	type use struct {
+		arity int
+		pos   ast.Pos
+		what  string
+	}
+	first := map[string]use{}
+	for p, a := range opts.EDB {
+		first[p] = use{arity: a, what: "extensional database"}
+	}
+	check := func(a ast.Atom, span ast.Span) {
+		if ast.IsBuiltin(a.Predicate) {
+			return
+		}
+		if prev, ok := first[a.Predicate]; ok {
+			if prev.arity != a.Arity() {
+				d := l.errorf(CodeArity, a.Pos, span,
+					"predicate %s used with arity %d, previously %d", a.Predicate, a.Arity(), prev.arity)
+				what := prev.what
+				if what == "" {
+					what = "first use"
+				}
+				d.Related = append(d.Related, Related{Pos: prev.pos, Message: what})
+			}
+			return
+		}
+		first[a.Predicate] = use{arity: a.Arity(), pos: a.Pos}
+	}
+	for _, r := range prog.Rules {
+		span := r.Span()
+		check(r.Head, span)
+		for _, b := range r.Body {
+			check(b, span)
+		}
+	}
+}
+
+// checkDefinitions reports undefined body predicates (CM008, needs EDB
+// info), undefined roots (CM008), and rules unreachable from the roots
+// (CM009).
+func checkDefinitions(l *list, prog *ast.Program, g *DepGraph, opts Options) {
+	if opts.EDB != nil {
+		seen := map[string]bool{}
+		for _, r := range prog.Rules {
+			for _, b := range r.Body {
+				p := b.Predicate
+				if ast.IsBuiltin(p) || g.IDB[p] || seen[p] {
+					continue
+				}
+				if _, ok := opts.EDB[p]; ok {
+					continue
+				}
+				seen[p] = true
+				l.warnf(CodeUndefinedPred, b.Pos, r.Span(),
+					"predicate %s has no rules and no facts in the database", p)
+			}
+		}
+	}
+	if len(opts.Roots) == 0 {
+		return
+	}
+	for _, root := range opts.Roots {
+		if !g.IDB[root] {
+			if _, edb := opts.EDB[root]; !edb {
+				l.warnf(CodeUndefinedPred, ast.Pos{}, ast.Span{},
+					"query/target predicate %s is not defined by any rule%s", root, edbHint(opts))
+			}
+		}
+	}
+	deps := g.DependenciesOf(opts.Roots)
+	for _, r := range prog.Rules {
+		if !deps[r.Head.Predicate] {
+			l.warnf(CodeUnreachable, r.Pos, r.Span(),
+				"rule %s (head %s) cannot contribute to the query/target predicates", r.Label, r.Head.Predicate)
+		}
+	}
+}
+
+func edbHint(opts Options) string {
+	if opts.EDB == nil {
+		return ""
+	}
+	return " and has no facts in the database"
+}
+
+// checkStratification reports negation through recursion (CM010) with the
+// offending cycle spelled out.
+func checkStratification(l *list, g *DepGraph) {
+	cycle := g.NegativeCycle()
+	if cycle == nil {
+		return
+	}
+	neg := cycle.NegEdge()
+	d := l.errorf(CodeNegativeCycle, neg.Pos, ast.Span{Start: neg.Pos, End: neg.Pos},
+		"program is not stratifiable: recursion through negation (%s)", cycle)
+	for _, e := range cycle.Edges {
+		if e.Pos.IsValid() && e.Pos != neg.Pos {
+			d.Related = append(d.Related, Related{Pos: e.Pos, Message: e.Head + " depends on " + e.Body + " here"})
+		}
+	}
+}
+
+// checkAdornments simulates the Magic-Sets adornment propagation from the
+// roots (full left-to-right SIPS, the strategy of internal/magic — see
+// internal/magic/adorn.go) and warns when a recursive predicate would be
+// processed with an all-free binding pattern: the "relevant" subgraph then
+// degenerates to the full materialization, defeating the point of the
+// rewriting (CM011). The simulation duplicates the adornment arithmetic
+// rather than importing internal/magic, which sits above the engine in the
+// package layering.
+func checkAdornments(l *list, prog *ast.Program, g *DepGraph, opts Options) {
+	if len(opts.Roots) == 0 {
+		return
+	}
+	recursive := g.recursivePreds()
+	arities := prog.Arities()
+
+	type adorned struct {
+		pred string
+		ad   string // binding pattern: 'b'/'f' per argument position
+	}
+	var queue []adorned
+	visited := map[adorned]bool{}
+	enqueue := func(p string, ad string) {
+		key := adorned{p, ad}
+		if !visited[key] {
+			visited[key] = true
+			queue = append(queue, key)
+		}
+	}
+	for _, root := range opts.Roots {
+		if g.IDB[root] {
+			enqueue(root, strings.Repeat("b", arities[root]))
+		}
+	}
+	warned := map[string]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, r := range prog.RulesFor(cur.pred) {
+			bound := map[string]bool{}
+			for i, t := range r.Head.Terms {
+				if t.IsVar() && i < len(cur.ad) && cur.ad[i] == 'b' {
+					bound[t.Name] = true
+				}
+			}
+			for _, b := range r.Body {
+				if ast.IsBuiltin(b.Predicate) {
+					continue
+				}
+				ad := adornmentFor(b, bound)
+				if g.IDB[b.Predicate] {
+					if len(ad) > 0 && !strings.ContainsRune(ad, 'b') && recursive[b.Predicate] && !warned[b.Predicate] {
+						warned[b.Predicate] = true
+						l.warnf(CodeFreeAdornment, b.Pos, r.Span(),
+							"magic sets: recursive predicate %s is reached with no bound arguments; the relevant subgraph degenerates to the full materialization", b.Predicate)
+					}
+					enqueue(b.Predicate, ad)
+				}
+				if !b.Negated {
+					for _, t := range b.Terms {
+						if t.IsVar() {
+							bound[t.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// adornmentFor computes the binding pattern of atom under the given bound
+// variable set: 'b' where the term is a constant or bound variable, 'f'
+// otherwise. Mirrors internal/magic's adornmentFor.
+func adornmentFor(atom ast.Atom, bound map[string]bool) string {
+	var sb strings.Builder
+	sb.Grow(atom.Arity())
+	for _, t := range atom.Terms {
+		if t.IsConst() || bound[t.Name] {
+			sb.WriteByte('b')
+		} else {
+			sb.WriteByte('f')
+		}
+	}
+	return sb.String()
+}
+
+// recursivePreds marks predicates on a dependency cycle (an edge to a
+// predicate in their own strongly connected component).
+func (g *DepGraph) recursivePreds() map[string]bool {
+	comp := g.sccs()
+	rec := map[string]bool{}
+	for _, e := range g.Edges {
+		if comp[e.Head] == comp[e.Body] {
+			rec[e.Head] = true
+			rec[e.Body] = true
+		}
+	}
+	return rec
+}
+
+func sortedVarNames(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	// Order by name for determinism; the list is tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

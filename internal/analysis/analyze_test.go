@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.ParseProgramLoose(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func codes(diags []Diagnostic) []Code {
+	out := make([]Code, len(diags))
+	for i, d := range diags {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func hasCode(diags []Diagnostic, c Code) bool {
+	for _, d := range diags {
+		if d.Code == c {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeCleanProgram(t *testing.T) {
+	prog := mustParse(t, `
+		0.8 r1: tc(X, Y) :- edge(X, Y).
+		0.5 r2: tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`)
+	diags := Analyze(prog, Options{})
+	if len(diags) != 0 {
+		t.Fatalf("clean program produced diagnostics: %v", diags)
+	}
+}
+
+func TestAnalyzeEDBGating(t *testing.T) {
+	prog := mustParse(t, `p(X) :- q(X).`)
+
+	// Without EDB knowledge CM008 must stay silent: q may well live in
+	// a fact file the analyzer has not seen.
+	if diags := Analyze(prog, Options{}); hasCode(diags, CodeUndefinedPred) {
+		t.Fatalf("CM008 fired without EDB info: %v", diags)
+	}
+	// With an (empty) EDB, q is provably undefined.
+	diags := Analyze(prog, Options{EDB: map[string]int{}})
+	if !hasCode(diags, CodeUndefinedPred) {
+		t.Fatalf("CM008 missing with empty EDB: %v", diags)
+	}
+	// Declaring q suppresses it again.
+	if diags := Analyze(prog, Options{EDB: map[string]int{"q": 1}}); hasCode(diags, CodeUndefinedPred) {
+		t.Fatalf("CM008 fired for declared EDB predicate: %v", diags)
+	}
+	// And an EDB arity clash is a hard CM006 error.
+	diags = Analyze(prog, Options{EDB: map[string]int{"q": 3}})
+	if !hasCode(diags, CodeArity) {
+		t.Fatalf("CM006 missing for EDB arity clash: %v", diags)
+	}
+}
+
+func TestAnalyzeUnreachableAndUndefinedRoots(t *testing.T) {
+	prog := mustParse(t, `
+		p(X) :- e(X).
+		dead(X) :- e(X).
+	`)
+	diags := Analyze(prog, Options{EDB: map[string]int{"e": 1}, Roots: []string{"p", "ghost"}})
+	var gotUnreachable, gotGhost bool
+	for _, d := range diags {
+		switch d.Code {
+		case CodeUnreachable:
+			gotUnreachable = true
+			if d.Pos.Line != 3 {
+				t.Errorf("CM009 at %s, want line 3", d.Pos)
+			}
+		case CodeUndefinedPred:
+			if strings.Contains(d.Message, "ghost") {
+				gotGhost = true
+			}
+		}
+	}
+	if !gotUnreachable {
+		t.Errorf("missing CM009 for rule dead: %v", codes(diags))
+	}
+	if !gotGhost {
+		t.Errorf("missing CM008 for undefined root ghost: %v", codes(diags))
+	}
+	// Every root reachable, nothing unreachable.
+	diags = Analyze(prog, Options{EDB: map[string]int{"e": 1}, Roots: []string{"p", "dead"}})
+	if hasCode(diags, CodeUnreachable) {
+		t.Errorf("CM009 fired with all rules reachable: %v", diags)
+	}
+}
+
+func TestAnalyzeDedupsPerVariable(t *testing.T) {
+	// Y is both an unbound head variable (CM004) and a singleton; only
+	// the error should be reported for it.
+	prog := mustParse(t, `p(X, Y) :- q(X).`)
+	diags := Analyze(prog, Options{})
+	var yCount int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "variable Y") {
+			yCount++
+			if d.Code != CodeRangeRestriction {
+				t.Errorf("variable Y reported as %s, want %s", d.Code, CodeRangeRestriction)
+			}
+		}
+	}
+	if yCount != 1 {
+		t.Errorf("variable Y reported %d times, want 1: %v", yCount, diags)
+	}
+}
+
+func TestDepGraphStrata(t *testing.T) {
+	prog := mustParse(t, `
+		reach(X) :- source(X).
+		reach(Y) :- reach(X), edge(X, Y).
+		unreached(X) :- node(X), not reach(X).
+	`)
+	g := NewDepGraph(prog)
+	strata, cycle := g.Strata()
+	if cycle != nil {
+		t.Fatalf("unexpected cycle: %v", cycle)
+	}
+	if strata["reach"] >= strata["unreached"] {
+		t.Errorf("unreached must sit strictly above reach: %v", strata)
+	}
+}
+
+func TestDepGraphNegativeCycleString(t *testing.T) {
+	prog := mustParse(t, `
+		a(X) :- e(X), not b(X).
+		b(X) :- e(X), a(X).
+	`)
+	g := NewDepGraph(prog)
+	cycle := g.NegativeCycle()
+	if cycle == nil {
+		t.Fatal("expected a negative cycle")
+	}
+	s := cycle.String()
+	if !strings.Contains(s, "not b") || !strings.Contains(s, "a") {
+		t.Errorf("cycle string %q does not show the negated edge", s)
+	}
+	if edge := cycle.NegEdge(); !edge.Negated {
+		t.Errorf("NegEdge returned a positive edge: %+v", edge)
+	}
+}
+
+func TestDependenciesOf(t *testing.T) {
+	prog := mustParse(t, `
+		p(X) :- q(X).
+		q(X) :- e(X).
+		island(X) :- e(X).
+	`)
+	g := NewDepGraph(prog)
+	deps := g.DependenciesOf([]string{"p"})
+	for _, want := range []string{"p", "q", "e"} {
+		if !deps[want] {
+			t.Errorf("DependenciesOf(p) missing %s: %v", want, deps)
+		}
+	}
+	if deps["island"] {
+		t.Errorf("DependenciesOf(p) should not include island: %v", deps)
+	}
+}
+
+func TestSortAndFirstError(t *testing.T) {
+	prog := mustParse(t, `
+		1.5 r1: p(X) :- q(X).
+		bad(X, Y) :- q(X).
+	`)
+	diags := Analyze(prog, Options{})
+	Sort(diags)
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Pos.Before(diags[i-1].Pos) {
+			t.Fatalf("diagnostics not sorted by position: %v", diags)
+		}
+	}
+	err := FirstError(diags)
+	if err == nil {
+		t.Fatal("FirstError: want error")
+	}
+	if !strings.Contains(err.Error(), string(CodeProbRange)) {
+		t.Errorf("FirstError %q should surface the first error (CM002)", err)
+	}
+	if FirstError(nil) != nil {
+		t.Error("FirstError(nil) must be nil")
+	}
+}
+
+func TestLintSourceDirectives(t *testing.T) {
+	src := "%! query: p\n%! bogus: x\np(X) :- q(X).\n"
+	res := LintSource("test.dl", src, Options{})
+	var gotBogus bool
+	for _, d := range res.Diagnostics {
+		if d.Code == CodeParse && strings.Contains(d.Message, "bogus") {
+			gotBogus = true
+			if d.Pos.Line != 2 {
+				t.Errorf("unknown-directive warning at %s, want line 2", d.Pos)
+			}
+			if d.Severity != Warning {
+				t.Errorf("unknown directive severity %s, want warning", d.Severity)
+			}
+		}
+	}
+	if !gotBogus {
+		t.Errorf("unknown directive not reported: %v", res.Diagnostics)
+	}
+	if res.HasErrors() {
+		t.Errorf("directive handling must not produce errors: %v", res.Diagnostics)
+	}
+}
+
+func TestLintSourceParseFailure(t *testing.T) {
+	res := LintSource("test.dl", "p(X :- q(X).", Options{})
+	if !res.HasErrors() || !hasCode(res.Diagnostics, CodeParse) {
+		t.Fatalf("parse failure must yield a CM000 error: %v", res.Diagnostics)
+	}
+	if res.Diagnostics[0].Pos.Line != 1 {
+		t.Errorf("CM000 at %s, want line 1", res.Diagnostics[0].Pos)
+	}
+}

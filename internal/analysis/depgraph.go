@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"contribmax/internal/ast"
+)
+
+// DepEdge is one head-to-body dependency: the rule's head predicate
+// depends on the body predicate, negatively when the body literal is
+// negated. Pos is the body literal's source position and Rule the index of
+// the contributing rule, so stratification errors and cycle reports can
+// point at real source locations.
+type DepEdge struct {
+	Head    string
+	Body    string
+	Negated bool
+	Rule    int
+	Pos     ast.Pos
+}
+
+// DepGraph is the predicate dependency graph of a program: one node per
+// predicate, one edge per (rule, body literal) pair, built-ins excluded.
+// It is the shared substrate for stratification (engine.Stratify), the
+// analyzer's negation-through-recursion and reachability passes, and
+// unused-rule detection.
+type DepGraph struct {
+	// Preds lists every predicate mentioned in the program, sorted.
+	Preds []string
+	// IDB marks predicates that appear in some rule head.
+	IDB map[string]bool
+	// Edges lists all dependencies in rule order.
+	Edges []DepEdge
+	// out[p] indexes the edges with Head == p.
+	out map[string][]int
+}
+
+// NewDepGraph builds the dependency graph of prog.
+func NewDepGraph(prog *ast.Program) *DepGraph {
+	g := &DepGraph{IDB: map[string]bool{}, out: map[string][]int{}}
+	seen := map[string]bool{}
+	note := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			g.Preds = append(g.Preds, p)
+		}
+	}
+	for _, r := range prog.Rules {
+		g.IDB[r.Head.Predicate] = true
+		note(r.Head.Predicate)
+	}
+	for i, r := range prog.Rules {
+		h := r.Head.Predicate
+		for _, b := range r.Body {
+			if ast.IsBuiltin(b.Predicate) {
+				continue
+			}
+			note(b.Predicate)
+			g.out[h] = append(g.out[h], len(g.Edges))
+			g.Edges = append(g.Edges, DepEdge{Head: h, Body: b.Predicate, Negated: b.Negated, Rule: i, Pos: b.Pos})
+		}
+	}
+	sort.Strings(g.Preds)
+	return g
+}
+
+// NegCycle describes a negation-through-recursion violation: a dependency
+// cycle containing at least one negated edge. Preds lists the cycle's
+// predicates in order (without repeating the first), and Edges the edges
+// traversed, Edges[i] going from Preds[i] to Preds[(i+1)%len].
+type NegCycle struct {
+	Preds []string
+	Edges []DepEdge
+}
+
+// String renders the cycle as "p -> not q -> r -> p".
+func (c *NegCycle) String() string {
+	if len(c.Preds) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(c.Preds[0])
+	for i, e := range c.Edges {
+		sb.WriteString(" -> ")
+		if e.Negated {
+			sb.WriteString("not ")
+		}
+		sb.WriteString(c.Preds[(i+1)%len(c.Preds)])
+	}
+	return sb.String()
+}
+
+// NegEdge returns the first negated edge of the cycle (every NegCycle has
+// at least one).
+func (c *NegCycle) NegEdge() DepEdge {
+	for _, e := range c.Edges {
+		if e.Negated {
+			return e
+		}
+	}
+	return DepEdge{}
+}
+
+// Strata computes each predicate's stratum: at least the stratum of every
+// positive idb dependency and strictly greater than that of every negated
+// idb dependency; predicates with no rules (extensional) live at stratum
+// 0. When the program is stratifiable it returns (strata, nil); otherwise
+// it returns (nil, cycle) for some offending negative cycle.
+func (g *DepGraph) Strata() (map[string]int, *NegCycle) {
+	if c := g.NegativeCycle(); c != nil {
+		return nil, c
+	}
+	stratum := map[string]int{}
+	// Fixpoint iteration; convergence is guaranteed because stratifiable
+	// programs bound every stratum by the number of idb predicates.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range g.Edges {
+			if !g.IDB[e.Body] {
+				continue
+			}
+			need := stratum[e.Body]
+			if e.Negated {
+				need++
+			}
+			if stratum[e.Head] < need {
+				stratum[e.Head] = need
+				changed = true
+			}
+		}
+	}
+	return stratum, nil
+}
+
+// NegativeCycle returns a dependency cycle through a negated edge, or nil
+// when the program is stratifiable. The search finds a strongly connected
+// component containing an internal negated edge, then a shortest path
+// closing the cycle, so the report is minimal and deterministic.
+func (g *DepGraph) NegativeCycle() *NegCycle {
+	comp := g.sccs()
+	for _, ei := range g.sortedEdgeIndexes() {
+		e := g.Edges[ei]
+		if !e.Negated || comp[e.Head] != comp[e.Body] {
+			continue
+		}
+		// Close the cycle: shortest path Body -> ... -> Head inside the
+		// component, then the negated edge Head -> Body.
+		path := g.shortestPath(e.Body, e.Head, comp)
+		cycle := &NegCycle{}
+		cycle.Preds = append(cycle.Preds, e.Head)
+		cycle.Edges = append(cycle.Edges, e)
+		for i := 0; i < len(path)-1; i++ {
+			cycle.Preds = append(cycle.Preds, path[i])
+			cycle.Edges = append(cycle.Edges, g.edgeBetween(path[i], path[i+1]))
+		}
+		return cycle
+	}
+	return nil
+}
+
+// sortedEdgeIndexes returns edge indexes ordered by source position, so
+// the reported cycle anchors to the first offending literal in the file.
+func (g *DepGraph) sortedEdgeIndexes() []int {
+	idx := make([]int, len(g.Edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return g.Edges[idx[a]].Pos.Before(g.Edges[idx[b]].Pos)
+	})
+	return idx
+}
+
+// sccs assigns each predicate a strongly-connected-component id via
+// iterative Tarjan over the dependency edges.
+func (g *DepGraph) sccs() map[string]int {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, ncomp := 0, 0
+
+	type frame struct {
+		pred string
+		ei   int // next out-edge index to consider
+	}
+	for _, root := range g.Preds {
+		if _, done := index[root]; done {
+			continue
+		}
+		work := []frame{{pred: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			edges := g.out[f.pred]
+			if f.ei < len(edges) {
+				w := g.Edges[edges[f.ei]].Body
+				f.ei++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{pred: w})
+				} else if onStack[w] && low[f.pred] > index[w] {
+					low[f.pred] = index[w]
+				}
+				continue
+			}
+			v := f.pred
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].pred
+				if low[p] > low[v] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}
+
+// shortestPath returns a shortest predicate path from -> ... -> to that
+// stays inside the given component (BFS; both endpoints must share a
+// component). The result includes both endpoints; from == to yields a
+// single-element path.
+func (g *DepGraph) shortestPath(from, to string, comp map[string]int) []string {
+	if from == to {
+		return []string{from}
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ei := range g.out[v] {
+			w := g.Edges[ei].Body
+			if comp[w] != comp[from] {
+				continue
+			}
+			if _, seen := prev[w]; seen {
+				continue
+			}
+			prev[w] = v
+			if w == to {
+				var path []string
+				for at := to; ; at = prev[at] {
+					path = append(path, at)
+					if at == from {
+						break
+					}
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, w)
+		}
+	}
+	return []string{from} // unreachable for SCC-mates; defensive
+}
+
+// edgeBetween returns some edge from head to body (preferring positive
+// ones, which keeps reported cycles minimal in negations).
+func (g *DepGraph) edgeBetween(head, body string) DepEdge {
+	var found *DepEdge
+	for _, ei := range g.out[head] {
+		e := g.Edges[ei]
+		if e.Body != body {
+			continue
+		}
+		if !e.Negated {
+			return e
+		}
+		if found == nil {
+			found = &g.Edges[ei]
+		}
+	}
+	if found != nil {
+		return *found
+	}
+	return DepEdge{Head: head, Body: body}
+}
+
+// DependenciesOf returns the predicates reachable from the given roots by
+// following head -> body edges (i.e. everything the roots' derivations can
+// depend on), including the roots themselves.
+func (g *DepGraph) DependenciesOf(roots []string) map[string]bool {
+	reach := map[string]bool{}
+	var stack []string
+	for _, r := range roots {
+		if !reach[r] {
+			reach[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range g.out[v] {
+			w := g.Edges[ei].Body
+			if !reach[w] {
+				reach[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return reach
+}

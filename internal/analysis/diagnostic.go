@@ -1,0 +1,196 @@
+// Package analysis implements a multi-pass static analyzer for
+// probabilistic datalog programs. It is the correctness gate in front of
+// the CM pipeline: malformed programs (unsafe rules, inconsistent arities,
+// out-of-range probabilities, negation through recursion, targets that no
+// rule can derive) are reported as structured diagnostics with real source
+// positions before the expensive WD-graph / RIS machinery runs, instead of
+// surfacing as runtime panics or silently wrong fixpoints.
+//
+// The analyzer subsumes ast.Program.Validate: every condition Validate
+// rejects maps to an error-severity diagnostic here, plus a set of
+// warnings (dead rules, unreachable predicates, Magic-Sets free-variable
+// explosions) and informational lints (singleton variables) that Validate
+// never reported.
+//
+// Entry points: Analyze for in-memory programs, LintSource/LintFile for
+// source text (tolerating parse failures, which become CM000 diagnostics).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"contribmax/internal/ast"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Info marks stylistic lints; they never fail a build.
+	Info Severity = iota
+	// Warning marks likely mistakes that do not make the program
+	// ill-formed (dead rules, unreachable predicates).
+	Warning
+	// Error marks conditions that make the program ill-formed: evaluation
+	// would reject it, panic, or compute a meaningless result.
+	Error
+)
+
+// String renders the severity in lowercase, as printed by cmlint.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Code identifies a diagnostic class. Codes are stable across releases and
+// documented in docs/DIALECT.md ("Static checks & diagnostics").
+type Code string
+
+const (
+	// CodeParse: the source failed to lex or parse.
+	CodeParse Code = "CM000"
+	// CodeLabel: empty or duplicate rule label.
+	CodeLabel Code = "CM001"
+	// CodeProbRange: rule probability outside [0, 1].
+	CodeProbRange Code = "CM002"
+	// CodeDeadRule: rule probability is exactly 0, so it can never fire.
+	CodeDeadRule Code = "CM003"
+	// CodeRangeRestriction: a head variable is not bound by any positive,
+	// non-built-in body atom.
+	CodeRangeRestriction Code = "CM004"
+	// CodeUnsafe: a variable of a negated or built-in literal is not bound
+	// by any positive, non-built-in body atom.
+	CodeUnsafe Code = "CM005"
+	// CodeArity: a predicate is used with two different arities (across
+	// rules, facts, or the extensional database).
+	CodeArity Code = "CM006"
+	// CodeBuiltinMisuse: a built-in comparison used as a rule head, negated,
+	// or with arity other than 2; or a negated rule head.
+	CodeBuiltinMisuse Code = "CM007"
+	// CodeUndefinedPred: a body predicate has no defining rule and no facts
+	// in the extensional database (only reported when EDB info is known).
+	CodeUndefinedPred Code = "CM008"
+	// CodeUnreachable: a rule's head predicate cannot contribute to any of
+	// the query/target predicates (only reported when roots are known).
+	CodeUnreachable Code = "CM009"
+	// CodeNegativeCycle: recursion through negation; the program is not
+	// stratifiable.
+	CodeNegativeCycle Code = "CM010"
+	// CodeFreeAdornment: the Magic-Sets rewriting would process a recursive
+	// predicate with an all-free binding pattern, so the "relevant" subgraph
+	// degenerates to the full materialization (free-variable explosion).
+	CodeFreeAdornment Code = "CM011"
+	// CodeSingletonVar: a variable occurs exactly once in a rule; usually a
+	// typo. Prefix the name with _ to mark an intentional projection.
+	CodeSingletonVar Code = "CM012"
+)
+
+// Related points at a secondary source location that explains a
+// diagnostic (e.g. the first use establishing a predicate's arity).
+type Related struct {
+	Pos     ast.Pos
+	Message string
+}
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Severity Severity
+	Code     Code
+	// Pos is the primary source position the finding anchors to.
+	Pos ast.Pos
+	// Span is the source range of the enclosing construct (usually the
+	// rule); Span.Start may differ from Pos.
+	Span    ast.Span
+	Message string
+	// Related lists secondary positions (first arity use, the other end of
+	// a negative cycle, ...). May be empty.
+	Related []Related
+}
+
+// String renders the diagnostic in the canonical single-line form
+//
+//	3:14: error[CM004]: head variable Y is not bound by a positive body atom
+//
+// with related positions appended as "(see 1:5: first use)" clauses.
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s[%s]: %s", d.Pos, d.Severity, d.Code, d.Message)
+	for _, r := range d.Related {
+		fmt.Fprintf(&sb, " (see %s: %s)", r.Pos, r.Message)
+	}
+	return sb.String()
+}
+
+// errorf appends an error diagnostic; warnf and infof likewise.
+func (l *list) errorf(code Code, pos ast.Pos, span ast.Span, format string, args ...any) *Diagnostic {
+	return l.add(Error, code, pos, span, format, args...)
+}
+
+func (l *list) warnf(code Code, pos ast.Pos, span ast.Span, format string, args ...any) *Diagnostic {
+	return l.add(Warning, code, pos, span, format, args...)
+}
+
+func (l *list) infof(code Code, pos ast.Pos, span ast.Span, format string, args ...any) *Diagnostic {
+	return l.add(Info, code, pos, span, format, args...)
+}
+
+// list accumulates diagnostics during analysis.
+type list struct {
+	diags []Diagnostic
+}
+
+func (l *list) add(sev Severity, code Code, pos ast.Pos, span ast.Span, format string, args ...any) *Diagnostic {
+	l.diags = append(l.diags, Diagnostic{
+		Severity: sev,
+		Code:     code,
+		Pos:      pos,
+		Span:     span,
+		Message:  fmt.Sprintf(format, args...),
+	})
+	return &l.diags[len(l.diags)-1]
+}
+
+// Sort orders diagnostics by source position, then severity (errors
+// first), then code, giving deterministic tool output.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos != b.Pos {
+			return a.Pos.Before(b.Pos)
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Code < b.Code
+	})
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstError returns the first error-severity diagnostic as a Go error, or
+// nil. It is the bridge for fail-fast call sites that want one error value
+// rather than the full list.
+func FirstError(diags []Diagnostic) error {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return fmt.Errorf("analysis: %s", d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/analysis")
+
+// TestGoldenCorpus runs the linter over every seeded-defect program in
+// testdata/analysis and compares the rendered diagnostics (code, line and
+// column included) against the sibling .golden file. Regenerate with
+//
+//	go test ./internal/analysis -run TestGoldenCorpus -update
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "analysis", "bad_*.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no bad_*.dl files found under testdata/analysis")
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			res, err := LintFile(file, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, d := range res.Diagnostics {
+				fmt.Fprintln(&b, d.String())
+			}
+			got := b.String()
+			golden := strings.TrimSuffix(file, ".dl") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", file, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusHasErrors pins down which corpus files must contain at
+// least one hard error (as opposed to warnings/infos only).
+func TestGoldenCorpusHasErrors(t *testing.T) {
+	wantError := map[string]bool{
+		"bad_arity.dl":    true,
+		"bad_builtin.dl":  true,
+		"bad_negcycle.dl": true,
+		"bad_parse.dl":    true,
+		"bad_prob.dl":     true,
+		"bad_reach.dl":    false, // warnings only: CM008/CM009/CM011
+		"bad_safety.dl":   true,
+	}
+	for name, want := range wantError {
+		res, err := LintFile(filepath.Join("..", "..", "testdata", "analysis", name), Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := HasErrors(res.Diagnostics); got != want {
+			t.Errorf("%s: HasErrors = %v, want %v", name, got, want)
+		}
+		if len(res.Diagnostics) == 0 {
+			t.Errorf("%s: expected at least one diagnostic", name)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/parser"
+)
+
+// FileResult is the outcome of linting one source file.
+type FileResult struct {
+	// Path identifies the file in reports ("-" for stdin).
+	Path string
+	// Program is the parsed program, nil when parsing failed.
+	Program *ast.Program
+	// Diagnostics holds the findings, sorted. A parse failure yields a
+	// single CM000 error and no further analysis.
+	Diagnostics []Diagnostic
+}
+
+// HasErrors reports whether the result contains error-severity findings.
+func (r FileResult) HasErrors() bool { return HasErrors(r.Diagnostics) }
+
+// LintSource parses and analyzes program source text. Lint directives
+// embedded in comments refine the analysis:
+//
+//	%! query: dealsWith cheaperThan   -- roots for reachability/adornment checks
+//	%! facts: trade.facts             -- fact file(s) establishing the edb schema
+//
+// Directive-supplied roots and fact files are merged into opts (fact paths
+// resolve relative to path's directory). A parse failure is reported as a
+// CM000 diagnostic, not an error return, so callers can treat broken and
+// clean files uniformly.
+func LintSource(path, src string, opts Options) FileResult {
+	res := FileResult{Path: path}
+	dir := filepath.Dir(path)
+	for _, d := range parseDirectives(src) {
+		switch d.key {
+		case "query":
+			opts.Roots = append(opts.Roots, strings.Fields(d.value)...)
+		case "facts":
+			for _, f := range strings.Fields(d.value) {
+				fp := f
+				if !filepath.IsAbs(fp) && path != "-" {
+					fp = filepath.Join(dir, fp)
+				}
+				edb, err := factArities(fp)
+				if err != nil {
+					res.Diagnostics = append(res.Diagnostics, Diagnostic{
+						Severity: Warning,
+						Code:     CodeParse,
+						Pos:      d.pos,
+						Message:  fmt.Sprintf("cannot load fact file %s: %v", f, err),
+					})
+					continue
+				}
+				if opts.EDB == nil {
+					opts.EDB = map[string]int{}
+				}
+				for p, a := range edb {
+					if _, ok := opts.EDB[p]; !ok {
+						opts.EDB[p] = a
+					}
+				}
+			}
+		default:
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Severity: Warning,
+				Code:     CodeParse,
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("unknown lint directive %q (known: query, facts)", d.key),
+			})
+		}
+	}
+	prog, err := parser.ParseProgramLoose(src)
+	if err != nil {
+		res.Diagnostics = append(res.Diagnostics, parseDiagnostic(err))
+		Sort(res.Diagnostics)
+		return res
+	}
+	res.Program = prog
+	res.Diagnostics = append(res.Diagnostics, Analyze(prog, opts)...)
+	Sort(res.Diagnostics)
+	return res
+}
+
+// LintFile reads and lints the program file at path.
+func LintFile(path string, opts Options) (FileResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return FileResult{Path: path}, err
+	}
+	return LintSource(path, string(data), opts), nil
+}
+
+// parseDiagnostic converts a parser failure into a CM000 diagnostic,
+// recovering the source position from parser.Error when available.
+func parseDiagnostic(err error) Diagnostic {
+	d := Diagnostic{Severity: Error, Code: CodeParse, Message: err.Error()}
+	var perr *parser.Error
+	if errors.As(err, &perr) {
+		d.Pos = ast.Pos{Line: perr.Line, Col: perr.Col}
+		d.Message = perr.Msg
+	}
+	return d
+}
+
+// factArities parses a fact file and returns each predicate's arity. Both
+// the plain and probabilistic fact formats are accepted.
+func factArities(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pfs, err := parser.ParseProbFacts(string(data))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int{}
+	for _, pf := range pfs {
+		if _, ok := out[pf.Atom.Predicate]; !ok {
+			out[pf.Atom.Predicate] = pf.Atom.Arity()
+		}
+	}
+	return out, nil
+}
+
+// directive is one "%! key: value" lint comment.
+type directive struct {
+	key   string
+	value string
+	pos   ast.Pos
+}
+
+// parseDirectives scans src for lint directives. A directive is a comment
+// line starting with "%!" followed by "key: value"; anything else starting
+// with "%" is an ordinary comment.
+func parseDirectives(src string) []directive {
+	var out []directive
+	line := 0
+	for len(src) > 0 {
+		line++
+		nl := strings.IndexByte(src, '\n')
+		var text string
+		if nl < 0 {
+			text, src = src, ""
+		} else {
+			text, src = src[:nl], src[nl+1:]
+		}
+		trimmed := strings.TrimSpace(text)
+		if !strings.HasPrefix(trimmed, "%!") {
+			continue
+		}
+		body := strings.TrimSpace(trimmed[2:])
+		col := len(text) - len(strings.TrimLeft(text, " \t")) + 1
+		pos := ast.Pos{Line: line, Col: col}
+		key, value, ok := strings.Cut(body, ":")
+		if !ok {
+			out = append(out, directive{key: body, pos: pos})
+			continue
+		}
+		out = append(out, directive{key: strings.TrimSpace(key), value: strings.TrimSpace(value), pos: pos})
+	}
+	return out
+}

@@ -15,6 +15,22 @@ type Atom struct {
 	// enforces safety (every variable of a negated atom must occur in a
 	// positive, non-built-in body atom).
 	Negated bool
+	// Pos is the atom's source position: the first token of the literal
+	// (the "not" keyword for negated atoms, the predicate otherwise). Zero
+	// for atoms built programmatically; excluded from Equal.
+	Pos Pos
+}
+
+// Span returns the atom's source range, from its first token to its last
+// term's position (or the predicate position for zero-ary atoms).
+func (a Atom) Span() Span {
+	s := Span{Start: a.Pos, End: a.Pos}
+	for _, t := range a.Terms {
+		if t.Pos.IsValid() && s.End.Before(t.Pos) {
+			s.End = t.Pos
+		}
+	}
+	return s
 }
 
 // NewAtom builds an atom from a predicate name and terms.
@@ -50,16 +66,17 @@ func (a Atom) Vars(dst []string) []string {
 	return dst
 }
 
-// Rename returns a copy of the atom with the predicate replaced.
+// Rename returns a copy of the atom with the predicate replaced. The
+// source position is preserved (it still refers to the original atom).
 func (a Atom) Rename(pred string) Atom {
-	return Atom{Predicate: pred, Terms: a.Terms, Negated: a.Negated}
+	return Atom{Predicate: pred, Terms: a.Terms, Negated: a.Negated, Pos: a.Pos}
 }
 
 // Clone returns a deep copy of the atom (fresh Terms slice).
 func (a Atom) Clone() Atom {
 	ts := make([]Term, len(a.Terms))
 	copy(ts, a.Terms)
-	return Atom{Predicate: a.Predicate, Terms: ts, Negated: a.Negated}
+	return Atom{Predicate: a.Predicate, Terms: ts, Negated: a.Negated, Pos: a.Pos}
 }
 
 // Positive returns the atom with negation stripped.
@@ -68,13 +85,14 @@ func (a Atom) Positive() Atom {
 	return a
 }
 
-// Equal reports structural equality of two atoms.
+// Equal reports structural equality of two atoms, ignoring source
+// positions.
 func (a Atom) Equal(b Atom) bool {
 	if a.Predicate != b.Predicate || len(a.Terms) != len(b.Terms) || a.Negated != b.Negated {
 		return false
 	}
 	for i := range a.Terms {
-		if a.Terms[i] != b.Terms[i] {
+		if !a.Terms[i].Same(b.Terms[i]) {
 			return false
 		}
 	}

@@ -1,0 +1,60 @@
+package ast
+
+import "fmt"
+
+// Pos is a source position: 1-based line and column of the first character
+// of a token. The zero value means "position unknown" (nodes built
+// programmatically rather than parsed).
+//
+// Positions are carried by Term, Atom, and Rule so that static-analysis
+// diagnostics (internal/analysis) and stratification errors can point at
+// the offending source location. Positions are metadata: they never
+// participate in structural equality (Term/Atom/Rule Equal) and have no
+// semantic meaning.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position is known (parsed from source).
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Before reports whether p precedes q in source order. An unknown position
+// precedes nothing and is preceded by every valid position.
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// String renders the position as "line:col", or "-" when unknown.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Span is a source range, from the position of its first token to the
+// position of its last. End is the start of the last token, not one past
+// it (the lexer does not track token widths).
+type Span struct {
+	Start Pos
+	End   Pos
+}
+
+// IsValid reports whether the span's start is known.
+func (s Span) IsValid() bool { return s.Start.IsValid() }
+
+// String renders the span as "start-end", collapsing to just the start
+// when the span covers a single token.
+func (s Span) String() string {
+	if !s.IsValid() {
+		return "-"
+	}
+	if s.End == s.Start || !s.End.IsValid() {
+		return s.Start.String()
+	}
+	return s.Start.String() + "-" + s.End.String()
+}

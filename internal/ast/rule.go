@@ -23,6 +23,26 @@ type Rule struct {
 	Head Atom
 	// Body is the (possibly empty) list of body atoms.
 	Body []Atom
+	// Pos is the source position of the rule's first token (the
+	// probability, label, or head). Zero for rules built programmatically;
+	// excluded from Equal.
+	Pos Pos
+}
+
+// Span returns the rule's source range, from its first token to the last
+// position of its last body atom (or head, for facts).
+func (r Rule) Span() Span {
+	s := Span{Start: r.Pos, End: r.Pos}
+	widen := func(sp Span) {
+		if sp.End.IsValid() && s.End.Before(sp.End) {
+			s.End = sp.End
+		}
+	}
+	widen(r.Head.Span())
+	for _, b := range r.Body {
+		widen(b.Span())
+	}
+	return s
 }
 
 // NewRule builds a rule with the given label, probability, head, and body.
@@ -105,10 +125,11 @@ func (r Rule) Clone() Rule {
 	for i, b := range r.Body {
 		body[i] = b.Clone()
 	}
-	return Rule{Label: r.Label, Prob: r.Prob, Head: r.Head.Clone(), Body: body}
+	return Rule{Label: r.Label, Prob: r.Prob, Head: r.Head.Clone(), Body: body, Pos: r.Pos}
 }
 
-// Equal reports structural equality (label, probability, head, body).
+// Equal reports structural equality (label, probability, head, body),
+// ignoring source positions.
 func (r Rule) Equal(o Rule) bool {
 	if r.Label != o.Label || r.Prob != o.Prob || !r.Head.Equal(o.Head) || len(r.Body) != len(o.Body) {
 		return false

@@ -26,13 +26,20 @@ const (
 
 // Term is a datalog term: a variable or a constant.
 //
-// Terms are small value types and are copied freely. Two terms are equal
-// (==) iff they have the same kind and name, which is exactly datalog term
-// identity.
+// Terms are small value types and are copied freely. Datalog term identity
+// is (Kind, Name); compare with Same rather than ==, which would also
+// compare the source position metadata.
 type Term struct {
 	Kind TermKind
 	Name string
+	// Pos is the term's source position (zero for terms built
+	// programmatically). It is metadata, excluded from Same.
+	Pos Pos
 }
+
+// Same reports datalog term identity: same kind and name, ignoring source
+// positions.
+func (t Term) Same(u Term) bool { return t.Kind == u.Kind && t.Name == u.Name }
 
 // V returns a variable term with the given name.
 func V(name string) Term { return Term{Kind: Var, Name: name} }

@@ -23,7 +23,7 @@ import (
 // which is why, as the paper's experiments show, Magic^G CM's memory
 // footprint grows with the number of RR sets while Magic^S CM's does not.
 func MagicGroupedCM(in Input, opts Options) (*Result, error) {
-	inst, err := prepare(in)
+	inst, err := prepare(in, opts.SkipAnalysis)
 	if err != nil {
 		return nil, err
 	}

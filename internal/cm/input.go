@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"contribmax/internal/analysis"
 	"contribmax/internal/ast"
 	"contribmax/internal/db"
 	"contribmax/internal/im"
@@ -64,6 +65,15 @@ type Options struct {
 	// matroid (1/2-approximation of the constrained optimum). Incompatible
 	// with LazyGreedy (the constraint wins).
 	MaxSeedsPerRelation int
+	// SkipAnalysis disables the static-analysis gate that prepare runs in
+	// front of every algorithm (the zero value keeps it on). The gate
+	// rejects programs with error-severity findings — unsafe rules, arity
+	// clashes with the database schema, out-of-range probabilities,
+	// negation through recursion — before any graph is built. Skipping is
+	// for callers that already analyzed the program (e.g. a server linting
+	// at load time) or construct programs the analyzer provably accepts;
+	// ast.Program.Validate still runs as a cheap backstop.
+	SkipAnalysis bool
 	// Parallelism fans RR-set generation out over this many goroutines:
 	// per-tuple subgraph constructions for MagicCM / Magic^S CM, reverse
 	// walks over the shared graph for NaiveCM / Magic^G CM. 0 or 1 means
@@ -181,13 +191,21 @@ type instance struct {
 	targets    []FactHandle
 }
 
-// prepare validates and resolves an Input.
-func prepare(in Input) (*instance, error) {
+// prepare validates and resolves an Input. Unless skipAnalysis is set it
+// runs the full static analyzer over the program against the database
+// schema and the T2 predicates, rejecting error-severity findings with
+// source positions; Program.Validate runs either way as a cheap backstop.
+func prepare(in Input, skipAnalysis bool) (*instance, error) {
 	if in.Program == nil || in.DB == nil {
 		return nil, fmt.Errorf("cm: nil program or database")
 	}
 	if err := in.Program.Validate(); err != nil {
 		return nil, fmt.Errorf("cm: %w", err)
+	}
+	if !skipAnalysis {
+		if err := analysis.FirstError(analysis.Analyze(in.Program, analysisOptions(in))); err != nil {
+			return nil, fmt.Errorf("cm: %w", err)
+		}
 	}
 	if in.K <= 0 {
 		return nil, fmt.Errorf("cm: K must be positive, got %d", in.K)
@@ -267,6 +285,26 @@ func prepare(in Input) (*instance, error) {
 		inst.targets = append(inst.targets, h)
 	}
 	return inst, nil
+}
+
+// analysisOptions derives the analyzer configuration from an Input: the
+// database relations give the edb schema, the T2 predicates the roots.
+func analysisOptions(in Input) analysis.Options {
+	edb := map[string]int{}
+	for _, name := range in.DB.RelationNames() {
+		if rel, ok := in.DB.Lookup(name); ok {
+			edb[name] = rel.Arity()
+		}
+	}
+	var roots []string
+	seen := map[string]bool{}
+	for _, a := range in.T2 {
+		if !seen[a.Predicate] {
+			seen[a.Predicate] = true
+			roots = append(roots, a.Predicate)
+		}
+	}
+	return analysis.Options{EDB: edb, Roots: roots}
 }
 
 // internAtomConsts interns the constant terms of an atom (variables are

@@ -36,7 +36,7 @@ func MagicSampledCM(in Input, opts Options) (*Result, error) {
 }
 
 func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, error) {
-	inst, err := prepare(in)
+	inst, err := prepare(in, opts.SkipAnalysis)
 	if err != nil {
 		return nil, err
 	}

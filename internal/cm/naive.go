@@ -16,7 +16,7 @@ import (
 // ≥ 1 − δ (Proposition 4.1) but materializes a graph polynomial in |D|,
 // which is what the optimized variants avoid.
 func NaiveCM(in Input, opts Options) (*Result, error) {
-	inst, err := prepare(in)
+	inst, err := prepare(in, opts.SkipAnalysis)
 	if err != nil {
 		return nil, err
 	}

@@ -19,7 +19,10 @@ func (d *Database) LoadCSV(pred string, arity int, r io.Reader, header bool) (in
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = arity
 	cr.ReuseRecord = true
-	rel := d.Relation(pred, arity)
+	rel, err := d.EnsureRelation(pred, arity)
+	if err != nil {
+		return 0, err
+	}
 	added := 0
 	first := true
 	t := make(Tuple, arity)

@@ -7,6 +7,16 @@ import (
 	"contribmax/internal/ast"
 )
 
+// invariantf reports a violated internal invariant. It is the single
+// escape hatch for conditions that public error-returning paths
+// (EnsureRelation, AttachShared, InsertAtom) have already screened out:
+// reaching it means a caller bypassed those paths with data it promised was
+// valid, so there is no sensible recovery. Every panic in this package
+// funnels through here.
+func invariantf(format string, args ...any) {
+	panic("db: invariant violated: " + fmt.Sprintf(format, args...))
+}
+
 // Database is a collection of named relations sharing one symbol table.
 type Database struct {
 	symbols   *SymbolTable
@@ -25,20 +35,33 @@ func NewDatabase() *Database {
 // Symbols returns the database's symbol table.
 func (d *Database) Symbols() *SymbolTable { return d.symbols }
 
-// Relation returns the relation named pred, creating it with the given
-// arity if absent. It panics if the relation exists with a different arity,
-// which indicates an invalid program (ast.Program.Validate catches this for
-// parsed programs).
-func (d *Database) Relation(pred string, arity int) *Relation {
+// EnsureRelation returns the relation named pred, creating it with the
+// given arity if absent. It returns an error if the relation exists with a
+// different arity — the public, validating counterpart of Relation for
+// callers handling untrusted programs or data files.
+func (d *Database) EnsureRelation(pred string, arity int) (*Relation, error) {
 	if r, ok := d.relations[pred]; ok {
 		if r.arity != arity {
-			panic(fmt.Sprintf("db: relation %s used with arities %d and %d", pred, r.arity, arity))
+			return nil, fmt.Errorf("db: relation %s used with arities %d and %d", pred, r.arity, arity)
 		}
-		return r
+		return r, nil
 	}
 	r := NewRelation(pred, arity)
 	d.relations[pred] = r
 	d.order = append(d.order, pred)
+	return r, nil
+}
+
+// Relation returns the relation named pred, creating it with the given
+// arity if absent. The caller vouches that pred is used with one arity
+// (ast.Program.Validate or analysis.Analyze establish this for parsed
+// programs); a mismatch is an invariant violation and panics. Callers that
+// cannot promise this must use EnsureRelation.
+func (d *Database) Relation(pred string, arity int) *Relation {
+	r, err := d.EnsureRelation(pred, arity)
+	if err != nil {
+		invariantf("%v", err)
+	}
 	return r
 }
 
@@ -57,23 +80,28 @@ func (d *Database) RelationNames() []string {
 
 // InsertAtom interns and inserts a ground atom. It returns the relation,
 // the tuple id and whether the tuple was newly added. It returns an error
-// if the atom is not ground.
+// if the atom is not ground or its predicate is already registered with a
+// different arity.
 func (d *Database) InsertAtom(a ast.Atom) (*Relation, TupleID, bool, error) {
 	t, err := d.InternAtom(a)
 	if err != nil {
 		return nil, 0, false, err
 	}
-	rel := d.Relation(a.Predicate, a.Arity())
+	rel, err := d.EnsureRelation(a.Predicate, a.Arity())
+	if err != nil {
+		return nil, 0, false, err
+	}
 	id, added := rel.Insert(t)
 	return rel, id, added, nil
 }
 
-// MustInsertAtom is InsertAtom for callers that know the atom is ground
-// (e.g. generated workloads); it panics on a non-ground atom.
+// MustInsertAtom is InsertAtom for callers that know the atom is ground and
+// arity-consistent (e.g. generated workloads); a violation is an invariant
+// failure and panics.
 func (d *Database) MustInsertAtom(a ast.Atom) (TupleID, bool) {
 	_, id, added, err := d.InsertAtom(a)
 	if err != nil {
-		panic(err)
+		invariantf("%v", err)
 	}
 	return id, added
 }
@@ -135,21 +163,31 @@ func (d *Database) CloneSchema() *Database {
 	}
 }
 
-// Attach shares an existing relation (typically an edb relation of another
-// database with the same symbol table) under its own name. The relation is
-// shared by reference: the Magic-Sets algorithms attach the original edb
-// relations to per-query scratch databases so that edb data and its lazily
-// built indexes are reused across queries. It panics if a different
-// relation is already registered under the name.
-func (d *Database) Attach(rel *Relation) {
+// AttachShared shares an existing relation (typically an edb relation of
+// another database with the same symbol table) under its own name. The
+// relation is shared by reference: the Magic-Sets algorithms attach the
+// original edb relations to per-query scratch databases so that edb data
+// and its lazily built indexes are reused across queries. It returns an
+// error if a different relation is already registered under the name.
+func (d *Database) AttachShared(rel *Relation) error {
 	if prev, ok := d.relations[rel.Name()]; ok {
 		if prev != rel {
-			panic(fmt.Sprintf("db: relation %s already attached", rel.Name()))
+			return fmt.Errorf("db: relation %s already attached", rel.Name())
 		}
-		return
+		return nil
 	}
 	d.relations[rel.Name()] = rel
 	d.order = append(d.order, rel.Name())
+	return nil
+}
+
+// Attach is AttachShared for callers that know the name is free or holds
+// the same relation (the Magic-Sets scratch databases, which attach each
+// edb relation exactly once); a clash is an invariant failure and panics.
+func (d *Database) Attach(rel *Relation) {
+	if err := d.AttachShared(rel); err != nil {
+		invariantf("%v", err)
+	}
 }
 
 // Stats returns a deterministic, human-readable per-relation tuple count

@@ -310,3 +310,52 @@ func TestLoadCSVFileAndEstimatedBytes(t *testing.T) {
 		t.Error("missing CSV should error")
 	}
 }
+
+func TestEnsureRelationErrors(t *testing.T) {
+	d := db.NewDatabase()
+	rel, err := d.EnsureRelation("p", 2)
+	if err != nil || rel == nil {
+		t.Fatalf("EnsureRelation fresh: %v", err)
+	}
+	again, err := d.EnsureRelation("p", 2)
+	if err != nil || again != rel {
+		t.Fatalf("EnsureRelation same arity must return the same relation (err %v)", err)
+	}
+	if _, err := d.EnsureRelation("p", 3); err == nil {
+		t.Fatal("EnsureRelation arity clash: want error, got nil")
+	} else if !strings.Contains(err.Error(), "p") || !strings.Contains(err.Error(), "2") {
+		t.Errorf("arity-clash error %q should name the predicate and existing arity", err)
+	}
+}
+
+func TestAttachSharedErrors(t *testing.T) {
+	d := db.NewDatabase()
+	d.MustInsertAtom(ast.NewAtom("e", ast.C("a"), ast.C("b")))
+	rel, _ := d.Lookup("e")
+
+	c := d.CloneSchema()
+	if err := c.AttachShared(rel); err != nil {
+		t.Fatalf("AttachShared: %v", err)
+	}
+	if err := c.AttachShared(rel); err != nil {
+		t.Fatalf("AttachShared same relation twice must be a no-op: %v", err)
+	}
+	if err := c.AttachShared(db.NewRelation("e", 2)); err == nil {
+		t.Fatal("AttachShared different relation under a taken name: want error")
+	}
+}
+
+func TestInvariantPanicMessage(t *testing.T) {
+	d := db.NewDatabase()
+	d.Relation("p", 2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("arity clash via Relation should panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "db: invariant violated") {
+			t.Errorf("panic %v should carry the invariant prefix", r)
+		}
+	}()
+	d.Relation("p", 3)
+}

@@ -102,7 +102,10 @@ func ReadSnapshot(r io.Reader) (*Database, error) {
 		if err != nil {
 			return nil, err
 		}
-		rel := d.Relation(name, int(arity))
+		rel, err := d.EnsureRelation(name, int(arity))
+		if err != nil {
+			return nil, fmt.Errorf("db: corrupt snapshot: %w", err)
+		}
 		t := make(Tuple, arity)
 		for j := uint64(0); j < nTuples; j++ {
 			for k := range t {

@@ -137,10 +137,14 @@ func compile(prog *ast.Program, database *db.Database) ([]*compiledRule, error) 
 			if a.Arity() > 31 {
 				return compiledAtom{}, fmt.Errorf("engine: predicate %s arity %d exceeds 31", a.Predicate, a.Arity())
 			}
+			rel, err := database.EnsureRelation(a.Predicate, a.Arity())
+			if err != nil {
+				return compiledAtom{}, fmt.Errorf("engine: %w", err)
+			}
 			ca := compiledAtom{
 				pred:  a.Predicate,
 				arity: a.Arity(),
-				rel:   database.Relation(a.Predicate, a.Arity()),
+				rel:   rel,
 				terms: make([]atomTerm, a.Arity()),
 			}
 			for j, t := range a.Terms {
@@ -191,10 +195,14 @@ func compile(prog *ast.Program, database *db.Database) ([]*compiledRule, error) 
 				if b.Arity() > 31 {
 					return nil, fmt.Errorf("engine: predicate %s arity %d exceeds 31", b.Predicate, b.Arity())
 				}
+				rel, err := database.EnsureRelation(b.Predicate, b.Arity())
+				if err != nil {
+					return nil, fmt.Errorf("engine: %w", err)
+				}
 				cr.checks = append(cr.checks, compiledCheck{
 					negated: true,
 					pred:    b.Predicate,
-					rel:     database.Relation(b.Predicate, b.Arity()),
+					rel:     rel,
 					terms:   compileTerms(b),
 				})
 			}

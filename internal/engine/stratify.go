@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"contribmax/internal/analysis"
 	"contribmax/internal/ast"
 )
 
@@ -14,41 +15,18 @@ import (
 // predicate. Extensional predicates live at stratum 0.
 //
 // It returns the rule indexes per stratum, in ascending stratum order, or
-// an error if the program is not stratifiable (a recursive cycle passes
-// through negation).
+// an error if the program is not stratifiable. The error spells out an
+// offending negation cycle with the source position of the negated literal
+// when the program carries positions (analysis.DepGraph supplies both).
 func Stratify(prog *ast.Program) ([][]int, error) {
-	idb := map[string]bool{}
-	for _, r := range prog.Rules {
-		idb[r.Head.Predicate] = true
-	}
-	stratum := map[string]int{}
-	limit := len(idb) + 1
-
-	// Iterate to fixpoint; the stratum of any predicate is bounded by the
-	// number of idb predicates in a stratifiable program, so exceeding the
-	// bound proves a negative cycle.
-	changed := true
-	for changed {
-		changed = false
-		for _, r := range prog.Rules {
-			h := r.Head.Predicate
-			for _, b := range r.Body {
-				if !idb[b.Predicate] {
-					continue
-				}
-				need := stratum[b.Predicate]
-				if b.Negated {
-					need++
-				}
-				if stratum[h] < need {
-					stratum[h] = need
-					if stratum[h] > limit {
-						return nil, fmt.Errorf("engine: program is not stratifiable (negation cycle through %s)", h)
-					}
-					changed = true
-				}
-			}
+	g := analysis.NewDepGraph(prog)
+	stratum, cycle := g.Strata()
+	if cycle != nil {
+		neg := cycle.NegEdge()
+		if neg.Pos.IsValid() {
+			return nil, fmt.Errorf("engine: %s: program is not stratifiable: recursion through negation (%s)", neg.Pos, cycle)
 		}
+		return nil, fmt.Errorf("engine: program is not stratifiable: recursion through negation (%s)", cycle)
 	}
 
 	byStratum := map[int][]int{}

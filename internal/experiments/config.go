@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math/rand/v2"
 
 	"contribmax/internal/ast"
@@ -55,39 +54,24 @@ func sizesFor(ds Dataset, scale Scale) []int {
 	return quick[ds]
 }
 
-// buildWorkload constructs one dataset instance of the given size. The
-// size parameter means: TC — node count of a sparse strongly connected
-// graph (ring + n/2 chords, so outputs grow quadratically from O(n)
-// inputs, as in the paper); Explain — people count; IRIS — people count;
-// AMIE — country count.
+// buildWorkload constructs one dataset instance of the given size via
+// workload.ByName (see there for the per-dataset meaning of size). It
+// returns an error — not a panic — for unknown dataset names and invalid
+// sizes, so driver CLIs (cmbench) fail with a usable message.
 //
 // Following Section V-A, TC / Explain / IRIS rules get probabilities drawn
 // uniformly from [0, 1] (deterministically per instance); AMIE keeps its
 // mined-confidence weights ("weights reflecting the rule confidence").
-func buildWorkload(ds Dataset, size int, rng *rand.Rand) workload.Workload {
-	randomized := func(w workload.Workload) workload.Workload {
+// TC's weights are one fixed U[0,1]³ draw baked into workload.ByName.
+func buildWorkload(ds Dataset, size int, rng *rand.Rand) (workload.Workload, error) {
+	w, err := workload.ByName(string(ds), size, rng)
+	if err != nil {
+		return workload.Workload{}, err
+	}
+	if ds == Explain || ds == IRIS {
 		w.Program = workload.RandomizeWeights(w.Program, rng)
-		return w
 	}
-	switch ds {
-	case TC:
-		// One fixed draw from U[0,1]³, kept constant across sizes so the
-		// sweep is comparable (re-drawing per size would change the
-		// sampled-subgraph distribution mid-sweep).
-		return workload.Workload{
-			Name:    "TC",
-			Program: workload.TCProgram3(0.61, 0.44, 0.22),
-			DB:      workload.RingChordGraph(size, size/2, rng),
-		}
-	case Explain:
-		return randomized(workload.Explain(size, 3, rng))
-	case IRIS:
-		return randomized(workload.IRIS(size, size/10+2, size/40+2, size/4+2, rng))
-	case AMIE:
-		return workload.AMIE(workload.AMIEDBParams{Countries: size, People: 6 * size}, rng)
-	default:
-		panic(fmt.Sprintf("unknown dataset %q", ds))
-	}
+	return w, nil
 }
 
 // feasibleUnsampled reports whether the algorithms that materialize

@@ -65,7 +65,10 @@ func FigureVaryingDataSize(ds Dataset, scale Scale) (fig2, fig3 *Table, err erro
 	}
 	for si, size := range sizesFor(ds, scale) {
 		rng := rngFor(2, uint64(si), uint64(size), uint64(len(ds)))
-		w := buildWorkload(ds, size, rng)
+		w, err := buildWorkload(ds, size, rng)
+		if err != nil {
+			return nil, nil, err
+		}
 		nOut, outputs, err := evalOutputs(w)
 		if err != nil {
 			return nil, nil, err
@@ -125,9 +128,11 @@ func FigureVaryingRRSets(ds Dataset, scale Scale) (fig4, fig5 *Table, err error)
 	for si := len(sizes) - 1; si >= 0; si-- {
 		size = sizes[si]
 		rng := rngFor(4, uint64(size), uint64(len(ds)))
-		w = buildWorkload(ds, size, rng)
+		w, err = buildWorkload(ds, size, rng)
+		if err != nil {
+			return nil, nil, err
+		}
 		var nOut int
-		var err error
 		nOut, outputs, err = evalOutputs(w)
 		if err != nil {
 			return nil, nil, err

@@ -30,6 +30,7 @@ func FuzzParseProgram(f *testing.F) {
 		if err != nil {
 			return // rejection is fine; panics are not
 		}
+		checkPositionOrder(t, prog, src)
 		rendered := prog.String()
 		back, err := parser.ParseProgram(rendered)
 		if err != nil {
@@ -44,6 +45,7 @@ func FuzzParseProgram(f *testing.F) {
 					i, prog.Rules[i], back.Rules[i], src)
 			}
 		}
+		checkPositionOrder(t, back, rendered)
 	})
 }
 

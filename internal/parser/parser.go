@@ -15,6 +15,26 @@ import (
 // without an explicit probability default to 1. The returned program has
 // been validated (ast.Program.Validate).
 func ParseProgram(src string) (*ast.Program, error) {
+	prog, err := ParseProgramLoose(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseProgramLoose parses source text without running Program.Validate,
+// so that syntactically well-formed but semantically ill-formed programs
+// (arity clashes, unsafe rules, out-of-range probabilities, duplicate
+// labels) still yield an AST. This is the entry point for tools that run
+// their own, richer diagnostics over possibly broken programs — notably
+// internal/analysis and the cmlint command. Auto-labels are assigned as in
+// ParseProgram; explicit duplicate labels are preserved as written.
+//
+// Every AST node of the result carries its source position (ast.Pos).
+func ParseProgramLoose(src string) (*ast.Program, error) {
 	p := &parser{lex: newLexer(src)}
 	if err := p.prime(); err != nil {
 		return nil, err
@@ -38,9 +58,6 @@ func ParseProgram(src string) (*ast.Program, error) {
 		}
 		used[r.Label] = true
 		prog.Add(r)
-	}
-	if err := prog.Validate(); err != nil {
-		return nil, err
 	}
 	return prog, nil
 }
@@ -201,6 +218,9 @@ type parser struct {
 	tok token
 }
 
+// pos converts the token's lexer coordinates to an ast source position.
+func (t token) pos() ast.Pos { return ast.Pos{Line: t.line, Col: t.col} }
+
 func (p *parser) prime() error { return p.advance() }
 
 func (p *parser) advance() error {
@@ -227,7 +247,7 @@ func (p *parser) errHeref(format string, args ...any) error {
 //
 //	[prob] [label :] head [:- body] .
 func (p *parser) parseRule() (ast.Rule, error) {
-	r := ast.Rule{Prob: 1}
+	r := ast.Rule{Prob: 1, Pos: p.tok.pos()}
 	if p.tok.kind == tokNumber {
 		f, err := strconv.ParseFloat(p.tok.text, 64)
 		if err != nil {
@@ -309,6 +329,7 @@ func (p *parser) parseBodyLiteral() (ast.Atom, error) {
 				return ast.Atom{}, err
 			}
 			a.Negated = true
+			a.Pos = not.pos() // the literal starts at the "not" keyword
 			return a, nil
 		}
 		return p.parseAtomWithPred(not)
@@ -331,7 +352,7 @@ func (p *parser) parseAtom() (ast.Atom, error) {
 // token has already been consumed. A bare predicate with no parenthesis is a
 // zero-ary atom (used by Magic-Sets boolean query predicates).
 func (p *parser) parseAtomWithPred(pred token) (ast.Atom, error) {
-	a := ast.Atom{Predicate: pred.text}
+	a := ast.Atom{Predicate: pred.text, Pos: pred.pos()}
 	if p.tok.kind != tokLParen {
 		return a, nil
 	}
@@ -364,9 +385,11 @@ func (p *parser) parseTerm() (ast.Term, error) {
 	switch p.tok.kind {
 	case tokVariable:
 		t := ast.V(p.tok.text)
+		t.Pos = p.tok.pos()
 		return t, p.advance()
 	case tokIdent, tokNumber, tokString:
 		t := ast.C(p.tok.text)
+		t.Pos = p.tok.pos()
 		return t, p.advance()
 	default:
 		return ast.Term{}, p.errHeref("expected term, found %s %q", p.tok.kind, p.tok.text)

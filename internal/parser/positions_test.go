@@ -1,0 +1,133 @@
+package parser_test
+
+import (
+	"errors"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/parser"
+)
+
+// TestParsedPositionsExact pins the exact line/column carried by every node
+// of a small program. Columns are 1-based and count the first character of
+// the token; a negated literal starts at its "not" keyword.
+func TestParsedPositionsExact(t *testing.T) {
+	src := "0.8 r1: p(X) :- q(X, b), not r(X).\nflag :- p(a)."
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(prog.Rules))
+	}
+
+	r1 := prog.Rules[0]
+	wantPos := func(what string, got, want ast.Pos) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s: position %s, want %s", what, got, want)
+		}
+	}
+	wantPos("rule r1", r1.Pos, ast.Pos{Line: 1, Col: 1})
+	wantPos("head p", r1.Head.Pos, ast.Pos{Line: 1, Col: 9})
+	wantPos("head var X", r1.Head.Terms[0].Pos, ast.Pos{Line: 1, Col: 11})
+	wantPos("body q", r1.Body[0].Pos, ast.Pos{Line: 1, Col: 17})
+	wantPos("q arg X", r1.Body[0].Terms[0].Pos, ast.Pos{Line: 1, Col: 19})
+	wantPos("q arg b", r1.Body[0].Terms[1].Pos, ast.Pos{Line: 1, Col: 22})
+	wantPos("negated r (at its not)", r1.Body[1].Pos, ast.Pos{Line: 1, Col: 26})
+
+	r2 := prog.Rules[1]
+	wantPos("rule r2", r2.Pos, ast.Pos{Line: 2, Col: 1})
+	wantPos("head flag", r2.Head.Pos, ast.Pos{Line: 2, Col: 1})
+	wantPos("body p", r2.Body[0].Pos, ast.Pos{Line: 2, Col: 9})
+
+	if span := r1.Span(); span.Start != r1.Pos || !span.End.IsValid() || span.End.Before(r1.Body[1].Pos) {
+		t.Errorf("rule span %s does not cover the rule (last literal at %s)", span, r1.Body[1].Pos)
+	}
+}
+
+// TestParseErrorPositions checks that each syntax-error shape points at the
+// offending token, not just "somewhere in the file".
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+		col  int
+	}{
+		{"p(X) :- q(X)\nr(a).", 2, 1},             // missing period: error at next rule's start
+		{"p(X :- q(X).", 1, 5},                    // bad paren: at ":-"
+		{"p(X) :- q(X), .", 1, 15},                // trailing comma: at "."
+		{"p(a).\nq(b).\np(\"oops :- r(X).", 3, 3}, // unterminated string
+		{"p(a).\n\nq(&).", 3, 3},                  // unexpected character
+	}
+	for _, c := range cases {
+		_, err := parser.ParseProgram(c.src)
+		if err == nil {
+			t.Errorf("ParseProgram(%q): want error", c.src)
+			continue
+		}
+		var perr *parser.Error
+		if !errors.As(err, &perr) {
+			t.Errorf("ParseProgram(%q): error %v is not a *parser.Error", c.src, err)
+			continue
+		}
+		if perr.Line != c.line || perr.Col != c.col {
+			t.Errorf("ParseProgram(%q): error at %d:%d, want %d:%d (%v)", c.src, perr.Line, perr.Col, c.line, c.col, err)
+		}
+	}
+}
+
+// checkPositionOrder asserts the structural position invariants of a parsed
+// program: every node has a valid position, rules start at strictly
+// increasing positions, and within a rule the head and body literals (and
+// their terms) appear in non-decreasing source order.
+func checkPositionOrder(t *testing.T, prog *ast.Program, src string) {
+	t.Helper()
+	var prevRule ast.Pos
+	for i, r := range prog.Rules {
+		if !r.Pos.IsValid() {
+			t.Fatalf("rule %d has no position\ninput: %q", i, src)
+		}
+		if i > 0 && !prevRule.Before(r.Pos) {
+			t.Fatalf("rule %d starts at %s, not after previous rule at %s\ninput: %q", i, r.Pos, prevRule, src)
+		}
+		prevRule = r.Pos
+		last := r.Pos
+		advance := func(what string, p ast.Pos) {
+			if !p.IsValid() {
+				t.Fatalf("rule %d: %s has no position\ninput: %q", i, what, src)
+			}
+			if p.Before(last) {
+				t.Fatalf("rule %d: %s at %s precedes earlier node at %s\ninput: %q", i, what, p, last, src)
+			}
+			last = p
+		}
+		advance("head", r.Head.Pos)
+		for _, term := range r.Head.Terms {
+			advance("head term", term.Pos)
+		}
+		for _, a := range r.Body {
+			advance("body literal", a.Pos)
+			for _, term := range a.Terms {
+				advance("body term", term.Pos)
+			}
+		}
+	}
+}
+
+// TestPositionOrderOnCorpus runs the ordering invariants over a few
+// handwritten programs, including ones that exercise comments, negation and
+// multi-line rules.
+func TestPositionOrderOnCorpus(t *testing.T) {
+	for _, src := range []string{
+		"p(X) :- q(X).",
+		"% leading comment\n0.5 a: p(X, Y) :-\n  q(X, Z),\n  r(Z, Y),\n  not s(X).\nflag :- p(a, b).",
+		".5 p(a). .25 p(b).\n\n\nq(X) :- p(X).",
+	} {
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Fatalf("ParseProgram(%q): %v", src, err)
+		}
+		checkPositionOrder(t, prog, src)
+	}
+}

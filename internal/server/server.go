@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"contribmax/internal/analysis"
 	"contribmax/internal/ast"
 	"contribmax/internal/cm"
 	"contribmax/internal/db"
@@ -63,6 +64,10 @@ type SolveResponse struct {
 	AvgGraphSize    float64  `json:"avgGraphSize"`
 	PeakGraphSize   int      `json:"peakGraphSize"`
 	TotalMillis     float64  `json:"totalMillis"`
+	// Diagnostics lists non-error static-analysis findings for the
+	// submitted program ("line:col: warning[CMnnn]: ..."). Error-severity
+	// findings reject the request instead (HTTP 422).
+	Diagnostics []string `json:"diagnostics,omitempty"`
 }
 
 // ExplainRequest is the JSON input for /api/explain.
@@ -104,13 +109,17 @@ func solve(req SolveRequest) (*SolveResponse, error) {
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
-	prog, err := parser.ParseProgram(req.Program)
+	prog, err := parser.ParseProgramLoose(req.Program)
 	if err != nil {
 		return nil, fmt.Errorf("program: %w", err)
 	}
 	database, err := loadFacts(req.Facts)
 	if err != nil {
 		return nil, fmt.Errorf("facts: %w", err)
+	}
+	warnings, err := analyzeRequest(prog, database, req.Targets)
+	if err != nil {
+		return nil, err
 	}
 	targets, err := expandTargets(prog, database, req.Targets)
 	if err != nil {
@@ -125,6 +134,9 @@ func solve(req SolveRequest) (*SolveResponse, error) {
 		Theta:               im.ThetaSpec{Explicit: req.RR},
 		MaxSeedsPerRelation: req.MaxSeedsPerRelation,
 		Rand:                rand.New(rand.NewPCG(req.Seed, req.Seed^0x5EED)),
+		// The request was just analyzed against this schema and these
+		// targets; skip the identical in-algorithm gate.
+		SkipAnalysis: true,
 	}
 	var res *cm.Result
 	switch req.Algorithm {
@@ -158,7 +170,47 @@ func solve(req SolveRequest) (*SolveResponse, error) {
 	for _, a := range targets {
 		out.Targets = append(out.Targets, a.String())
 	}
+	out.Diagnostics = warnings
 	return out, nil
+}
+
+// analyzeRequest runs the static analyzer over a submitted program against
+// the submitted facts and target predicates. Error-severity findings are
+// returned as one multi-line error (the request is rejected); the rest come
+// back as rendered strings for SolveResponse.Diagnostics.
+func analyzeRequest(prog *ast.Program, database *db.Database, targetLines []string) ([]string, error) {
+	edb := map[string]int{}
+	for _, name := range database.RelationNames() {
+		if rel, ok := database.Lookup(name); ok {
+			edb[name] = rel.Arity()
+		}
+	}
+	var roots []string
+	seen := map[string]bool{}
+	for _, line := range targetLines {
+		a, err := parser.ParseAtom(strings.TrimSpace(line))
+		if err != nil {
+			continue // reported by expandTargets with the right context
+		}
+		if !seen[a.Predicate] {
+			seen[a.Predicate] = true
+			roots = append(roots, a.Predicate)
+		}
+	}
+	diags := analysis.Analyze(prog, analysis.Options{EDB: edb, Roots: roots})
+	var warnings []string
+	var errs []string
+	for _, d := range diags {
+		if d.Severity == analysis.Error {
+			errs = append(errs, d.String())
+		} else {
+			warnings = append(warnings, d.String())
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("program rejected by static analysis:\n%s", strings.Join(errs, "\n"))
+	}
+	return warnings, nil
 }
 
 func loadFacts(src string) (*db.Database, error) {
@@ -221,13 +273,16 @@ func expandTargets(prog *ast.Program, database *db.Database, lines []string) ([]
 
 // explain runs one explanation request.
 func explain(req ExplainRequest) (*ExplainResponse, error) {
-	prog, err := parser.ParseProgram(req.Program)
+	prog, err := parser.ParseProgramLoose(req.Program)
 	if err != nil {
 		return nil, fmt.Errorf("program: %w", err)
 	}
 	database, err := loadFacts(req.Facts)
 	if err != nil {
 		return nil, fmt.Errorf("facts: %w", err)
+	}
+	if _, err := analyzeRequest(prog, database, []string{req.Target}); err != nil {
+		return nil, err
 	}
 	target, err := parser.ParseAtom(strings.TrimSpace(req.Target))
 	if err != nil {

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Names lists the datasets ByName accepts, in the paper's order.
+var Names = []string{"TC", "Explain", "IRIS", "AMIE", "Trade"}
+
+// ByName constructs a dataset instance by name (case-insensitive), the
+// shared front door for the genwork and cmbench CLIs and the experiment
+// driver. The size parameter means: TC — node count of the ring+chords
+// graph; Explain — people count; IRIS — people count; AMIE — country count;
+// Trade — ignored (the fixed Table I example). Unknown names and
+// non-positive sizes are errors, not panics, so tools can report usable
+// messages.
+func ByName(name string, size int, rng *rand.Rand) (Workload, error) {
+	key := strings.ToLower(name)
+	if key != "trade" && size <= 0 {
+		return Workload{}, fmt.Errorf("workload: dataset %s needs a positive size, got %d", name, size)
+	}
+	switch key {
+	case "tc":
+		return Workload{
+			Name: "TC",
+			// One fixed draw from U[0,1]³, kept constant across sizes so
+			// sweeps are comparable (re-drawing per size would change the
+			// sampled-subgraph distribution mid-sweep).
+			Program: TCProgram3(0.61, 0.44, 0.22),
+			DB:      RingChordGraph(size, size/2, rng),
+		}, nil
+	case "explain":
+		return Explain(size, 3, rng), nil
+	case "iris":
+		return IRIS(size, size/10+2, size/40+2, size/4+2, rng), nil
+	case "amie":
+		return AMIE(AMIEDBParams{Countries: size, People: 6 * size}, rng), nil
+	case "trade":
+		return Trade(), nil
+	default:
+		return Workload{}, fmt.Errorf("workload: unknown dataset %q (known: %s)", name, strings.Join(Names, ", "))
+	}
+}

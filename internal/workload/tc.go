@@ -24,10 +24,19 @@ type Workload struct {
 	DB      *db.Database
 }
 
-// mustParse panics on parse errors of built-in programs (they are constants
-// of this package; a failure is a bug, covered by tests).
+// parseProgram parses a generated program source, returning parse and
+// validation failures as errors.
+func parseProgram(src string) (*ast.Program, error) {
+	return parser.ParseProgram(src)
+}
+
+// mustParse wraps parseProgram for this package's built-in program
+// constructors. Their sources are constants up to the probability
+// parameters, so a failure means either a bug in the template (covered by
+// workload_test's TestProgramsValidate) or a caller-supplied probability
+// outside [0,1]; both are contract violations, reported by panic.
 func mustParse(src string) *ast.Program {
-	p, err := parser.ParseProgram(src)
+	p, err := parseProgram(src)
 	if err != nil {
 		panic(fmt.Sprintf("workload: bad built-in program: %v", err))
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"contribmax/internal/analysis"
 	"contribmax/internal/engine"
 	"contribmax/internal/workload"
 )
@@ -211,5 +212,31 @@ func TestTCProgramWeights(t *testing.T) {
 	p := workload.TCProgram(0.9, 0.7)
 	if p.Rules[0].Prob != 0.9 || p.Rules[2].Prob != 0.7 {
 		t.Errorf("weights not threaded: %v", p.Rules)
+	}
+}
+
+// TestWorkloadProgramsAnalyzerClean sweeps every generated workload
+// program through the static analyzer with full database knowledge: none
+// may produce a warning or error (CM011 adornment warnings only fire when
+// query roots are supplied, which workloads do not carry).
+func TestWorkloadProgramsAnalyzerClean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for _, name := range workload.Names {
+		w, err := workload.ByName(name, 40, rng)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		edb := map[string]int{}
+		for _, rel := range w.DB.RelationNames() {
+			if r, ok := w.DB.Lookup(rel); ok {
+				edb[rel] = r.Arity()
+			}
+		}
+		diags := analysis.Analyze(w.Program, analysis.Options{EDB: edb})
+		for _, d := range diags {
+			if d.Severity >= analysis.Warning {
+				t.Errorf("%s: %s", name, d)
+			}
+		}
 	}
 }
