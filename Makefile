@@ -7,7 +7,7 @@ GO ?= go
 # expectations; the golden test in internal/analysis covers those).
 DL_PROGRAMS := $(shell find examples testdata -name '*.dl' -not -path 'testdata/analysis/*' | sort)
 
-.PHONY: all build test race check lint fmt
+.PHONY: all build test race check lint fmt bench-report
 
 all: check lint
 
@@ -19,7 +19,11 @@ test:
 
 # The packages that evaluate programs concurrently.
 race:
-	$(GO) test -race ./internal/cm ./internal/im ./internal/engine
+	$(GO) test -race ./internal/cm ./internal/im ./internal/engine ./internal/obs ./internal/server
+
+# Machine-readable benchmark report (cmbench figures as BENCH_quick.json).
+bench-report:
+	$(GO) run ./cmd/cmbench -fig 7a -json BENCH_quick.json
 
 check: build test race
 	$(GO) vet ./...

@@ -1,10 +1,13 @@
 package contribmax_test
 
 import (
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"contribmax/internal/experiments"
 )
 
 // TestCLIsRun smoke-tests every command-line tool end to end against the
@@ -78,6 +81,33 @@ func TestCLIsRun(t *testing.T) {
 		out := run(t, "run", "./cmd/cmbench", "-fig", "7a", "-format", "csv")
 		if !strings.Contains(out, "OPT,MagicSCM") {
 			t.Errorf("cmbench CSV:\n%s", out)
+		}
+	})
+
+	t.Run("cmbench-json", func(t *testing.T) {
+		t.Parallel()
+		path := filepath.Join(t.TempDir(), "BENCH_quick.json")
+		run(t, "run", "./cmd/cmbench", "-fig", "7a", "-json", path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := experiments.ValidateReportJSON(data); err != nil {
+			t.Errorf("BENCH report invalid: %v\n%s", err, data)
+		}
+	})
+
+	t.Run("cmrun-stats", func(t *testing.T) {
+		t.Parallel()
+		out := run(t, "run", "./cmd/cmrun",
+			"-program", "testdata/trade.dl", "-facts", "testdata/trade.facts",
+			"-target", "dealsWith(russia, ukraine)", "-k", "1", "-rr", "200", "-stats")
+		// The phase tree and the metrics dump both land on stderr, which
+		// CombinedOutput folds in.
+		for _, want := range []string{"phases:", "MagicSCM", "rrgen", "select", "metrics:", "rr.sets", "cm.solves"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("cmrun -stats missing %q:\n%s", want, out)
+			}
 		}
 	})
 }

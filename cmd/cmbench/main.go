@@ -29,16 +29,23 @@ func main() {
 
 func run() error {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 7a, 7b, or all")
-		ds     = flag.String("ds", "all", "dataset: TC, Explain, IRIS, AMIE, or all")
-		full   = flag.Bool("full", false, "run the full-scale sweep (minutes) instead of the quick one")
-		format = flag.String("format", "text", "output format: text | csv")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 7a, 7b, or all")
+		ds      = flag.String("ds", "all", "dataset: TC, Explain, IRIS, AMIE, or all")
+		full    = flag.Bool("full", false, "run the full-scale sweep (minutes) instead of the quick one")
+		format  = flag.String("format", "text", "output format: text | csv")
+		jsonOut = flag.String("json", "", "also write every figure to this file as a machine-readable BENCH report")
 	)
 	flag.Parse()
 
 	scale := experiments.Quick
+	scaleName := "quick"
 	if *full {
 		scale = experiments.Full
+		scaleName = "full"
+	}
+	var report *experiments.Report
+	if *jsonOut != "" {
+		report = experiments.NewReport(scaleName)
 	}
 	datasets := experiments.Datasets
 	if *ds != "all" {
@@ -56,6 +63,9 @@ func run() error {
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	emit := func(t *experiments.Table) error {
+		if report != nil {
+			report.AddTable(t)
+		}
 		if *format == "csv" {
 			if err := t.WriteCSV(os.Stdout); err != nil {
 				return err
@@ -120,6 +130,20 @@ func run() error {
 		if err := emit(t); err != nil {
 			return err
 		}
+	}
+	if report != nil {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cmbench: wrote %d figure(s) to %s\n", len(report.Figures), *jsonOut)
 	}
 	return nil
 }

@@ -50,6 +50,7 @@ func run() error {
 		parallel    = flag.Int("parallel", 1, "RR-generation goroutines (magic/magics only)")
 		adaptive    = flag.Bool("adaptive", false, "derive the RR-set count adaptively (IMM) instead of -rr")
 		verbose     = flag.Bool("verbose", false, "print run statistics")
+		stats       = flag.Bool("stats", false, "print the per-phase timing tree and collected metrics on stderr")
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout")
 		diverse     = flag.Int("diverse", 0, "max seeds per relation (1 = every seed from a different table; 0 = unconstrained)")
 		estimate    = flag.Bool("estimate", false, "re-estimate the seeds' contribution with 10k Monte-Carlo samples (builds the full WD graph)")
@@ -148,6 +149,12 @@ func run() error {
 		Rand:                rand.New(rand.NewPCG(*seed, *seed^0x9E3779B9)),
 		SkipAnalysis:        true,
 	}
+	var trace *contribmax.TraceSpan
+	if *stats {
+		opts.Obs = contribmax.NewMetricsRegistry()
+		trace = contribmax.StartTrace("cmrun")
+		opts.Trace = trace
+	}
 	var res *contribmax.Result
 	switch *algo {
 	case "naive":
@@ -160,6 +167,13 @@ func run() error {
 		res, err = contribmax.MagicGroupedCM(in, opts)
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if *stats {
+		trace.End()
+		fmt.Fprintln(os.Stderr, "phases:")
+		trace.Render(os.Stderr)
+		fmt.Fprintln(os.Stderr, "metrics:")
+		opts.Obs.WriteText(os.Stderr)
 	}
 	if err != nil {
 		return err

@@ -5,26 +5,89 @@
 //
 // Usage:
 //
-//	cmserve -addr :8080
+//	cmserve -addr :8080 [-solve-timeout 30s]
 //	# then open http://localhost:8080/ or:
 //	curl -s localhost:8080/api/solve -d '{"program":"...","facts":"...","targets":["p(a, X)"]}'
+//	curl -s localhost:8080/metrics          # live counters, expvar-style JSON
+//	go tool pprof localhost:8080/debug/pprof/profile   # CPU, with per-solve labels
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight solves get
+// up to the solve timeout to finish, new connections are refused.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"contribmax/internal/obs"
 	"contribmax/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	flag.Parse()
-	fmt.Printf("contribmax: listening on http://%s/\n", *addr)
-	if err := http.ListenAndServe(*addr, server.New()); err != nil {
+	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "cmserve:", err)
 		os.Exit(1)
 	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	solveTimeout := flag.Duration("solve-timeout", 60*time.Second, "per-request solve deadline (0 = none)")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/", server.NewWith(server.Config{Obs: reg, SolveTimeout: *solveTimeout}))
+	// net/http/pprof registers on DefaultServeMux; mount its handlers
+	// explicitly since this server uses its own mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("contribmax: listening on http://%s/\n", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("contribmax: shutting down")
+	grace := *solveTimeout
+	if grace <= 0 {
+		grace = 30 * time.Second
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

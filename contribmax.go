@@ -12,6 +12,7 @@ import (
 	"contribmax/internal/engine"
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
+	"contribmax/internal/obs"
 	"contribmax/internal/optimize"
 	"contribmax/internal/parser"
 	"contribmax/internal/provenance"
@@ -58,6 +59,14 @@ type (
 	// of the paper); see Explain.
 	DerivationTree = provenance.Tree
 
+	// MetricsRegistry collects counters, gauges, and histograms from every
+	// layer of a solve when handed to Options.Obs (nil disables all
+	// collection at zero cost); see NewMetricsRegistry.
+	MetricsRegistry = obs.Registry
+	// TraceSpan is a node of a phase-timing trace tree; hand the root to
+	// Options.Trace and render it afterwards. See StartTrace.
+	TraceSpan = obs.Span
+
 	// Diagnostic is one static-analysis finding (severity, stable code,
 	// source position, message); see Analyze.
 	Diagnostic = analysis.Diagnostic
@@ -73,6 +82,13 @@ const (
 	SeverityWarning = analysis.Warning
 	SeverityError   = analysis.Error
 )
+
+// NewMetricsRegistry returns an empty metrics registry for Options.Obs.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// StartTrace opens a root trace span for Options.Trace. End it (or its
+// children) and render the phase tree with its Render method.
+func StartTrace(name string) *TraceSpan { return obs.StartSpan(name) }
 
 // V returns a variable term.
 func V(name string) Term { return ast.V(name) }

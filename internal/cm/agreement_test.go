@@ -1,0 +1,143 @@
+package cm_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/cm"
+	"contribmax/internal/db"
+	"contribmax/internal/im"
+	"contribmax/internal/parser"
+)
+
+// agreeCase is one named golden instance from testdata/agree/<name>/:
+// program.dl, facts.txt, and targets.txt (one ground atom per line).
+type agreeCase struct {
+	name    string
+	prog    *ast.Program
+	db      *db.Database
+	targets []ast.Atom
+}
+
+func loadAgreeCorpus(t *testing.T) []agreeCase {
+	t.Helper()
+	root := filepath.Join("testdata", "agree")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []agreeCase
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		progSrc, err := os.ReadFile(filepath.Join(dir, "program.dl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := parser.ParseProgram(string(progSrc))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		factSrc, err := os.ReadFile(filepath.Join(dir, "facts.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts, err := parser.ParseFacts(string(factSrc))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		d := db.NewDatabase()
+		for _, f := range facts {
+			d.MustInsertAtom(f)
+		}
+		targetSrc, err := os.ReadFile(filepath.Join(dir, "targets.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var targets []ast.Atom
+		for _, line := range strings.Split(string(targetSrc), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			a, err := parser.ParseAtom(line)
+			if err != nil {
+				t.Fatalf("%s: target %q: %v", dir, line, err)
+			}
+			targets = append(targets, a)
+		}
+		if len(targets) == 0 {
+			t.Fatalf("%s: no targets", dir)
+		}
+		cases = append(cases, agreeCase{name: e.Name(), prog: prog, db: d, targets: targets})
+	}
+	if len(cases) < 3 {
+		t.Fatalf("corpus has %d cases, want >= 3", len(cases))
+	}
+	return cases
+}
+
+// TestSolverAgreementCorpus is the cross-solver regression matrix: on every
+// corpus instance, the RIS solvers (NaiveCM, MagicCM, Magic^G CM) and the
+// Monte-Carlo reference estimator must produce contribution estimates that
+// agree within the sampling tolerance. The solvers share one RR-set
+// distribution (Proposition 4.4), so disagreement beyond the statistical
+// bound is an implementation bug, not noise.
+func TestSolverAgreementCorpus(t *testing.T) {
+	const theta = 2000
+	const mcSamples = 4000
+	for _, tc := range loadAgreeCorpus(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			in := cm.Input{Program: tc.prog, DB: tc.db, T2: tc.targets, K: 2}
+			opt := func(seed uint64) cm.Options {
+				return cm.Options{
+					Theta: im.ThetaSpec{Explicit: theta},
+					Rand:  rand.New(rand.NewPCG(seed, 0xC0FFEE)),
+				}
+			}
+			naive, err := cm.NaiveCM(in, opt(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			magicRes, err := cm.MagicCM(in, opt(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			grouped, err := cm.MagicGroupedCM(in, opt(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Each estimate has stderr <= |T2|/(2 sqrt θ); 6 combined sigmas.
+			tol := 6 * float64(len(tc.targets)) / math.Sqrt(theta)
+			for _, other := range []*cm.Result{magicRes, grouped} {
+				if diff := math.Abs(naive.EstContribution - other.EstContribution); diff > tol {
+					t.Errorf("%s %.4f vs NaiveCM %.4f: diff %.4f > tol %.4f",
+						other.Algorithm, other.EstContribution, naive.EstContribution, diff, tol)
+				}
+			}
+			// Monte-Carlo reference: re-estimate NaiveCM's chosen seeds by
+			// direct simulation over the full WD graph and require agreement
+			// with the RIS coverage estimate.
+			est, err := cm.NewEstimator(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc, stderr, err := est.ContributionCI(naive.Seeds, mcSamples, rand.New(rand.NewPCG(4, 4)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mcTol := tol + 4*stderr
+			if diff := math.Abs(mc - naive.EstContribution); diff > mcTol {
+				t.Errorf("Monte-Carlo %.4f vs RIS %.4f: diff %.4f > tol %.4f",
+					mc, naive.EstContribution, diff, mcTol)
+			}
+		})
+	}
+}

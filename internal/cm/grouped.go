@@ -23,10 +23,20 @@ import (
 // which is why, as the paper's experiments show, Magic^G CM's memory
 // footprint grows with the number of RR sets while Magic^S CM's does not.
 func MagicGroupedCM(in Input, opts Options) (*Result, error) {
+	res, err := magicGroupedCM(in, opts)
+	return observeSolve(opts, res, err)
+}
+
+func magicGroupedCM(in Input, opts Options) (*Result, error) {
+	sp := opts.Trace.StartChild("MagicGCM")
+	defer sp.End()
+	prep := sp.StartChild("prepare")
 	inst, err := prepare(in, opts.SkipAnalysis)
+	prep.End()
 	if err != nil {
 		return nil, err
 	}
+	ctx := opts.ctx()
 	rng := opts.rng()
 	start := time.Now()
 	res := &Result{Algorithm: "MagicGCM"}
@@ -59,26 +69,32 @@ func MagicGroupedCM(in Input, opts Options) (*Result, error) {
 		queryAtoms = append(queryAtoms, inst.atomOf(inst.targets[ti]))
 	}
 
+	buildSpan := sp.StartChild("build")
 	buildStart := time.Now()
 	tr, err := magic.TransformWith(in.Program, queryAtoms, opts.SIPS)
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}
-	g, err := buildMagicGraph(in, tr, nil, false)
+	g, err := buildMagicGraph(in, tr, nil, false, ctx, opts.Obs)
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}
 	res.Stats.BuildTime = time.Since(buildStart)
 	recordBuild(&res.Stats, g)
+	buildSpan.SetAttr("nodes", int64(g.NumNodes()))
+	buildSpan.SetAttr("edges", int64(g.NumEdges()))
+	buildSpan.SetAttr("roots", int64(len(distinctSorted)))
+	buildSpan.End()
 
+	rrSpan := sp.StartChild("rrgen")
 	candOfNode := candidateIndex(g, inst)
 	targetIDs := make([]wdgraph.NodeID, len(inst.targets))
 	targetOK := make([]bool, len(inst.targets))
 	for i, t := range inst.targets {
 		targetIDs[i], targetOK[i] = g.FactID(t.Pred, t.Tuple)
 	}
-	if opts.Parallelism > 1 && !opts.Adaptive {
-		parallelWalkPhase(inst, opts, res, rng, g, targetIDs, targetOK, candOfNode, roots)
+	if opts.Parallelism >= 1 && !opts.Adaptive {
+		err = parallelWalkPhase(ctx, inst, opts, res, rng, g, targetIDs, targetOK, candOfNode, roots)
 	} else {
 		walker := wdgraph.NewWalker(g)
 		var members []im.CandidateID
@@ -101,10 +117,15 @@ func MagicGroupedCM(in Input, opts Options) (*Result, error) {
 			}
 			return members
 		}
-		runRRPhase(inst, opts, res, gen)
+		err = runRRPhase(ctx, inst, opts, res, gen)
+	}
+	rrSpan.SetAttr("rr", int64(res.Stats.NumRR))
+	rrSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}
 
-	finishSelection(inst, opts, res)
+	finishSelection(inst, opts, res, sp)
 	res.Stats.TotalTime = time.Since(start)
 	return res, nil
 }

@@ -6,6 +6,7 @@
 package cm
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"contribmax/internal/db"
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
+	"contribmax/internal/obs"
 )
 
 // Input is one CM problem instance: find the k-size subset of T1 with the
@@ -76,13 +78,37 @@ type Options struct {
 	SkipAnalysis bool
 	// Parallelism fans RR-set generation out over this many goroutines:
 	// per-tuple subgraph constructions for MagicCM / Magic^S CM, reverse
-	// walks over the shared graph for NaiveCM / Magic^G CM. 0 or 1 means
-	// sequential; the adaptive mode is inherently sequential and ignores
-	// this. For any fixed seed, every parallel level > 1 produces the
-	// same result (walk slots are pre-seeded); the sequential path draws
-	// from the rng in a different order and may differ statistically
-	// equivalently.
+	// walks over the shared graph for NaiveCM / Magic^G CM. Any value
+	// >= 1 routes through the pre-seeded slot design, so for a fixed seed
+	// every Parallelism level — including 1 — produces byte-identical
+	// results regardless of scheduling or worker count. 0 (the zero
+	// value) keeps the legacy strictly-sequential draw order, which is
+	// statistically equivalent but draws from the rng differently; the
+	// adaptive mode is inherently sequential and ignores this.
 	Parallelism int
+	// Obs, when non-nil, receives the pipeline metrics of the solve (cm.*,
+	// rr.*, wdgraph.*, engine.*, imm.* — see internal/obs and
+	// docs/OBSERVABILITY.md). nil disables all metric collection at the
+	// cost of one pointer check per site.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives a child span per solve with nested
+	// phase spans (prepare → build → rrgen → select) carrying duration and
+	// count attributes — the tree cmrun -stats prints. The span tree is
+	// mutated only from the calling goroutine.
+	Trace *obs.Span
+	// Context, when non-nil, cancels a long-running solve: the RR
+	// generation loops and the fixpoint evaluations underneath them check
+	// it and return its error promptly (within one RR set or one
+	// semi-naive round).
+	Context context.Context
+}
+
+// ctx returns the solve context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) rng() *rand.Rand {

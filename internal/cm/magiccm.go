@@ -1,6 +1,7 @@
 package cm
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"contribmax/internal/engine"
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
+	"contribmax/internal/obs"
 	"contribmax/internal/wdgraph"
 )
 
@@ -21,7 +23,8 @@ import (
 // the WD graph backward-reachable from t; the RR set is then sampled from
 // that subgraph and the subgraph is discarded.
 func MagicCM(in Input, opts Options) (*Result, error) {
-	return magicVariant(in, opts, "MagicCM", false)
+	res, err := magicVariant(in, opts, "MagicCM", false)
+	return observeSolve(opts, res, err)
 }
 
 // MagicSampledCM is the paper's Magic^S CM (written Magic³CM in places):
@@ -32,14 +35,20 @@ func MagicCM(in Input, opts Options) (*Result, error) {
 // of the subgraph is ever materialized, and the subsequent RR extraction is
 // a deterministic reverse reachability.
 func MagicSampledCM(in Input, opts Options) (*Result, error) {
-	return magicVariant(in, opts, "MagicSCM", true)
+	res, err := magicVariant(in, opts, "MagicSCM", true)
+	return observeSolve(opts, res, err)
 }
 
 func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, error) {
+	sp := opts.Trace.StartChild(name)
+	defer sp.End()
+	prep := sp.StartChild("prepare")
 	inst, err := prepare(in, opts.SkipAnalysis)
+	prep.End()
 	if err != nil {
 		return nil, err
 	}
+	ctx := opts.ctx()
 	rng := opts.rng()
 	start := time.Now()
 	res := &Result{Algorithm: name}
@@ -70,7 +79,7 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		g, err := buildMagicGraph(in, tr, r, sampled)
+		g, err := buildMagicGraph(in, tr, r, sampled, ctx, opts.Obs)
 		if err != nil {
 			return nil, err
 		}
@@ -80,10 +89,9 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 		return collectRR(g, inst, inst.targets[ti], r, sampled, buf), nil
 	}
 
-	if opts.Parallelism > 1 && !opts.Adaptive {
-		if err := parallelRRPhase(inst, opts, res, rng, oneRR); err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
+	rrSpan := sp.StartChild("rrgen")
+	if opts.Parallelism >= 1 && !opts.Adaptive {
+		err = parallelRRPhase(ctx, inst, opts, res, rng, oneRR)
 	} else {
 		var members []im.CandidateID
 		var genErr error
@@ -99,13 +107,19 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 			}
 			return out
 		}
-		runRRPhase(inst, opts, res, gen)
+		err = runRRPhase(ctx, inst, opts, res, gen)
 		if genErr != nil {
-			return nil, fmt.Errorf("%s: %w", name, genErr)
+			err = genErr
 		}
 	}
+	rrSpan.SetAttr("rr", int64(res.Stats.NumRR))
+	rrSpan.SetAttr("builds", int64(res.Stats.GraphBuilds))
+	rrSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
 
-	finishSelection(inst, opts, res)
+	finishSelection(inst, opts, res, sp)
 	res.Stats.TotalTime = time.Since(start)
 	return res, nil
 }
@@ -113,9 +127,10 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 // parallelRRPhase distributes θ independent RR constructions over
 // Options.Parallelism workers. Determinism: the target index and a
 // dedicated PCG seed are pre-drawn for every RR slot from the master rng,
-// so the resulting RR multiset does not depend on scheduling; per-worker
-// stats are merged afterwards.
-func parallelRRPhase(inst *instance, opts Options, res *Result, rng *rand.Rand,
+// so the resulting RR multiset does not depend on scheduling or worker
+// count; per-worker stats are merged afterwards. Workers re-check ctx
+// before every slot and the phase returns ctx's error on cancellation.
+func parallelRRPhase(ctx context.Context, inst *instance, opts Options, res *Result, rng *rand.Rand,
 	oneRR func(ti int, r *rand.Rand, st *Stats, buf []im.CandidateID) ([]im.CandidateID, error)) error {
 
 	rrStart := time.Now()
@@ -134,18 +149,23 @@ func parallelRRPhase(inst *instance, opts Options, res *Result, rng *rand.Rand,
 		}
 	}
 	sets := make([][]im.CandidateID, theta)
-	errs := make([]error, opts.Parallelism)
-	stats := make([]Stats, opts.Parallelism)
+	ro := newRRObs(opts.Obs)
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	stats := make([]Stats, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < opts.Parallelism; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			var buf []im.CandidateID
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= theta {
+				if i >= theta || ctx.Err() != nil {
 					return
 				}
 				r := rand.New(rand.NewPCG(slots[i].seedA, slots[i].seedB))
@@ -157,17 +177,22 @@ func parallelRRPhase(inst *instance, opts Options, res *Result, rng *rand.Rand,
 				set := make([]im.CandidateID, len(out))
 				copy(set, out)
 				sets[i] = set
+				ro.observe(len(set))
 			}
 		}(w)
 	}
 	wg.Wait()
+	for w := range stats {
+		mergeStats(&res.Stats, &stats[w])
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	for w := range stats {
-		mergeStats(&res.Stats, &stats[w])
+	if err := ctx.Err(); err != nil {
+		res.Stats.RRGenTime += time.Since(rrStart)
+		return err
 	}
 	coll := im.NewRRCollection(len(inst.candidates))
 	for _, set := range sets {
@@ -198,8 +223,13 @@ func mergeStats(dst, src *Stats) {
 // buildMagicGraph evaluates the transformed program over a scratch database
 // (sharing the original edb relations) and returns the projected WD
 // subgraph. With sampled=true a fresh SampledGate vetoes instantiations, so
-// the returned graph is one random execution.
-func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bool) (*wdgraph.Graph, error) {
+// the returned graph is one random execution. ctx cancels the evaluation
+// between fixpoint rounds; reg, when non-nil, receives per-subgraph
+// wdgraph.* metrics (the gate construction needs the engine, so this cannot
+// delegate to wdgraph.BuildWith).
+func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bool,
+	ctx context.Context, reg *obs.Registry) (*wdgraph.Graph, error) {
+	start := time.Now()
 	scratch := in.DB.CloneSchema()
 	for _, pred := range in.Program.EDBs() {
 		if rel, ok := in.DB.Lookup(pred); ok {
@@ -215,10 +245,17 @@ func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bo
 	if sampled {
 		gate = magic.NewSampledGate(tr, eng, rng)
 	}
-	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate}); err != nil {
+	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate, Context: ctx, Obs: reg}); err != nil {
 		return nil, err
 	}
-	return b.Graph(), nil
+	g := b.Graph()
+	if reg != nil {
+		reg.Counter(obs.GraphBuilds).Inc()
+		reg.Counter(obs.GraphNodes).Add(int64(g.NumNodes()))
+		reg.Counter(obs.GraphEdges).Add(int64(g.NumEdges()))
+		reg.Histogram(obs.GraphBuildNs).ObserveSince(start)
+	}
+	return g, nil
 }
 
 // collectRR extracts the RR set of target from g: the T1 candidates from

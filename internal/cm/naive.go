@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"contribmax/internal/im"
+	"contribmax/internal/obs"
 	"contribmax/internal/wdgraph"
 )
 
@@ -16,36 +17,55 @@ import (
 // ≥ 1 − δ (Proposition 4.1) but materializes a graph polynomial in |D|,
 // which is what the optimized variants avoid.
 func NaiveCM(in Input, opts Options) (*Result, error) {
+	res, err := naiveCM(in, opts)
+	return observeSolve(opts, res, err)
+}
+
+func naiveCM(in Input, opts Options) (*Result, error) {
+	sp := opts.Trace.StartChild("NaiveCM")
+	defer sp.End()
+	prep := sp.StartChild("prepare")
 	inst, err := prepare(in, opts.SkipAnalysis)
+	prep.End()
 	if err != nil {
 		return nil, err
 	}
+	ctx := opts.ctx()
 	rng := opts.rng()
 	start := time.Now()
 	res := &Result{Algorithm: "NaiveCM"}
 
 	// Phase 1: full WD graph (Algorithm 1). Definition 3.1 includes a node
 	// for every edb fact in D, hence the preload.
+	buildSpan := sp.StartChild("build")
 	buildStart := time.Now()
-	g, _, err := wdgraph.Build(in.Program, scratchFor(in), nil, true, nil)
+	g, _, err := wdgraph.BuildWith(in.Program, scratchFor(in), wdgraph.BuildConfig{
+		PreloadEDB: true,
+		Ctx:        ctx,
+		Obs:        opts.Obs,
+	})
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.BuildTime = time.Since(buildStart)
 	recordBuild(&res.Stats, g)
 	res.Stats.PeakResidentSize = g.Size()
+	buildSpan.SetAttr("nodes", int64(g.NumNodes()))
+	buildSpan.SetAttr("edges", int64(g.NumEdges()))
+	buildSpan.End()
 
 	// Phase 2: RR sets via reverse sampled walks from random T2 roots.
 	// Precompute per-node candidate ids so walks avoid per-visit key
 	// construction.
+	rrSpan := sp.StartChild("rrgen")
 	candOfNode := candidateIndex(g, inst)
 	targetIDs := make([]wdgraph.NodeID, len(inst.targets))
 	targetOK := make([]bool, len(inst.targets))
 	for i, t := range inst.targets {
 		targetIDs[i], targetOK[i] = g.FactID(t.Pred, t.Tuple)
 	}
-	if opts.Parallelism > 1 && !opts.Adaptive {
-		parallelWalkPhase(inst, opts, res, rng, g, targetIDs, targetOK, candOfNode, nil)
+	if opts.Parallelism >= 1 && !opts.Adaptive {
+		err = parallelWalkPhase(ctx, inst, opts, res, rng, g, targetIDs, targetOK, candOfNode, nil)
 	} else {
 		walker := wdgraph.NewWalker(g)
 		var members []im.CandidateID
@@ -61,10 +81,15 @@ func NaiveCM(in Input, opts Options) (*Result, error) {
 			}
 			return members
 		}
-		runRRPhase(inst, opts, res, gen)
+		err = runRRPhase(ctx, inst, opts, res, gen)
+	}
+	rrSpan.SetAttr("rr", int64(res.Stats.NumRR))
+	rrSpan.End()
+	if err != nil {
+		return nil, err
 	}
 
-	finishSelection(inst, opts, res)
+	finishSelection(inst, opts, res, sp)
 	res.Stats.TotalTime = time.Since(start)
 	return res, nil
 }
@@ -101,8 +126,10 @@ func recordBuild(s *Stats, g *wdgraph.Graph) {
 }
 
 // finishSelection runs the greedy coverage phase shared by all algorithms
-// and fills the result from res.rrColl.
-func finishSelection(inst *instance, opts Options, res *Result) {
+// and fills the result from res.rrColl. sp is the algorithm's phase span
+// (nil when tracing is off); the selection is recorded as its child.
+func finishSelection(inst *instance, opts Options, res *Result, sp *obs.Span) {
+	sel := sp.StartChild("select")
 	selStart := time.Now()
 	var gr im.GreedyResult
 	switch {
@@ -123,6 +150,9 @@ func finishSelection(inst *instance, opts Options, res *Result) {
 	if opts.RankCandidates {
 		res.Ranking = rankCandidates(inst, res.rrColl)
 	}
+	sel.SetAttr("covered", int64(gr.Covered))
+	sel.SetAttr("seeds", int64(len(gr.Seeds)))
+	sel.End()
 }
 
 // rankCandidates computes every candidate's individual coverage over the

@@ -1,0 +1,37 @@
+package cm
+
+import (
+	"contribmax/internal/obs"
+)
+
+// observeSolve folds one finished solve into the metrics registry. It is
+// the common tail of every algorithm's public entry point.
+func observeSolve(opts Options, res *Result, err error) (*Result, error) {
+	if reg := opts.Obs; reg != nil {
+		if err != nil {
+			reg.Counter(obs.CMErrors).Inc()
+		} else {
+			reg.Counter(obs.CMSolves).Inc()
+			reg.Histogram(obs.CMSolveNs).Observe(int64(res.Stats.TotalTime))
+		}
+	}
+	return res, err
+}
+
+// rrObs bundles the pre-resolved RR-generation metric handles so the hot
+// loops pay handle lookup once, not per set. The zero value (from a nil
+// registry) is a no-op; observe is safe for concurrent use by the parallel
+// RR workers.
+type rrObs struct {
+	sets    *obs.Counter
+	members *obs.Histogram
+}
+
+func newRRObs(reg *obs.Registry) rrObs {
+	return rrObs{sets: reg.Counter(obs.RRSets), members: reg.Histogram(obs.RRMembers)}
+}
+
+func (r rrObs) observe(members int) {
+	r.sets.Inc()
+	r.members.Observe(int64(members))
+}

@@ -1,0 +1,67 @@
+package cm_test
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/cm"
+	"contribmax/internal/engine"
+	"contribmax/internal/im"
+	"contribmax/internal/obs"
+	"contribmax/internal/workload"
+)
+
+// benchInstance builds one moderate CM instance, shared by the paired
+// benchmarks so they differ only in the registry argument.
+func benchInstance(b *testing.B) cm.Input {
+	b.Helper()
+	prog := workload.TCProgram(1.0, 0.8)
+	rng := rand.New(rand.NewPCG(31, 41))
+	d := workload.RandomGraphM(12, 30, rng)
+	scratch := d.CloneSchema()
+	for _, p := range prog.EDBs() {
+		if rel, ok := d.Lookup(p); ok {
+			scratch.Attach(rel)
+		}
+	}
+	eng, err := engine.New(prog, scratch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Run(engine.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	targets := scratch.Facts("tc")
+	sort.Slice(targets, func(i, j int) bool { return targets[i].String() < targets[j].String() })
+	if len(targets) < 6 {
+		b.Fatal("sparse instance")
+	}
+	return cm.Input{Program: prog, DB: d, T2: append([]ast.Atom(nil), targets[:6]...), K: 3}
+}
+
+func benchSolve(b *testing.B, reg *obs.Registry) {
+	in := benchInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := cm.NaiveCM(in, cm.Options{
+			Theta: im.ThetaSpec{Explicit: 200},
+			Rand:  rand.New(rand.NewPCG(1, 1)),
+			Obs:   reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveUninstrumented / BenchmarkSolveInstrumented measure the
+// whole-solve cost of the nil-registry fast path vs live collection.
+// Compare with `go test -bench Solve -benchmem ./internal/cm`; the
+// uninstrumented path must stay within noise of the pre-observability
+// baseline, since every handle is nil and every record call is a single
+// pointer check.
+func BenchmarkSolveUninstrumented(b *testing.B) { benchSolve(b, nil) }
+
+func BenchmarkSolveInstrumented(b *testing.B) { benchSolve(b, obs.NewRegistry()) }

@@ -1,6 +1,7 @@
 package cm
 
 import (
+	"context"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
@@ -15,12 +16,15 @@ import (
 // immutable graph, each worker with its own Walker (the graph itself is
 // safe for concurrent reads once built). Walk slots are pre-seeded from the
 // master rng, so results are deterministic regardless of scheduling or
-// worker count.
+// worker count — Parallelism 1 and Parallelism N produce byte-identical
+// collections.
 // roots, when non-nil, fixes the walk roots (Magic^G CM pre-draws them so
 // the grouped transformation covers exactly the sampled tuples); nil draws
 // them here.
-func parallelWalkPhase(inst *instance, opts Options, res *Result, rng *rand.Rand,
-	g *wdgraph.Graph, targetIDs []wdgraph.NodeID, targetOK []bool, candOfNode []int32, roots []int) {
+// Workers re-check ctx before every slot; on cancellation the phase returns
+// ctx's error without assembling a collection.
+func parallelWalkPhase(ctx context.Context, inst *instance, opts Options, res *Result, rng *rand.Rand,
+	g *wdgraph.Graph, targetIDs []wdgraph.NodeID, targetOK []bool, candOfNode []int32, roots []int) error {
 
 	rrStart := time.Now()
 	theta := inst.theta(opts)
@@ -44,9 +48,14 @@ func parallelWalkPhase(inst *instance, opts Options, res *Result, rng *rand.Rand
 		}
 	}
 	sets := make([][]im.CandidateID, theta)
+	ro := newRRObs(opts.Obs)
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < opts.Parallelism; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -54,7 +63,7 @@ func parallelWalkPhase(inst *instance, opts Options, res *Result, rng *rand.Rand
 			var buf []im.CandidateID
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= theta {
+				if i >= theta || ctx.Err() != nil {
 					return
 				}
 				buf = buf[:0]
@@ -70,10 +79,15 @@ func parallelWalkPhase(inst *instance, opts Options, res *Result, rng *rand.Rand
 				set := make([]im.CandidateID, len(buf))
 				copy(set, buf)
 				sets[i] = set
+				ro.observe(len(set))
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		res.Stats.RRGenTime += time.Since(rrStart)
+		return err
+	}
 	coll := im.NewRRCollection(len(inst.candidates))
 	for _, set := range sets {
 		coll.Add(set)
@@ -81,4 +95,5 @@ func parallelWalkPhase(inst *instance, opts Options, res *Result, rng *rand.Rand
 	res.rrColl = coll
 	res.Stats.NumRR = theta
 	res.Stats.RRGenTime += time.Since(rrStart)
+	return nil
 }

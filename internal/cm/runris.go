@@ -1,6 +1,7 @@
 package cm
 
 import (
+	"context"
 	"time"
 
 	"contribmax/internal/im"
@@ -10,32 +11,51 @@ import (
 // Options.Theta, or IMM-adaptive (Options.Adaptive) where the count is
 // derived online from a certified lower bound on OPT (Remark 2). gen
 // produces one RR set per call; it may reuse its output buffer (the
-// collection copies).
-func runRRPhase(inst *instance, opts Options, res *Result, gen im.RRGenerator) *im.RRCollection {
+// collection copies). The loop checks ctx before every set and returns its
+// error on cancellation, leaving the partial collection on res.
+func runRRPhase(ctx context.Context, inst *instance, opts Options, res *Result, gen im.RRGenerator) error {
 	start := time.Now()
 	defer func() {
 		res.Stats.RRGenTime += time.Since(start)
 		res.Stats.NumRR = res.rrColl.Len()
 	}()
+	ro := newRRObs(opts.Obs)
 	if opts.Adaptive {
-		coll, _, immStats := im.IMM(gen, im.IMMParams{
+		// IMM drives generation itself; a canceled context turns further
+		// sets into cheap empties so the adaptive loop unwinds promptly,
+		// and the phase reports the cancellation afterwards.
+		wrapped := func() []im.CandidateID {
+			if ctx.Err() != nil {
+				return nil
+			}
+			set := gen()
+			ro.observe(len(set))
+			return set
+		}
+		coll, _, immStats := im.IMM(wrapped, im.IMMParams{
 			Epsilon:       opts.Theta.Epsilon,
 			Delta:         opts.Theta.Delta,
 			NumTargets:    len(inst.targets),
 			NumCandidates: len(inst.candidates),
 			K:             inst.in.K,
 			MaxRR:         opts.Theta.MaxAuto,
+			Obs:           opts.Obs,
 		})
 		res.Stats.AdaptiveLowerBound = immStats.LowerBound
 		res.Stats.AdaptiveCapped = immStats.Capped
 		res.rrColl = coll
-		return coll
+		return ctx.Err()
 	}
 	theta := inst.theta(opts)
 	coll := im.NewRRCollection(len(inst.candidates))
-	for i := 0; i < theta; i++ {
-		coll.Add(gen())
-	}
 	res.rrColl = coll
-	return coll
+	for i := 0; i < theta; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		set := gen()
+		ro.observe(len(set))
+		coll.Add(set)
+	}
+	return nil
 }

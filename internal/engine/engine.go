@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"contribmax/internal/ast"
 	"contribmax/internal/db"
+	"contribmax/internal/obs"
 )
 
 // FactRef identifies a ground fact as a tuple of a relation.
@@ -61,6 +63,14 @@ type Options struct {
 	// order never changes results; the flag exists for the ablation
 	// benchmark.
 	DisableJoinReorder bool
+	// Context, when non-nil, is checked between semi-naive rounds;
+	// cancellation aborts the run with the context's error. Checks are
+	// per-round, so cancellation latency is one round of rule firing.
+	Context context.Context
+	// Obs, when non-nil, receives the engine metrics (see obs names
+	// engine.*): run/round/instantiation counters and the per-round delta
+	// size histogram. A nil registry costs one pointer check per run.
+	Obs *obs.Registry
 }
 
 // Stats summarizes an evaluation run.
@@ -123,12 +133,22 @@ func (e *Engine) Run(opts Options) (Stats, error) {
 	var stats Stats
 
 	stats.FiredByRule = make([]int64, len(e.rules))
-	ev := &evaluator{engine: e, opts: opts, stats: &stats}
-	if err := ev.run(); err != nil {
-		return stats, err
-	}
+	ev := &evaluator{engine: e, opts: opts, stats: &stats,
+		deltaHist: opts.Obs.Histogram(obs.EngineDeltaSize)}
+	runErr := ev.run()
 
 	stats.Elapsed = time.Since(start)
+	if reg := opts.Obs; reg != nil {
+		reg.Counter(obs.EngineRuns).Inc()
+		reg.Counter(obs.EngineRounds).Add(int64(stats.Rounds))
+		reg.Counter(obs.EngineInstantiations).Add(stats.Instantiations)
+		reg.Counter(obs.EngineSuppressed).Add(stats.Suppressed)
+		reg.Counter(obs.EngineNewFacts).Add(stats.NewFacts)
+		reg.Histogram(obs.EngineEvalNs).Observe(int64(stats.Elapsed))
+	}
+	if runErr != nil {
+		return stats, runErr
+	}
 	if opts.MaxRounds > 0 && stats.Rounds >= opts.MaxRounds {
 		return stats, fmt.Errorf("engine: exceeded MaxRounds=%d", opts.MaxRounds)
 	}
@@ -137,9 +157,10 @@ func (e *Engine) Run(opts Options) (Stats, error) {
 
 // evaluator holds the mutable state of one Run.
 type evaluator struct {
-	engine *Engine
-	opts   Options
-	stats  *Stats
+	engine    *Engine
+	opts      Options
+	stats     *Stats
+	deltaHist *obs.Histogram // per-round delta sizes; nil when disabled
 
 	// watermarks: processedLen[rel] is the tuple count of rel that has been
 	// fully processed by previous rounds; roundLen[rel] is the count
@@ -184,7 +205,9 @@ func (ev *evaluator) run() error {
 	sort.Slice(relList, func(i, j int) bool { return relList[i].Name() < relList[j].Name() })
 
 	for _, ruleIdxs := range strata {
-		ev.runStratum(ruleIdxs, relList)
+		if err := ev.runStratum(ruleIdxs, relList); err != nil {
+			return err
+		}
 		if ev.opts.MaxRounds > 0 && ev.stats.Rounds >= ev.opts.MaxRounds {
 			return nil
 		}
@@ -192,10 +215,18 @@ func (ev *evaluator) run() error {
 	return nil
 }
 
+// ctxErr reports the run context's error, nil when no context was set.
+func (ev *evaluator) ctxErr() error {
+	if ev.opts.Context == nil {
+		return nil
+	}
+	return ev.opts.Context.Err()
+}
+
 // runStratum evaluates one stratum's rules to fixpoint. At stratum entry
 // all existing tuples count as unprocessed delta, so rules see everything
 // derived by earlier strata exactly once.
-func (ev *evaluator) runStratum(ruleIdxs []int, relList []*db.Relation) {
+func (ev *evaluator) runStratum(ruleIdxs []int, relList []*db.Relation) error {
 	e := ev.engine
 	for _, rel := range relList {
 		ev.processedLen[rel] = 0
@@ -210,20 +241,26 @@ func (ev *evaluator) runStratum(ruleIdxs []int, relList []*db.Relation) {
 
 	for {
 		if ev.opts.MaxRounds > 0 && ev.stats.Rounds >= ev.opts.MaxRounds {
-			return
+			return nil
+		}
+		if err := ev.ctxErr(); err != nil {
+			return err
 		}
 		// Snapshot the round: delta = [processedLen, roundLen).
 		hasDelta := false
+		delta := int64(0)
 		for _, rel := range relList {
 			n := rel.Len()
 			ev.roundLen[rel] = n
 			if n > ev.processedLen[rel] {
 				hasDelta = true
+				delta += int64(n - ev.processedLen[rel])
 			}
 		}
 		if !hasDelta {
-			return
+			return nil
 		}
+		ev.deltaHist.Observe(delta)
 		ev.stats.Rounds++
 		for _, ri := range ruleIdxs {
 			cr := e.rules[ri]

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		Title:  "Fig X: sample",
+		XLabel: "rr",
+		YLabel: "ms",
+		Series: []string{"NaiveCM", "MagicSCM"},
+	}
+	t.AddRow("100", 1.5, 0.5)
+	t.AddRow("1000", math.NaN(), 4.25)
+	return t
+}
+
+func TestReportRoundTripAndValidate(t *testing.T) {
+	r := NewReport("quick")
+	r.AddTable(sampleTable())
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReportJSON(buf.Bytes()); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	// The NaN cell must be omitted, not serialized.
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatalf("NaN leaked into JSON:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"contribmax/bench/v1"`) {
+		t.Fatalf("schema tag missing:\n%s", buf.String())
+	}
+}
+
+func TestValidateReportJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":          `{`,
+		"wrong schema":      `{"schema":"v0","goVersion":"go1.22","figures":[{"title":"t","series":["a"],"rows":[{"x":"1","values":{}}]}]}`,
+		"no figures":        `{"schema":"contribmax/bench/v1","goVersion":"go1.22","figures":[]}`,
+		"no goVersion":      `{"schema":"contribmax/bench/v1","figures":[{"title":"t","series":["a"],"rows":[{"x":"1","values":{}}]}]}`,
+		"no series":         `{"schema":"contribmax/bench/v1","goVersion":"go1.22","figures":[{"title":"t","series":[],"rows":[{"x":"1","values":{}}]}]}`,
+		"no rows":           `{"schema":"contribmax/bench/v1","goVersion":"go1.22","figures":[{"title":"t","series":["a"],"rows":[]}]}`,
+		"undeclared series": `{"schema":"contribmax/bench/v1","goVersion":"go1.22","figures":[{"title":"t","series":["a"],"rows":[{"x":"1","values":{"b":2}}]}]}`,
+	}
+	for name, src := range cases {
+		if err := ValidateReportJSON([]byte(src)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package im
 
-import "math"
+import (
+	"math"
+
+	"contribmax/internal/obs"
+)
 
 // RRGenerator produces one random RR set (candidate ids, possibly empty).
 // The CM algorithms supply generators that hide how the set is produced —
@@ -27,6 +31,9 @@ type IMMParams struct {
 	// MaxRR caps the total number of generated RR sets (0 = 100·|T2|,
 	// a pragmatic bound since the theoretical constants are conservative).
 	MaxRR int
+	// Obs, when non-nil, receives the adaptive-phase metrics (imm.*
+	// counters: runs, phase-1 halving rounds, RR sets per phase).
+	Obs *obs.Registry
 }
 
 func (p *IMMParams) fill() {
@@ -98,6 +105,7 @@ func IMM(gen RRGenerator, p IMMParams) (*RRCollection, GreedyResult, IMMStats) {
 	// Phase 1: find a lower bound on OPT.
 	lb := 1.0
 	for i := 1; float64(i) <= logN-1; i++ {
+		p.Obs.Counter(obs.IMMRounds).Inc()
 		x := nT / math.Pow(2, float64(i))
 		thetaI := int(math.Ceil(lambdaPrime / x))
 		generateTo(thetaI)
@@ -120,6 +128,11 @@ func IMM(gen RRGenerator, p IMMParams) (*RRCollection, GreedyResult, IMMStats) {
 	lambdaStar := 2 * nT * math.Pow((1-1/math.E)*alpha+beta, 2) / (p.Epsilon * p.Epsilon)
 	generateTo(int(math.Ceil(lambdaStar / lb)))
 	stats.TotalRR = coll.Len()
+	if reg := p.Obs; reg != nil {
+		reg.Counter(obs.IMMRuns).Inc()
+		reg.Counter(obs.IMMPhase1).Add(int64(stats.Phase1RR))
+		reg.Counter(obs.IMMTotalRR).Add(int64(stats.TotalRR))
+	}
 
 	return coll, Greedy(coll, p.K), stats
 }

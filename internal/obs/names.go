@@ -1,0 +1,39 @@
+package obs
+
+// Canonical metric names used across the pipeline, so dashboards and tests
+// reference one vocabulary (documented in docs/OBSERVABILITY.md).
+const (
+	// Engine fixpoint evaluation.
+	EngineRuns           = "engine.runs"           // counter: evaluations started
+	EngineRounds         = "engine.rounds"         // counter: semi-naive rounds
+	EngineInstantiations = "engine.instantiations" // counter: fired rule instantiations
+	EngineSuppressed     = "engine.suppressed"     // counter: gate-vetoed instantiations
+	EngineNewFacts       = "engine.new_facts"      // counter: idb tuples first derived
+	EngineDeltaSize      = "engine.delta_size"     // histogram: delta tuples per round
+	EngineEvalNs         = "engine.eval_ns"        // histogram: ns per evaluation
+
+	// WD-graph construction.
+	GraphBuilds  = "wdgraph.builds"   // counter: graphs constructed
+	GraphNodes   = "wdgraph.nodes"    // counter: nodes summed over builds
+	GraphEdges   = "wdgraph.edges"    // counter: edges summed over builds
+	GraphBuildNs = "wdgraph.build_ns" // histogram: ns per construction
+
+	// RR-set generation and adaptive sampling.
+	RRSets     = "rr.sets"       // counter: RR sets generated
+	RRMembers  = "rr.members"    // histogram: candidates per RR set (walk length)
+	IMMRuns    = "imm.runs"      // counter: adaptive solves
+	IMMRounds  = "imm.rounds"    // counter: phase-1 halving iterations
+	IMMPhase1  = "imm.rr_phase1" // counter: RR sets spent bounding OPT
+	IMMTotalRR = "imm.rr_total"  // counter: final collection sizes summed
+
+	// CM solvers.
+	CMSolves  = "cm.solves"   // counter: completed solves
+	CMErrors  = "cm.errors"   // counter: solves returning an error
+	CMSolveNs = "cm.solve_ns" // histogram: ns per solve
+
+	// HTTP server.
+	ServerRequests  = "server.requests"   // counter: requests handled
+	ServerErrors    = "server.errors"     // counter: responses with status >= 400
+	ServerInflight  = "server.inflight"   // gauge: requests currently in flight
+	ServerLatencyNs = "server.latency_ns" // histogram: ns per request
+)

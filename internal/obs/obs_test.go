@@ -1,0 +1,200 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"contribmax/internal/obs"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a") != c {
+		t.Error("counter handle not stable across lookups")
+	}
+	g := r.Gauge("b")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("h")
+	for _, v := range []int64{1, 2, 3, 100, 0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 106 {
+		t.Errorf("count/sum = %d/%d, want 5/106", s.Count, s.Sum)
+	}
+	if s.Min != 0 || s.Max != 100 {
+		t.Errorf("min/max = %d/%d, want 0/100", s.Min, s.Max)
+	}
+	if s.Avg != 106.0/5 {
+		t.Errorf("avg = %g", s.Avg)
+	}
+	// p99 must land in the bucket containing 100 ([64, 128)), whose
+	// geometric midpoint is ~90.5; the estimate is within a factor sqrt(2).
+	if s.P99 < 64 || s.P99 > 128 {
+		t.Errorf("p99 = %g, want within [64, 128]", s.P99)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Errorf("quantiles not monotone: %g %g %g", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestNilRegistryIsSafeAndFree(t *testing.T) {
+	var r *obs.Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// The disabled hot path must not allocate (this is the zero-cost
+	// guarantee the solvers rely on).
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		h.Observe(42)
+	}); n != 0 {
+		t.Errorf("nil-handle ops allocated %v times per run", n)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnabledHotPathDoesNotAllocate(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(123)
+	}); n != 0 {
+		t.Errorf("enabled hot path allocated %v times per run", n)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := obs.NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("hist").Observe(int64(i))
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("hist").Snapshot().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestWriteJSONIsExpvarStyle(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("cm.solves").Add(3)
+	r.Gauge("server.inflight").Set(1)
+	r.Histogram("rr.members").Observe(10)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &flat); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if flat["cm.solves"] != float64(3) {
+		t.Errorf("cm.solves = %v", flat["cm.solves"])
+	}
+	hist, ok := flat["rr.members"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Errorf("rr.members = %v", flat["rr.members"])
+	}
+	if _, ok := flat["uptime_seconds"]; !ok {
+		t.Error("missing uptime_seconds")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := obs.StartSpan("solve")
+	build := root.StartChild("build")
+	build.SetAttr("nodes", 42)
+	build.End()
+	rr := root.StartChild("rrgen")
+	rr.SetAttr("rr", 100)
+	rr.SetAttr("rr", 200) // overwrite
+	rr.End()
+	root.End()
+	root.Dur = 5 * time.Millisecond // deterministic rendering
+
+	if v, ok := rr.Attr("rr"); !ok || v != 200 {
+		t.Errorf("attr rr = %d, %v", v, ok)
+	}
+	if root.Find("build") != build || root.Find("nope") != nil {
+		t.Error("Find misbehaved")
+	}
+	var buf bytes.Buffer
+	root.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"solve", "  build", "nodes=42", "rr=200", "5.0ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *obs.Span
+	child := s.StartChild("x")
+	if child != nil {
+		t.Fatal("nil span must return nil children")
+	}
+	child.SetAttr("k", 1)
+	child.End()
+	if _, ok := child.Attr("k"); ok {
+		t.Error("nil span attr must be absent")
+	}
+	var buf bytes.Buffer
+	child.Render(&buf)
+	if buf.Len() != 0 {
+		t.Error("nil span rendered output")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		c := s.StartChild("y")
+		c.SetAttr("k", 1)
+		c.End()
+	}); n != 0 {
+		t.Errorf("nil span ops allocated %v times per run", n)
+	}
+}

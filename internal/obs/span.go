@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Span is one timed phase of a larger operation: it has a name, a
+// duration, optional integer attributes, and child spans, forming the
+// phase tree cmrun -stats prints. Spans are nil-safe (every method on a
+// nil *Span is a no-op returning nil/zero), so instrumented code can run
+// with tracing disabled at the cost of a pointer check.
+//
+// A span tree is built and finished by a single goroutine (the solver's);
+// it is not safe for concurrent mutation. Phases that internally fan out
+// (the parallel RR loops) are represented as one span covering the whole
+// fan-out, with attributes carrying the aggregate counts.
+type Span struct {
+	Name     string
+	Attrs    []Attr
+	Children []*Span
+	Dur      time.Duration
+
+	start time.Time
+}
+
+// Attr is one integer annotation on a span (counts, sizes).
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// StartSpan starts a new root span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// StartChild starts and attaches a child span. Nil-safe: returns nil when
+// s is nil, so whole disabled subtrees cost nothing.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := StartSpan(name)
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End fixes the span's duration. Further Ends are no-ops, as is End on a
+// nil span.
+func (s *Span) End() {
+	if s == nil || s.Dur != 0 {
+		return
+	}
+	s.Dur = time.Since(s.start)
+}
+
+// SetAttr sets an integer attribute, overwriting an existing key. No-op on
+// a nil span.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Value = v
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: v})
+}
+
+// Attr returns the value of an attribute, ok=false if absent (or s nil).
+func (s *Span) Attr(key string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Find returns the first descendant span (depth-first, self included) with
+// the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if found := c.Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// Render writes the span tree as an indented phase listing:
+//
+//	solve                      142.1ms
+//	  build                    101.3ms  nodes=5210 edges=9123
+//	  rrgen                     38.0ms  rr=1000
+//	  select                     2.7ms  covered=815
+//
+// Durations of still-running spans render from their start time. No-op on
+// a nil span.
+func (s *Span) Render(w io.Writer) {
+	if s == nil {
+		return
+	}
+	width := s.labelWidth(0)
+	s.render(w, 0, width)
+}
+
+func (s *Span) labelWidth(depth int) int {
+	width := 2*depth + len(s.Name)
+	for _, c := range s.Children {
+		if cw := c.labelWidth(depth + 1); cw > width {
+			width = cw
+		}
+	}
+	return width
+}
+
+func (s *Span) render(w io.Writer, depth, width int) {
+	d := s.Dur
+	if d == 0 && !s.start.IsZero() {
+		d = time.Since(s.start)
+	}
+	label := strings.Repeat("  ", depth) + s.Name
+	pad := width - len(label) + 2
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%s%s%10s", label, strings.Repeat(" ", pad), formatDur(d))
+	for _, a := range s.Attrs {
+		fmt.Fprintf(w, "  %s=%d", a.Key, a.Value)
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children {
+		c.render(w, depth+1, width)
+	}
+}
+
+// formatDur renders a duration with ~3 significant digits, keeping the
+// columns of the phase tree readable.
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

@@ -12,11 +12,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"math/rand/v2"
 	"net/http"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,6 +30,7 @@ import (
 	"contribmax/internal/engine"
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
+	"contribmax/internal/obs"
 	"contribmax/internal/parser"
 	"contribmax/internal/provenance"
 	"contribmax/internal/wdgraph"
@@ -85,18 +89,109 @@ type ExplainResponse struct {
 	Tree        string  `json:"tree,omitempty"`
 }
 
-// New returns the HTTP handler.
-func New() http.Handler {
+// Config parameterizes the handler beyond its default stateless behavior.
+type Config struct {
+	// Obs, when non-nil, is threaded through every solve (engine, graph,
+	// RR, and server.* metrics) and served as expvar-style JSON on
+	// GET /metrics. Nil disables instrumentation and the endpoint.
+	Obs *obs.Registry
+	// SolveTimeout bounds each solve/explain request; a request past the
+	// deadline is abandoned mid-phase and answered 503. 0 means no
+	// server-imposed deadline (client disconnects still cancel).
+	SolveTimeout time.Duration
+}
+
+// New returns the HTTP handler with default configuration (no metrics, no
+// timeout).
+func New() http.Handler { return NewWith(Config{}) }
+
+// NewWith returns the HTTP handler with cfg applied.
+func NewWith(cfg Config) http.Handler {
+	s := &server{cfg: cfg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", handleForm)
-	mux.HandleFunc("POST /solve", handleSolveForm)
-	mux.HandleFunc("POST /api/solve", handleSolveAPI)
-	mux.HandleFunc("POST /api/explain", handleExplainAPI)
-	return mux
+	mux.HandleFunc("POST /solve", s.handleSolveForm)
+	mux.HandleFunc("POST /api/solve", s.handleSolveAPI)
+	mux.HandleFunc("POST /api/explain", s.handleExplainAPI)
+	// The metrics endpoint sits outside the instrumented wrapper so that
+	// scrapes do not perturb the request counters they report.
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /metrics", s.handleMetrics)
+	outer.Handle("/", s.instrument(mux))
+	return outer
+}
+
+type server struct {
+	cfg Config
+}
+
+// instrument wraps h with the server.* request metrics. With a nil
+// registry the handler is returned unwrapped — zero overhead.
+func (s *server) instrument(h http.Handler) http.Handler {
+	reg := s.cfg.Obs
+	if reg == nil {
+		return h
+	}
+	requests := reg.Counter(obs.ServerRequests)
+	reqErrors := reg.Counter(obs.ServerErrors)
+	inflight := reg.Gauge(obs.ServerInflight)
+	latency := reg.Histogram(obs.ServerLatencyNs)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		latency.ObserveSince(start)
+		if sw.code >= 400 {
+			reqErrors.Inc()
+		}
+	})
+}
+
+// statusWriter records the response code for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// requestCtx derives the context a solve runs under: the request's own
+// context (canceled when the client goes away) plus the configured
+// timeout.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.SolveTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// httpStatus maps a solve error to a response code: cancellation and
+// deadline expiry are the server's condition (503), everything else is a
+// problem with the submitted request (422).
+func httpStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Obs == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.cfg.Obs.WriteJSON(w)
 }
 
 // solve runs one CM request.
-func solve(req SolveRequest) (*SolveResponse, error) {
+func (s *server) solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
 	if req.K <= 0 {
 		req.K = 5
 	}
@@ -121,7 +216,7 @@ func solve(req SolveRequest) (*SolveResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	targets, err := expandTargets(prog, database, req.Targets)
+	targets, err := expandTargets(ctx, prog, database, req.Targets)
 	if err != nil {
 		return nil, err
 	}
@@ -137,20 +232,27 @@ func solve(req SolveRequest) (*SolveResponse, error) {
 		// The request was just analyzed against this schema and these
 		// targets; skip the identical in-algorithm gate.
 		SkipAnalysis: true,
+		Context:      ctx,
+		Obs:          s.cfg.Obs,
 	}
 	var res *cm.Result
-	switch req.Algorithm {
-	case "naive":
-		res, err = cm.NaiveCM(in, opts)
-	case "magic":
-		res, err = cm.MagicCM(in, opts)
-	case "magics":
-		res, err = cm.MagicSampledCM(in, opts)
-	case "magicg":
-		res, err = cm.MagicGroupedCM(in, opts)
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
-	}
+	// The pprof label makes per-algorithm cost visible in CPU profiles
+	// taken through /debug/pprof while solves are in flight.
+	pprof.Do(ctx, pprof.Labels("cm_algorithm", req.Algorithm), func(ctx context.Context) {
+		opts.Context = ctx
+		switch req.Algorithm {
+		case "naive":
+			res, err = cm.NaiveCM(in, opts)
+		case "magic":
+			res, err = cm.MagicCM(in, opts)
+		case "magics":
+			res, err = cm.MagicSampledCM(in, opts)
+		case "magicg":
+			res, err = cm.MagicGroupedCM(in, opts)
+		default:
+			err = fmt.Errorf("unknown algorithm %q", req.Algorithm)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +331,7 @@ func loadFacts(src string) (*db.Database, error) {
 
 // expandTargets parses target lines; non-ground patterns are expanded
 // against the derived facts.
-func expandTargets(prog *ast.Program, database *db.Database, lines []string) ([]ast.Atom, error) {
+func expandTargets(ctx context.Context, prog *ast.Program, database *db.Database, lines []string) ([]ast.Atom, error) {
 	var ground, patterns []ast.Atom
 	for _, line := range lines {
 		line = strings.TrimSpace(line)
@@ -257,7 +359,7 @@ func expandTargets(prog *ast.Program, database *db.Database, lines []string) ([]
 		if err != nil {
 			return nil, err
 		}
-		if _, err := eng.Run(engine.Options{}); err != nil {
+		if _, err := eng.Run(engine.Options{Context: ctx}); err != nil {
 			return nil, err
 		}
 		for _, p := range patterns {
@@ -272,7 +374,7 @@ func expandTargets(prog *ast.Program, database *db.Database, lines []string) ([]
 }
 
 // explain runs one explanation request.
-func explain(req ExplainRequest) (*ExplainResponse, error) {
+func explain(ctx context.Context, req ExplainRequest) (*ExplainResponse, error) {
 	prog, err := parser.ParseProgramLoose(req.Program)
 	if err != nil {
 		return nil, fmt.Errorf("program: %w", err)
@@ -308,7 +410,7 @@ func explain(req ExplainRequest) (*ExplainResponse, error) {
 		return nil, err
 	}
 	b := wdgraph.NewBuilder(tr.Projection())
-	if _, err := eng.Run(engine.Options{Listener: b.Listener()}); err != nil {
+	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Context: ctx}); err != nil {
 		return nil, err
 	}
 	g := b.Graph()
@@ -330,30 +432,34 @@ func explain(req ExplainRequest) (*ExplainResponse, error) {
 	return out, nil
 }
 
-func handleSolveAPI(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleSolveAPI(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := solve(req)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := s.solve(ctx, req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, err.Error(), httpStatus(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
 }
 
-func handleExplainAPI(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleExplainAPI(w http.ResponseWriter, r *http.Request) {
 	var req ExplainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := explain(req)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := explain(ctx, req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, err.Error(), httpStatus(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -365,7 +471,7 @@ func handleForm(w http.ResponseWriter, r *http.Request) {
 	pageTmpl.Execute(w, pageData{Req: exampleRequest()})
 }
 
-func handleSolveForm(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleSolveForm(w http.ResponseWriter, r *http.Request) {
 	if err := r.ParseForm(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -381,8 +487,10 @@ func handleSolveForm(w http.ResponseWriter, r *http.Request) {
 	fmt.Sscanf(r.FormValue("diverse"), "%d", &req.MaxSeedsPerRelation)
 	fmt.Sscanf(r.FormValue("seed"), "%d", &req.Seed)
 
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	data := pageData{Req: req}
-	res, err := solve(req)
+	res, err := s.solve(ctx, req)
 	if err != nil {
 		data.Error = err.Error()
 	} else {

@@ -1,12 +1,15 @@
 package wdgraph
 
 import (
+	"context"
 	"strconv"
 	"strings"
+	"time"
 
 	"contribmax/internal/ast"
 	"contribmax/internal/db"
 	"contribmax/internal/engine"
+	"contribmax/internal/obs"
 )
 
 // Projection controls how fired rule instantiations map into WD-graph nodes
@@ -195,27 +198,64 @@ func (b *Builder) observe(d engine.Derivation) {
 	b.g.in[headID] = append(b.g.in[headID], Edge{To: ruleID, W: w})
 }
 
+// BuildConfig parameterizes BuildWith beyond the program and database.
+// The zero value matches Build's defaults: identity projection, no EDB
+// preload, no gate, no context, observability disabled.
+type BuildConfig struct {
+	// Proj controls the instantiation-to-graph mapping; nil means the
+	// identity projection of Definition 3.1.
+	Proj *Projection
+	// PreloadEDB adds nodes for all edb facts up front (Definition 3.1).
+	PreloadEDB bool
+	// Gate, if non-nil, is consulted before every instantiation (Magic^S
+	// CM's in-construction sampling).
+	Gate engine.FireGate
+	// Ctx, when non-nil, cancels the underlying fixpoint evaluation
+	// between rounds.
+	Ctx context.Context
+	// Obs, when non-nil, receives the construction metrics (wdgraph.*
+	// counters and the build-time histogram) and is forwarded to the
+	// engine for its engine.* metrics.
+	Obs *obs.Registry
+}
+
 // Build evaluates prog over database and returns the projected WD graph.
 // preloadEDB adds nodes for all edb facts up front (Definition 3.1); gate,
 // if non-nil, is consulted before every instantiation (Magic^S CM's
-// in-construction sampling).
+// in-construction sampling). Instrumented callers use BuildWith.
 func Build(prog *ast.Program, database *db.Database, proj *Projection, preloadEDB bool, gate engine.FireGate) (*Graph, engine.Stats, error) {
+	return BuildWith(prog, database, BuildConfig{Proj: proj, PreloadEDB: preloadEDB, Gate: gate})
+}
+
+// BuildWith is Build with cancellation and observability: one constructed
+// graph records one wdgraph.builds increment, its node/edge counts, and
+// its wall-clock construction time.
+func BuildWith(prog *ast.Program, database *db.Database, cfg BuildConfig) (*Graph, engine.Stats, error) {
+	start := time.Now()
+	proj := cfg.Proj
 	if proj == nil {
 		proj = IdentityProjection(prog)
 	}
 	b := NewBuilder(proj)
-	if preloadEDB {
+	if cfg.PreloadEDB {
 		b.PreloadEDB(prog, database)
 	}
 	eng, err := engine.New(prog, database)
 	if err != nil {
 		return nil, engine.Stats{}, err
 	}
-	stats, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate})
+	stats, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: cfg.Gate, Context: cfg.Ctx, Obs: cfg.Obs})
 	if err != nil {
 		return nil, stats, err
 	}
-	return b.Graph(), stats, nil
+	g := b.Graph()
+	if reg := cfg.Obs; reg != nil {
+		reg.Counter(obs.GraphBuilds).Inc()
+		reg.Counter(obs.GraphNodes).Add(int64(g.NumNodes()))
+		reg.Counter(obs.GraphEdges).Add(int64(g.NumEdges()))
+		reg.Histogram(obs.GraphBuildNs).ObserveSince(start)
+	}
+	return g, stats, nil
 }
 
 // DebugString renders a small graph for tests and the wddump tool.
