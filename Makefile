@@ -7,7 +7,7 @@ GO ?= go
 # expectations; the golden test in internal/analysis covers those).
 DL_PROGRAMS := $(shell find examples testdata -name '*.dl' -not -path 'testdata/analysis/*' | sort)
 
-.PHONY: all build test race check lint fmt bench-report
+.PHONY: all build test race check lint fmt bench bench-report
 
 all: check lint
 
@@ -20,6 +20,13 @@ test:
 # The packages that evaluate programs concurrently.
 race:
 	$(GO) test -race ./internal/cm ./internal/im ./internal/engine ./internal/obs ./internal/server
+
+# Run every Go micro-benchmark once: a compile-and-run guard for the bench
+# code. Meaningful numbers need -benchtime left at its default; compare
+# RIS-path results against the committed BENCH_baseline.json (see
+# docs/PERFORMANCE.md).
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Machine-readable benchmark report (cmbench figures as BENCH_quick.json).
 bench-report:

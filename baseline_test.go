@@ -1,0 +1,24 @@
+package contribmax_test
+
+import (
+	"os"
+	"testing"
+
+	"contribmax/internal/experiments"
+)
+
+// TestCommittedBaselineReport validates the checked-in BENCH_baseline.json
+// against the report schema. The file records the cmbench figures measured
+// at the commit preceding the CSR/arena memory-layout refactor and is the
+// reference point for the RIS-throughput comparison in docs/PERFORMANCE.md;
+// regenerate it with `go run ./cmd/cmbench -json BENCH_baseline.json` only
+// when intentionally re-baselining.
+func TestCommittedBaselineReport(t *testing.T) {
+	data, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	if err := experiments.ValidateReportJSON(data); err != nil {
+		t.Errorf("BENCH_baseline.json invalid: %v", err)
+	}
+}

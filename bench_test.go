@@ -20,6 +20,7 @@ import (
 	"contribmax/internal/experiments"
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
+	"contribmax/internal/wdgraph"
 	"contribmax/internal/workload"
 )
 
@@ -364,4 +365,61 @@ func BenchmarkSIPSAblation(b *testing.B) {
 	}
 	b.Run("leftToRight", func(b *testing.B) { run(b, magic.LeftToRight) })
 	b.Run("boundFirst", func(b *testing.B) { run(b, magic.BoundFirst) })
+}
+
+// BenchmarkRRGenSelect isolates the RIS hot path — reverse sampled walks
+// feeding the RR collection, then greedy maximum-coverage selection — on a
+// prebuilt WD graph, excluding evaluation and graph construction. This is
+// the throughput the CSR adjacency + arena collection layout targets;
+// compare against the pre-refactor number recorded in docs/PERFORMANCE.md.
+func BenchmarkRRGenSelect(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	d := workload.RandomGraphM(40, 70, rng)
+	prog := workload.TCProgram(0.7, 0.45)
+	g, _, err := wdgraph.Build(prog, d, nil, true, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Candidates: every edb fact node, dense ids in node order. Roots:
+	// every derived fact node.
+	candOfNode := make([]int32, g.NumNodes())
+	for i := range candOfNode {
+		candOfNode[i] = -1
+	}
+	numCands := int32(0)
+	var roots []wdgraph.NodeID
+	g.FactNodes(func(id wdgraph.NodeID, n wdgraph.Node) {
+		if n.EDB {
+			candOfNode[id] = numCands
+			numCands++
+		} else {
+			roots = append(roots, id)
+		}
+	})
+	if len(roots) == 0 || numCands == 0 {
+		b.Fatal("degenerate instance")
+	}
+	const theta, k = 2000, 5
+	walker := wdgraph.NewWalker(g)
+	var buf []im.CandidateID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wrng := rand.New(rand.NewPCG(uint64(i), 7))
+		coll := im.NewRRCollection(int(numCands))
+		for j := 0; j < theta; j++ {
+			buf = buf[:0]
+			root := roots[wrng.IntN(len(roots))]
+			walker.ReverseReachable(root, wrng, false, func(v wdgraph.NodeID) {
+				if c := candOfNode[v]; c >= 0 {
+					buf = append(buf, im.CandidateID(c))
+				}
+			})
+			coll.Add(buf)
+		}
+		res := im.Greedy(coll, k)
+		if res.Covered == 0 {
+			b.Fatal("no coverage")
+		}
+	}
 }

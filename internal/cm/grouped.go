@@ -118,6 +118,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 			return members
 		}
 		err = runRRPhase(ctx, inst, opts, res, gen)
+		observeArena(opts.Obs, res.rrColl, walker.Grows())
 	}
 	rrSpan.SetAttr("rr", int64(res.Stats.NumRR))
 	rrSpan.End()

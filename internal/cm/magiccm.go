@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"contribmax/internal/ast"
+	"contribmax/internal/db"
 	"contribmax/internal/engine"
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
@@ -72,9 +73,11 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 		return transforms[ti], nil
 	}
 
-	// oneRR builds the subgraph for target ti, draws the RR set with rng
-	// r, and records build stats into st.
-	oneRR := func(ti int, r *rand.Rand, st *Stats, buf []im.CandidateID) ([]im.CandidateID, error) {
+	// oneRR builds the subgraph for target ti, draws the RR set with rng r
+	// (appending its members to arena), and records build stats into st. sc
+	// carries the caller's persistent walker and key buffer, so in steady
+	// state the only allocations are the subgraph build itself.
+	oneRR := func(ti int, r *rand.Rand, st *Stats, sc *rrScratch, arena []im.CandidateID) ([]im.CandidateID, error) {
 		tr, err := transformFor(ti)
 		if err != nil {
 			return nil, err
@@ -86,13 +89,14 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 		recordBuild(st, g)
 		// PeakResidentSize for the per-tuple variants is the largest single
 		// subgraph: each one is discarded after use (Section V-A).
-		return collectRR(g, inst, inst.targets[ti], r, sampled, buf), nil
+		return collectRR(g, inst, inst.targets[ti], r, sampled, sc, arena), nil
 	}
 
 	rrSpan := sp.StartChild("rrgen")
 	if opts.Parallelism >= 1 && !opts.Adaptive {
 		err = parallelRRPhase(ctx, inst, opts, res, rng, oneRR)
 	} else {
+		sc := newRRScratch()
 		var members []im.CandidateID
 		var genErr error
 		gen := func() []im.CandidateID {
@@ -100,17 +104,19 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 			if genErr != nil {
 				return members
 			}
-			out, err := oneRR(drawTarget(rng, len(inst.targets)), rng, &res.Stats, members)
+			out, err := oneRR(drawTarget(rng, len(inst.targets)), rng, &res.Stats, sc, members)
 			if err != nil {
 				genErr = err
 				return members
 			}
+			members = out
 			return out
 		}
 		err = runRRPhase(ctx, inst, opts, res, gen)
 		if genErr != nil {
 			err = genErr
 		}
+		observeArena(opts.Obs, res.rrColl, sc.walker.Grows())
 	}
 	rrSpan.SetAttr("rr", int64(res.Stats.NumRR))
 	rrSpan.SetAttr("builds", int64(res.Stats.GraphBuilds))
@@ -128,10 +134,12 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 // Options.Parallelism workers. Determinism: the target index and a
 // dedicated PCG seed are pre-drawn for every RR slot from the master rng,
 // so the resulting RR multiset does not depend on scheduling or worker
-// count; per-worker stats are merged afterwards. Workers re-check ctx
-// before every slot and the phase returns ctx's error on cancellation.
+// count; per-worker stats are merged afterwards, and the collection is
+// assembled from the per-worker member arenas in slot order. Workers
+// re-check ctx before every slot and the phase returns ctx's error on
+// cancellation.
 func parallelRRPhase(ctx context.Context, inst *instance, opts Options, res *Result, rng *rand.Rand,
-	oneRR func(ti int, r *rand.Rand, st *Stats, buf []im.CandidateID) ([]im.CandidateID, error)) error {
+	oneRR func(ti int, r *rand.Rand, st *Stats, sc *rrScratch, arena []im.CandidateID) ([]im.CandidateID, error)) error {
 
 	rrStart := time.Now()
 	theta := inst.theta(opts)
@@ -148,12 +156,14 @@ func parallelRRPhase(ctx context.Context, inst *instance, opts Options, res *Res
 			seedB: rng.Uint64(),
 		}
 	}
-	sets := make([][]im.CandidateID, theta)
+	segs := make([]rrSeg, theta)
 	ro := newRRObs(opts.Obs)
 	workers := opts.Parallelism
 	if workers < 1 {
 		workers = 1
 	}
+	arenas := make([][]im.CandidateID, workers)
+	grows := make([]int64, workers)
 	errs := make([]error, workers)
 	stats := make([]Stats, workers)
 	var next atomic.Int64
@@ -162,22 +172,27 @@ func parallelRRPhase(ctx context.Context, inst *instance, opts Options, res *Res
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var buf []im.CandidateID
+			sc := newRRScratch()
+			var arena []im.CandidateID
+			defer func() {
+				arenas[w] = arena
+				grows[w] = sc.walker.Grows()
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= theta || ctx.Err() != nil {
 					return
 				}
 				r := rand.New(rand.NewPCG(slots[i].seedA, slots[i].seedB))
-				out, err := oneRR(slots[i].ti, r, &stats[w], buf[:0])
+				lo := len(arena)
+				out, err := oneRR(slots[i].ti, r, &stats[w], sc, arena)
 				if err != nil {
 					errs[w] = err
 					return
 				}
-				set := make([]im.CandidateID, len(out))
-				copy(set, out)
-				sets[i] = set
-				ro.observe(len(set))
+				arena = out
+				segs[i] = rrSeg{worker: int32(w), lo: int64(lo), hi: int64(len(arena))}
+				ro.observe(len(arena) - lo)
 			}
 		}(w)
 	}
@@ -194,13 +209,15 @@ func parallelRRPhase(ctx context.Context, inst *instance, opts Options, res *Res
 		res.Stats.RRGenTime += time.Since(rrStart)
 		return err
 	}
-	coll := im.NewRRCollection(len(inst.candidates))
-	for _, set := range sets {
-		coll.Add(set)
-	}
+	coll := assembleCollection(len(inst.candidates), segs, arenas)
 	res.rrColl = coll
 	res.Stats.NumRR = theta
 	res.Stats.RRGenTime += time.Since(rrStart)
+	var totalGrows int64
+	for _, n := range grows {
+		totalGrows += n
+	}
+	observeArena(opts.Obs, coll, totalGrows)
 	return nil
 }
 
@@ -258,11 +275,37 @@ func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bo
 	return g, nil
 }
 
-// collectRR extracts the RR set of target from g: the T1 candidates from
-// which target is reachable. For the unsampled variant the reverse walk
-// draws each edge with its weight; for the sampled variant the graph itself
-// is already one random execution, so the walk is deterministic.
-func collectRR(g *wdgraph.Graph, inst *instance, target FactHandle, rng *rand.Rand, sampledGraph bool, members []im.CandidateID) []im.CandidateID {
+// rrScratch is the per-worker reusable state of the per-tuple Magic
+// variants: one persistent walker re-targeted at each RR subgraph (marks
+// reused across graphs via epochs) and a key buffer for alloc-free
+// candidate lookups. Not safe for concurrent use.
+type rrScratch struct {
+	walker *wdgraph.Walker
+	keyBuf []byte
+}
+
+func newRRScratch() *rrScratch { return &rrScratch{walker: wdgraph.NewWalker(nil)} }
+
+// factKey builds the candOf lookup key (pred, NUL, big-endian tuple bytes —
+// the same encoding as FactHandle.key) in the reusable buffer. The returned
+// slice aliases the scratch and is valid until the next call; looking it up
+// as inst.candOf[string(key)] compiles without materializing the string.
+func (sc *rrScratch) factKey(pred string, t db.Tuple) []byte {
+	buf := append(sc.keyBuf[:0], pred...)
+	buf = append(buf, 0)
+	for _, s := range t {
+		buf = append(buf, byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
+	}
+	sc.keyBuf = buf
+	return buf
+}
+
+// collectRR extracts the RR set of target from g, appending the T1
+// candidates from which target is reachable to members. For the unsampled
+// variant the reverse walk draws each edge with its weight; for the sampled
+// variant the graph itself is already one random execution, so the walk is
+// deterministic.
+func collectRR(g *wdgraph.Graph, inst *instance, target FactHandle, rng *rand.Rand, sampledGraph bool, sc *rrScratch, members []im.CandidateID) []im.CandidateID {
 	root, ok := g.FactID(target.Pred, target.Tuple)
 	if !ok {
 		// Target not derived: empty RR set. This cannot happen for the
@@ -271,13 +314,14 @@ func collectRR(g *wdgraph.Graph, inst *instance, target FactHandle, rng *rand.Ra
 		// target was not derived.
 		return members
 	}
-	walker := wdgraph.NewWalker(g)
-	walker.ReverseReachable(root, rng, sampledGraph, func(v wdgraph.NodeID) {
+	sc.walker.Reset(g)
+	sc.walker.ReverseReachable(root, rng, sampledGraph, func(v wdgraph.NodeID) {
 		n := g.Node(v)
 		if n.Kind != wdgraph.FactNode || !n.EDB {
 			return
 		}
-		if c, ok := inst.candOf[n.Pred+"\x00"+n.Tuple.Key()]; ok {
+		key := sc.factKey(n.Pred, n.Tuple)
+		if c, ok := inst.candOf[string(key)]; ok {
 			members = append(members, c)
 		}
 	})

@@ -82,6 +82,7 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 			return members
 		}
 		err = runRRPhase(ctx, inst, opts, res, gen)
+		observeArena(opts.Obs, res.rrColl, walker.Grows())
 	}
 	rrSpan.SetAttr("rr", int64(res.Stats.NumRR))
 	rrSpan.End()
@@ -158,13 +159,12 @@ func finishSelection(inst *instance, opts Options, res *Result, sp *obs.Span) {
 // rankCandidates computes every candidate's individual coverage over the
 // RR pool and returns the descending ranking.
 func rankCandidates(inst *instance, coll *im.RRCollection) []CandidateScore {
+	// Distinct candidates per set: a candidate may appear once per set at
+	// most (RR walks visit each node once), so its index degree is its
+	// coverage; the shared memberOf index makes this one lookup each.
 	counts := make([]int, len(inst.candidates))
-	for i := 0; i < coll.Len(); i++ {
-		// Distinct candidates per set: a candidate may appear once per set
-		// at most (RR walks visit each node once), so plain counting works.
-		for _, m := range coll.Set(i) {
-			counts[m]++
-		}
+	for c := range counts {
+		counts[c] = coll.Degree(im.CandidateID(c))
 	}
 	theta := coll.Len()
 	out := make([]CandidateScore, len(inst.candidates))

@@ -10,22 +10,17 @@ import "container/heap"
 // ids) but touches far fewer candidates per pick on skewed instances —
 // the common case for CM, where a few input tuples dominate the coverage.
 func GreedyCELF(c *RRCollection, k int) GreedyResult {
+	c.Finalize()
 	n := c.numCandidates
 	if k > n {
 		k = n
 	}
-	memberOf := make([][]int32, n)
-	for i, set := range c.sets {
-		for _, m := range set {
-			memberOf[m] = append(memberOf[m], int32(i))
-		}
-	}
-	coveredSet := make([]bool, len(c.sets))
+	coveredSet := make([]bool, c.Len())
 
 	// freshGain recomputes the current marginal gain of cand.
 	freshGain := func(cand int) int {
 		g := 0
-		for _, si := range memberOf[cand] {
+		for _, si := range c.MemberOf(CandidateID(cand)) {
 			if !coveredSet[si] {
 				g++
 			}
@@ -35,7 +30,7 @@ func GreedyCELF(c *RRCollection, k int) GreedyResult {
 
 	h := make(gainHeap, n)
 	for cand := 0; cand < n; cand++ {
-		h[cand] = gainEntry{cand: int32(cand), gain: int32(len(memberOf[cand])), round: 0}
+		h[cand] = gainEntry{cand: int32(cand), gain: int32(c.Degree(CandidateID(cand))), round: 0}
 	}
 	heap.Init(&h)
 
@@ -54,7 +49,7 @@ func GreedyCELF(c *RRCollection, k int) GreedyResult {
 		res.Seeds = append(res.Seeds, CandidateID(top.cand))
 		res.Gains = append(res.Gains, int(top.gain))
 		res.Covered += int(top.gain)
-		for _, si := range memberOf[top.cand] {
+		for _, si := range c.MemberOf(CandidateID(top.cand)) {
 			coveredSet[si] = true
 		}
 		round++

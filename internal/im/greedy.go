@@ -30,21 +30,16 @@ func GreedyPartition(c *RRCollection, k int, group []int32, maxPerGroup int) Gre
 	if maxPerGroup <= 0 {
 		return Greedy(c, k)
 	}
+	c.Finalize()
 	n := c.numCandidates
 	if k > n {
 		k = n
 	}
-	memberOf := make([][]int32, n)
-	for i, set := range c.sets {
-		for _, m := range set {
-			memberOf[m] = append(memberOf[m], int32(i))
-		}
-	}
 	deg := make([]int, n)
-	for cand := range memberOf {
-		deg[cand] = len(memberOf[cand])
+	for cand := 0; cand < n; cand++ {
+		deg[cand] = c.Degree(CandidateID(cand))
 	}
-	coveredSet := make([]bool, len(c.sets))
+	coveredSet := make([]bool, c.Len())
 	selected := make([]bool, n)
 	groupCount := map[int32]int{}
 	groupOf := func(cand int) int32 {
@@ -73,12 +68,12 @@ func GreedyPartition(c *RRCollection, k int, group []int32, maxPerGroup int) Gre
 		res.Seeds = append(res.Seeds, CandidateID(best))
 		res.Gains = append(res.Gains, bestDeg)
 		res.Covered += bestDeg
-		for _, si := range memberOf[best] {
+		for _, si := range c.MemberOf(CandidateID(best)) {
 			if coveredSet[si] {
 				continue
 			}
 			coveredSet[si] = true
-			for _, m := range c.sets[si] {
+			for _, m := range c.Set(int(si)) {
 				deg[m]--
 			}
 		}
@@ -98,22 +93,16 @@ func GreedyPartition(c *RRCollection, k int, group []int32, maxPerGroup int) Gre
 // seats are filled with arbitrary unselected candidates (zero gain), since
 // a k-set is what the CM problem asks for; Gains records the zeros.
 func Greedy(c *RRCollection, k int) GreedyResult {
+	c.Finalize()
 	n := c.numCandidates
 	if k > n {
 		k = n
 	}
-	// memberOf[cand] = indexes of RR sets containing cand.
-	memberOf := make([][]int32, n)
-	for i, set := range c.sets {
-		for _, m := range set {
-			memberOf[m] = append(memberOf[m], int32(i))
-		}
-	}
 	deg := make([]int, n)
-	for cand := range memberOf {
-		deg[cand] = len(memberOf[cand])
+	for cand := 0; cand < n; cand++ {
+		deg[cand] = c.Degree(CandidateID(cand))
 	}
-	coveredSet := make([]bool, len(c.sets))
+	coveredSet := make([]bool, c.Len())
 	selected := make([]bool, n)
 
 	res := GreedyResult{}
@@ -134,12 +123,12 @@ func Greedy(c *RRCollection, k int) GreedyResult {
 		res.Seeds = append(res.Seeds, CandidateID(best))
 		res.Gains = append(res.Gains, bestDeg)
 		res.Covered += bestDeg
-		for _, si := range memberOf[best] {
+		for _, si := range c.MemberOf(CandidateID(best)) {
 			if coveredSet[si] {
 				continue
 			}
 			coveredSet[si] = true
-			for _, m := range c.sets[si] {
+			for _, m := range c.Set(int(si)) {
 				deg[m]--
 			}
 		}

@@ -14,31 +14,73 @@ package im
 type CandidateID int32
 
 // RRCollection accumulates RR sets over a fixed candidate universe.
+//
+// Storage is arena-backed: all members live in one growing flat buffer and
+// each set is an offset range into it, so Add is an append (no per-set
+// allocation) and Set is a subslice. Finalize lays out the memberOf
+// inverted index (candidate -> containing sets) in the same CSR form; the
+// index is built once and shared by Greedy, GreedyCELF, GreedyPartition,
+// and CoverageOf. Adding sets after Finalize is legal (the adaptive IMM
+// loop interleaves generation and selection) — the index is rebuilt lazily
+// on next use.
+//
+// A collection is not safe for concurrent use; the CM pipeline fills it
+// from one goroutine after the parallel generation phase joins.
 type RRCollection struct {
 	numCandidates int
-	sets          [][]CandidateID
+	members       []CandidateID // arena: all sets, concatenated
+	setOff        []int32       // setOff[i]..setOff[i+1] bounds set i
 	totalMembers  int64
+
+	// memberOf inverted index in CSR form, built by Finalize: candidate c
+	// is a member of sets memberOf[memberOfOff[c]:memberOfOff[c+1]].
+	// indexedSets records how many sets the index covers; it goes stale
+	// (and is rebuilt on demand) when sets are added afterwards.
+	memberOf    []int32
+	memberOfOff []int32
+	indexedSets int
+
+	// Epoch-stamped scratch for CoverageOf (same trick as wdgraph.Walker):
+	// seedMark marks seed candidates, setMark marks covered sets, so
+	// repeated coverage queries allocate nothing in steady state.
+	seedMark  []int32
+	setMark   []int32
+	markEpoch int32
 }
 
 // NewRRCollection returns an empty collection over numCandidates
 // candidates.
 func NewRRCollection(numCandidates int) *RRCollection {
-	return &RRCollection{numCandidates: numCandidates}
+	return &RRCollection{numCandidates: numCandidates, setOff: []int32{0}}
+}
+
+// Reserve pre-sizes the arena for numSets additional RR sets totalling
+// totalMembers members, so the subsequent Adds grow nothing.
+func (c *RRCollection) Reserve(numSets int, totalMembers int64) {
+	if need := len(c.setOff) + numSets; need > cap(c.setOff) {
+		grown := make([]int32, len(c.setOff), need)
+		copy(grown, c.setOff)
+		c.setOff = grown
+	}
+	if need := int64(len(c.members)) + totalMembers; need > int64(cap(c.members)) {
+		grown := make([]CandidateID, len(c.members), need)
+		copy(grown, c.members)
+		c.members = grown
+	}
 }
 
 // Add appends one RR set. Empty sets are legal (an RR walk that reached no
 // candidate) and count toward the total; they can never be covered, which
-// correctly lowers the coverage-based contribution estimate. Add keeps its
-// own copy of members.
+// correctly lowers the coverage-based contribution estimate. Add copies
+// members into the arena, so callers may reuse their buffer.
 func (c *RRCollection) Add(members []CandidateID) {
-	set := make([]CandidateID, len(members))
-	copy(set, members)
-	c.sets = append(c.sets, set)
+	c.members = append(c.members, members...)
+	c.setOff = append(c.setOff, int32(len(c.members)))
 	c.totalMembers += int64(len(members))
 }
 
 // Len returns the number of RR sets added.
-func (c *RRCollection) Len() int { return len(c.sets) }
+func (c *RRCollection) Len() int { return len(c.setOff) - 1 }
 
 // NumCandidates returns the size of the candidate universe.
 func (c *RRCollection) NumCandidates() int { return c.numCandidates }
@@ -46,23 +88,117 @@ func (c *RRCollection) NumCandidates() int { return c.numCandidates }
 // TotalMembers returns the summed size of all RR sets.
 func (c *RRCollection) TotalMembers() int64 { return c.totalMembers }
 
-// Set returns the i-th RR set. The slice is internal; do not modify.
-func (c *RRCollection) Set(i int) []CandidateID { return c.sets[i] }
+// ArenaBytes returns the resident size of the member arena and offset
+// array — the quantity surfaced as the rr.bytes_arena metric.
+func (c *RRCollection) ArenaBytes() int64 {
+	const candSize, offSize = 4, 4
+	return int64(cap(c.members))*candSize + int64(cap(c.setOff))*offSize
+}
+
+// Set returns the i-th RR set as a subslice of the arena; do not modify.
+func (c *RRCollection) Set(i int) []CandidateID {
+	return c.members[c.setOff[i]:c.setOff[i+1]]
+}
+
+// Finalize builds the memberOf inverted index (candidate -> set ids, CSR
+// layout) covering every set added so far. All selection and coverage
+// queries share this one index; calling Finalize explicitly after the
+// generation phase makes the build cost visible, but it is optional —
+// queries finalize lazily. Idempotent until more sets are added.
+func (c *RRCollection) Finalize() {
+	if c.indexedSets == c.Len() && c.memberOfOff != nil {
+		return
+	}
+	n := c.numCandidates
+	if c.memberOfOff == nil {
+		c.memberOfOff = make([]int32, n+1)
+	} else {
+		clear(c.memberOfOff)
+	}
+	deg := c.memberOfOff[1:] // count degrees shifted by one, prefix-sum in place
+	for _, m := range c.members {
+		deg[m]++
+	}
+	for i := 1; i < n; i++ {
+		deg[i] += deg[i-1]
+	}
+	if int64(cap(c.memberOf)) >= c.totalMembers {
+		c.memberOf = c.memberOf[:c.totalMembers]
+	} else {
+		c.memberOf = make([]int32, c.totalMembers)
+	}
+	cursor := make([]int32, n)
+	copy(cursor, c.memberOfOff[:n])
+	for i := 0; i < c.Len(); i++ {
+		for _, m := range c.Set(i) {
+			c.memberOf[cursor[m]] = int32(i)
+			cursor[m]++
+		}
+	}
+	c.indexedSets = c.Len()
+}
+
+// MemberOf returns the ids of the sets containing candidate cand, in
+// ascending order, as a subslice of the shared index; do not modify. It
+// finalizes the index if needed.
+func (c *RRCollection) MemberOf(cand CandidateID) []int32 {
+	c.Finalize()
+	return c.memberOf[c.memberOfOff[cand]:c.memberOfOff[cand+1]]
+}
+
+// Degree returns |MemberOf(cand)| without materializing the subslice.
+func (c *RRCollection) Degree(cand CandidateID) int {
+	c.Finalize()
+	return int(c.memberOfOff[cand+1] - c.memberOfOff[cand])
+}
+
+// nextEpoch advances the scratch epoch, sizing (or re-zeroing on wrap) the
+// mark arrays.
+func (c *RRCollection) nextEpoch() int32 {
+	if c.seedMark == nil {
+		c.seedMark = make([]int32, c.numCandidates)
+	}
+	if sets := c.Len(); sets > len(c.setMark) {
+		if sets <= cap(c.setMark) {
+			c.setMark = c.setMark[:sets]
+		} else {
+			grown := make([]int32, sets)
+			copy(grown, c.setMark)
+			c.setMark = grown
+		}
+	}
+	c.markEpoch++
+	if c.markEpoch == 0 {
+		for i := range c.seedMark {
+			c.seedMark[i] = -1
+		}
+		for i := range c.setMark {
+			c.setMark[i] = -1
+		}
+		c.markEpoch = 1
+	}
+	return c.markEpoch
+}
 
 // CoverageOf returns how many RR sets contain at least one member of seeds.
 // It is the coverage function F_R(S) of the RIS framework; the contribution
-// estimate is |T2| * CoverageOf(S) / Len().
+// estimate is |T2| * CoverageOf(S) / Len(). The query walks the shared
+// memberOf index (cost proportional to the seeds' total membership, not the
+// collection size) and reuses epoch-stamped scratch, so steady-state calls
+// allocate nothing. Not safe for concurrent use.
 func (c *RRCollection) CoverageOf(seeds []CandidateID) int {
-	inSeed := make([]bool, c.numCandidates)
-	for _, s := range seeds {
-		inSeed[s] = true
-	}
+	c.Finalize()
+	epoch := c.nextEpoch()
 	covered := 0
-	for _, set := range c.sets {
-		for _, m := range set {
-			if inSeed[m] {
+	for _, s := range seeds {
+		if c.seedMark[s] == epoch {
+			continue // duplicate seed
+		}
+		c.seedMark[s] = epoch
+		for _, si := range c.MemberOf(s) {
+			if c.setMark[si] != epoch {
+				c.setMark[si] = epoch
 				covered++
-				break
 			}
 		}
 	}

@@ -159,20 +159,20 @@ func graphSignature(g *wdgraph.Graph, symbols *db.SymbolTable, restrictTo map[st
 		}
 		// Render the rule instantiation as label: body... => head@weight.
 		var bodies []string
-		for _, e := range g.In(wdgraph.NodeID(i)) {
-			bodies = append(bodies, name(e.To))
+		for _, u := range g.InEdges(wdgraph.NodeID(i)).To {
+			bodies = append(bodies, name(u))
 		}
 		sort.Strings(bodies)
-		outs := g.Out(wdgraph.NodeID(i))
-		if len(outs) != 1 {
-			out = append(out, fmt.Sprintf("BAD rule node %d with %d out-edges", i, len(outs)))
+		outs := g.OutEdges(wdgraph.NodeID(i))
+		if outs.Len() != 1 {
+			out = append(out, fmt.Sprintf("BAD rule node %d with %d out-edges", i, outs.Len()))
 			continue
 		}
-		head := name(outs[0].To)
+		head := name(outs.To[0])
 		if restrictTo != nil && !restrictTo[head] {
 			continue
 		}
-		out = append(out, fmt.Sprintf("%s: %s => %s @%g", n.Pred, strings.Join(bodies, ","), head, outs[0].W))
+		out = append(out, fmt.Sprintf("%s: %s => %s @%g", n.Pred, strings.Join(bodies, ","), head, outs.W[0]))
 	}
 	sort.Strings(out)
 	return out
@@ -296,13 +296,13 @@ func ruleSigs(g *wdgraph.Graph, symbols *db.SymbolTable, reach map[wdgraph.NodeI
 			continue
 		}
 		var bodies []string
-		for _, e := range g.In(id) {
-			bodies = append(bodies, name(e.To))
+		for _, u := range g.InEdges(id).To {
+			bodies = append(bodies, name(u))
 		}
 		sort.Strings(bodies)
-		outs := g.Out(id)
-		head := name(outs[0].To)
-		out[fmt.Sprintf("%s: %s => %s @%g", n.Pred, strings.Join(bodies, ","), head, outs[0].W)] = true
+		outs := g.OutEdges(id)
+		head := name(outs.To[0])
+		out[fmt.Sprintf("%s: %s => %s @%g", n.Pred, strings.Join(bodies, ","), head, outs.W[0])] = true
 	}
 	return out
 }

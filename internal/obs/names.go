@@ -19,12 +19,14 @@ const (
 	GraphBuildNs = "wdgraph.build_ns" // histogram: ns per construction
 
 	// RR-set generation and adaptive sampling.
-	RRSets     = "rr.sets"       // counter: RR sets generated
-	RRMembers  = "rr.members"    // histogram: candidates per RR set (walk length)
-	IMMRuns    = "imm.runs"      // counter: adaptive solves
-	IMMRounds  = "imm.rounds"    // counter: phase-1 halving iterations
-	IMMPhase1  = "imm.rr_phase1" // counter: RR sets spent bounding OPT
-	IMMTotalRR = "imm.rr_total"  // counter: final collection sizes summed
+	RRSets         = "rr.sets"          // counter: RR sets generated
+	RRMembers      = "rr.members"       // histogram: candidates per RR set (walk length)
+	RRBytesArena   = "rr.bytes_arena"   // gauge: resident bytes of the RR-collection arena
+	RRScratchGrows = "rr.scratch_grows" // counter: walker-scratch reallocations (0 in steady state)
+	IMMRuns        = "imm.runs"         // counter: adaptive solves
+	IMMRounds      = "imm.rounds"       // counter: phase-1 halving iterations
+	IMMPhase1      = "imm.rr_phase1"    // counter: RR sets spent bounding OPT
+	IMMTotalRR     = "imm.rr_total"     // counter: final collection sizes summed
 
 	// CM solvers.
 	CMSolves  = "cm.solves"   // counter: completed solves

@@ -138,7 +138,7 @@ func computeScores(g *wdgraph.Graph) scores {
 				heap.Push(pq, scored{id: id, score: 1, rule: -1})
 			}
 		case wdgraph.RuleNode:
-			pending[i] = int32(len(g.In(id)))
+			pending[i] = int32(g.InDegree(id))
 			ruleOffer[i] = ruleWeight(g, id)
 			if pending[i] == 0 {
 				// A rule with no (kept) body atoms derives its head
@@ -158,15 +158,15 @@ func computeScores(g *wdgraph.Graph) scores {
 		sc.score[i] = top.score
 		sc.bestRule[i] = top.rule
 		// Relax the rule nodes consuming this fact.
-		for _, e := range g.Out(top.id) {
-			ri := int(e.To)
-			if g.Node(e.To).Kind != wdgraph.RuleNode {
+		for _, to := range g.OutEdges(top.id).To {
+			ri := int(to)
+			if g.Node(to).Kind != wdgraph.RuleNode {
 				continue
 			}
 			ruleOffer[ri] *= top.score
 			pending[ri]--
 			if pending[ri] == 0 {
-				offerHead(g, pq, e.To, ruleOffer[ri])
+				offerHead(g, pq, to, ruleOffer[ri])
 			}
 		}
 	}
@@ -175,19 +175,19 @@ func computeScores(g *wdgraph.Graph) scores {
 
 // offerHead pushes the head of rule node r with the given offered score.
 func offerHead(g *wdgraph.Graph, pq *scoreHeap, r wdgraph.NodeID, offer float64) {
-	outs := g.Out(r)
-	if len(outs) != 1 {
+	outs := g.OutEdges(r)
+	if outs.Len() != 1 {
 		return
 	}
-	heap.Push(pq, scored{id: outs[0].To, score: offer, rule: int32(r)})
+	heap.Push(pq, scored{id: outs.To[0], score: offer, rule: int32(r)})
 }
 
 func ruleWeight(g *wdgraph.Graph, r wdgraph.NodeID) float64 {
-	outs := g.Out(r)
-	if len(outs) != 1 {
+	outs := g.OutEdges(r)
+	if outs.Len() != 1 {
 		return 0
 	}
-	return outs[0].W
+	return outs.W[0]
 }
 
 func buildTree(g *wdgraph.Graph, id wdgraph.NodeID, score []float64, bestRule []int32) *Tree {
@@ -199,8 +199,8 @@ func buildTree(g *wdgraph.Graph, id wdgraph.NodeID, score []float64, bestRule []
 	}
 	ruleID := wdgraph.NodeID(r)
 	t.Rule = g.Node(ruleID).Pred
-	for _, e := range g.In(ruleID) {
-		t.Children = append(t.Children, buildTree(g, e.To, score, bestRule))
+	for _, u := range g.InEdges(ruleID).To {
+		t.Children = append(t.Children, buildTree(g, u, score, bestRule))
 	}
 	return t
 }

@@ -59,29 +59,60 @@ func IdentityProjection(prog *ast.Program) *Projection {
 	}
 }
 
+// rawEdge is one directed edge recorded during construction, before the
+// finalize step lays the adjacency out in CSR form.
+type rawEdge struct {
+	from, to NodeID
+	w        float64
+}
+
 // Builder incrementally constructs a Graph from engine derivations. It is
-// the paper's Algorithm 1, generalized with a Projection.
+// the paper's Algorithm 1, generalized with a Projection. Edges accumulate
+// in a flat insertion-ordered log; Graph() runs a counting sort that lays
+// both adjacency directions out in CSR form, preserving per-node insertion
+// order (the order the old per-node slices grew in), so walk results are
+// unchanged by the layout.
 type Builder struct {
-	proj  *Projection
-	g     *Graph
-	rules map[string]NodeID // rule-instantiation dedup key -> node
-	keyB  strings.Builder
+	proj      *Projection
+	g         *Graph
+	edges     []rawEdge
+	rules     map[string]NodeID // rule-instantiation dedup key -> node
+	keyBuf    []byte            // reusable dedup-key scratch
+	finalized bool
 }
 
 // NewBuilder returns a builder using proj.
 func NewBuilder(proj *Projection) *Builder {
+	return NewBuilderSized(proj, 0, 0)
+}
+
+// NewBuilderSized is NewBuilder with capacity hints: factHint pre-sizes the
+// fact-node map (e.g. the edb tuple count when preloading, or a previous
+// run's engine.Stats.NewFacts), ruleHint the instantiation-dedup map (e.g.
+// engine.Stats.Instantiations). Hints are optional; zero means unknown.
+func NewBuilderSized(proj *Projection, factHint, ruleHint int) *Builder {
+	if factHint < 0 {
+		factHint = 0
+	}
+	if ruleHint < 0 {
+		ruleHint = 0
+	}
 	return &Builder{
 		proj: proj,
 		g: &Graph{
-			factIDs: make(map[string]NodeID),
+			factIDs: make(map[string]NodeID, factHint),
 		},
-		rules: make(map[string]NodeID),
+		rules: make(map[string]NodeID, ruleHint),
 	}
 }
 
-// Graph returns the graph built so far. The builder must not be used after
-// the graph has been handed to concurrent readers.
-func (b *Builder) Graph() *Graph { return b.g }
+// Graph finalizes the CSR adjacency and returns the graph. The builder must
+// not observe further derivations afterwards, and the graph must not be
+// handed to concurrent readers before this returns.
+func (b *Builder) Graph() *Graph {
+	b.finalize()
+	return b.g
+}
 
 // AddFact ensures a node for the fact pred(t) (already projected) and
 // returns its id.
@@ -90,10 +121,11 @@ func (b *Builder) AddFact(pred string, t db.Tuple, edb bool) NodeID {
 	if id, ok := b.g.factIDs[key]; ok {
 		return id
 	}
+	if b.finalized {
+		panic("wdgraph: AddFact after Graph() finalized the CSR layout")
+	}
 	id := NodeID(len(b.g.nodes))
 	b.g.nodes = append(b.g.nodes, Node{Kind: FactNode, Pred: pred, Tuple: t, EDB: edb})
-	b.g.in = append(b.g.in, nil)
-	b.g.out = append(b.g.out, nil)
 	b.g.factIDs[key] = id
 	return id
 }
@@ -161,41 +193,103 @@ func (b *Builder) observe(d engine.Derivation) {
 		}
 	}
 
-	label := b.proj.RuleLabel(d.RuleIndex)
 	// Dedup key: label, head node, body nodes. Two adorned versions of one
-	// origin rule instantiation produce identical keys and merge.
-	b.keyB.Reset()
-	b.keyB.WriteString(label)
-	writeID := func(id NodeID) {
-		b.keyB.WriteByte(byte(id >> 24))
-		b.keyB.WriteByte(byte(id >> 16))
-		b.keyB.WriteByte(byte(id >> 8))
-		b.keyB.WriteByte(byte(id))
+	// origin rule instantiation produce identical keys and merge. The key is
+	// assembled in a reusable byte buffer; the map lookup below compiles to
+	// an allocation-free string conversion, so only genuinely new
+	// instantiations pay a key allocation (on insert).
+	label := b.proj.RuleLabel(d.RuleIndex)
+	buf := append(b.keyBuf[:0], label...)
+	appendID := func(id NodeID) {
+		buf = append(buf, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
 	}
-	writeID(headID)
+	appendID(headID)
 	for i := 0; i < n; i++ {
-		writeID(bodyIDs[i])
+		appendID(bodyIDs[i])
 	}
-	key := b.keyB.String()
-	if _, seen := b.rules[key]; seen {
+	b.keyBuf = buf
+	if _, seen := b.rules[string(buf)]; seen {
 		return
+	}
+	if b.finalized {
+		panic("wdgraph: derivation observed after Graph() finalized the CSR layout")
 	}
 	ruleID := NodeID(len(b.g.nodes))
 	b.g.nodes = append(b.g.nodes, Node{Kind: RuleNode, Pred: label})
-	b.g.in = append(b.g.in, nil)
-	b.g.out = append(b.g.out, nil)
-	b.rules[key] = ruleID
+	b.rules[string(buf)] = ruleID
 
 	w := b.proj.RuleWeight(d.RuleIndex)
 	// body -> rule edges, weight 1.
 	for i := 0; i < n; i++ {
-		u := bodyIDs[i]
-		b.g.out[u] = append(b.g.out[u], Edge{To: ruleID, W: 1})
-		b.g.in[ruleID] = append(b.g.in[ruleID], Edge{To: u, W: 1})
+		b.edges = append(b.edges, rawEdge{from: bodyIDs[i], to: ruleID, w: 1})
 	}
 	// rule -> head edge, weight w(r).
-	b.g.out[ruleID] = append(b.g.out[ruleID], Edge{To: headID, W: w})
-	b.g.in[headID] = append(b.g.in[headID], Edge{To: ruleID, W: w})
+	b.edges = append(b.edges, rawEdge{from: ruleID, to: headID, w: w})
+}
+
+// finalize lays the accumulated edge log out as CSR adjacency in both
+// directions. The counting sort is stable with respect to the log, so each
+// node's edge order equals its append order under the old per-node-slice
+// layout — a prerequisite for reproducing pre-CSR walk results byte for
+// byte. Idempotent.
+func (b *Builder) finalize() {
+	if b.finalized {
+		return
+	}
+	b.finalized = true
+	g := b.g
+	n := len(g.nodes)
+	m := len(b.edges)
+
+	inDeg := make([]int32, n)
+	outDeg := make([]int32, n)
+	for _, e := range b.edges {
+		outDeg[e.from]++
+		inDeg[e.to]++
+	}
+
+	g.inOff = make([]int32, n+1)
+	g.outOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		g.inOff[i+1] = g.inOff[i] + inDeg[i]
+		g.outOff[i+1] = g.outOff[i] + outDeg[i]
+	}
+
+	g.inTo = make([]NodeID, m)
+	g.inW = make([]float64, m)
+	g.outTo = make([]NodeID, m)
+	g.outW = make([]float64, m)
+	// Reuse the degree arrays as placement cursors.
+	copy(inDeg, g.inOff[:n])
+	copy(outDeg, g.outOff[:n])
+	for _, e := range b.edges {
+		oi := outDeg[e.from]
+		g.outTo[oi], g.outW[oi] = e.to, e.w
+		outDeg[e.from] = oi + 1
+		ii := inDeg[e.to]
+		g.inTo[ii], g.inW[ii] = e.from, e.w
+		inDeg[e.to] = ii + 1
+	}
+	b.edges = nil
+
+	g.inDet = detPrefixes(g.inOff, g.inW)
+	g.outDet = detPrefixes(g.outOff, g.outW)
+}
+
+// detPrefixes computes, per node, the absolute end index of the leading run
+// of weight-1 edges (the walker's no-RNG fast path).
+func detPrefixes(off []int32, w []float64) []int32 {
+	n := len(off) - 1
+	det := make([]int32, n)
+	for v := 0; v < n; v++ {
+		end := off[v+1]
+		i := off[v]
+		for i < end && w[i] == 1 {
+			i++
+		}
+		det[v] = i
+	}
+	return det
 }
 
 // BuildConfig parameterizes BuildWith beyond the program and database.
@@ -217,6 +311,12 @@ type BuildConfig struct {
 	// counters and the build-time histogram) and is forwarded to the
 	// engine for its engine.* metrics.
 	Obs *obs.Registry
+	// HintFacts and HintRules pre-size the builder's dedup maps (fact
+	// nodes and rule instantiations respectively). Zero means unknown; a
+	// good source is a previous run's engine.Stats or the database's edb
+	// tuple count.
+	HintFacts int
+	HintRules int
 }
 
 // Build evaluates prog over database and returns the projected WD graph.
@@ -236,7 +336,15 @@ func BuildWith(prog *ast.Program, database *db.Database, cfg BuildConfig) (*Grap
 	if proj == nil {
 		proj = IdentityProjection(prog)
 	}
-	b := NewBuilder(proj)
+	factHint := cfg.HintFacts
+	if factHint == 0 && cfg.PreloadEDB {
+		for _, pred := range prog.EDBs() {
+			if rel, ok := database.Lookup(pred); ok {
+				factHint += rel.Len()
+			}
+		}
+	}
+	b := NewBuilderSized(proj, factHint, cfg.HintRules)
 	if cfg.PreloadEDB {
 		b.PreloadEDB(prog, database)
 	}
@@ -283,11 +391,12 @@ func (g *Graph) DebugString(symbols *db.SymbolTable) string {
 			}
 		}
 		sb.WriteString(" ->")
-		for _, e := range g.out[i] {
+		es := g.OutEdges(NodeID(i))
+		for j, to := range es.To {
 			sb.WriteByte(' ')
-			sb.WriteString(strconv.Itoa(int(e.To)))
+			sb.WriteString(strconv.Itoa(int(to)))
 			sb.WriteString("@")
-			sb.WriteString(strconv.FormatFloat(e.W, 'g', -1, 64))
+			sb.WriteString(strconv.FormatFloat(es.W[j], 'g', -1, 64))
 		}
 		sb.WriteByte('\n')
 	}

@@ -30,12 +30,13 @@ func WriteDOT(w io.Writer, g *Graph, symbols *db.SymbolTable) error {
 		}
 	}
 	for i := 0; i < g.NumNodes(); i++ {
-		for _, e := range g.Out(NodeID(i)) {
-			if e.W != 1 {
-				if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%g\"];\n", i, e.To, e.W); err != nil {
+		es := g.OutEdges(NodeID(i))
+		for j, to := range es.To {
+			if wt := es.W[j]; wt != 1 {
+				if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%g\"];\n", i, to, wt); err != nil {
 					return err
 				}
-			} else if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", i, e.To); err != nil {
+			} else if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", i, to); err != nil {
 				return err
 			}
 		}

@@ -8,6 +8,13 @@
 // 3.4: reverse reachability walks that draw each edge independently with
 // its weight (used for RR-set generation in the RIS framework) and forward
 // sampling (used by the Monte-Carlo contribution estimator).
+//
+// Graphs are stored in compressed-sparse-row (CSR) form: one flat endpoint
+// array and one flat weight array per direction, indexed by per-node offset
+// arrays. Adjacent edges of a node are adjacent in memory, so the sampled
+// reachability walks — the hot loop of every RIS-based CM algorithm —
+// stream through contiguous arrays instead of chasing one heap-allocated
+// edge slice per node. See docs/PERFORMANCE.md for the layout contract.
 package wdgraph
 
 import "contribmax/internal/db"
@@ -37,18 +44,43 @@ type Node struct {
 	EDB bool
 }
 
-// Edge is a weighted directed edge endpoint.
-type Edge struct {
-	To NodeID
-	W  float64
+// Edges is a view of one node's incident edges in one direction: To[i] is
+// the i-th neighbor and W[i] the i-th edge weight. Both slices alias the
+// graph's CSR arrays; callers must not modify them.
+type Edges struct {
+	To []NodeID
+	W  []float64
 }
 
-// Graph is a WD graph. Build one with a Builder. Graphs are immutable after
+// Len returns the number of edges in the view.
+func (e Edges) Len() int { return len(e.To) }
+
+// Graph is a WD graph in CSR layout. Build one with a Builder (the builder's
+// Graph method finalizes the CSR arrays). Graphs are immutable after
 // building and safe for concurrent reads.
 type Graph struct {
 	nodes []Node
-	in    [][]Edge // in[v] = edges (u -> v) stored as {To: u, W}
-	out   [][]Edge // out[u] = edges (u -> v) stored as {To: v, W}
+
+	// In-adjacency: the in-edges of node v are inTo[inOff[v]:inOff[v+1]]
+	// with weights inW at the same indexes. inDet[v] is the end (absolute
+	// index into inTo/inW) of v's leading run of weight-1 in-edges: the
+	// reverse walker crosses edges in [inOff[v], inDet[v]) without touching
+	// the weight array or the RNG, which covers every in-edge of every rule
+	// node (body→rule edges always have weight 1) and the deterministic
+	// prefix of fact nodes. Only the leading run is segregated — physically
+	// reordering weighted edges would change the walker's RNG consumption
+	// order and break byte-identical replay of pinned seeds.
+	inTo  []NodeID
+	inW   []float64
+	inOff []int32
+	inDet []int32
+
+	// Out-adjacency, same layout (outDet covers fact→rule edges, which
+	// always have weight 1).
+	outTo  []NodeID
+	outW   []float64
+	outOff []int32
+	outDet []int32
 
 	factIDs map[string]NodeID // pred + "\x00" + tuple key -> node
 }
@@ -57,13 +89,7 @@ type Graph struct {
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 
 // NumEdges returns the edge count.
-func (g *Graph) NumEdges() int {
-	n := 0
-	for _, es := range g.out {
-		n += len(es)
-	}
-	return n
-}
+func (g *Graph) NumEdges() int { return len(g.outTo) }
 
 // Size returns nodes + edges, the quantity the paper reports as the graph's
 // memory footprint.
@@ -78,13 +104,36 @@ func (g *Graph) FactID(pred string, t db.Tuple) (NodeID, bool) {
 	return id, ok
 }
 
-// In returns the in-edges of v ({To: source, W: weight}). The slice is
-// internal; callers must not modify it.
-func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+// InEdges returns the in-edges of v: To[i] is the i-th source node. The
+// views alias internal CSR arrays; callers must not modify them.
+func (g *Graph) InEdges(v NodeID) Edges {
+	lo, hi := g.inOff[v], g.inOff[v+1]
+	return Edges{To: g.inTo[lo:hi], W: g.inW[lo:hi]}
+}
 
-// Out returns the out-edges of u. The slice is internal; callers must not
-// modify it.
-func (g *Graph) Out(u NodeID) []Edge { return g.out[u] }
+// OutEdges returns the out-edges of u: To[i] is the i-th destination node.
+// The views alias internal CSR arrays; callers must not modify them.
+func (g *Graph) OutEdges(u NodeID) Edges {
+	lo, hi := g.outOff[u], g.outOff[u+1]
+	return Edges{To: g.outTo[lo:hi], W: g.outW[lo:hi]}
+}
+
+// InDegree returns the number of in-edges of v without materializing a view.
+func (g *Graph) InDegree(v NodeID) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// OutDegree returns the number of out-edges of u without materializing a
+// view.
+func (g *Graph) OutDegree(u NodeID) int { return int(g.outOff[u+1] - g.outOff[u]) }
+
+// MemoryBytes estimates the resident size of the CSR arrays (nodes
+// excluded): endpoint, weight, offset, and deterministic-prefix arrays for
+// both directions.
+func (g *Graph) MemoryBytes() int64 {
+	const nodeIDSize, weightSize, offSize = 4, 8, 4
+	edges := int64(len(g.inTo) + len(g.outTo))
+	offs := int64(len(g.inOff) + len(g.outOff) + len(g.inDet) + len(g.outDet))
+	return edges*(nodeIDSize+weightSize) + offs*offSize
+}
 
 // FactNodes calls fn for every fact node.
 func (g *Graph) FactNodes(fn func(id NodeID, n Node)) {

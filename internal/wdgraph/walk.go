@@ -2,20 +2,55 @@ package wdgraph
 
 import "math/rand/v2"
 
-// Walker performs repeated sampled reachability walks over one graph,
-// reusing visitation state across walks (epoch-stamped marks) so that a
-// walk costs O(visited) rather than O(graph).
+// Walker performs repeated sampled reachability walks, reusing visitation
+// state across walks (epoch-stamped marks) so that a walk costs O(visited)
+// rather than O(graph). A walker can also be re-targeted at a different
+// graph with Reset, which reuses the mark array whenever its capacity
+// suffices — the Magic variants run one persistent walker per worker across
+// thousands of per-RR subgraphs, so steady-state walks allocate nothing.
+//
+// Walkers are not safe for concurrent use; give each goroutine its own.
 type Walker struct {
 	g       *Graph
 	visited []int32
 	epoch   int32
 	queue   []NodeID
+	grows   int64
 }
 
-// NewWalker returns a walker over g.
+// NewWalker returns a walker over g. g may be nil if Reset is called before
+// the first walk.
 func NewWalker(g *Graph) *Walker {
-	return &Walker{g: g, visited: make([]int32, g.NumNodes())}
+	w := &Walker{}
+	w.Reset(g)
+	return w
 }
+
+// Reset re-targets the walker at g. The visitation marks are reused when
+// they are large enough; otherwise they grow to g's node count (counted in
+// Grows, surfaced as the rr.scratch_grows metric).
+func (w *Walker) Reset(g *Graph) {
+	w.g = g
+	if g == nil {
+		return
+	}
+	if n := g.NumNodes(); n > len(w.visited) {
+		if n <= cap(w.visited) {
+			// Extend into existing capacity: the new tail is zeroed by the
+			// runtime, which can never equal a live epoch (epochs are >= 1).
+			w.visited = w.visited[:n]
+		} else {
+			grown := make([]int32, n)
+			copy(grown, w.visited)
+			w.visited = grown
+			w.grows++
+		}
+	}
+}
+
+// Grows returns how many times the walker's mark array had to be
+// reallocated — zero in steady state once sized to the largest graph seen.
+func (w *Walker) Grows() int64 { return w.grows }
 
 func (w *Walker) begin() {
 	w.epoch++
@@ -28,14 +63,6 @@ func (w *Walker) begin() {
 	w.queue = w.queue[:0]
 }
 
-func (w *Walker) mark(v NodeID) bool {
-	if w.visited[v] == w.epoch {
-		return false
-	}
-	w.visited[v] = w.epoch
-	return true
-}
-
 // ReverseReachable walks backwards from root, crossing each in-edge
 // independently with probability equal to its weight (Definition 3.4's
 // random subgraph, explored lazily as in the RIS framework). It calls visit
@@ -43,27 +70,50 @@ func (w *Walker) mark(v NodeID) bool {
 // edge is crossed with probability 1, which is correct when the graph was
 // already sampled during construction (Magic^S CM).
 //
+// Edge iteration is in CSR order, which finalize() guarantees equals the
+// pre-CSR per-node insertion order, and the RNG is consulted for exactly
+// the weight<1 edges in that order — so a pinned seed reproduces the same
+// RR set the old layout produced. Each node's leading run of weight-1
+// in-edges (inDet) is crossed without loading the weight at all.
+//
 // rng may be nil only when deterministic is true.
 func (w *Walker) ReverseReachable(root NodeID, rng *rand.Rand, deterministic bool, visit func(NodeID)) {
 	w.begin()
-	w.mark(root)
-	w.queue = append(w.queue, root)
+	g := w.g
+	visited, epoch := w.visited, w.epoch
+	visited[root] = epoch
+	queue := append(w.queue, root)
 	visit(root)
-	for len(w.queue) > 0 {
-		v := w.queue[len(w.queue)-1]
-		w.queue = w.queue[:len(w.queue)-1]
-		for _, e := range w.g.in[v] {
-			if w.visited[e.To] == w.epoch {
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		lo, hi := g.inOff[v], g.inOff[v+1]
+		det := hi
+		if !deterministic {
+			det = g.inDet[v]
+		}
+		for _, u := range g.inTo[lo:det] {
+			if visited[u] == epoch {
 				continue
 			}
-			if !deterministic && e.W < 1 && rng.Float64() >= e.W {
+			visited[u] = epoch
+			queue = append(queue, u)
+			visit(u)
+		}
+		for i := det; i < hi; i++ {
+			u := g.inTo[i]
+			if visited[u] == epoch {
 				continue
 			}
-			w.mark(e.To)
-			w.queue = append(w.queue, e.To)
-			visit(e.To)
+			if wt := g.inW[i]; wt < 1 && rng.Float64() >= wt {
+				continue
+			}
+			visited[u] = epoch
+			queue = append(queue, u)
+			visit(u)
 		}
 	}
+	w.queue = queue
 }
 
 // ForwardReach walks forward from the seed nodes, crossing each out-edge
@@ -73,27 +123,43 @@ func (w *Walker) ReverseReachable(root NodeID, rng *rand.Rand, deterministic boo
 // program execution restricted to derivations reachable from the seeds.
 func (w *Walker) ForwardReach(seeds []NodeID, rng *rand.Rand, visit func(NodeID)) {
 	w.begin()
+	g := w.g
+	visited, epoch := w.visited, w.epoch
+	queue := w.queue
 	for _, s := range seeds {
-		if w.mark(s) {
-			w.queue = append(w.queue, s)
+		if visited[s] != epoch {
+			visited[s] = epoch
+			queue = append(queue, s)
 			visit(s)
 		}
 	}
-	for len(w.queue) > 0 {
-		v := w.queue[len(w.queue)-1]
-		w.queue = w.queue[:len(w.queue)-1]
-		for _, e := range w.g.out[v] {
-			if w.visited[e.To] == w.epoch {
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		lo, hi := g.outOff[v], g.outOff[v+1]
+		det := g.outDet[v]
+		for _, u := range g.outTo[lo:det] {
+			if visited[u] == epoch {
 				continue
 			}
-			if e.W < 1 && rng.Float64() >= e.W {
+			visited[u] = epoch
+			queue = append(queue, u)
+			visit(u)
+		}
+		for i := det; i < hi; i++ {
+			u := g.outTo[i]
+			if visited[u] == epoch {
 				continue
 			}
-			w.mark(e.To)
-			w.queue = append(w.queue, e.To)
-			visit(e.To)
+			if wt := g.outW[i]; wt < 1 && rng.Float64() >= wt {
+				continue
+			}
+			visited[u] = epoch
+			queue = append(queue, u)
+			visit(u)
 		}
 	}
+	w.queue = queue
 }
 
 // ReverseClosure computes deterministic reverse reachability (every edge

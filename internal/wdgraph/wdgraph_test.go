@@ -71,21 +71,21 @@ func TestWDGraphStructureDefinition31(t *testing.T) {
 		if n.Kind != wdgraph.RuleNode {
 			continue
 		}
-		for _, e := range g.In(wdgraph.NodeID(i)) {
-			if e.W != 1 {
-				t.Errorf("rule in-edge weight = %g, want 1", e.W)
+		for _, w := range g.InEdges(wdgraph.NodeID(i)).W {
+			if w != 1 {
+				t.Errorf("rule in-edge weight = %g, want 1", w)
 			}
 		}
-		outs := g.Out(wdgraph.NodeID(i))
-		if len(outs) != 1 {
-			t.Fatalf("rule node %d has %d out-edges", i, len(outs))
+		outs := g.OutEdges(wdgraph.NodeID(i))
+		if outs.Len() != 1 {
+			t.Fatalf("rule node %d has %d out-edges", i, outs.Len())
 		}
 		want := 1.0
 		if n.Pred == "r2" {
 			want = 0.8
 		}
-		if outs[0].W != want {
-			t.Errorf("rule %s out-edge weight = %g, want %g", n.Pred, outs[0].W, want)
+		if outs.W[0] != want {
+			t.Errorf("rule %s out-edge weight = %g, want %g", n.Pred, outs.W[0], want)
 		}
 	}
 
@@ -149,8 +149,8 @@ func TestSharedDerivationsMerge(t *testing.T) {
 	if !ok {
 		t.Fatal("p(a) missing")
 	}
-	if len(g.In(id)) != 2 {
-		t.Errorf("p(a) in-edges = %d, want 2 (one per rule)", len(g.In(id)))
+	if g.InDegree(id) != 2 {
+		t.Errorf("p(a) in-edges = %d, want 2 (one per rule)", g.InDegree(id))
 	}
 }
 
