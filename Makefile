@@ -7,7 +7,7 @@ GO ?= go
 # expectations; the golden test in internal/analysis covers those).
 DL_PROGRAMS := $(shell find examples testdata -name '*.dl' -not -path 'testdata/analysis/*' | sort)
 
-.PHONY: all build test race check lint fmt bench bench-report
+.PHONY: all build test race check lint fmt bench bench-report fuzz
 
 all: check lint
 
@@ -19,7 +19,7 @@ test:
 
 # The packages that evaluate programs concurrently.
 race:
-	$(GO) test -race ./internal/cm ./internal/im ./internal/engine ./internal/obs ./internal/server
+	$(GO) test -race ./internal/cm ./internal/db ./internal/im ./internal/engine ./internal/engine/difftest ./internal/obs ./internal/server
 
 # Run every Go micro-benchmark once: a compile-and-run guard for the bench
 # code. Meaningful numbers need -benchtime left at its default; compare
@@ -31,6 +31,14 @@ bench:
 # Machine-readable benchmark report (cmbench figures as BENCH_quick.json).
 bench-report:
 	$(GO) run ./cmd/cmbench -fig 7a -json BENCH_quick.json
+
+# Short fuzz run of the parse -> analyze -> stratify -> evaluate pipeline,
+# asserting parallel evaluation stays byte-identical to sequential on every
+# input the pipeline accepts. CI runs the same smoke; longer local runs:
+# make fuzz FUZZTIME=10m
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/engine -run=NONE -fuzz=FuzzEvalProgram -fuzztime=$(FUZZTIME)
 
 check: build test race
 	$(GO) vet ./...

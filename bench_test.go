@@ -16,6 +16,7 @@ import (
 
 	"contribmax"
 	"contribmax/internal/cm"
+	"contribmax/internal/db"
 	"contribmax/internal/engine"
 	"contribmax/internal/experiments"
 	"contribmax/internal/im"
@@ -135,6 +136,58 @@ func BenchmarkSemiNaiveEvalTC(b *testing.B) {
 		scratch.Attach(rel)
 		if _, err := contribmax.Eval(prog, contribmax.Database{Database: scratch}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFixpointParallel measures the deterministic parallel semi-naive
+// engine across Parallelism levels on the two rule-heavy workloads where
+// evaluation dominates end-to-end CM latency: TC (dense recursive closure,
+// few rules) and the AMIE trade KB (23 rules, wide joins). p0 is the
+// sequential baseline; every level produces byte-identical output, so the
+// ratio p0/p8 is pure speedup, not a different computation (the
+// methodology recorded with BENCH_baseline.json).
+func BenchmarkFixpointParallel(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	tcDB := workload.RingChordGraph(120, 60, rng)
+	tcProg := workload.TCProgram(1.0, 0.8)
+	trade := workload.AMIE(workload.AMIEDBParams{Countries: 26, People: 130}, rng)
+
+	run := func(b *testing.B, prog *contribmax.Program, d *db.Database, par int) {
+		var newFacts int64
+		for i := 0; i < b.N; i++ {
+			scratch := d.CloneSchema()
+			for _, p := range prog.EDBs() {
+				if rel, ok := d.Lookup(p); ok {
+					scratch.Attach(rel)
+				}
+			}
+			eng, err := engine.New(prog, scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats, err := eng.Run(engine.Options{Parallelism: par})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				newFacts = stats.NewFacts
+			} else if stats.NewFacts != newFacts {
+				b.Fatalf("nondeterministic: %d vs %d new facts", stats.NewFacts, newFacts)
+			}
+		}
+		b.ReportMetric(float64(newFacts), "facts")
+	}
+	for _, w := range []struct {
+		name string
+		prog *contribmax.Program
+		d    *db.Database
+	}{
+		{"tc", tcProg, tcDB},
+		{"trade", trade.Program, trade.DB},
+	} {
+		for _, par := range []int{0, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/p%d", w.name, par), func(b *testing.B) { run(b, w.prog, w.d, par) })
 		}
 	}
 }

@@ -47,7 +47,7 @@ func run() error {
 		algo        = flag.String("algo", "magics", "algorithm: naive | magic | magics | magicg")
 		rr          = flag.Int("rr", 0, "number of RR sets (0 = 30% of #targets, floored at 1000)")
 		seed        = flag.Uint64("seed", 1, "random seed")
-		parallel    = flag.Int("parallel", 1, "RR-generation goroutines (magic/magics only)")
+		parallel    = flag.Int("parallel", 1, "worker goroutines: RR generation (magic/magics) and, when >= 2, the fixpoint engine for full-graph builds (naive/magicg); results are identical at every level")
 		adaptive    = flag.Bool("adaptive", false, "derive the RR-set count adaptively (IMM) instead of -rr")
 		verbose     = flag.Bool("verbose", false, "print run statistics")
 		stats       = flag.Bool("stats", false, "print the per-phase timing tree and collected metrics on stderr")

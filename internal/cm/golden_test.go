@@ -43,14 +43,15 @@ func goldenInstance(t *testing.T) cm.Input {
 // TestGoldenResultStream asserts that the walker and RR-storage layers
 // reproduce, byte for byte, the Result stream captured before the CSR
 // adjacency / arena-backed RR collection refactor, for every algorithm and
-// for Parallelism 0 (legacy sequential draw order), 1, 4, and 8. Any layout
+// for Parallelism 0 (legacy sequential draw order), 1, 2, 4, and 8 — the
+// levels above 1 also exercise the parallel fixpoint engine. Any layout
 // change that reorders edge iteration, RNG consumption, or greedy
 // tie-breaking shows up here as a diff against the committed golden file.
 func TestGoldenResultStream(t *testing.T) {
 	in := goldenInstance(t)
 	got := map[string]string{}
 	for _, al := range algos {
-		for _, par := range []int{0, 1, 4, 8} {
+		for _, par := range []int{0, 1, 2, 4, 8} {
 			if al.name == "MagicSCM" && testing.Short() && par > 1 {
 				continue
 			}

@@ -75,7 +75,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}
-	g, err := buildMagicGraph(in, tr, nil, false, ctx, opts.Obs)
+	g, err := buildMagicGraph(in, tr, nil, false, ctx, opts.Obs, opts.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}

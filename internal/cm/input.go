@@ -76,10 +76,16 @@ type Options struct {
 	// at load time) or construct programs the analyzer provably accepts;
 	// ast.Program.Validate still runs as a cheap backstop.
 	SkipAnalysis bool
-	// Parallelism fans RR-set generation out over this many goroutines:
-	// per-tuple subgraph constructions for MagicCM / Magic^S CM, reverse
-	// walks over the shared graph for NaiveCM / Magic^G CM. Any value
-	// >= 1 routes through the pre-seeded slot design, so for a fixed seed
+	// Parallelism is the solver's single concurrency knob. It fans RR-set
+	// generation out over this many goroutines — per-tuple subgraph
+	// constructions for MagicCM / Magic^S CM, reverse walks over the
+	// shared graph for NaiveCM / Magic^G CM — and, when >= 2, also runs
+	// the semi-naive fixpoint of *full-graph* builds (NaiveCM's WD graph,
+	// Magic^G CM's union graph) on that many engine workers
+	// (engine.Options.Parallelism; per-tuple subgraph builds stay
+	// sequential inside the already-parallel RR workers). The engine is
+	// byte-identical at every level, and any value >= 1 routes RR
+	// generation through the pre-seeded slot design, so for a fixed seed
 	// every Parallelism level — including 1 — produces byte-identical
 	// results regardless of scheduling or worker count. 0 (the zero
 	// value) keeps the legacy strictly-sequential draw order, which is

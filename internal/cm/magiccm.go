@@ -82,7 +82,10 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		g, err := buildMagicGraph(in, tr, r, sampled, ctx, opts.Obs)
+		// Engine parallelism stays off for per-tuple subgraphs: the RR
+		// phase already runs one worker per Parallelism slot, and the
+		// subgraphs are small — nesting worker pools would oversubscribe.
+		g, err := buildMagicGraph(in, tr, r, sampled, ctx, opts.Obs, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -239,13 +242,14 @@ func mergeStats(dst, src *Stats) {
 
 // buildMagicGraph evaluates the transformed program over a scratch database
 // (sharing the original edb relations) and returns the projected WD
-// subgraph. With sampled=true a fresh SampledGate vetoes instantiations, so
-// the returned graph is one random execution. ctx cancels the evaluation
+// subgraph. With sampled=true a fresh HashGate (seeded from rng) vetoes
+// instantiations, so the returned graph is one random execution. ctx
+// cancels the evaluation
 // between fixpoint rounds; reg, when non-nil, receives per-subgraph
 // wdgraph.* metrics (the gate construction needs the engine, so this cannot
 // delegate to wdgraph.BuildWith).
 func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bool,
-	ctx context.Context, reg *obs.Registry) (*wdgraph.Graph, error) {
+	ctx context.Context, reg *obs.Registry, par int) (*wdgraph.Graph, error) {
 	start := time.Now()
 	scratch := in.DB.CloneSchema()
 	for _, pred := range in.Program.EDBs() {
@@ -260,9 +264,9 @@ func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bo
 	b := wdgraph.NewBuilder(tr.Projection())
 	var gate engine.FireGate
 	if sampled {
-		gate = magic.NewSampledGate(tr, eng, rng)
+		gate = magic.NewHashGate(tr, eng, rng.Uint64())
 	}
-	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate, Context: ctx, Obs: reg}); err != nil {
+	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate, Context: ctx, Obs: reg, Parallelism: par}); err != nil {
 		return nil, err
 	}
 	g := b.Graph()

@@ -40,9 +40,10 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 	buildSpan := sp.StartChild("build")
 	buildStart := time.Now()
 	g, _, err := wdgraph.BuildWith(in.Program, scratchFor(in), wdgraph.BuildConfig{
-		PreloadEDB: true,
-		Ctx:        ctx,
-		Obs:        opts.Obs,
+		PreloadEDB:  true,
+		Ctx:         ctx,
+		Obs:         opts.Obs,
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -53,7 +53,7 @@ func DerivationProbability(prog *ast.Program, database *db.Database, target ast.
 		if err != nil {
 			return 0, err
 		}
-		gate := magic.NewSampledGate(tr, eng, rng)
+		gate := magic.NewHashGate(tr, eng, rng.Uint64())
 		if _, err := eng.Run(engine.Options{Gate: gate}); err != nil {
 			return 0, err
 		}

@@ -1,0 +1,247 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"contribmax/internal/ast"
+)
+
+// Generate builds a random stratified, safe datalog program with a random
+// extensional database. Construction is correct by design:
+//
+//   - predicates are organized in layers: layer 0 is extensional, every
+//     idb layer's rules take positive body atoms from any layer up to and
+//     including their own (so same-layer recursion happens) and negated
+//     atoms only from strictly lower layers — hence stratifiable;
+//   - head, negated, and built-in arguments draw their variables from the
+//     positive body's bound variables — hence safe and range-restricted;
+//   - bodies are variable chains (each atom after the first reuses an
+//     already-bound variable), so joins stay selective instead of
+//     exploding into cross products.
+//
+// prog.Validate is still asserted as a backstop against generator bugs.
+// The same rng state always yields the same spec.
+func Generate(rng *rand.Rand) *Spec {
+	g := &generator{rng: rng}
+	// Constant pool: small pools make dense recursive closures (big
+	// rounds), large pools make sparse ones; cover both.
+	nConsts := 3 + rng.IntN(8)
+	g.consts = make([]string, nConsts)
+	for i := range g.consts {
+		g.consts[i] = fmt.Sprintf("c%d", i)
+	}
+
+	// Layer 0: extensional predicates. e0 is always binary so transitive
+	// rules have something to close over.
+	nEDB := 1 + rng.IntN(3)
+	for i := 0; i < nEDB; i++ {
+		arity := 1 + rng.IntN(2)
+		if i == 0 {
+			arity = 2
+		}
+		g.layers = append(g.layers, predSig{name: fmt.Sprintf("e%d", i), arity: arity, layer: 0})
+	}
+	// IDB layers.
+	nLayers := 1 + rng.IntN(3)
+	for l := 1; l <= nLayers; l++ {
+		nPreds := 1 + rng.IntN(2)
+		for i := 0; i < nPreds; i++ {
+			g.layers = append(g.layers, predSig{name: fmt.Sprintf("p%d_%d", l, i), arity: 1 + rng.IntN(2), layer: l})
+		}
+	}
+
+	prog := ast.NewProgram()
+	ruleN := 0
+	for _, head := range g.layers {
+		if head.layer == 0 {
+			continue
+		}
+		// Every idb predicate starts with a copy rule from a lower layer,
+		// so all layers actually populate; binary predicates often get a
+		// transitive rule, the recursive-closure workhorse that drives
+		// round counts and delta sizes up.
+		prog.Add(g.copyRule(head, ruleN))
+		ruleN++
+		if head.arity == 2 && rng.IntN(10) < 6 {
+			prog.Add(g.transRule(head, ruleN))
+			ruleN++
+		}
+		nRules := g.rng.IntN(3)
+		for r := 0; r < nRules; r++ {
+			prog.Add(g.rule(head, ruleN))
+			ruleN++
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		// Correct-by-construction: a failure here is a generator bug, and
+		// panicking surfaces it with the offending program attached.
+		panic(fmt.Sprintf("difftest: generated invalid program: %v\n%s", err, prog))
+	}
+
+	spec := &Spec{Prog: prog}
+	for _, p := range g.layers {
+		if p.layer != 0 {
+			continue
+		}
+		nFacts := 10 + rng.IntN(70)
+		for i := 0; i < nFacts; i++ {
+			terms := make([]ast.Term, p.arity)
+			for j := range terms {
+				terms[j] = ast.C(g.consts[rng.IntN(len(g.consts))])
+			}
+			spec.Facts = append(spec.Facts, ast.NewAtom(p.name, terms...))
+		}
+	}
+	return spec
+}
+
+type predSig struct {
+	name  string
+	arity int
+	layer int
+}
+
+type generator struct {
+	rng    *rand.Rand
+	consts []string
+	layers []predSig
+}
+
+func (g *generator) pickPred(maxLayer int) predSig {
+	var pool []predSig
+	for _, p := range g.layers {
+		if p.layer <= maxLayer {
+			pool = append(pool, p)
+		}
+	}
+	return pool[g.rng.IntN(len(pool))]
+}
+
+var builtins = []string{"eq", "neq", "lt", "lte", "gt", "gte"}
+
+// copyRule populates head from a strictly lower layer:
+// head(V0, ..) :- src(V0, ..), reusing V0 for head positions the source's
+// arity cannot cover.
+func (g *generator) copyRule(head predSig, n int) ast.Rule {
+	src := g.pickPred(head.layer - 1)
+	srcTerms := make([]ast.Term, src.arity)
+	for i := range srcTerms {
+		srcTerms[i] = ast.V(fmt.Sprintf("V%d", i))
+	}
+	headTerms := make([]ast.Term, head.arity)
+	for i := range headTerms {
+		if i < src.arity {
+			headTerms[i] = ast.V(fmt.Sprintf("V%d", i))
+		} else {
+			headTerms[i] = ast.V("V0")
+		}
+	}
+	return ast.NewRule(fmt.Sprintf("g%d", n), 1.0,
+		ast.NewAtom(head.name, headTerms...), ast.NewAtom(src.name, srcTerms...))
+}
+
+// transRule closes a binary head over a random binary step relation:
+// head(X, Z) :- head(X, Y), step(Y, Z).
+func (g *generator) transRule(head predSig, n int) ast.Rule {
+	step := head
+	var binary []predSig
+	for _, p := range g.layers {
+		if p.layer <= head.layer && p.arity == 2 {
+			binary = append(binary, p)
+		}
+	}
+	if len(binary) > 0 {
+		step = binary[g.rng.IntN(len(binary))]
+	}
+	prob := 1.0
+	if g.rng.IntN(2) == 0 {
+		prob = 0.3 + 0.7*g.rng.Float64()
+	}
+	return ast.NewRule(fmt.Sprintf("g%d", n), prob,
+		ast.NewAtom(head.name, ast.V("X"), ast.V("Z")),
+		ast.NewAtom(head.name, ast.V("X"), ast.V("Y")),
+		ast.NewAtom(step.name, ast.V("Y"), ast.V("Z")))
+}
+
+// rule generates one safe rule for the given head predicate.
+func (g *generator) rule(head predSig, n int) ast.Rule {
+	rng := g.rng
+	var body []ast.Atom
+	var bound []string
+	freshVar := func() string {
+		v := fmt.Sprintf("V%d", len(bound))
+		bound = append(bound, v)
+		return v
+	}
+	boundVar := func() string { return bound[rng.IntN(len(bound))] }
+	// term for a positive body atom: chain through a bound variable,
+	// introduce a fresh one, or pin a constant.
+	bodyTerm := func() ast.Term {
+		switch {
+		case len(bound) > 0 && rng.IntN(10) < 5:
+			return ast.V(boundVar())
+		case rng.IntN(10) < 8:
+			return ast.V(freshVar())
+		default:
+			return ast.C(g.consts[rng.IntN(len(g.consts))])
+		}
+	}
+	// term for heads, negated atoms, and built-ins: bound variables only
+	// (plus constants), preserving safety.
+	safeTerm := func() ast.Term {
+		if len(bound) > 0 && rng.IntN(10) < 8 {
+			return ast.V(boundVar())
+		}
+		return ast.C(g.consts[rng.IntN(len(g.consts))])
+	}
+	atomOf := func(p predSig, term func() ast.Term) ast.Atom {
+		terms := make([]ast.Term, p.arity)
+		for i := range terms {
+			terms[i] = term()
+		}
+		return ast.NewAtom(p.name, terms...)
+	}
+
+	nPos := 1 + rng.IntN(3)
+	for i := 0; i < nPos; i++ {
+		p := g.pickPred(head.layer)
+		a := atomOf(p, bodyTerm)
+		if i > 0 && len(bound) > 0 {
+			// Chain: overwrite one random position with an already-bound
+			// variable so the join is connected.
+			a.Terms[rng.IntN(len(a.Terms))] = ast.V(bound[rng.IntN(len(bound))])
+		}
+		body = append(body, a)
+	}
+	// Recompute the bound set from the atoms actually built: the chain
+	// overwrite above may have replaced the sole occurrence of a fresh
+	// variable, and a head using it would be unsafe.
+	seen := map[string]bool{}
+	bound = bound[:0]
+	for _, a := range body {
+		for _, t := range a.Terms {
+			if t.IsVar() && !seen[t.Name] {
+				seen[t.Name] = true
+				bound = append(bound, t.Name)
+			}
+		}
+	}
+	if head.layer > 1 && rng.IntN(10) < 3 {
+		p := g.pickPred(head.layer - 1)
+		neg := atomOf(p, safeTerm)
+		neg.Negated = true
+		body = append(body, neg)
+	}
+	if len(bound) > 0 && rng.IntN(10) < 3 {
+		b := ast.NewAtom(builtins[rng.IntN(len(builtins))], safeTerm(), safeTerm())
+		body = append(body, b)
+	}
+
+	headAtom := atomOf(head, safeTerm)
+	prob := 1.0
+	if rng.IntN(2) == 0 {
+		prob = 0.3 + 0.7*rng.Float64()
+	}
+	return ast.NewRule(fmt.Sprintf("g%d", n), prob, headAtom, body...)
+}

@@ -37,6 +37,12 @@ type Derivation struct {
 }
 
 // DerivationListener observes every fired rule instantiation exactly once.
+//
+// The listener is always invoked from the goroutine that called Run —
+// never concurrently — and the derivation stream is identical at every
+// Options.Parallelism level: parallel evaluation buffers worker results
+// and replays them in the sequential order. Listeners therefore need no
+// synchronization of their own (wdgraph.Builder relies on this).
 type DerivationListener func(d Derivation)
 
 // FireGate decides whether a candidate rule instantiation fires. vars holds
@@ -48,11 +54,28 @@ type FireGate interface {
 	ShouldFire(ruleIndex int, vars []db.Sym) bool
 }
 
+// ParallelSafeGate marks gates that parallel evaluation may consult from
+// worker goroutines: ShouldFire must be safe for concurrent use and
+// order-independent — its verdict a pure function of (ruleIndex, bindings),
+// never of how many or in which order other instantiations were seen
+// (magic.HashGate is the canonical implementation). When Options sets
+// Parallelism >= 2 with a gate that does not implement this interface, the
+// engine falls back to sequential evaluation rather than risk corrupting
+// the gate's state; results are identical either way for conforming gates.
+type ParallelSafeGate interface {
+	FireGate
+	// ParallelSafeFireGate is a marker; implementations do nothing.
+	ParallelSafeFireGate()
+}
+
 // Options configures one evaluation run.
 type Options struct {
 	// Listener, if non-nil, observes every fired instantiation.
 	Listener DerivationListener
-	// Gate, if non-nil, can veto instantiations before they fire.
+	// Gate, if non-nil, can veto instantiations before they fire. With
+	// Parallelism >= 2 the gate is consulted from worker goroutines and
+	// must implement ParallelSafeGate (otherwise the run is evaluated
+	// sequentially).
 	Gate FireGate
 	// MaxRounds bounds the number of semi-naive rounds as a safety net
 	// against runaway programs; 0 means unbounded (datalog always
@@ -63,13 +86,26 @@ type Options struct {
 	// order never changes results; the flag exists for the ablation
 	// benchmark.
 	DisableJoinReorder bool
+	// Parallelism, when >= 2, evaluates each semi-naive round on that many
+	// worker goroutines: every rule's delta-tuple range is partitioned
+	// into contiguous chunks, workers evaluate chunks into private
+	// buffers, and the results are merged on the calling goroutine in
+	// fixed (rule, partition) order. Relations (tuple ids included),
+	// Stats, and the derivation stream are byte-identical to sequential
+	// evaluation at every level; see docs/PERFORMANCE.md for the
+	// determinism contract. 0 and 1 evaluate sequentially. Small rounds
+	// below an internal work threshold run sequentially even when
+	// parallelism is on — the output is identical by construction.
+	Parallelism int
 	// Context, when non-nil, is checked between semi-naive rounds;
 	// cancellation aborts the run with the context's error. Checks are
 	// per-round, so cancellation latency is one round of rule firing.
 	Context context.Context
 	// Obs, when non-nil, receives the engine metrics (see obs names
-	// engine.*): run/round/instantiation counters and the per-round delta
-	// size histogram. A nil registry costs one pointer check per run.
+	// engine.*): run/round/instantiation counters, the per-round delta
+	// size histogram, and — under Parallelism >= 2 — the parallel-round
+	// task counter and worker-busy/merge-wait histograms. A nil registry
+	// costs one pointer check per run.
 	Obs *obs.Registry
 }
 
@@ -133,9 +169,17 @@ func (e *Engine) Run(opts Options) (Stats, error) {
 	var stats Stats
 
 	stats.FiredByRule = make([]int64, len(e.rules))
-	ev := &evaluator{engine: e, opts: opts, stats: &stats,
+	par := opts.Parallelism
+	if par >= 2 && opts.Gate != nil {
+		if _, ok := opts.Gate.(ParallelSafeGate); !ok {
+			par = 1
+		}
+	}
+	ev := &evaluator{engine: e, opts: opts, par: par, stats: &stats,
 		deltaHist: opts.Obs.Histogram(obs.EngineDeltaSize)}
+	ev.seq.init(e, opts, ev.emitSequential)
 	runErr := ev.run()
+	stats.Suppressed += ev.seq.takeSuppressed()
 
 	stats.Elapsed = time.Since(start)
 	if reg := opts.Obs; reg != nil {
@@ -155,26 +199,38 @@ func (e *Engine) Run(opts Options) (Stats, error) {
 	return stats, nil
 }
 
-// evaluator holds the mutable state of one Run.
+// evaluator holds the mutable state of one Run: the coordinator. The join
+// machinery itself lives in joinRun so that the sequential path and every
+// parallel worker share one implementation.
 type evaluator struct {
 	engine    *Engine
 	opts      Options
+	par       int // effective parallelism (gate-safe), <2 means sequential
 	stats     *Stats
 	deltaHist *obs.Histogram // per-round delta sizes; nil when disabled
 
 	// watermarks: processedLen[rel] is the tuple count of rel that has been
 	// fully processed by previous rounds; roundLen[rel] is the count
 	// snapshot at the start of the current round. Tuples with id in
-	// [processedLen, roundLen) form the current delta.
+	// [processedLen, roundLen) form the current delta. Workers read both
+	// maps concurrently during a round; the coordinator writes them only
+	// between rounds.
 	processedLen map[*db.Relation]int
 	roundLen     map[*db.Relation]int
 
-	// scratch buffers reused across instantiations.
-	vars     []db.Sym
-	bound    []bool
-	bodyRefs []FactRef
-	boundBuf db.Tuple
-	checkBuf db.Tuple
+	// seq is the coordinator's own join runner (sequential strata, fact
+	// rules, and sub-threshold rounds of parallel strata).
+	seq joinRun
+
+	// headBuf is the sequential emit path's reusable head-tuple scratch
+	// (Relation.Insert clones, so the buffer never escapes).
+	headBuf db.Tuple
+
+	// workers and tasks are the parallel execution state; see parallel.go.
+	// mergeBody is the merge phase's reusable Derivation.Body scratch.
+	workers   []*parWorker
+	tasks     []evalTask
+	mergeBody []FactRef
 }
 
 func (ev *evaluator) run() error {
@@ -185,6 +241,7 @@ func (ev *evaluator) run() error {
 	}
 	ev.processedLen = make(map[*db.Relation]int)
 	ev.roundLen = make(map[*db.Relation]int)
+	ev.seq.attach(ev)
 	rels := map[*db.Relation]bool{}
 	for _, r := range e.rules {
 		rels[r.head.rel] = true
@@ -231,11 +288,14 @@ func (ev *evaluator) runStratum(ruleIdxs []int, relList []*db.Relation) error {
 	for _, rel := range relList {
 		ev.processedLen[rel] = 0
 	}
+	if ev.par >= 2 {
+		ev.prebuildIndexes(ruleIdxs)
+	}
 
 	// Fact rules of this stratum fire once, before the first round.
 	for _, ri := range ruleIdxs {
 		if cr := e.rules[ri]; len(cr.body) == 0 {
-			ev.fireFactRule(cr)
+			ev.seq.fireFact(cr)
 		}
 	}
 
@@ -262,12 +322,16 @@ func (ev *evaluator) runStratum(ruleIdxs []int, relList []*db.Relation) error {
 		}
 		ev.deltaHist.Observe(delta)
 		ev.stats.Rounds++
-		for _, ri := range ruleIdxs {
-			cr := e.rules[ri]
-			if len(cr.body) == 0 {
-				continue
+		if ev.par >= 2 {
+			ev.runRoundParallel(ruleIdxs)
+		} else {
+			for _, ri := range ruleIdxs {
+				cr := e.rules[ri]
+				if len(cr.body) == 0 {
+					continue
+				}
+				ev.applyRule(cr)
 			}
-			ev.applyRule(cr)
 		}
 		for _, rel := range relList {
 			ev.processedLen[rel] = ev.roundLen[rel]
@@ -275,83 +339,174 @@ func (ev *evaluator) runStratum(ruleIdxs []int, relList []*db.Relation) error {
 	}
 }
 
-// fireFactRule handles a rule with no positive body atoms: a single
-// instantiation with no variables (possibly guarded by ground checks, e.g.
-// `p(a) :- lt(1, 2).`).
-func (ev *evaluator) fireFactRule(cr *compiledRule) {
-	ev.resetScratch(cr)
-	ev.completeInstantiation(cr)
-}
-
-// applyRule runs the semi-naive decomposition of one rule: one pass per
-// body position i, where atom i ranges over the current delta of its
-// relation, atoms before i range over strictly-old tuples, and atoms after
-// i range over old-plus-delta tuples. This fires every instantiation
+// applyRule runs the semi-naive decomposition of one rule sequentially:
+// one pass per body position i, where atom i ranges over the current delta
+// of its relation, atoms before i range over strictly-old tuples, and atoms
+// after i range over old-plus-delta tuples. This fires every instantiation
 // exactly once across the whole run.
 func (ev *evaluator) applyRule(cr *compiledRule) {
 	for i := range cr.body {
 		rel := cr.body[i].rel
 		lo, hi := ev.processedLen[rel], ev.roundLen[rel]
-		if lo >= hi {
+		if lo >= hi || !ev.passViable(cr, i) {
 			continue
 		}
-		// Prune the whole pass when any atom's id range is empty (e.g. a
-		// strictly-old range before anything was processed): no
-		// instantiation can complete, regardless of join order.
-		viable := true
-		for j := range cr.body {
-			if j == i {
-				continue
-			}
-			jrel := cr.body[j].rel
-			var max int
-			if j < i {
-				max = ev.processedLen[jrel]
-			} else {
-				max = ev.roundLen[jrel]
-			}
-			if max == 0 {
-				viable = false
-				break
-			}
-		}
-		if !viable {
-			continue
-		}
-		ev.resetScratch(cr)
-		ev.joinFrom(cr, i, 0)
+		ev.seq.pass(cr, i, lo, hi)
 	}
 }
 
+// passViable prunes a whole delta pass when any other atom's id range is
+// empty (e.g. a strictly-old range before anything was processed): no
+// instantiation can complete, regardless of join order.
+func (ev *evaluator) passViable(cr *compiledRule, deltaPos int) bool {
+	for j := range cr.body {
+		if j == deltaPos {
+			continue
+		}
+		jrel := cr.body[j].rel
+		var max int
+		if j < deltaPos {
+			max = ev.processedLen[jrel]
+		} else {
+			max = ev.roundLen[jrel]
+		}
+		if max == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// emitSequential is the coordinator's emit path: insert the head, update
+// stats, notify the listener. Parallel merges replay buffered worker
+// results through an equivalent sequence (see mergeTasks), so the two
+// paths produce identical observable effects.
+func (ev *evaluator) emitSequential(cr *compiledRule, vars []db.Sym, body []FactRef) {
+	headRel := cr.head.rel
+	if cap(ev.headBuf) < cr.head.arity {
+		ev.headBuf = make(db.Tuple, cr.head.arity)
+	}
+	ht := ev.headBuf[:cr.head.arity]
+	for j, t := range cr.head.terms {
+		if t.isVar {
+			ht[j] = vars[t.slot]
+		} else {
+			ht[j] = t.sym
+		}
+	}
+	id, added := headRel.Insert(ht)
+	ev.stats.Instantiations++
+	ev.stats.FiredByRule[cr.index]++
+	if added {
+		ev.stats.NewFacts++
+	}
+	if ev.opts.Listener != nil {
+		ev.opts.Listener(Derivation{
+			RuleIndex: cr.index,
+			Rule:      &cr.src,
+			Head:      FactRef{Rel: headRel, ID: id},
+			HeadNew:   added,
+			Body:      body,
+		})
+	}
+}
+
+// joinRun executes rule passes for one goroutine: it owns the binding
+// scratch and streams completed instantiations to emit. The watermark maps
+// are shared with the coordinator and read-only for the duration of a
+// pass.
+type joinRun struct {
+	engine         *Engine
+	disableReorder bool
+	gate           FireGate
+
+	// processedLen/roundLen alias the evaluator's watermark maps.
+	processedLen map[*db.Relation]int
+	roundLen     map[*db.Relation]int
+
+	// deltaLo/deltaHi bound the delta atom's id range for the current
+	// pass (a sub-range of [processedLen, roundLen) under partitioning).
+	deltaLo, deltaHi int
+
+	// emit receives each completed, gate-approved instantiation. vars and
+	// body alias this runner's scratch and are valid only for the call.
+	emit func(cr *compiledRule, vars []db.Sym, body []FactRef)
+
+	suppressed int64 // gate-vetoed instantiations since the last take
+
+	// scratch buffers reused across instantiations.
+	vars     []db.Sym
+	bound    []bool
+	bodyRefs []FactRef
+	boundBuf db.Tuple
+	checkBuf db.Tuple
+}
+
+func (jr *joinRun) init(e *Engine, opts Options, emit func(cr *compiledRule, vars []db.Sym, body []FactRef)) {
+	jr.engine = e
+	jr.disableReorder = opts.DisableJoinReorder
+	jr.gate = opts.Gate
+	jr.emit = emit
+}
+
+// attach points the runner at the evaluator's watermark maps.
+func (jr *joinRun) attach(ev *evaluator) {
+	jr.processedLen = ev.processedLen
+	jr.roundLen = ev.roundLen
+}
+
+// takeSuppressed returns and resets the runner's suppressed count.
+func (jr *joinRun) takeSuppressed() int64 {
+	n := jr.suppressed
+	jr.suppressed = 0
+	return n
+}
+
+// fireFact handles a rule with no positive body atoms: a single
+// instantiation with no variables (possibly guarded by ground checks, e.g.
+// `p(a) :- lt(1, 2).`).
+func (jr *joinRun) fireFact(cr *compiledRule) {
+	jr.resetScratch(cr)
+	jr.completeInstantiation(cr)
+}
+
+// pass evaluates one semi-naive pass of cr with the delta at body position
+// deltaPos, restricted to delta ids in [lo, hi).
+func (jr *joinRun) pass(cr *compiledRule, deltaPos, lo, hi int) {
+	jr.deltaLo, jr.deltaHi = lo, hi
+	jr.resetScratch(cr)
+	jr.joinFrom(cr, deltaPos, 0)
+}
+
 // resetScratch prepares the per-instantiation scratch buffers for cr.
-func (ev *evaluator) resetScratch(cr *compiledRule) {
+func (jr *joinRun) resetScratch(cr *compiledRule) {
 	n := len(cr.varNames)
-	if cap(ev.vars) < n {
-		ev.vars = make([]db.Sym, n)
-		ev.bound = make([]bool, n)
+	if cap(jr.vars) < n {
+		jr.vars = make([]db.Sym, n)
+		jr.bound = make([]bool, n)
 	}
-	ev.vars = ev.vars[:n]
-	ev.bound = ev.bound[:n]
-	for j := range ev.bound {
-		ev.bound[j] = false
+	jr.vars = jr.vars[:n]
+	jr.bound = jr.bound[:n]
+	for j := range jr.bound {
+		jr.bound[j] = false
 	}
-	if cap(ev.bodyRefs) < len(cr.body) {
-		ev.bodyRefs = make([]FactRef, len(cr.body))
+	if cap(jr.bodyRefs) < len(cr.body) {
+		jr.bodyRefs = make([]FactRef, len(cr.body))
 	}
-	ev.bodyRefs = ev.bodyRefs[:len(cr.body)]
+	jr.bodyRefs = jr.bodyRefs[:len(cr.body)]
 }
 
 // joinFrom matches body atoms in plan order: deltaPos first, then the
 // remaining atoms bound-first (or left to right under
 // DisableJoinReorder). step counts how many atoms have been matched.
-func (ev *evaluator) joinFrom(cr *compiledRule, deltaPos, step int) {
+func (jr *joinRun) joinFrom(cr *compiledRule, deltaPos, step int) {
 	if step == len(cr.body) {
-		ev.completeInstantiation(cr)
+		jr.completeInstantiation(cr)
 		return
 	}
 	// Determine which atom this step matches.
 	var pos int
-	if ev.opts.DisableJoinReorder {
+	if jr.disableReorder {
 		pos = stepAtom(deltaPos, step)
 	} else {
 		pos = cr.plans[deltaPos][step]
@@ -361,17 +516,17 @@ func (ev *evaluator) joinFrom(cr *compiledRule, deltaPos, step int) {
 	var minID, maxID int
 	switch {
 	case pos == deltaPos:
-		minID, maxID = ev.processedLen[rel], ev.roundLen[rel]
+		minID, maxID = jr.deltaLo, jr.deltaHi
 	case pos < deltaPos:
-		minID, maxID = 0, ev.processedLen[rel]
+		minID, maxID = 0, jr.processedLen[rel]
 	default:
-		minID, maxID = 0, ev.roundLen[rel]
+		minID, maxID = 0, jr.roundLen[rel]
 	}
 	if minID >= maxID {
 		return
 	}
-	ev.scanAtom(cr, atom, pos, minID, maxID, func() {
-		ev.joinFrom(cr, deltaPos, step+1)
+	jr.scanAtom(cr, atom, pos, minID, maxID, func() {
+		jr.joinFrom(cr, deltaPos, step+1)
 	})
 }
 
@@ -391,22 +546,22 @@ func stepAtom(deltaPos, step int) int {
 // [minID, maxID) that are consistent with the current bindings, extends the
 // bindings, records the body fact, and calls next for each match. Bindings
 // made here are rolled back before returning.
-func (ev *evaluator) scanAtom(cr *compiledRule, atom *compiledAtom, pos, minID, maxID int, next func()) {
+func (jr *joinRun) scanAtom(cr *compiledRule, atom *compiledAtom, pos, minID, maxID int, next func()) {
 	rel := atom.rel
 	// Build the bound-position mask and lookup tuple.
-	if cap(ev.boundBuf) < atom.arity {
-		ev.boundBuf = make(db.Tuple, atom.arity)
+	if cap(jr.boundBuf) < atom.arity {
+		jr.boundBuf = make(db.Tuple, atom.arity)
 	}
-	lookup := ev.boundBuf[:atom.arity]
+	lookup := jr.boundBuf[:atom.arity]
 	var mask uint32
 	for j, t := range atom.terms {
 		switch {
 		case !t.isVar:
 			mask |= 1 << uint(j)
 			lookup[j] = t.sym
-		case ev.bound[t.slot]:
+		case jr.bound[t.slot]:
 			mask |= 1 << uint(j)
-			lookup[j] = ev.vars[t.slot]
+			lookup[j] = jr.vars[t.slot]
 		}
 	}
 
@@ -423,24 +578,24 @@ func (ev *evaluator) scanAtom(cr *compiledRule, atom *compiledAtom, pos, minID, 
 				// occurs for constant-free atoms.
 				continue
 			}
-			if ev.bound[term.slot] {
-				if ev.vars[term.slot] != t[j] {
+			if jr.bound[term.slot] {
+				if jr.vars[term.slot] != t[j] {
 					ok = false
 					break
 				}
 				continue
 			}
-			ev.vars[term.slot] = t[j]
-			ev.bound[term.slot] = true
+			jr.vars[term.slot] = t[j]
+			jr.bound[term.slot] = true
 			newlyBound[nNew] = term.slot
 			nNew++
 		}
 		if ok {
-			ev.bodyRefs[pos] = FactRef{Rel: rel, ID: id}
+			jr.bodyRefs[pos] = FactRef{Rel: rel, ID: id}
 			next()
 		}
 		for k := 0; k < nNew; k++ {
-			ev.bound[newlyBound[k]] = false
+			jr.bound[newlyBound[k]] = false
 		}
 	}
 
@@ -464,70 +619,43 @@ func (ev *evaluator) scanAtom(cr *compiledRule, atom *compiledAtom, pos, minID, 
 
 // completeInstantiation is called with all positive body atoms matched: it
 // evaluates the rule's checks (an instantiation failing a check does not
-// exist), consults the gate, inserts the head, and notifies the listener.
-func (ev *evaluator) completeInstantiation(cr *compiledRule) {
+// exist), consults the gate, and hands the instantiation to emit.
+func (jr *joinRun) completeInstantiation(cr *compiledRule) {
 	for i := range cr.checks {
-		if !ev.evalCheck(&cr.checks[i]) {
+		if !jr.evalCheck(&cr.checks[i]) {
 			return
 		}
 	}
-	if ev.opts.Gate != nil && !ev.opts.Gate.ShouldFire(cr.index, ev.vars) {
-		ev.stats.Suppressed++
+	if jr.gate != nil && !jr.gate.ShouldFire(cr.index, jr.vars) {
+		jr.suppressed++
 		return
 	}
-	ev.emit(cr)
+	jr.emit(cr, jr.vars, jr.bodyRefs[:len(cr.body)])
 }
 
 // evalCheck evaluates one built-in or negated literal under the current
 // (fully bound, by safety) variable bindings.
-func (ev *evaluator) evalCheck(c *compiledCheck) bool {
+func (jr *joinRun) evalCheck(c *compiledCheck) bool {
 	symOf := func(t atomTerm) db.Sym {
 		if t.isVar {
-			return ev.vars[t.slot]
+			return jr.vars[t.slot]
 		}
 		return t.sym
 	}
 	if c.builtin {
-		symbols := ev.engine.db.Symbols()
+		symbols := jr.engine.db.Symbols()
 		return ast.EvalBuiltin(c.pred, symbols.Name(symOf(c.terms[0])), symbols.Name(symOf(c.terms[1])))
 	}
 	// Negated atom: succeed iff the tuple is absent. The relation was
 	// fully computed by an earlier stratum (or is extensional), so the
 	// check is stable.
-	if cap(ev.checkBuf) < len(c.terms) {
-		ev.checkBuf = make(db.Tuple, len(c.terms))
+	if cap(jr.checkBuf) < len(c.terms) {
+		jr.checkBuf = make(db.Tuple, len(c.terms))
 	}
-	t := ev.checkBuf[:len(c.terms)]
+	t := jr.checkBuf[:len(c.terms)]
 	for i, term := range c.terms {
 		t[i] = symOf(term)
 	}
 	_, present := c.rel.Contains(t)
 	return !present
-}
-
-func (ev *evaluator) emit(cr *compiledRule) {
-	headRel := cr.head.rel
-	ht := make(db.Tuple, cr.head.arity)
-	for j, t := range cr.head.terms {
-		if t.isVar {
-			ht[j] = ev.vars[t.slot]
-		} else {
-			ht[j] = t.sym
-		}
-	}
-	id, added := headRel.Insert(ht)
-	ev.stats.Instantiations++
-	ev.stats.FiredByRule[cr.index]++
-	if added {
-		ev.stats.NewFacts++
-	}
-	if ev.opts.Listener != nil {
-		ev.opts.Listener(Derivation{
-			RuleIndex: cr.index,
-			Rule:      &cr.src,
-			Head:      FactRef{Rel: headRel, ID: id},
-			HeadNew:   added,
-			Body:      ev.bodyRefs[:len(cr.body)],
-		})
-	}
 }

@@ -1,46 +1,52 @@
 package magic
 
 import (
-	"math/rand/v2"
-	"strings"
+	"hash/fnv"
 
 	"contribmax/internal/db"
 	"contribmax/internal/engine"
 )
 
-// SampledGate implements Magic^S CM's in-construction sampling (Section
-// IV-B2): each *origin-rule* instantiation is drawn to fire exactly once,
-// with probability w(origin), and the decision is shared by every modified
-// rule generated from that origin rule. Magic and seed rules always fire.
+// HashGate implements Magic^S CM's in-construction sampling (Section
+// IV-B2): each *origin-rule* instantiation fires with probability
+// w(origin), and the decision is shared by every modified rule generated
+// from that origin rule. Magic and seed rules always fire.
 //
-// A SampledGate represents one random execution; use a fresh gate per RR
-// set so draws are independent across RR sets.
-type SampledGate struct {
-	rng    *rand.Rand
-	rules  []gateRule
-	drawn  map[string]bool
-	keyBuf strings.Builder
-	// Draws counts fresh coin flips (for tests and stats).
-	Draws int64
+// Unlike a sequential-draw gate, the verdict is a pure function of
+// (seed, origin rule, origin-variable bindings): a seeded hash of the
+// instantiation key is mapped to a uniform [0, 1) value and compared to
+// w(origin). That makes the gate order-independent and safe for
+// concurrent use, so Magic^S sampling composes with the engine's parallel
+// evaluation (HashGate implements engine.ParallelSafeGate) — and no
+// memoization table is needed: re-deriving the same instantiation
+// recomputes the same verdict.
+//
+// A HashGate represents one random execution; use a fresh seed per RR set
+// so draws are independent across RR sets.
+type HashGate struct {
+	rules []hashGateRule
 }
 
-type gateRule struct {
+type hashGateRule struct {
 	sample bool // false: always fire (magic/seed, or prob == 1)
 	prob   float64
-	origin string
+	// originH pre-mixes the run seed with the origin rule's label, so
+	// instantiations of the same origin hash identically across all the
+	// modified rules derived from it.
+	originH uint64
 	// slots[i] is the engine variable-slot index holding the value of the
 	// origin rule's i-th variable.
 	slots []int
 }
 
-// NewSampledGate builds a gate for the transformed program t as compiled by
-// eng (the engine must have been constructed from t.Program).
-func NewSampledGate(t *Transformed, eng *engine.Engine, rng *rand.Rand) *SampledGate {
-	g := &SampledGate{rng: rng, drawn: make(map[string]bool)}
-	g.rules = make([]gateRule, len(t.Meta))
+// NewHashGate builds a gate for the transformed program t as compiled by
+// eng (the engine must have been constructed from t.Program), seeded for
+// one random execution.
+func NewHashGate(t *Transformed, eng *engine.Engine, seed uint64) *HashGate {
+	g := &HashGate{rules: make([]hashGateRule, len(t.Meta))}
 	for i, m := range t.Meta {
 		if m.Kind != Modified || m.OriginProb >= 1 {
-			g.rules[i] = gateRule{sample: false}
+			g.rules[i] = hashGateRule{sample: false}
 			continue
 		}
 		names := eng.RuleVarNames(i)
@@ -55,32 +61,42 @@ func NewSampledGate(t *Transformed, eng *engine.Engine, rng *rand.Rand) *Sampled
 			// for valid transforms.
 			slots[j] = pos[v]
 		}
-		g.rules[i] = gateRule{sample: true, prob: m.OriginProb, origin: m.Origin, slots: slots}
+		h := fnv.New64a()
+		h.Write([]byte(m.Origin))
+		g.rules[i] = hashGateRule{
+			sample:  true,
+			prob:    m.OriginProb,
+			originH: splitmix64(seed ^ h.Sum64()),
+			slots:   slots,
+		}
 	}
 	return g
 }
 
-// ShouldFire implements engine.FireGate.
-func (g *SampledGate) ShouldFire(ruleIndex int, vars []db.Sym) bool {
+// splitmix64 is the SplitMix64 finalizer: a full-avalanche bijection, so
+// consecutive or low-entropy inputs still produce well-distributed hashes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShouldFire implements engine.FireGate. It is safe for concurrent use.
+func (g *HashGate) ShouldFire(ruleIndex int, vars []db.Sym) bool {
 	r := &g.rules[ruleIndex]
 	if !r.sample {
 		return true
 	}
-	g.keyBuf.Reset()
-	g.keyBuf.WriteString(r.origin)
+	h := r.originH
 	for _, s := range r.slots {
-		v := vars[s]
-		g.keyBuf.WriteByte(byte(v >> 24))
-		g.keyBuf.WriteByte(byte(v >> 16))
-		g.keyBuf.WriteByte(byte(v >> 8))
-		g.keyBuf.WriteByte(byte(v))
+		h = splitmix64(h ^ uint64(uint32(vars[s])))
 	}
-	key := g.keyBuf.String()
-	if d, ok := g.drawn[key]; ok {
-		return d
-	}
-	g.Draws++
-	d := g.rng.Float64() < r.prob
-	g.drawn[key] = d
-	return d
+	// Top 53 bits → uniform float64 in [0, 1).
+	u := float64(h>>11) * 0x1p-53
+	return u < r.prob
 }
+
+// ParallelSafeFireGate marks the gate as order-independent and
+// concurrency-safe (see engine.ParallelSafeGate).
+func (g *HashGate) ParallelSafeFireGate() {}

@@ -11,6 +11,9 @@ const (
 	EngineNewFacts       = "engine.new_facts"      // counter: idb tuples first derived
 	EngineDeltaSize      = "engine.delta_size"     // histogram: delta tuples per round
 	EngineEvalNs         = "engine.eval_ns"        // histogram: ns per evaluation
+	EngineBatches        = "engine.batches"        // counter: parallel evaluation tasks executed
+	EngineWorkerBusy     = "engine.worker_busy"    // histogram: per-worker busy ns per parallel round
+	EngineMergeWait      = "engine.merge_wait"     // histogram: ns the coordinator waits for workers per round
 
 	// WD-graph construction.
 	GraphBuilds  = "wdgraph.builds"   // counter: graphs constructed

@@ -150,6 +150,11 @@ func (b *Builder) PreloadEDB(prog *ast.Program, database *db.Database) {
 }
 
 // Listener returns the engine.DerivationListener that feeds this builder.
+// The builder is not safe for concurrent use and relies on the engine's
+// listener contract: derivations arrive on the goroutine that called
+// engine.Run, in an order that is byte-identical at every
+// engine.Options.Parallelism level, so node and edge ids are reproducible
+// regardless of how the fixpoint was evaluated.
 func (b *Builder) Listener() engine.DerivationListener {
 	return func(d engine.Derivation) { b.observe(d) }
 }
@@ -311,6 +316,15 @@ type BuildConfig struct {
 	// counters and the build-time histogram) and is forwarded to the
 	// engine for its engine.* metrics.
 	Obs *obs.Registry
+	// Parallelism is forwarded to engine.Options.Parallelism: >= 2 runs
+	// the fixpoint on that many workers. The builder needs no changes to
+	// support this — the engine guarantees the derivation stream reaching
+	// the listener is byte-identical to sequential evaluation and is
+	// always delivered from the calling goroutine, so the constructed
+	// graph (node and edge ids included) is the same at every level. When
+	// Gate is set it must implement engine.ParallelSafeGate for the
+	// parallel path to engage (magic.HashGate does).
+	Parallelism int
 	// HintFacts and HintRules pre-size the builder's dedup maps (fact
 	// nodes and rule instantiations respectively). Zero means unknown; a
 	// good source is a previous run's engine.Stats or the database's edb
@@ -352,7 +366,7 @@ func BuildWith(prog *ast.Program, database *db.Database, cfg BuildConfig) (*Grap
 	if err != nil {
 		return nil, engine.Stats{}, err
 	}
-	stats, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: cfg.Gate, Context: cfg.Ctx, Obs: cfg.Obs})
+	stats, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: cfg.Gate, Context: cfg.Ctx, Obs: cfg.Obs, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, stats, err
 	}
