@@ -7,7 +7,7 @@ GO ?= go
 # expectations; the golden test in internal/analysis covers those).
 DL_PROGRAMS := $(shell find examples testdata -name '*.dl' -not -path 'testdata/analysis/*' | sort)
 
-.PHONY: all build test race check lint fmt bench bench-report fuzz
+.PHONY: all build test race check lint fmt bench bench-report fuzz journal-demo
 
 all: check lint
 
@@ -19,7 +19,7 @@ test:
 
 # The packages that evaluate programs concurrently.
 race:
-	$(GO) test -race ./internal/cm ./internal/db ./internal/im ./internal/engine ./internal/engine/difftest ./internal/obs ./internal/server
+	$(GO) test -race ./internal/cm ./internal/db ./internal/im ./internal/engine ./internal/engine/difftest ./internal/obs ./internal/obs/journal ./internal/server
 
 # Run every Go micro-benchmark once: a compile-and-run guard for the bench
 # code. Meaningful numbers need -benchtime left at its default; compare
@@ -31,6 +31,14 @@ bench:
 # Machine-readable benchmark report (cmbench figures as BENCH_quick.json).
 bench-report:
 	$(GO) run ./cmd/cmbench -fig 7a -json BENCH_quick.json
+
+# End-to-end journal demo: solve the paper's trade example with the event
+# journal on, then render the convergence curves (see docs/OBSERVABILITY.md).
+journal-demo:
+	$(GO) run ./cmd/cmrun -program testdata/trade.dl -facts testdata/trade.facts \
+		-target 'dealsWith(russia, ukraine)' -k 2 -rr 1000 \
+		-journal /tmp/contribmax-journal.jsonl
+	$(GO) run ./cmd/cmjournal /tmp/contribmax-journal.jsonl
 
 # Short fuzz run of the parse -> analyze -> stratify -> evaluate pipeline,
 # asserting parallel evaluation stays byte-identical to sequential on every

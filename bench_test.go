@@ -21,6 +21,7 @@ import (
 	"contribmax/internal/experiments"
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
+	"contribmax/internal/obs/journal"
 	"contribmax/internal/wdgraph"
 	"contribmax/internal/workload"
 )
@@ -475,4 +476,67 @@ func BenchmarkRRGenSelect(b *testing.B) {
 			b.Fatal("no coverage")
 		}
 	}
+}
+
+// BenchmarkRRGenSelectJournaled is BenchmarkRRGenSelect with journaling in
+// both states the overhead contract names: "disabled" observes through a
+// nil-journal BatchRecorder (must be indistinguishable from the plain
+// benchmark — one pointer check per set), "enabled" streams batches into a
+// live in-memory journal (must stay within a few percent; the acceptance
+// bound is 5%).
+func BenchmarkRRGenSelectJournaled(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	d := workload.RandomGraphM(40, 70, rng)
+	prog := workload.TCProgram(0.7, 0.45)
+	g, _, err := wdgraph.Build(prog, d, nil, true, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	candOfNode := make([]int32, g.NumNodes())
+	for i := range candOfNode {
+		candOfNode[i] = -1
+	}
+	numCands := int32(0)
+	var roots []wdgraph.NodeID
+	g.FactNodes(func(id wdgraph.NodeID, n wdgraph.Node) {
+		if n.EDB {
+			candOfNode[id] = numCands
+			numCands++
+		} else {
+			roots = append(roots, id)
+		}
+	})
+	if len(roots) == 0 || numCands == 0 {
+		b.Fatal("degenerate instance")
+	}
+	const theta, k = 2000, 5
+	walker := wdgraph.NewWalker(g)
+	var buf []im.CandidateID
+	run := func(b *testing.B, j *journal.Journal) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wrng := rand.New(rand.NewPCG(uint64(i), 7))
+			coll := im.NewRRCollection(int(numCands))
+			rec := journal.NewBatchRecorder(j, 0)
+			for jj := 0; jj < theta; jj++ {
+				buf = buf[:0]
+				root := roots[wrng.IntN(len(roots))]
+				walker.ReverseReachable(root, wrng, false, func(v wdgraph.NodeID) {
+					if c := candOfNode[v]; c >= 0 {
+						buf = append(buf, im.CandidateID(c))
+					}
+				})
+				coll.Add(buf)
+				rec.Observe(len(buf))
+			}
+			rec.Flush()
+			res := im.Greedy(coll, k)
+			if res.Covered == 0 {
+				b.Fatal("no coverage")
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, journal.New("bench", journal.Options{})) })
 }

@@ -97,6 +97,39 @@ func TestCLIsRun(t *testing.T) {
 		}
 	})
 
+	t.Run("cmrun-journal-then-cmjournal", func(t *testing.T) {
+		t.Parallel()
+		path := filepath.Join(t.TempDir(), "solve.jsonl")
+		out := run(t, "run", "./cmd/cmrun",
+			"-program", "testdata/trade.dl", "-facts", "testdata/trade.facts",
+			"-target", "dealsWith(russia, ukraine)", "-k", "2", "-rr", "300",
+			"-journal", path)
+		if !strings.Contains(out, "journal run ") {
+			t.Fatalf("cmrun -journal output:\n%s", out)
+		}
+		out = run(t, "run", "./cmd/cmjournal", path)
+		for _, want := range []string{
+			"solve: MagicSCM", "config fingerprint:",
+			"RR generation", "selection convergence", "finished in",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("cmjournal missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("cmbench-diff", func(t *testing.T) {
+		t.Parallel()
+		path := filepath.Join(t.TempDir(), "BENCH_quick.json")
+		// First run writes the baseline; the second diffs against it —
+		// same code, same scale, so no >20% regressions are expected.
+		run(t, "run", "./cmd/cmbench", "-fig", "7a", "-json", path)
+		out := run(t, "run", "./cmd/cmbench", "-fig", "7a", "-diff", path)
+		if !strings.Contains(out, "no regressions") && !strings.Contains(out, "WARNING: regression") {
+			t.Errorf("cmbench -diff output:\n%s", out)
+		}
+	})
+
 	t.Run("cmrun-stats", func(t *testing.T) {
 		t.Parallel()
 		out := run(t, "run", "./cmd/cmrun",

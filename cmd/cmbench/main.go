@@ -34,6 +34,7 @@ func run() error {
 		full    = flag.Bool("full", false, "run the full-scale sweep (minutes) instead of the quick one")
 		format  = flag.String("format", "text", "output format: text | csv")
 		jsonOut = flag.String("json", "", "also write every figure to this file as a machine-readable BENCH report")
+		diff    = flag.String("diff", "", "compare this run against a baseline BENCH_*.json and warn (stderr, non-fatal) on >20% regressions")
 	)
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func run() error {
 		scaleName = "full"
 	}
 	var report *experiments.Report
-	if *jsonOut != "" {
+	if *jsonOut != "" || *diff != "" {
 		report = experiments.NewReport(scaleName)
 	}
 	datasets := experiments.Datasets
@@ -132,6 +133,15 @@ func run() error {
 		}
 	}
 	if report != nil {
+		// The journaled reference solve gives every report a comparable
+		// RR/coverage telemetry block alongside the figures.
+		summary, err := experiments.JournaledReferenceSolve(scale)
+		if err != nil {
+			return err
+		}
+		report.Journal = summary
+	}
+	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			return err
@@ -144,6 +154,25 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "cmbench: wrote %d figure(s) to %s\n", len(report.Figures), *jsonOut)
+	}
+	if *diff != "" {
+		data, err := os.ReadFile(*diff)
+		if err != nil {
+			return err
+		}
+		baseline, err := experiments.LoadReport(data)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", *diff, err)
+		}
+		warnings := experiments.DiffReports(baseline, report, 0.20)
+		if len(warnings) == 0 {
+			fmt.Fprintf(os.Stderr, "cmbench: no regressions >20%% vs %s\n", *diff)
+		}
+		// Warn-only: benchmark noise on shared CI runners must not fail
+		// the build; the warnings are for humans reading the log.
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "cmbench: WARNING: regression vs %s: %s\n", *diff, w)
+		}
 	}
 	return nil
 }

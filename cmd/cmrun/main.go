@@ -53,6 +53,7 @@ func run() error {
 		stats       = flag.Bool("stats", false, "print the per-phase timing tree and collected metrics on stderr")
 		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout")
 		diverse     = flag.Int("diverse", 0, "max seeds per relation (1 = every seed from a different table; 0 = unconstrained)")
+		journalOut  = flag.String("journal", "", "write the solve's structured event journal to this file as JSONL (render with cmjournal)")
 		estimate    = flag.Bool("estimate", false, "re-estimate the seeds' contribution with 10k Monte-Carlo samples (builds the full WD graph)")
 		nolint      = flag.Bool("nolint", false, "skip the static-analysis gate (errors still fail inside the algorithms; warnings are not printed)")
 	)
@@ -155,6 +156,14 @@ func run() error {
 		trace = contribmax.StartTrace("cmrun")
 		opts.Trace = trace
 	}
+	var journalFile *os.File
+	if *journalOut != "" {
+		journalFile, err = os.Create(*journalOut)
+		if err != nil {
+			return err
+		}
+		opts.Journal = contribmax.NewJournal("", contribmax.JournalOptions{Sink: journalFile})
+	}
 	var res *contribmax.Result
 	switch *algo {
 	case "naive":
@@ -174,6 +183,18 @@ func run() error {
 		trace.Render(os.Stderr)
 		fmt.Fprintln(os.Stderr, "metrics:")
 		opts.Obs.WriteText(os.Stderr)
+	}
+	if journalFile != nil {
+		// Close even on solve error: a partial journal still shows where
+		// the solve got to.
+		jerr := opts.Journal.Close()
+		if cerr := journalFile.Close(); jerr == nil {
+			jerr = cerr
+		}
+		if jerr != nil {
+			return fmt.Errorf("journal %s: %w", *journalOut, jerr)
+		}
+		fmt.Fprintf(os.Stderr, "cmrun: journal run %s written to %s\n", opts.Journal.Run(), *journalOut)
 	}
 	if err != nil {
 		return err

@@ -9,6 +9,10 @@
 //	# then open http://localhost:8080/ or:
 //	curl -s localhost:8080/api/solve -d '{"program":"...","facts":"...","targets":["p(a, X)"]}'
 //	curl -s localhost:8080/metrics          # live counters, expvar-style JSON
+//	curl -s 'localhost:8080/metrics?format=prometheus'  # Prometheus text format
+//	curl -s localhost:8080/api/solve/start -d @req.json # async journaled solve (202 + run ID)
+//	curl -sN localhost:8080/solve/RUNID/events          # live progress (SSE)
+//	curl -s  localhost:8080/journal/RUNID               # journal replay (JSONL; pipe to cmjournal -)
 //	go tool pprof localhost:8080/debug/pprof/profile   # CPU, with per-solve labels
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight solves get

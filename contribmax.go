@@ -13,6 +13,7 @@ import (
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 	"contribmax/internal/optimize"
 	"contribmax/internal/parser"
 	"contribmax/internal/provenance"
@@ -67,6 +68,18 @@ type (
 	// Options.Trace and render it afterwards. See StartTrace.
 	TraceSpan = obs.Span
 
+	// Journal is the structured solve event stream: hand one to
+	// Options.Journal and every phase of the solve (graph build, fixpoint
+	// rounds, RR batches, adaptive IMM rounds, greedy selection) emits
+	// typed events into it — buffered in memory, optionally mirrored to a
+	// JSONL sink. A nil Journal costs nothing. See NewJournal.
+	Journal = journal.Journal
+	// JournalOptions configures NewJournal (buffer capacity, JSONL sink).
+	JournalOptions = journal.Options
+	// JournalEvent is one journal entry: sequence number, timestamp, run
+	// ID, type tag, and exactly one typed payload.
+	JournalEvent = journal.Event
+
 	// Diagnostic is one static-analysis finding (severity, stable code,
 	// source position, message); see Analyze.
 	Diagnostic = analysis.Diagnostic
@@ -89,6 +102,15 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // StartTrace opens a root trace span for Options.Trace. End it (or its
 // children) and render the phase tree with its Render method.
 func StartTrace(name string) *TraceSpan { return obs.StartSpan(name) }
+
+// NewJournal returns a journal for Options.Journal. An empty runID gets a
+// fresh random run ID (see NewRunID); Close flushes and reports any sink
+// write error.
+func NewJournal(runID string, opts JournalOptions) *Journal { return journal.New(runID, opts) }
+
+// NewRunID returns a fresh random run identifier for correlating a solve's
+// journal, metrics, and logs.
+func NewRunID() string { return journal.NewRunID() }
 
 // V returns a variable term.
 func V(name string) Term { return ast.V(name) }

@@ -40,6 +40,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 	rng := opts.rng()
 	start := time.Now()
 	res := &Result{Algorithm: "MagicGCM"}
+	journalSolveStart(opts, inst, "MagicGCM")
 
 	// In fixed-θ mode the grouped transformation covers exactly the
 	// distinct sampled root tuples (Remark 1); in adaptive mode the number
@@ -75,7 +76,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}
-	g, err := buildMagicGraph(in, tr, nil, false, ctx, opts.Obs, opts.Parallelism)
+	g, err := buildMagicGraph(in, tr, nil, false, ctx, opts.Obs, opts.Journal, opts.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}

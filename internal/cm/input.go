@@ -17,6 +17,7 @@ import (
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 )
 
 // Input is one CM problem instance: find the k-size subset of T1 with the
@@ -102,6 +103,16 @@ type Options struct {
 	// count attributes — the tree cmrun -stats prints. The span tree is
 	// mutated only from the calling goroutine.
 	Trace *obs.Span
+	// Journal, when non-nil, receives the solve's structured event stream
+	// (see internal/obs/journal): solve.start/finish with a config
+	// fingerprint, per-fixpoint-round deltas and graph.build events for
+	// full-graph builds, batched rr.batch generation stats, imm.round
+	// convergence records in adaptive mode, and one select.iter per chosen
+	// seed. Events carry the journal's run ID, correlating them with the
+	// spans and metrics of the same solve. Journaling never perturbs the
+	// solver: the same seed yields byte-identical results with or without
+	// it. nil disables the stream at one pointer check per site.
+	Journal *journal.Journal
 	// Context, when non-nil, cancels a long-running solve: the RR
 	// generation loops and the fixpoint evaluations underneath them check
 	// it and return its error promptly (within one RR set or one

@@ -14,6 +14,7 @@ import (
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 	"contribmax/internal/wdgraph"
 )
 
@@ -53,6 +54,7 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 	rng := opts.rng()
 	start := time.Now()
 	res := &Result{Algorithm: name}
+	journalSolveStart(opts, inst, name)
 
 	// The transformed program for a target depends only on the target, so
 	// it is computed once per distinct target and reused across RR sets
@@ -85,7 +87,7 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 		// Engine parallelism stays off for per-tuple subgraphs: the RR
 		// phase already runs one worker per Parallelism slot, and the
 		// subgraphs are small — nesting worker pools would oversubscribe.
-		g, err := buildMagicGraph(in, tr, r, sampled, ctx, opts.Obs, 0)
+		g, err := buildMagicGraph(in, tr, r, sampled, ctx, opts.Obs, nil, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -176,6 +178,8 @@ func parallelRRPhase(ctx context.Context, inst *instance, opts Options, res *Res
 		go func(w int) {
 			defer wg.Done()
 			sc := newRRScratch()
+			rec := journal.NewBatchRecorder(opts.Journal, w)
+			defer rec.Flush()
 			var arena []im.CandidateID
 			defer func() {
 				arenas[w] = arena
@@ -196,6 +200,7 @@ func parallelRRPhase(ctx context.Context, inst *instance, opts Options, res *Res
 				arena = out
 				segs[i] = rrSeg{worker: int32(w), lo: int64(lo), hi: int64(len(arena))}
 				ro.observe(len(arena) - lo)
+				rec.Observe(len(arena) - lo)
 			}
 		}(w)
 	}
@@ -247,9 +252,12 @@ func mergeStats(dst, src *Stats) {
 // cancels the evaluation
 // between fixpoint rounds; reg, when non-nil, receives per-subgraph
 // wdgraph.* metrics (the gate construction needs the engine, so this cannot
-// delegate to wdgraph.BuildWith).
+// delegate to wdgraph.BuildWith). jr, when non-nil, receives graph.build
+// and per-round engine.round events — only the grouped variant's one
+// full union-graph build passes it (per-RR subgraph builds number in the
+// thousands and are summarized by rr.batch events instead).
 func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bool,
-	ctx context.Context, reg *obs.Registry, par int) (*wdgraph.Graph, error) {
+	ctx context.Context, reg *obs.Registry, jr *journal.Journal, par int) (*wdgraph.Graph, error) {
 	start := time.Now()
 	scratch := in.DB.CloneSchema()
 	for _, pred := range in.Program.EDBs() {
@@ -266,7 +274,7 @@ func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bo
 	if sampled {
 		gate = magic.NewHashGate(tr, eng, rng.Uint64())
 	}
-	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate, Context: ctx, Obs: reg, Parallelism: par}); err != nil {
+	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate, Context: ctx, Obs: reg, Parallelism: par, Journal: jr}); err != nil {
 		return nil, err
 	}
 	g := b.Graph()
@@ -276,6 +284,7 @@ func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bo
 		reg.Counter(obs.GraphEdges).Add(int64(g.NumEdges()))
 		reg.Histogram(obs.GraphBuildNs).ObserveSince(start)
 	}
+	jr.GraphBuild(g.NumNodes(), g.NumEdges(), time.Since(start))
 	return g, nil
 }
 

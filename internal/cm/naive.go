@@ -34,6 +34,7 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 	rng := opts.rng()
 	start := time.Now()
 	res := &Result{Algorithm: "NaiveCM"}
+	journalSolveStart(opts, inst, "NaiveCM")
 
 	// Phase 1: full WD graph (Algorithm 1). Definition 3.1 includes a node
 	// for every edb fact in D, hence the preload.
@@ -44,6 +45,7 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 		Ctx:         ctx,
 		Obs:         opts.Obs,
 		Parallelism: opts.Parallelism,
+		Journal:     opts.Journal,
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +157,7 @@ func finishSelection(inst *instance, opts Options, res *Result, sp *obs.Span) {
 	sel.SetAttr("covered", int64(gr.Covered))
 	sel.SetAttr("seeds", int64(len(gr.Seeds)))
 	sel.End()
+	journalSelection(opts, inst, res)
 }
 
 // rankCandidates computes every candidate's individual coverage over the

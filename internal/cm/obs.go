@@ -2,10 +2,12 @@ package cm
 
 import (
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 )
 
-// observeSolve folds one finished solve into the metrics registry. It is
-// the common tail of every algorithm's public entry point.
+// observeSolve folds one finished solve into the metrics registry and
+// closes the journal record with a solve.finish event. It is the common
+// tail of every algorithm's public entry point.
 func observeSolve(opts Options, res *Result, err error) (*Result, error) {
 	if reg := opts.Obs; reg != nil {
 		if err != nil {
@@ -15,7 +17,88 @@ func observeSolve(opts Options, res *Result, err error) (*Result, error) {
 			reg.Histogram(obs.CMSolveNs).Observe(int64(res.Stats.TotalTime))
 		}
 	}
+	if j := opts.Journal; j != nil {
+		var fin journal.FinishInfo
+		if err != nil {
+			fin.Err = err.Error()
+		}
+		if res != nil {
+			fin.Algorithm = res.Algorithm
+			fin.Seeds = make([]string, len(res.Seeds))
+			for i, s := range res.Seeds {
+				fin.Seeds[i] = s.String()
+			}
+			fin.CoveredRR = res.Stats.CoveredRR
+			fin.NumRR = res.Stats.NumRR
+			fin.EstContribution = res.EstContribution
+			fin.DurationNs = int64(res.Stats.TotalTime)
+		}
+		j.SolveFinish(fin)
+	}
 	return res, err
+}
+
+// journalSolveStart opens the journal record of one solve: algorithm,
+// config fingerprint, and instance shape. No-op without a journal.
+func journalSolveStart(opts Options, inst *instance, name string) {
+	j := opts.Journal
+	if j == nil {
+		return
+	}
+	theta := 0
+	if !opts.Adaptive {
+		theta = inst.theta(opts)
+	}
+	j.SolveStart(journal.SolveInfo{
+		Algorithm: name,
+		Fingerprint: journal.Fingerprint(
+			name, inst.in.K, len(inst.candidates), len(inst.targets),
+			opts.Theta.Explicit, opts.Theta.Fraction, opts.Theta.Epsilon, opts.Theta.Delta, opts.Theta.MaxAuto,
+			opts.Adaptive, opts.Parallelism, opts.MaxSeedsPerRelation, opts.LazyGreedy, opts.SIPS),
+		K:           inst.in.K,
+		Candidates:  len(inst.candidates),
+		Targets:     len(inst.targets),
+		Theta:       theta,
+		Adaptive:    opts.Adaptive,
+		Parallelism: opts.Parallelism,
+	})
+}
+
+// journalSelection replays the greedy selection into the journal as one
+// select.iter event per chosen seed. The per-iteration state is
+// reconstructed from the greedy result's gain sequence (cumulative
+// coverage is the prefix sum — exactly how CoveredRR is defined for all
+// three selection variants), so the selection algorithms themselves stay
+// untouched and byte-deterministic.
+func journalSelection(opts Options, inst *instance, res *Result) {
+	j := opts.Journal
+	if j == nil {
+		return
+	}
+	theta := 0
+	if res.rrColl != nil {
+		theta = res.rrColl.Len()
+	}
+	covered := 0
+	for i, seed := range res.Seeds {
+		gain := 0
+		if i < len(res.SeedGains) {
+			gain = res.SeedGains[i]
+		}
+		covered += gain
+		coverage := 0.0
+		if theta > 0 {
+			coverage = float64(covered) / float64(theta)
+		}
+		j.SelectIter(journal.IterInfo{
+			I:        i,
+			Seed:     seed.String(),
+			Gain:     gain,
+			Covered:  covered,
+			Coverage: coverage,
+			ErrProxy: journal.ErrProxy(covered, theta),
+		})
+	}
 }
 
 // rrObs bundles the pre-resolved RR-generation metric handles so the hot

@@ -9,6 +9,7 @@ import (
 
 	"contribmax/internal/im"
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 	"contribmax/internal/wdgraph"
 )
 
@@ -102,6 +103,8 @@ func parallelWalkPhase(ctx context.Context, inst *instance, opts Options, res *R
 		go func(w int) {
 			defer wg.Done()
 			walker := wdgraph.NewWalker(g)
+			rec := journal.NewBatchRecorder(opts.Journal, w)
+			defer rec.Flush()
 			var arena []im.CandidateID
 			defer func() {
 				arenas[w] = arena
@@ -124,6 +127,7 @@ func parallelWalkPhase(ctx context.Context, inst *instance, opts Options, res *R
 				}
 				segs[i] = rrSeg{worker: int32(w), lo: int64(lo), hi: int64(len(arena))}
 				ro.observe(len(arena) - lo)
+				rec.Observe(len(arena) - lo)
 			}
 		}(w)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"contribmax/internal/im"
+	"contribmax/internal/obs/journal"
 )
 
 // runRRPhase generates the RR collection for an instance: fixed-count per
@@ -20,6 +21,8 @@ func runRRPhase(ctx context.Context, inst *instance, opts Options, res *Result, 
 		res.Stats.NumRR = res.rrColl.Len()
 	}()
 	ro := newRRObs(opts.Obs)
+	rec := journal.NewBatchRecorder(opts.Journal, 0)
+	defer rec.Flush()
 	if opts.Adaptive {
 		// IMM drives generation itself; a canceled context turns further
 		// sets into cheap empties so the adaptive loop unwinds promptly,
@@ -30,6 +33,7 @@ func runRRPhase(ctx context.Context, inst *instance, opts Options, res *Result, 
 			}
 			set := gen()
 			ro.observe(len(set))
+			rec.Observe(len(set))
 			return set
 		}
 		coll, _, immStats := im.IMM(wrapped, im.IMMParams{
@@ -40,6 +44,7 @@ func runRRPhase(ctx context.Context, inst *instance, opts Options, res *Result, 
 			K:             inst.in.K,
 			MaxRR:         opts.Theta.MaxAuto,
 			Obs:           opts.Obs,
+			Journal:       opts.Journal,
 		})
 		res.Stats.AdaptiveLowerBound = immStats.LowerBound
 		res.Stats.AdaptiveCapped = immStats.Capped
@@ -55,6 +60,7 @@ func runRRPhase(ctx context.Context, inst *instance, opts Options, res *Result, 
 		}
 		set := gen()
 		ro.observe(len(set))
+		rec.Observe(len(set))
 		coll.Add(set)
 	}
 	return nil

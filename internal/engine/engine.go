@@ -9,6 +9,7 @@ import (
 	"contribmax/internal/ast"
 	"contribmax/internal/db"
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 )
 
 // FactRef identifies a ground fact as a tuple of a relation.
@@ -107,6 +108,12 @@ type Options struct {
 	// task counter and worker-busy/merge-wait histograms. A nil registry
 	// costs one pointer check per run.
 	Obs *obs.Registry
+	// Journal, when non-nil, receives one engine.round event per
+	// semi-naive round (round ordinal and delta size), emitted from the
+	// coordinator goroutine. Full-graph builds journal their fixpoint this
+	// way; the per-RR subgraph builds of the Magic variants leave it nil
+	// (thousands of tiny fixpoints would drown the stream).
+	Journal *journal.Journal
 }
 
 // Stats summarizes an evaluation run.
@@ -322,6 +329,7 @@ func (ev *evaluator) runStratum(ruleIdxs []int, relList []*db.Relation) error {
 		}
 		ev.deltaHist.Observe(delta)
 		ev.stats.Rounds++
+		ev.opts.Journal.EngineRound(ev.stats.Rounds, int(delta))
 		if ev.par >= 2 {
 			ev.runRoundParallel(ruleIdxs)
 		} else {

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"contribmax/internal/obs/journal"
+)
+
+func figWith(title, yLabel string, val float64) ReportFigure {
+	return ReportFigure{
+		Title: title, XLabel: "x", YLabel: yLabel, Series: []string{"A"},
+		Rows: []ReportRow{{X: "10", Values: map[string]float64{"A": val}}},
+	}
+}
+
+func TestDiffReportsDirections(t *testing.T) {
+	baseline := &Report{Figures: []ReportFigure{
+		figWith("time fig", "RR generation time (ms)", 100),
+		figWith("quality fig", "contribution", 1.0),
+		figWith("mystery fig", "widgets", 1.0),
+	}}
+	current := &Report{Figures: []ReportFigure{
+		figWith("time fig", "RR generation time (ms)", 130),   // +30%: regression
+		figWith("quality fig", "contribution", 0.7),           // -30%: regression
+		figWith("mystery fig", "widgets", 5.0),                // unknown axis: ignored
+		figWith("new fig", "RR generation time (ms)", 999999), // no baseline: ignored
+	}}
+	warnings := DiffReports(baseline, current, 0.20)
+	if len(warnings) != 2 {
+		t.Fatalf("warnings = %v, want 2", warnings)
+	}
+	if !strings.Contains(warnings[0], "time fig") || !strings.Contains(warnings[0], "+30.0%") {
+		t.Errorf("time warning = %q", warnings[0])
+	}
+	if !strings.Contains(warnings[1], "quality fig") || !strings.Contains(warnings[1], "-30.0%") {
+		t.Errorf("quality warning = %q", warnings[1])
+	}
+
+	// Improvements and small changes stay quiet.
+	better := &Report{Figures: []ReportFigure{
+		figWith("time fig", "RR generation time (ms)", 85),
+		figWith("quality fig", "contribution", 1.1),
+	}}
+	if w := DiffReports(baseline, better, 0.20); len(w) != 0 {
+		t.Errorf("unexpected warnings: %v", w)
+	}
+}
+
+func TestSummarizeJournal(t *testing.T) {
+	j := journal.New("sum", journal.Options{})
+	j.RRBatch(journal.RRBatchInfo{Worker: 0, Sets: 60, Members: 120, TotalSets: 60})
+	j.RRBatch(journal.RRBatchInfo{Worker: 1, Sets: 40, Members: 60, TotalSets: 40})
+	j.SelectIter(journal.IterInfo{I: 0, Seed: "f(a)", Gain: 50, Covered: 50, Coverage: 0.5, ErrProxy: 0.1})
+	j.SelectIter(journal.IterInfo{I: 1, Seed: "f(b)", Gain: 25, Covered: 75, Coverage: 0.75, ErrProxy: 0.05})
+	j.SolveFinish(journal.FinishInfo{Algorithm: "MagicSCM", CoveredRR: 75, NumRR: 100})
+
+	s, err := SummarizeJournal(j.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Run != "sum" || s.Algorithm != "MagicSCM" || s.Events != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.RRSets != 100 || s.CoveredRR != 75 || s.Coverage != 0.75 {
+		t.Errorf("coverage fields = %+v", s)
+	}
+	if s.AvgRRMembers != 1.8 || s.SelectIters != 2 || s.FinalErrProxy != 0.05 {
+		t.Errorf("telemetry fields = %+v", s)
+	}
+
+	// A journal without solve.finish cannot be summarized.
+	open := journal.New("open", journal.Options{})
+	open.RRBatch(journal.RRBatchInfo{Sets: 1, Members: 1})
+	if _, err := SummarizeJournal(open.Snapshot()); err == nil {
+		t.Error("expected error for unfinished journal")
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"contribmax/internal/cm"
+	"contribmax/internal/im"
+	"contribmax/internal/obs/journal"
+)
+
+// SummarizeJournal folds a solve's event stream into a JournalSummary.
+// Returns an error when the journal holds no solve.finish event (the solve
+// never completed — nothing to summarize).
+func SummarizeJournal(evs []journal.Event) (*JournalSummary, error) {
+	s := &JournalSummary{Events: len(evs)}
+	var members int
+	finished := false
+	for _, ev := range evs {
+		s.Run = ev.Run
+		switch ev.Type {
+		case journal.TypeRRBatch:
+			members += ev.RR.Members
+		case journal.TypeSelectIter:
+			s.SelectIters++
+			s.FinalErrProxy = ev.Iter.ErrProxy
+		case journal.TypeSolveFinish:
+			finished = true
+			s.Algorithm = ev.Finish.Algorithm
+			s.RRSets = ev.Finish.NumRR
+			s.CoveredRR = ev.Finish.CoveredRR
+		}
+	}
+	if !finished {
+		return nil, fmt.Errorf("journal summary: no solve.finish event in %d events", len(evs))
+	}
+	if s.RRSets > 0 {
+		s.AvgRRMembers = float64(members) / float64(s.RRSets)
+		s.Coverage = float64(s.CoveredRR) / float64(s.RRSets)
+	}
+	return s, nil
+}
+
+// JournaledReferenceSolve runs the fixed reference instance (smallest TC
+// workload, Magic^S CM) with a journal attached and returns the journal's
+// summary — the telemetry block `cmbench -json` embeds in its report so RR
+// behavior is comparable across BENCH files.
+func JournaledReferenceSolve(scale Scale) (*JournalSummary, error) {
+	rng := rngFor(97)
+	w, err := buildWorkload(TC, sizesFor(TC, scale)[0], rng)
+	if err != nil {
+		return nil, err
+	}
+	_, outputs, err := evalOutputs(w)
+	if err != nil {
+		return nil, err
+	}
+	targets := sampleTargets(outputs, targetCount(scale), rng)
+	j := journal.New("", journal.Options{})
+	_, err = cm.MagicSampledCM(
+		cm.Input{Program: w.Program, DB: w.DB, T2: targets, K: defaultK},
+		cm.Options{Theta: im.ThetaSpec{Explicit: 1000}, Rand: rng, Journal: j},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if err := j.Close(); err != nil {
+		return nil, err
+	}
+	return SummarizeJournal(j.Snapshot())
+}

@@ -20,6 +20,27 @@ type Report struct {
 	Scale     string         `json:"scale"`
 	GoVersion string         `json:"goVersion"`
 	Figures   []ReportFigure `json:"figures"`
+	// Journal, when present, summarizes the journaled reference solve run
+	// alongside the figures (RR generation and coverage telemetry; see
+	// JournaledReferenceSolve). Additive and optional: reports written
+	// before this field existed still validate.
+	Journal *JournalSummary `json:"journal,omitempty"`
+}
+
+// JournalSummary condenses one solve's event journal into the RR and
+// coverage figures a benchmark report wants to track over time.
+type JournalSummary struct {
+	Run          string  `json:"run"`
+	Algorithm    string  `json:"algorithm"`
+	RRSets       int     `json:"rrSets"`
+	AvgRRMembers float64 `json:"avgRRMembers"`
+	CoveredRR    int     `json:"coveredRR"`
+	Coverage     float64 `json:"coverage"`
+	SelectIters  int     `json:"selectIters"`
+	// FinalErrProxy is the selection's ε-style error proxy after the last
+	// iteration (see journal.ErrProxy).
+	FinalErrProxy float64 `json:"finalErrProxy"`
+	Events        int     `json:"events"`
 }
 
 // ReportFigure is one Table in report form.

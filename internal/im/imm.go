@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 )
 
 // RRGenerator produces one random RR set (candidate ids, possibly empty).
@@ -34,6 +35,11 @@ type IMMParams struct {
 	// Obs, when non-nil, receives the adaptive-phase metrics (imm.*
 	// counters: runs, phase-1 halving rounds, RR sets per phase).
 	Obs *obs.Registry
+	// Journal, when non-nil, receives one imm.round event per phase-1
+	// halving round (threshold tested, cumulative θ, estimate, and the
+	// lower bound once certified) — the convergence trace of Remark 2's
+	// adaptive sampling.
+	Journal *journal.Journal
 }
 
 func (p *IMMParams) fill() {
@@ -111,11 +117,18 @@ func IMM(gen RRGenerator, p IMMParams) (*RRCollection, GreedyResult, IMMStats) {
 		generateTo(thetaI)
 		res := Greedy(coll, p.K)
 		est := nT * float64(res.Covered) / float64(coll.Len())
-		if est >= (1+epsPrime)*x {
+		certified := est >= (1+epsPrime)*x
+		if certified {
 			lb = est / (1 + epsPrime)
-			break
 		}
-		if stats.Capped {
+		if p.Journal != nil {
+			ev := journal.IMMInfo{Round: i, X: x, Theta: coll.Len(), Est: est}
+			if certified {
+				ev.LB = lb
+			}
+			p.Journal.IMMRound(ev)
+		}
+		if certified || stats.Capped {
 			break
 		}
 	}

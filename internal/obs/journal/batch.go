@@ -1,0 +1,89 @@
+package journal
+
+import "time"
+
+// batchFlushSets is how many RR sets a BatchRecorder accumulates before
+// flushing one rr.batch event; batchFlushInterval bounds the staleness of
+// live progress when generation is slow. Both are tuned so journaling
+// costs well under 5% of the RR hot path (one event per ~256 sets) while
+// SSE consumers still see movement a few times a second.
+const (
+	batchFlushSets     = 256
+	batchFlushInterval = 250 * time.Millisecond
+)
+
+// BatchRecorder aggregates per-RR-set observations into rr.batch events.
+// One recorder belongs to one generating goroutine (no internal locking on
+// the accumulation path); the flush itself goes through the journal's
+// mutex. The zero value and a recorder over a nil journal are both
+// no-ops at one branch per Observe.
+type BatchRecorder struct {
+	j      *Journal
+	worker int
+
+	sets    int
+	members int
+	empty   int
+	maxLen  int
+	total   RRBatchInfo // running totals live in TotalSets/TotalMembers
+	started time.Time   // first observation of the open batch
+	lastLen int         // observations since the last time check
+}
+
+// NewBatchRecorder returns a recorder feeding j, labeled with the worker
+// ordinal. A nil journal yields a recorder whose Observe is a single
+// branch.
+func NewBatchRecorder(j *Journal, worker int) *BatchRecorder {
+	return &BatchRecorder{j: j, worker: worker}
+}
+
+// Observe records one generated RR set with the given member count.
+func (b *BatchRecorder) Observe(members int) {
+	if b == nil || b.j == nil {
+		return
+	}
+	if b.sets == 0 {
+		b.started = time.Now()
+	}
+	b.sets++
+	b.members += members
+	if members == 0 {
+		b.empty++
+	}
+	if members > b.maxLen {
+		b.maxLen = members
+	}
+	if b.sets >= batchFlushSets {
+		b.Flush()
+		return
+	}
+	// Check the clock only every few observations: time.Now is ~20ns but
+	// the walk itself can be faster than that on tiny graphs.
+	b.lastLen++
+	if b.lastLen >= 32 {
+		b.lastLen = 0
+		if time.Since(b.started) >= batchFlushInterval {
+			b.Flush()
+		}
+	}
+}
+
+// Flush emits the open batch, if any, as one rr.batch event.
+func (b *BatchRecorder) Flush() {
+	if b == nil || b.j == nil || b.sets == 0 {
+		return
+	}
+	b.total.TotalSets += b.sets
+	b.total.TotalMembers += b.members
+	b.j.RRBatch(RRBatchInfo{
+		Worker:       b.worker,
+		Sets:         b.sets,
+		Members:      b.members,
+		Empty:        b.empty,
+		MaxLen:       b.maxLen,
+		TotalSets:    b.total.TotalSets,
+		TotalMembers: b.total.TotalMembers,
+		ElapsedNs:    int64(time.Since(b.started)),
+	})
+	b.sets, b.members, b.empty, b.maxLen, b.lastLen = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,210 @@
+// Package journal is the structured event stream of the CM pipeline: an
+// append-only, bounded-buffer journal that every stage emits typed events
+// into — solve start/finish with a config fingerprint, per-fixpoint-round
+// delta sizes, per-RR-batch generation stats, IMM halving rounds, and
+// per-CELF-iteration selection records. The in-memory tail lives in a ring
+// buffer (replayable, subscribable for live progress); an optional sink
+// receives every event as one JSON line (JSONL on disk).
+//
+// Like the rest of internal/obs, everything is nil-safe: a nil *Journal
+// accepts every emit as a no-op, so instrumented code pays one pointer
+// check when journaling is disabled and needs no conditional plumbing.
+package journal
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// EventType names one kind of journal event. The set is closed: consumers
+// (cmjournal, the server SSE stream, the BENCH summarizer) switch on it.
+type EventType string
+
+const (
+	// TypeSolveStart opens a run: algorithm, config fingerprint, instance
+	// shape. Exactly one per solve.
+	TypeSolveStart EventType = "solve.start"
+	// TypeSolveFinish closes a run: seeds, coverage, estimate, duration,
+	// error if any. Exactly one per solve.
+	TypeSolveFinish EventType = "solve.finish"
+	// TypeEngineRound is one semi-naive fixpoint round of a full-graph
+	// build: round ordinal and delta size (new facts this round).
+	TypeEngineRound EventType = "engine.round"
+	// TypeGraphBuild records a completed full WD-graph construction
+	// (NaiveCM, Magic^G CM; per-RR subgraph builds are too numerous and
+	// are aggregated into rr.batch instead).
+	TypeGraphBuild EventType = "graph.build"
+	// TypeRRBatch is an aggregated slice of RR-set generation: one event
+	// per ~batch of sets per worker, carrying batch and running totals.
+	TypeRRBatch EventType = "rr.batch"
+	// TypeIMMRound is one phase-1 halving round of adaptive (IMM-style)
+	// sampling: the tested threshold x, the RR count spent, the estimate,
+	// and the certified lower bound once found.
+	TypeIMMRound EventType = "imm.round"
+	// TypeSelectIter is one greedy/CELF selection iteration: the chosen
+	// seed, its marginal gain, cumulative coverage, and a running ε-style
+	// error proxy derived from RR coverage concentration.
+	TypeSelectIter EventType = "select.iter"
+)
+
+// Event is the envelope every journal entry shares. Exactly one payload
+// pointer (matching Type) is non-nil; the rest are omitted from JSON.
+type Event struct {
+	// Seq is the journal-local sequence number, starting at 1. Contiguous
+	// within a run; gaps after a ring-buffer eviction are visible to
+	// replay consumers.
+	Seq int64 `json:"seq"`
+	// TNs is nanoseconds since the journal was opened (monotonic,
+	// per-run; subtractable across events of the same run).
+	TNs int64 `json:"t_ns"`
+	// Run is the run ID the event belongs to (see NewRunID).
+	Run string `json:"run"`
+	// Type discriminates the payload.
+	Type EventType `json:"type"`
+
+	Solve  *SolveInfo   `json:"solve,omitempty"`
+	Finish *FinishInfo  `json:"finish,omitempty"`
+	Round  *RoundInfo   `json:"round,omitempty"`
+	Build  *BuildInfo   `json:"build,omitempty"`
+	RR     *RRBatchInfo `json:"rr,omitempty"`
+	IMM    *IMMInfo     `json:"imm,omitempty"`
+	Iter   *IterInfo    `json:"iter,omitempty"`
+}
+
+// SolveInfo is the solve.start payload.
+type SolveInfo struct {
+	Algorithm string `json:"algorithm"`
+	// Fingerprint hashes the effective solve configuration (see
+	// Fingerprint); two runs with equal fingerprints answered the same
+	// question with the same knobs.
+	Fingerprint string `json:"fingerprint"`
+	K           int    `json:"k"`
+	Candidates  int    `json:"candidates"`
+	Targets     int    `json:"targets"`
+	// Theta is the resolved RR-set count; 0 in adaptive mode (the count
+	// is discovered online and reported by solve.finish / imm.round).
+	Theta       int  `json:"theta"`
+	Adaptive    bool `json:"adaptive,omitempty"`
+	Parallelism int  `json:"parallelism,omitempty"`
+}
+
+// FinishInfo is the solve.finish payload.
+type FinishInfo struct {
+	Algorithm string `json:"algorithm"`
+	// Seeds are the selected facts in greedy order, rendered as ground
+	// atoms.
+	Seeds           []string `json:"seeds"`
+	CoveredRR       int      `json:"covered_rr"`
+	NumRR           int      `json:"num_rr"`
+	EstContribution float64  `json:"est_contribution"`
+	DurationNs      int64    `json:"duration_ns"`
+	Err             string   `json:"err,omitempty"`
+}
+
+// RoundInfo is the engine.round payload.
+type RoundInfo struct {
+	// Round is 1-based within one fixpoint evaluation.
+	Round int `json:"round"`
+	// Delta is the number of new facts derived this round.
+	Delta int `json:"delta"`
+}
+
+// BuildInfo is the graph.build payload.
+type BuildInfo struct {
+	Nodes      int   `json:"nodes"`
+	Edges      int   `json:"edges"`
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// RRBatchInfo is the rr.batch payload: one flushed batch of RR-set
+// generation from one worker, with running per-worker totals.
+type RRBatchInfo struct {
+	// Worker identifies the generating goroutine (0 for sequential).
+	Worker int `json:"worker"`
+	// Sets / Members / Empty / MaxLen describe this batch alone.
+	Sets    int `json:"sets"`
+	Members int `json:"members"`
+	Empty   int `json:"empty,omitempty"`
+	MaxLen  int `json:"max_len"`
+	// TotalSets / TotalMembers are this worker's running totals after the
+	// batch (sum across workers for the global curve).
+	TotalSets    int `json:"total_sets"`
+	TotalMembers int `json:"total_members"`
+	// ElapsedNs is wall time covered by the batch (first to last set).
+	ElapsedNs int64 `json:"elapsed_ns"`
+}
+
+// IMMInfo is the imm.round payload.
+type IMMInfo struct {
+	// Round is the 1-based phase-1 halving round.
+	Round int `json:"round"`
+	// X is the OPT threshold tested this round.
+	X float64 `json:"x"`
+	// Theta is the cumulative RR-set count after this round.
+	Theta int `json:"theta"`
+	// Est is the round's coverage-based contribution estimate.
+	Est float64 `json:"est"`
+	// LB is the certified lower bound once established (0 until then).
+	LB float64 `json:"lb,omitempty"`
+}
+
+// IterInfo is the select.iter payload.
+type IterInfo struct {
+	// I is the 0-based selection iteration.
+	I int `json:"i"`
+	// Seed is the chosen candidate, rendered as a ground atom.
+	Seed string `json:"seed"`
+	// Gain is the marginal number of RR sets newly covered.
+	Gain int `json:"gain"`
+	// Covered is the cumulative number of covered RR sets.
+	Covered int `json:"covered"`
+	// Coverage is Covered/θ — the fraction driving the RIS estimate.
+	Coverage float64 `json:"coverage"`
+	// ErrProxy is a running ε-style error proxy from coverage
+	// concentration: sqrt((1-Coverage)/Covered), shrinking as coverage
+	// concentrates (0 when nothing is covered yet — no information).
+	ErrProxy float64 `json:"err_proxy"`
+}
+
+// NewRunID returns a fresh 16-hex-digit run identifier. IDs are random
+// (crypto/rand), not sequential, so concurrent processes cannot collide.
+func NewRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a fixed
+		// marker rather than panicking an otherwise-healthy solve.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Fingerprint hashes the parts of a solve configuration that determine
+// what was computed (FNV-1a over a canonical rendering). Fields that only
+// affect speed, not the answer, still participate — the fingerprint
+// identifies the full effective configuration for run comparison.
+func Fingerprint(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v\x1f", p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ErrProxy computes the ε-style error proxy for a selection state with
+// covered RR sets out of theta total: sqrt((1-f)/covered) with
+// f = covered/theta. Intuition: the RIS estimate's relative deviation
+// concentrates like 1/sqrt(covered), scaled by how much coverage is still
+// missing. Returns 0 when covered or theta is 0.
+func ErrProxy(covered, theta int) float64 {
+	if covered <= 0 || theta <= 0 {
+		return 0
+	}
+	f := float64(covered) / float64(theta)
+	if f > 1 {
+		f = 1
+	}
+	return math.Sqrt((1 - f) / float64(covered))
+}

@@ -132,8 +132,12 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(int64(time.Since(start)))
 }
 
-// HistogramSnapshot is a consistent-enough view of a histogram (individual
-// fields are read atomically; the histogram may move between reads).
+// HistogramSnapshot is a single-pass view of a histogram. Count is derived
+// from one read of the bucket array (so Count == sum(Buckets) always holds,
+// and quantile ranks computed from Buckets are internally consistent even
+// while writers race); Sum/Min/Max/Avg are read alongside and may run a
+// few observations ahead or behind the buckets — an accepted, documented
+// tear for lock-free observation.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	Sum   int64   `json:"sum"`
@@ -143,51 +147,71 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+
+	// Buckets is the raw power-of-two bucket array (index 0: v <= 0,
+	// index i: v in [2^(i-1), 2^i)), for cumulative-bucket consumers like
+	// the Prometheus exposition. Excluded from the flat JSON surface.
+	Buckets []int64 `json:"-"`
 }
 
-// Snapshot summarizes the histogram. Quantiles are estimated from the
-// exponential buckets (geometric bucket midpoint), so they are accurate to
-// about a factor of sqrt(2).
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket array
+// using the geometric midpoint of the winning bucket, accurate to about a
+// factor of sqrt(2). The estimate is clamped to the observed Max so a
+// sparse top bucket cannot report a value beyond anything observed.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := int64(0)
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			// Geometric midpoint of [2^(i-1), 2^i).
+			mid := math.Sqrt2 * math.Exp2(float64(i-1))
+			if s.Max > 0 && mid > float64(s.Max) {
+				return float64(s.Max)
+			}
+			return mid
+		}
+	}
+	return float64(s.Max)
+}
+
+// Snapshot summarizes the histogram in one pass over the bucket array;
+// see HistogramSnapshot for the consistency contract. Zero for nil.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
 	var s HistogramSnapshot
-	s.Count = h.count.Load()
-	s.Sum = h.sum.Load()
+	counts := make([]int64, histBuckets)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+	}
 	if s.Count == 0 {
 		return s
 	}
+	s.Buckets = counts
+	s.Sum = h.sum.Load()
 	s.Min = h.min.Load()
 	s.Max = h.max.Load()
+	if s.Min == math.MaxInt64 {
+		// A writer has bumped its bucket but not yet CASed min; report
+		// the other extreme rather than the sentinel.
+		s.Min = s.Max
+	}
 	s.Avg = float64(s.Sum) / float64(s.Count)
-	var counts [histBuckets]int64
-	total := int64(0)
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
-	}
-	quantile := func(q float64) float64 {
-		rank := int64(math.Ceil(q * float64(total)))
-		if rank < 1 {
-			rank = 1
-		}
-		seen := int64(0)
-		for i, n := range counts {
-			seen += n
-			if seen >= rank {
-				if i == 0 {
-					return 0
-				}
-				// Geometric midpoint of [2^(i-1), 2^i).
-				return math.Sqrt2 * math.Exp2(float64(i-1))
-			}
-		}
-		return float64(s.Max)
-	}
-	s.P50 = quantile(0.50)
-	s.P90 = quantile(0.90)
-	s.P99 = quantile(0.99)
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -291,8 +315,13 @@ type Snapshot struct {
 	Histograms    map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot reads all metrics. Safe to call concurrently with observation;
-// values are per-metric atomic reads. Empty on a nil registry.
+// Snapshot reads all metrics in a single pass: the metric set is captured
+// under the registry read-lock (so a concurrent first-use registration
+// cannot tear the map iteration), then each metric is read lock-free.
+// Within one histogram, Count == sum(Buckets) is guaranteed (see
+// HistogramSnapshot); across metrics the snapshot is a point-in-time-ish
+// view — writers may land between reads, which is inherent to lock-free
+// observation and fine for monitoring. Empty on a nil registry.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]int64{},
@@ -304,14 +333,26 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	s.UptimeSeconds = time.Since(r.start).Seconds()
 	r.mu.RLock()
-	defer r.mu.RUnlock()
+	counters := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.RUnlock()
+	for name, c := range counters {
 		s.Counters[name] = c.Value()
 	}
-	for name, g := range r.gauges {
+	for name, g := range gauges {
 		s.Gauges[name] = g.Value()
 	}
-	for name, h := range r.hists {
+	for name, h := range hists {
 		s.Histograms[name] = h.Snapshot()
 	}
 	return s
@@ -374,8 +415,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	for name, h := range s.Histograms {
 		lines = append(lines, line{name, fmt.Sprintf(
-			"%s: count=%d avg=%.1f min=%d max=%d p50=%.0f p99=%.0f",
-			name, h.Count, h.Avg, h.Min, h.Max, h.P50, h.P99)})
+			"%s: count=%d avg=%.1f min=%d max=%d p50=%.0f p90=%.0f p99=%.0f",
+			name, h.Count, h.Avg, h.Min, h.Max, h.P50, h.P90, h.P99)})
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
 	for _, l := range lines {

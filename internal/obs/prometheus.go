@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition format
+// WritePrometheus emits.
+const PrometheusContentType = "text/plain; version=0.0.4"
+
+// promName maps a dotted metric name to a legal Prometheus metric name:
+// dots become underscores, and any remaining character outside
+// [a-zA-Z0-9_:] is replaced by an underscore. A leading digit gets an
+// underscore prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as `<name>_total`, gauges plain, and
+// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count`. Bucket i of the power-of-two layout holds integer values in
+// [2^(i-1), 2^i), so its exact inclusive upper bound is le="2^i - 1"
+// (bucket 0, values <= 0, gets le="0") — the cumulative counts honor the
+// format's v <= le semantics with no boundary leakage. Empty buckets are
+// elided (the cumulative counts lose nothing); the mandatory le="+Inf"
+// series always equals `_count`. Families are emitted in sorted name order, so output is
+// deterministic for a fixed metric state. No-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, n := range h.Buckets {
+			if n == 0 {
+				continue // empty buckets are elided; cumulation skips nothing
+			}
+			cum += n
+			le := "0"
+			if i > 0 {
+				// uint64 keeps i=63 (top bucket, bound 2^63-1) from
+				// overflowing.
+				le = fmt.Sprintf("%d", (uint64(1)<<uint(i))-1)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+
+	_, err := fmt.Fprintf(w, "# TYPE uptime_seconds gauge\nuptime_seconds %g\n", s.UptimeSeconds)
+	return err
+}

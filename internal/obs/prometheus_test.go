@@ -1,0 +1,340 @@
+package obs_test
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"contribmax/internal/obs"
+)
+
+// TestQuantileBucketBoundaries pins how the power-of-two bucket layout
+// maps boundary values onto quantile estimates: bucket 0 holds v <= 0,
+// bucket i holds [2^(i-1), 2^i), and estimates are the winning bucket's
+// geometric midpoint clamped to the observed max.
+func TestQuantileBucketBoundaries(t *testing.T) {
+	observe := func(vs ...int64) obs.HistogramSnapshot {
+		r := obs.NewRegistry()
+		h := r.Histogram("h")
+		for _, v := range vs {
+			h.Observe(v)
+		}
+		return h.Snapshot()
+	}
+
+	// All zeros land in bucket 0, estimated as 0.
+	if s := observe(0, 0, 0); s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("all-zero quantiles = %g/%g", s.P50, s.P99)
+	}
+	// Value 1 is the first element of bucket 1 = [1, 2); midpoint sqrt(2)
+	// clamps to the observed max 1 — boundary values report exactly.
+	if s := observe(1, 1, 1); s.P50 != 1 {
+		t.Errorf("all-one p50 = %g", s.P50)
+	}
+	// 2 is the first element of bucket 2 = [2, 4), not the last of
+	// bucket 1: its midpoint 2*sqrt(2) clamps to max 2.
+	if s := observe(2, 2); s.P50 != 2 {
+		t.Errorf("all-two p50 = %g", s.P50)
+	}
+	// 3 shares bucket 2 with 2; midpoint 2*sqrt(2) is below max 3 and
+	// survives unclamped.
+	if s := observe(3, 3, 3); s.P50 < 2 || s.P50 >= 4 {
+		t.Errorf("all-three p50 = %g, want in [2, 4)", s.P50)
+	}
+	// 1024 = 2^10 opens bucket 11 = [1024, 2048); 1023 closes bucket 10.
+	s := observe(1023, 1024)
+	if s.Buckets[10] != 1 || s.Buckets[11] != 1 {
+		t.Errorf("boundary bucketing: b10=%d b11=%d", s.Buckets[10], s.Buckets[11])
+	}
+	// p50 ranks into the lower bucket, p99 into the upper.
+	if !(s.P50 < s.P99) {
+		t.Errorf("p50=%g p99=%g not separated across boundary", s.P50, s.P99)
+	}
+	if s.P99 > float64(s.Max) {
+		t.Errorf("p99=%g exceeds max=%d", s.P99, s.Max)
+	}
+
+	// Negative values join bucket 0.
+	if s := observe(-5, -1, 0); s.Buckets[0] != 3 || s.P99 != 0 {
+		t.Errorf("negatives: buckets[0]=%d p99=%g", s.Buckets[0], s.P99)
+	}
+
+	// Count always equals the bucket sum.
+	s = observe(0, 1, 2, 3, 1000, 1<<40)
+	var bsum int64
+	for _, n := range s.Buckets {
+		bsum += n
+	}
+	if s.Count != bsum || s.Count != 6 {
+		t.Errorf("count=%d bucket-sum=%d", s.Count, bsum)
+	}
+}
+
+// TestSnapshotCountMatchesBuckets hammers a histogram from writer
+// goroutines while snapshotting: every snapshot must satisfy the
+// single-pass invariant Count == sum(Buckets), and counts must be
+// monotone across snapshots. Run under -race in CI.
+func TestSnapshotCountMatchesBuckets(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("hot")
+	c := r.Counter("events")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(int64(i % 4096))
+				c.Inc()
+			}
+		}(w)
+	}
+	var last int64
+	for i := 0; i < 500; i++ {
+		s := r.Snapshot()
+		hs := s.Histograms["hot"]
+		var bsum int64
+		for _, n := range hs.Buckets {
+			bsum += n
+		}
+		if hs.Count != bsum {
+			t.Fatalf("snapshot %d: count=%d bucket-sum=%d", i, hs.Count, bsum)
+		}
+		if hs.Count < last {
+			t.Fatalf("snapshot %d: count went backwards %d -> %d", i, last, hs.Count)
+		}
+		last = hs.Count
+	}
+	close(stop)
+	wg.Wait()
+}
+
+var (
+	promCommentRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	promSampleRe  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="(\+Inf|[0-9]+)"\})? (-?[0-9.eE+-]+|NaN)$`)
+)
+
+// checkPromFormat is a conformance checker for the subset of the text
+// exposition format WritePrometheus emits: every line is a TYPE comment or
+// a sample, names are legal, every sample belongs to a declared family,
+// counters end in _total, histogram buckets are cumulative with le
+// strictly increasing and the +Inf bucket equal to _count.
+func checkPromFormat(t *testing.T, out string) map[string]string {
+	t.Helper()
+	families := map[string]string{} // name -> type
+	type histState struct {
+		lastLe   float64
+		lastCum  int64
+		infCount int64
+		count    int64
+		seenInf  bool
+		seenSum  bool
+		seenCnt  bool
+	}
+	hists := map[string]*histState{}
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if m := promCommentRe.FindStringSubmatch(line); m != nil {
+			if _, dup := families[m[1]]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, m[1])
+			}
+			families[m[1]] = m[2]
+			if m[2] == "histogram" {
+				hists[m[1]] = &histState{lastLe: -1}
+			}
+			if m[2] == "counter" && !strings.HasSuffix(m[1], "_total") {
+				t.Errorf("line %d: counter %s lacks _total suffix", ln+1, m[1])
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: unparseable: %q", ln+1, line)
+			continue
+		}
+		name, le, val := m[1], m[3], m[4]
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && hists[b] != nil {
+				base = b
+			}
+		}
+		if h, ok := hists[base]; ok {
+			v, _ := strconv.ParseInt(val, 10, 64)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					t.Errorf("line %d: bucket without le: %q", ln+1, line)
+					break
+				}
+				var leV float64
+				if le == "+Inf" {
+					h.seenInf, h.infCount = true, v
+					break
+				}
+				leV, _ = strconv.ParseFloat(le, 64)
+				if h.seenInf {
+					t.Errorf("line %d: bucket after +Inf", ln+1)
+				}
+				if leV <= h.lastLe {
+					t.Errorf("line %d: le %g not increasing (prev %g)", ln+1, leV, h.lastLe)
+				}
+				if v < h.lastCum {
+					t.Errorf("line %d: cumulative bucket decreased %d -> %d", ln+1, h.lastCum, v)
+				}
+				h.lastLe, h.lastCum = leV, v
+			case strings.HasSuffix(name, "_sum"):
+				h.seenSum = true
+			case strings.HasSuffix(name, "_count"):
+				h.seenCnt, h.count = true, v
+			}
+			continue
+		}
+		if _, ok := families[name]; !ok {
+			t.Errorf("line %d: sample %s has no TYPE declaration", ln+1, name)
+		}
+	}
+	for name, h := range hists {
+		if !h.seenInf || !h.seenSum || !h.seenCnt {
+			t.Errorf("histogram %s incomplete: inf=%v sum=%v count=%v", name, h.seenInf, h.seenSum, h.seenCnt)
+		}
+		if h.infCount != h.count {
+			t.Errorf("histogram %s: +Inf bucket %d != count %d", name, h.infCount, h.count)
+		}
+		if h.lastCum > h.count {
+			t.Errorf("histogram %s: top bucket %d exceeds count %d", name, h.lastCum, h.count)
+		}
+	}
+	return families
+}
+
+func TestWritePrometheusConformance(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("cm.solves").Add(7)
+	r.Counter("engine.rule_fires").Add(123456)
+	r.Gauge("server.inflight").Set(3)
+	h := r.Histogram("rr.set_size")
+	for _, v := range []int64{0, 1, 1, 2, 3, 100, 1023, 1024} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	families := checkPromFormat(t, out)
+
+	for name, typ := range map[string]string{
+		"cm_solves_total":         "counter",
+		"engine_rule_fires_total": "counter",
+		"server_inflight":         "gauge",
+		"rr_set_size":             "histogram",
+		"uptime_seconds":          "gauge",
+	} {
+		if families[name] != typ {
+			t.Errorf("family %s = %q, want %q", name, families[name], typ)
+		}
+	}
+
+	// Exact bucket series: values 0|1,1|2,3|..|100 -> [64,128) |1023 ->
+	// [512,1024) |1024 -> [1024,2048). Upper bounds are 2^i - 1.
+	for _, want := range []string{
+		`rr_set_size_bucket{le="0"} 1`,
+		`rr_set_size_bucket{le="1"} 3`,
+		`rr_set_size_bucket{le="3"} 5`,
+		`rr_set_size_bucket{le="127"} 6`,
+		`rr_set_size_bucket{le="1023"} 7`,
+		`rr_set_size_bucket{le="2047"} 8`,
+		`rr_set_size_bucket{le="+Inf"} 8`,
+		`rr_set_size_sum 2154`,
+		`rr_set_size_count 8`,
+		"cm_solves_total 7",
+		"server_inflight 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Empty buckets between populated ones are elided entirely.
+	if strings.Contains(out, `le="7"`) {
+		t.Errorf("empty bucket le=7 not elided:\n%s", out)
+	}
+
+	// Deterministic output for a fixed state (modulo uptime).
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	trim := func(s string) string {
+		i := strings.Index(s, "# TYPE uptime_seconds")
+		return s[:i]
+	}
+	if trim(buf.String()) != trim(buf2.String()) {
+		t.Error("output not deterministic")
+	}
+}
+
+func TestWritePrometheusEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.NewRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkPromFormat(t, buf.String())
+	if !strings.Contains(buf.String(), "uptime_seconds") {
+		t.Errorf("empty output: %q", buf.String())
+	}
+	// Nil registry still writes a valid (uptime-only) document.
+	var nilReg *obs.Registry
+	buf.Reset()
+	if err := nilReg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkPromFormat(t, buf.String())
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("cm.weird-name.α").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families := checkPromFormat(t, buf.String())
+	found := false
+	for name := range families {
+		if strings.HasPrefix(name, "cm_weird") {
+			found = true
+			if strings.ContainsAny(name, ".-α") {
+				t.Errorf("unsanitized name %q", name)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("sanitized family missing:\n%s", buf.String())
+	}
+}
+
+// Histogram sum fits the fmt %d path for the full int64 range.
+func TestWritePrometheusTopBucket(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Histogram("big").Observe(1 << 62)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkPromFormat(t, buf.String())
+	want := fmt.Sprintf(`big_bucket{le="%d"} 1`, uint64(1)<<63-1)
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("missing top bucket %q:\n%s", want, buf.String())
+	}
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"contribmax/internal/obs/journal"
+)
+
+// maxRuns bounds the run store. When full, the oldest finished run is
+// evicted to make room; if every run is still in flight the start request
+// is refused (503) rather than growing without bound.
+const maxRuns = 128
+
+// run is one journaled asynchronous solve tracked by the server.
+type run struct {
+	id      string
+	journal *journal.Journal
+	started time.Time
+
+	mu       sync.Mutex
+	finished time.Time
+	resp     *SolveResponse
+	err      error
+	done     chan struct{} // closed when the solve returns
+}
+
+// state reports the run's lifecycle phase: running, done, or error.
+func (r *run) state() string {
+	select {
+	case <-r.done:
+	default:
+		return "running"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return "error"
+	}
+	return "done"
+}
+
+// runStore is the server's bounded registry of asynchronous runs.
+type runStore struct {
+	mu   sync.Mutex
+	runs map[string]*run
+	// order holds run IDs oldest-first for eviction.
+	order []string
+}
+
+func newRunStore() *runStore {
+	return &runStore{runs: make(map[string]*run)}
+}
+
+// add registers a new run, evicting the oldest finished run when full.
+// Returns an error when the store is full of in-flight runs.
+func (st *runStore) add(r *run) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.runs) >= maxRuns {
+		evicted := false
+		for i, id := range st.order {
+			old := st.runs[id]
+			select {
+			case <-old.done:
+				delete(st.runs, id)
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return fmt.Errorf("run store full: %d solves in flight", len(st.runs))
+		}
+	}
+	st.runs[r.id] = r
+	st.order = append(st.order, r.id)
+	return nil
+}
+
+func (st *runStore) get(id string) (*run, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.runs[id]
+	return r, ok
+}
+
+// startResponse is the JSON shape of POST /api/solve/start.
+type startResponse struct {
+	Run string `json:"run"`
+	// Events and Journal are the relative URLs of the live SSE stream and
+	// the JSONL replay for this run.
+	Events  string `json:"events"`
+	Journal string `json:"journal"`
+	Status  string `json:"status"`
+}
+
+// statusResponse is the JSON shape of GET /api/solve/{id}.
+type statusResponse struct {
+	Run           string         `json:"run"`
+	State         string         `json:"state"` // running | done | error
+	ElapsedMillis float64        `json:"elapsedMillis"`
+	Response      *SolveResponse `json:"response,omitempty"`
+	Error         string         `json:"error,omitempty"`
+}
+
+// handleSolveStart launches a journaled solve in the background and
+// returns 202 with the run ID immediately. The solve runs under its own
+// context (the start request's lifetime is irrelevant to it), bounded by
+// the configured SolveTimeout.
+func (s *server) handleSolveStart(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := journal.NewRunID()
+	ru := &run{
+		id:      id,
+		journal: journal.New(id, journal.Options{}),
+		started: time.Now(),
+		done:    make(chan struct{}),
+	}
+	if err := s.runs.add(ru); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	go func() {
+		// Detached from the request context: the start call has already
+		// returned by the time the solve makes progress.
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if s.cfg.SolveTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		}
+		defer cancel()
+		resp, err := s.solve(ctx, req, ru.journal)
+		ru.mu.Lock()
+		ru.resp, ru.err = resp, err
+		ru.finished = time.Now()
+		ru.mu.Unlock()
+		close(ru.done)
+		// Closing the journal ends every live SSE stream of this run.
+		ru.journal.Close()
+	}()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(startResponse{
+		Run:     id,
+		Events:  "/solve/" + id + "/events",
+		Journal: "/journal/" + id,
+		Status:  "/api/solve/" + id,
+	})
+}
+
+// handleSolveStatus reports an asynchronous run's state and, once done,
+// its result.
+func (s *server) handleSolveStatus(w http.ResponseWriter, r *http.Request) {
+	ru, ok := s.runs.get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown run", http.StatusNotFound)
+		return
+	}
+	out := statusResponse{Run: ru.id, State: ru.state()}
+	ru.mu.Lock()
+	if out.State == "running" {
+		out.ElapsedMillis = float64(time.Since(ru.started)) / float64(time.Millisecond)
+	} else {
+		out.ElapsedMillis = float64(ru.finished.Sub(ru.started)) / float64(time.Millisecond)
+		out.Response = ru.resp
+		if ru.err != nil {
+			out.Error = ru.err.Error()
+		}
+	}
+	ru.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleEvents streams a run's journal as Server-Sent Events: the buffered
+// history first, then live events as the solve emits them. The stream ends
+// when the solve finishes (the journal closes) or the client disconnects;
+// a consumer that cannot keep up is dropped rather than allowed to slow
+// the solver.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ru, ok := s.runs.get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown run", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := ru.journal.Subscribe(256)
+	defer cancel()
+	writeEvent := func(ev journal.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		return true
+	}
+	for _, ev := range replay {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-live:
+			if !open {
+				// Solve finished (or this consumer fell behind): end the
+				// stream with a terminal comment so clients can tell a
+				// completed stream from a dropped connection.
+				fmt.Fprintf(w, ": stream closed state=%s\n\n", ru.state())
+				fl.Flush()
+				return
+			}
+			if !writeEvent(ev) {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// handleJournal replays a run's buffered journal as JSONL — the same
+// format cmrun -journal writes to disk, consumable by cmd/cmjournal.
+func (s *server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	ru, ok := s.runs.get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown run", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, ev := range ru.journal.Snapshot() {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
+	"contribmax/internal/server"
+)
+
+// startRun POSTs /api/solve/start and returns the decoded 202 body.
+func startRun(t *testing.T, ts *httptest.Server, targets []string, rr int, algo string) map[string]string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/solve/start", "application/json", solveBody(t, targets, rr, algo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("start status = %d (body %q)", resp.StatusCode, body)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["run"] == "" {
+		t.Fatalf("start response missing run ID: %v", out)
+	}
+	return out
+}
+
+// runStatus mirrors the server's status JSON for decoding in tests.
+type runStatus struct {
+	Run      string                `json:"run"`
+	State    string                `json:"state"`
+	Response *server.SolveResponse `json:"response"`
+	Error    string                `json:"error"`
+}
+
+// waitForRun polls GET /api/solve/{id} until the run leaves "running".
+func waitForRun(t *testing.T, ts *httptest.Server, id string) runStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/api/solve/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st runStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "running" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s still running after 30s", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// fetchJournal GETs /journal/{id} and decodes the JSONL replay.
+func fetchJournal(t *testing.T, ts *httptest.Server, id string) []journal.Event {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/journal/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("journal status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Errorf("journal content type = %q", ct)
+	}
+	var evs []journal.Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev journal.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestAsyncSolveLifecycle walks the full asynchronous path: start returns
+// 202 with a run ID, status polls to done with the solve result (carrying
+// the run ID), the journal replay holds the event taxonomy, and the SSE
+// stream of a finished run delivers the buffered history and terminates.
+func TestAsyncSolveLifecycle(t *testing.T) {
+	ts := httptest.NewServer(server.NewWith(server.Config{Obs: obs.NewRegistry()}))
+	defer ts.Close()
+
+	start := startRun(t, ts, []string{"tc(a, c)"}, 400, "magics")
+	id := start["run"]
+	st := waitForRun(t, ts, id)
+	if st.State != "done" || st.Error != "" {
+		t.Fatalf("run finished as %q (error %q)", st.State, st.Error)
+	}
+	if st.Response == nil || len(st.Response.Seeds) != 1 {
+		t.Fatalf("run response = %+v", st.Response)
+	}
+	if st.Response.RunID != id {
+		t.Errorf("response run ID %q != %q", st.Response.RunID, id)
+	}
+
+	evs := fetchJournal(t, ts, id)
+	counts := map[journal.EventType]int{}
+	for i, ev := range evs {
+		if ev.Run != id {
+			t.Fatalf("event %d belongs to run %q, want %q", i, ev.Run, id)
+		}
+		if i > 0 && ev.Seq != evs[i-1].Seq+1 {
+			t.Fatalf("journal gap: seq %d after %d", ev.Seq, evs[i-1].Seq)
+		}
+		counts[ev.Type]++
+	}
+	if counts[journal.TypeSolveStart] != 1 || counts[journal.TypeSolveFinish] != 1 {
+		t.Errorf("start/finish events = %d/%d", counts[journal.TypeSolveStart], counts[journal.TypeSolveFinish])
+	}
+	if counts[journal.TypeSelectIter] != len(st.Response.Seeds) {
+		t.Errorf("select.iter events = %d, seeds = %d", counts[journal.TypeSelectIter], len(st.Response.Seeds))
+	}
+	if counts[journal.TypeRRBatch] == 0 {
+		t.Error("no rr.batch events")
+	}
+
+	// SSE on a finished run: replay everything, then end the stream.
+	resp, err := http.Get(ts.URL + "/solve/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("SSE content type = %q", ct)
+	}
+	sse, err := io.ReadAll(resp.Body) // stream terminates because the journal is closed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(sse), "event: "+string(journal.TypeSolveFinish)); got != 1 {
+		t.Errorf("SSE solve.finish frames = %d", got)
+	}
+	if !strings.Contains(string(sse), ": stream closed state=done") {
+		t.Error("SSE stream missing terminal comment")
+	}
+
+	// Unknown runs are 404 on every run-scoped endpoint.
+	for _, path := range []string{"/api/solve/nope", "/solve/nope/events", "/journal/nope"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestConcurrentRunsIsolated starts several journaled solves at once and
+// checks cross-run isolation: distinct run IDs, every replayed event tagged
+// with its own run, exactly one solve.start/finish per journal, and the
+// shared /metrics endpoint (JSON and Prometheus) stays serviceable
+// throughout.
+func TestConcurrentRunsIsolated(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{Obs: reg}))
+	defer ts.Close()
+
+	const n = 4
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/api/solve/start", "application/json",
+				solveBody(t, []string{"tc(a, c)"}, 500+100*i, "magics"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var out map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = out["run"]
+		}(i)
+	}
+	// Scrape metrics in both formats while solves are in flight.
+	for j := 0; j < 5; j++ {
+		for _, q := range []string{"", "?format=prometheus"} {
+			resp, err := http.Get(ts.URL + "/metrics" + q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("metrics%s status = %d", q, resp.StatusCode)
+			}
+		}
+	}
+	wg.Wait()
+
+	seen := map[string]bool{}
+	for i, id := range ids {
+		if id == "" {
+			t.Fatalf("run %d did not start", i)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate run ID %q", id)
+		}
+		seen[id] = true
+		st := waitForRun(t, ts, id)
+		if st.State != "done" {
+			t.Fatalf("run %s state %q (error %q)", id, st.State, st.Error)
+		}
+		wantRR := 500 + 100*i
+		if st.Response.RRSets != wantRR {
+			t.Errorf("run %s RR sets = %d, want %d", id, st.Response.RRSets, wantRR)
+		}
+		evs := fetchJournal(t, ts, id)
+		starts, finishes := 0, 0
+		for _, ev := range evs {
+			if ev.Run != id {
+				t.Fatalf("run %s journal holds event of run %q", id, ev.Run)
+			}
+			switch ev.Type {
+			case journal.TypeSolveStart:
+				starts++
+			case journal.TypeSolveFinish:
+				finishes++
+			}
+		}
+		if starts != 1 || finishes != 1 {
+			t.Errorf("run %s start/finish = %d/%d", id, starts, finishes)
+		}
+	}
+}
+
+// TestSSEDisconnectNoGoroutineLeak opens SSE streams against a long
+// solve, disconnects the clients mid-stream, and asserts the server sheds
+// the handler goroutines. The solve itself is bounded by SolveTimeout so
+// the run (and its emitters) also wind down inside the test.
+func TestSSEDisconnectNoGoroutineLeak(t *testing.T) {
+	ts := httptest.NewServer(server.NewWith(server.Config{SolveTimeout: 1500 * time.Millisecond}))
+	defer ts.Close()
+
+	baseline := runtime.NumGoroutine()
+
+	// Per-tuple Magic with a huge θ cannot finish inside the timeout — the
+	// run stays live long enough for the streams to attach.
+	start := startRun(t, ts, []string{"tc(a, c)"}, 2_000_000, "magic")
+	id := start["run"]
+
+	const clients = 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/solve/"+id+"/events", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Read a little of the stream, then drop the connection.
+			buf := make([]byte, 256)
+			resp.Body.Read(buf)
+			cancel()
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+
+	st := waitForRun(t, ts, id)
+	if st.State != "error" {
+		t.Logf("run finished as %q before the timeout — leak check still valid", st.State)
+	}
+
+	// The handler goroutines (and the solve's workers) must drain. Allow a
+	// small slack for the test server's own connection churn.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d + 3\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestMetricsPrometheusFormat checks the text exposition endpoint: correct
+// content type and lines that conform to the 0.0.4 text format, including
+// solver metrics once a solve has run.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{Obs: reg}))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/api/solve", "application/json", solveBody(t, []string{"tc(a, c)"}, 300, "magics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("content type = %q, want %q", ct, obs.PrometheusContentType)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	commentRe := regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !commentRe.MatchString(line) {
+				t.Errorf("line %d: bad comment %q", i+1, line)
+			}
+		} else if !sampleRe.MatchString(line) {
+			t.Errorf("line %d: bad sample %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		fmt.Sprintf("# TYPE %s_total counter", strings.ReplaceAll(obs.CMSolves, ".", "_")),
+		strings.ReplaceAll(obs.RRMembers, ".", "_") + "_bucket{le=\"+Inf\"}",
+		strings.ReplaceAll(obs.ServerLatencyNs, ".", "_") + "_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

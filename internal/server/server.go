@@ -8,7 +8,15 @@
 //	POST /api/solve   JSON in/out (SolveRequest -> SolveResponse)
 //	POST /api/explain JSON: most probable derivation of one tuple
 //
-// The handler is stateless: every request carries its program and facts.
+// Synchronous solves are stateless: every request carries its program and
+// facts. Asynchronous journaled solves add a small amount of bounded state
+// (the run store):
+//
+//	POST /api/solve/start    202 + run ID; solve continues in background
+//	GET  /api/solve/{id}     run status, result once done
+//	GET  /solve/{id}/events  live journal as Server-Sent Events
+//	GET  /journal/{id}       buffered journal replay as JSONL
+//	GET  /metrics            obs registry (JSON, or ?format=prometheus)
 package server
 
 import (
@@ -31,6 +39,7 @@ import (
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 	"contribmax/internal/parser"
 	"contribmax/internal/provenance"
 	"contribmax/internal/wdgraph"
@@ -72,6 +81,10 @@ type SolveResponse struct {
 	// submitted program ("line:col: warning[CMnnn]: ..."). Error-severity
 	// findings reject the request instead (HTTP 422).
 	Diagnostics []string `json:"diagnostics,omitempty"`
+	// RunID identifies the solve's journal when the solve was journaled
+	// (asynchronous runs started via /api/solve/start). Empty for plain
+	// synchronous solves.
+	RunID string `json:"runId,omitempty"`
 }
 
 // ExplainRequest is the JSON input for /api/explain.
@@ -107,12 +120,16 @@ func New() http.Handler { return NewWith(Config{}) }
 
 // NewWith returns the HTTP handler with cfg applied.
 func NewWith(cfg Config) http.Handler {
-	s := &server{cfg: cfg}
+	s := &server{cfg: cfg, runs: newRunStore()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", handleForm)
 	mux.HandleFunc("POST /solve", s.handleSolveForm)
 	mux.HandleFunc("POST /api/solve", s.handleSolveAPI)
 	mux.HandleFunc("POST /api/explain", s.handleExplainAPI)
+	mux.HandleFunc("POST /api/solve/start", s.handleSolveStart)
+	mux.HandleFunc("GET /api/solve/{id}", s.handleSolveStatus)
+	mux.HandleFunc("GET /solve/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /journal/{id}", s.handleJournal)
 	// The metrics endpoint sits outside the instrumented wrapper so that
 	// scrapes do not perturb the request counters they report.
 	outer := http.NewServeMux()
@@ -122,7 +139,8 @@ func NewWith(cfg Config) http.Handler {
 }
 
 type server struct {
-	cfg Config
+	cfg  Config
+	runs *runStore
 }
 
 // instrument wraps h with the server.* request metrics. With a nil
@@ -161,6 +179,14 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so SSE streaming works through the
+// instrumented handler chain.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
 // requestCtx derives the context a solve runs under: the request's own
 // context (canceled when the client goes away) plus the configured
 // timeout.
@@ -186,12 +212,19 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "metrics disabled", http.StatusNotFound)
 		return
 	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		s.cfg.Obs.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	s.cfg.Obs.WriteJSON(w)
 }
 
-// solve runs one CM request.
-func (s *server) solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
+// solve runs one CM request. jr, when non-nil, receives the solve's
+// structured event stream (asynchronous runs pass their run journal;
+// synchronous endpoints pass nil).
+func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journal) (*SolveResponse, error) {
 	if req.K <= 0 {
 		req.K = 5
 	}
@@ -234,6 +267,7 @@ func (s *server) solve(ctx context.Context, req SolveRequest) (*SolveResponse, e
 		SkipAnalysis: true,
 		Context:      ctx,
 		Obs:          s.cfg.Obs,
+		Journal:      jr,
 	}
 	var res *cm.Result
 	// The pprof label makes per-algorithm cost visible in CPU profiles
@@ -265,6 +299,7 @@ func (s *server) solve(ctx context.Context, req SolveRequest) (*SolveResponse, e
 		AvgGraphSize:    res.Stats.AvgGraphSize(),
 		PeakGraphSize:   res.Stats.PeakResidentSize,
 		TotalMillis:     float64(res.Stats.TotalTime) / float64(time.Millisecond),
+		RunID:           jr.Run(),
 	}
 	for _, s := range res.Seeds {
 		out.Seeds = append(out.Seeds, s.String())
@@ -440,7 +475,7 @@ func (s *server) handleSolveAPI(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	res, err := s.solve(ctx, req)
+	res, err := s.solve(ctx, req, nil)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatus(err))
 		return
@@ -490,7 +525,7 @@ func (s *server) handleSolveForm(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	data := pageData{Req: req}
-	res, err := s.solve(ctx, req)
+	res, err := s.solve(ctx, req, nil)
 	if err != nil {
 		data.Error = err.Error()
 	} else {

@@ -10,6 +10,7 @@ import (
 	"contribmax/internal/db"
 	"contribmax/internal/engine"
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 )
 
 // Projection controls how fired rule instantiations map into WD-graph nodes
@@ -331,6 +332,11 @@ type BuildConfig struct {
 	// tuple count.
 	HintFacts int
 	HintRules int
+	// Journal, when non-nil, receives one graph.build event per
+	// construction (node/edge counts, wall time) and is forwarded to the
+	// engine for its per-round engine.round events. Full-graph builds set
+	// it; the Magic variants' per-RR subgraph builds leave it nil.
+	Journal *journal.Journal
 }
 
 // Build evaluates prog over database and returns the projected WD graph.
@@ -366,7 +372,7 @@ func BuildWith(prog *ast.Program, database *db.Database, cfg BuildConfig) (*Grap
 	if err != nil {
 		return nil, engine.Stats{}, err
 	}
-	stats, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: cfg.Gate, Context: cfg.Ctx, Obs: cfg.Obs, Parallelism: cfg.Parallelism})
+	stats, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: cfg.Gate, Context: cfg.Ctx, Obs: cfg.Obs, Parallelism: cfg.Parallelism, Journal: cfg.Journal})
 	if err != nil {
 		return nil, stats, err
 	}
@@ -377,6 +383,7 @@ func BuildWith(prog *ast.Program, database *db.Database, cfg BuildConfig) (*Grap
 		reg.Counter(obs.GraphEdges).Add(int64(g.NumEdges()))
 		reg.Histogram(obs.GraphBuildNs).ObserveSince(start)
 	}
+	cfg.Journal.GraphBuild(g.NumNodes(), g.NumEdges(), time.Since(start))
 	return g, stats, nil
 }
 
