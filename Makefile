@@ -7,7 +7,7 @@ GO ?= go
 # expectations; the golden test in internal/analysis covers those).
 DL_PROGRAMS := $(shell find examples testdata -name '*.dl' -not -path 'testdata/analysis/*' | sort)
 
-.PHONY: all build test race check lint fmt bench bench-report fuzz journal-demo
+.PHONY: all build test race check lint staticcheck fmt bench bench-report fuzz journal-demo
 
 all: check lint
 
@@ -55,6 +55,21 @@ check: build test race
 # reported but only errors (or missing files) fail the build.
 lint:
 	$(GO) run ./cmd/cmlint $(DL_PROGRAMS)
+
+# Go static analysis beyond vet. CI installs staticcheck and govulncheck
+# at workflow time; locally each runs when on PATH and is skipped (with a
+# note) otherwise, so the target never requires a network install.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 fmt:
 	gofmt -l -w .

@@ -140,6 +140,13 @@ func run() error {
 			return err
 		}
 		report.Journal = summary
+		// Static dead-rule summaries let report diffs notice workload
+		// program changes (see DiffReports).
+		pruning, err := experiments.PruningSummaries()
+		if err != nil {
+			return err
+		}
+		report.Pruning = pruning
 	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

@@ -1,5 +1,5 @@
 // Command cmlint statically analyzes probabilistic datalog programs and
-// reports diagnostics with source positions and stable codes (CM000–CM012,
+// reports diagnostics with source positions and stable codes (CM000–CM019,
 // documented in docs/DIALECT.md).
 //
 // Usage:
@@ -11,7 +11,10 @@
 //
 //	-facts file.facts   treat the fact file's predicates as the edb schema
 //	-query p,q          analyze relative to these query/target predicates
-//	-json               emit machine-readable JSON, one object per file
+//	-format f           output format: text (default), json, or sarif
+//	-json               shorthand for -format json
+//	-profile            emit the semantic program profile as JSON instead
+//	                    of diagnostics (see docs/ANALYSIS.md)
 //	-W error            promote warnings to errors (exit code 1)
 //	-q                  suppress info-severity findings
 //
@@ -45,17 +48,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		factsFlag = fs.String("facts", "", "comma-separated fact files giving the edb schema")
-		queryFlag = fs.String("query", "", "comma-separated query/target predicates")
-		jsonFlag  = fs.Bool("json", false, "emit JSON diagnostics")
-		wFlag     = fs.String("W", "", `"error" promotes warnings to errors`)
-		quiet     = fs.Bool("q", false, "suppress info-severity findings")
+		factsFlag   = fs.String("facts", "", "comma-separated fact files giving the edb schema")
+		queryFlag   = fs.String("query", "", "comma-separated query/target predicates")
+		jsonFlag    = fs.Bool("json", false, "shorthand for -format json")
+		formatFlag  = fs.String("format", "", "output format: text, json, or sarif")
+		profileFlag = fs.Bool("profile", false, "emit the semantic program profile as JSON")
+		wFlag       = fs.String("W", "", `"error" promotes warnings to errors`)
+		quiet       = fs.Bool("q", false, "suppress info-severity findings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *wFlag != "" && *wFlag != "error" {
 		fmt.Fprintf(stderr, "cmlint: -W accepts only \"error\", got %q\n", *wFlag)
+		return 2
+	}
+	format := *formatFlag
+	if format == "" {
+		if *jsonFlag {
+			format = "json"
+		} else {
+			format = "text"
+		}
+	}
+	switch format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "cmlint: -format accepts text, json, or sarif, got %q\n", format)
 		return 2
 	}
 	paths := fs.Args()
@@ -98,19 +117,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 				exit = 1
 			}
 		}
-		if !*jsonFlag {
+		if format == "text" && !*profileFlag {
 			for _, d := range res.Diagnostics {
 				fmt.Fprintf(stdout, "%s:%s\n", res.Path, d)
 			}
 		}
 	}
-	if *jsonFlag {
+	if *profileFlag {
+		if err := writeProfiles(stdout, results); err != nil {
+			fmt.Fprintf(stderr, "cmlint: %v\n", err)
+			return 2
+		}
+		return exit
+	}
+	switch format {
+	case "json":
 		if err := writeJSON(stdout, results); err != nil {
+			fmt.Fprintf(stderr, "cmlint: %v\n", err)
+			return 2
+		}
+	case "sarif":
+		if err := analysis.WriteSARIF(stdout, results); err != nil {
 			fmt.Fprintf(stderr, "cmlint: %v\n", err)
 			return 2
 		}
 	}
 	return exit
+}
+
+// writeProfiles emits one semantic profile object per file, keyed by path.
+// Files that failed to parse get a null profile.
+func writeProfiles(w io.Writer, results []analysis.FileResult) error {
+	type fileProfile struct {
+		File    string                   `json:"file"`
+		Profile *analysis.ProgramProfile `json:"profile"`
+	}
+	out := make([]fileProfile, 0, len(results))
+	for _, res := range results {
+		fp := fileProfile{File: res.Path}
+		if res.Program != nil {
+			fp.Profile = analysis.Profile(res.Program, res.Options)
+		}
+		out = append(out, fp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // withFlagDirectives appends -facts/-query flag values as lint directives,

@@ -80,6 +80,101 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+// TestRunSARIFOutput is the acceptance check that -format sarif emits a
+// log parseable as SARIF 2.1.0: correct version, a run with a tool driver,
+// and one result per diagnostic carrying a ruleId and physical location.
+func TestRunSARIFOutput(t *testing.T) {
+	dir := t.TempDir()
+	bad := write(t, dir, "bad.dl", "p(X, Y) :- q(X).\n")
+	var out, errBuf strings.Builder
+	if code := run([]string{"-format", "sarif", bad}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errBuf.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "cmlint" {
+		t.Fatalf("runs %+v, want one run driven by cmlint", log.Runs)
+	}
+	if len(log.Runs[0].Results) == 0 {
+		t.Fatal("no results in SARIF output")
+	}
+	r := log.Runs[0].Results[0]
+	if r.RuleID != "CM004" || r.Level != "error" {
+		t.Errorf("first result = %+v, want CM004 at level error", r)
+	}
+	if len(r.Locations) == 0 || r.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" {
+		t.Errorf("first result lacks a physical location: %+v", r)
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	dir := t.TempDir()
+	clean := write(t, dir, "clean.dl", "p(X) :- q(X).\n")
+	var out, errBuf strings.Builder
+	if code := run([]string{"-format", "xml", clean}, &out, &errBuf); code != 2 {
+		t.Errorf("bad -format: exit %d, want 2", code)
+	}
+}
+
+func TestRunProfileOutput(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "prog.dl",
+		"%! query: tc\nr1: tc(X, Y) :- edge(X, Y).\nr2: tc(X, Y) :- tc(X, Z), tc(Z, Y).\nd1: other(X) :- edge(X, X).\n")
+	var out, errBuf strings.Builder
+	if code := run([]string{"-profile", prog}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr %q)", code, errBuf.String())
+	}
+	var profiles []struct {
+		File    string `json:"file"`
+		Profile *struct {
+			Roots   []string `json:"roots"`
+			Pruning *struct {
+				RulesTotal  int `json:"rules_total"`
+				RulesPruned int `json:"rules_pruned"`
+			} `json:"pruning"`
+		} `json:"profile"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &profiles); err != nil {
+		t.Fatalf("profile output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(profiles) != 1 || profiles[0].Profile == nil {
+		t.Fatalf("profiles = %+v, want one non-null profile", profiles)
+	}
+	p := profiles[0].Profile
+	if len(p.Roots) != 1 || p.Roots[0] != "tc" {
+		t.Errorf("roots = %v, want [tc] from the embedded directive", p.Roots)
+	}
+	if p.Pruning == nil || p.Pruning.RulesTotal != 3 || p.Pruning.RulesPruned != 1 {
+		t.Errorf("pruning = %+v, want 3 total / 1 pruned", p.Pruning)
+	}
+}
+
 func TestRunQueryAndFactsFlags(t *testing.T) {
 	dir := t.TempDir()
 	facts := write(t, dir, "edb.facts", "e(a, b).\n")

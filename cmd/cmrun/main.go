@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
 	"strings"
@@ -33,37 +34,46 @@ func (t *targetList) Set(v string) error {
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "cmrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cmrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		programPath = flag.String("program", "", "path to the datalog program file (required)")
-		factsPath   = flag.String("facts", "", "path to the fact file or .cmdb snapshot (required)")
-		k           = flag.Int("k", 10, "seed-set size")
-		algo        = flag.String("algo", "magics", "algorithm: naive | magic | magics | magicg")
-		rr          = flag.Int("rr", 0, "number of RR sets (0 = 30% of #targets, floored at 1000)")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		parallel    = flag.Int("parallel", 1, "worker goroutines: RR generation (magic/magics) and, when >= 2, the fixpoint engine for full-graph builds (naive/magicg); results are identical at every level")
-		adaptive    = flag.Bool("adaptive", false, "derive the RR-set count adaptively (IMM) instead of -rr")
-		verbose     = flag.Bool("verbose", false, "print run statistics")
-		stats       = flag.Bool("stats", false, "print the per-phase timing tree and collected metrics on stderr")
-		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout")
-		diverse     = flag.Int("diverse", 0, "max seeds per relation (1 = every seed from a different table; 0 = unconstrained)")
-		journalOut  = flag.String("journal", "", "write the solve's structured event journal to this file as JSONL (render with cmjournal)")
-		estimate    = flag.Bool("estimate", false, "re-estimate the seeds' contribution with 10k Monte-Carlo samples (builds the full WD graph)")
-		nolint      = flag.Bool("nolint", false, "skip the static-analysis gate (errors still fail inside the algorithms; warnings are not printed)")
+		programPath = fs.String("program", "", "path to the datalog program file (required)")
+		factsPath   = fs.String("facts", "", "path to the fact file or .cmdb snapshot (required)")
+		k           = fs.Int("k", 10, "seed-set size")
+		algo        = fs.String("algo", "magics", "algorithm: naive | magic | magics | magicg")
+		rr          = fs.Int("rr", 0, "number of RR sets (0 = 30% of #targets, floored at 1000)")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		parallel    = fs.Int("parallel", 1, "worker goroutines: RR generation (magic/magics) and, when >= 2, the fixpoint engine for full-graph builds (naive/magicg); results are identical at every level")
+		adaptive    = fs.Bool("adaptive", false, "derive the RR-set count adaptively (IMM) instead of -rr")
+		verbose     = fs.Bool("verbose", false, "print run statistics")
+		stats       = fs.Bool("stats", false, "print the per-phase timing tree and collected metrics on stderr")
+		jsonOut     = fs.Bool("json", false, "emit the result as JSON on stdout")
+		diverse     = fs.Int("diverse", 0, "max seeds per relation (1 = every seed from a different table; 0 = unconstrained)")
+		journalOut  = fs.String("journal", "", "write the solve's structured event journal to this file as JSONL (render with cmjournal)")
+		estimate    = fs.Bool("estimate", false, "re-estimate the seeds' contribution with 10k Monte-Carlo samples (builds the full WD graph)")
+		nolint      = fs.Bool("nolint", false, "skip the static-analysis gate (errors still fail inside the algorithms; warnings are not printed)")
+		warnFlag    = fs.String("W", "", `"error" makes static-analysis warnings fatal, matching cmlint -W error`)
+		prune       = fs.Bool("prune", false, "drop rules provably outside the targets' dependency cone before solving (results are byte-identical)")
 	)
 	var targets targetList
-	flag.Var(&targets, "target", "target output tuple or pattern, e.g. 'dealsWith(usa, iran)' or 'dealsWith(usa, Y)' (repeatable, required; patterns match against the program's derived facts)")
-	flag.Parse()
+	fs.Var(&targets, "target", "target output tuple or pattern, e.g. 'dealsWith(usa, iran)' or 'dealsWith(usa, Y)' (repeatable, required; patterns match against the program's derived facts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *programPath == "" || *factsPath == "" || len(targets) == 0 {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("need -program, -facts, and at least one -target")
+	}
+	if *warnFlag != "" && *warnFlag != "error" {
+		return fmt.Errorf("-W accepts only \"error\", got %q", *warnFlag)
 	}
 	// Parse loose so the static-analysis gate below reports every finding
 	// with source positions, not just the first validation error.
@@ -97,12 +107,16 @@ func run() error {
 		// before any evaluation or graph construction. Roots are all target
 		// predicates, ground and pattern alike.
 		diags := contribmax.AnalyzeWithDB(prog, db, append(append([]contribmax.Atom{}, T2...), patterns...))
+		failSeverity := contribmax.SeverityError
+		if *warnFlag == "error" {
+			failSeverity = contribmax.SeverityWarning
+		}
 		fatal := false
 		for _, d := range diags {
 			if d.Severity >= contribmax.SeverityWarning {
-				fmt.Fprintf(os.Stderr, "%s:%s\n", *programPath, d)
+				fmt.Fprintf(stderr, "%s:%s\n", *programPath, d)
 			}
-			if d.Severity == contribmax.SeverityError {
+			if d.Severity >= failSeverity {
 				fatal = true
 			}
 		}
@@ -132,7 +146,7 @@ func run() error {
 				return fmt.Errorf("target pattern %s: %w", p, err)
 			}
 			if len(matches) == 0 {
-				fmt.Fprintf(os.Stderr, "warning: pattern %s matched no derived facts\n", p)
+				fmt.Fprintf(stderr, "warning: pattern %s matched no derived facts\n", p)
 			}
 			T2 = append(T2, matches...)
 		}
@@ -149,6 +163,7 @@ func run() error {
 		Parallelism:         *parallel,
 		Rand:                rand.New(rand.NewPCG(*seed, *seed^0x9E3779B9)),
 		SkipAnalysis:        true,
+		Prune:               *prune,
 	}
 	var trace *contribmax.TraceSpan
 	if *stats {
@@ -179,10 +194,10 @@ func run() error {
 	}
 	if *stats {
 		trace.End()
-		fmt.Fprintln(os.Stderr, "phases:")
-		trace.Render(os.Stderr)
-		fmt.Fprintln(os.Stderr, "metrics:")
-		opts.Obs.WriteText(os.Stderr)
+		fmt.Fprintln(stderr, "phases:")
+		trace.Render(stderr)
+		fmt.Fprintln(stderr, "metrics:")
+		opts.Obs.WriteText(stderr)
 	}
 	if journalFile != nil {
 		// Close even on solve error: a partial journal still shows where
@@ -194,26 +209,27 @@ func run() error {
 		if jerr != nil {
 			return fmt.Errorf("journal %s: %w", *journalOut, jerr)
 		}
-		fmt.Fprintf(os.Stderr, "cmrun: journal run %s written to %s\n", opts.Journal.Run(), *journalOut)
+		fmt.Fprintf(stderr, "cmrun: journal run %s written to %s\n", opts.Journal.Run(), *journalOut)
 	}
 	if err != nil {
 		return err
 	}
 
 	if *jsonOut {
-		return emitJSON(res, T2)
+		return emitJSON(stdout, res, T2)
 	}
-	fmt.Printf("algorithm: %s\n", res.Algorithm)
-	fmt.Printf("estimated contribution to %d targets: %.4f\n", len(T2), res.EstContribution)
-	fmt.Println("seeds (greedy order):")
+	fmt.Fprintf(stdout, "algorithm: %s\n", res.Algorithm)
+	fmt.Fprintf(stdout, "estimated contribution to %d targets: %.4f\n", len(T2), res.EstContribution)
+	fmt.Fprintln(stdout, "seeds (greedy order):")
 	for i, s := range res.Seeds {
-		fmt.Printf("  %d. %s\n", i+1, s)
+		fmt.Fprintf(stdout, "  %d. %s\n", i+1, s)
 	}
 	if *verbose {
 		st := res.Stats
-		fmt.Printf("stats: rr=%d builds=%d avgGraph=%.1f peak=%d covered=%d\n",
-			st.NumRR, st.GraphBuilds, st.AvgGraphSize(), st.PeakResidentSize, st.CoveredRR)
-		fmt.Printf("time: build=%v rrGen=%v select=%v total=%v\n",
+		fmt.Fprintf(stdout, "stats: rr=%d builds=%d avgGraph=%.1f peak=%d covered=%d rules=%d pruned=%d\n",
+			st.NumRR, st.GraphBuilds, st.AvgGraphSize(), st.PeakResidentSize, st.CoveredRR,
+			st.RulesTotal, st.RulesPruned)
+		fmt.Fprintf(stdout, "time: build=%v rrGen=%v select=%v total=%v\n",
 			st.BuildTime, st.RRGenTime, st.SelectTime, st.TotalTime)
 	}
 	if *estimate {
@@ -221,17 +237,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		c, stderr, err := est.ContributionCI(res.Seeds, 10000, opts.Rand)
+		c, se, err := est.ContributionCI(res.Seeds, 10000, opts.Rand)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Monte-Carlo contribution of seeds: %.4f ± %.4f\n", c, 2*stderr)
+		fmt.Fprintf(stdout, "Monte-Carlo contribution of seeds: %.4f ± %.4f\n", c, 2*se)
 	}
 	return nil
 }
 
 // emitJSON writes the result in a stable machine-readable shape.
-func emitJSON(res *contribmax.Result, targets []contribmax.Atom) error {
+func emitJSON(w io.Writer, res *contribmax.Result, targets []contribmax.Atom) error {
 	type out struct {
 		Algorithm       string   `json:"algorithm"`
 		Seeds           []string `json:"seeds"`
@@ -242,6 +258,8 @@ func emitJSON(res *contribmax.Result, targets []contribmax.Atom) error {
 		GraphBuilds     int      `json:"graphBuilds"`
 		AvgGraphSize    float64  `json:"avgGraphSize"`
 		PeakGraphSize   int      `json:"peakGraphSize"`
+		RulesTotal      int      `json:"rulesTotal"`
+		RulesPruned     int      `json:"rulesPruned"`
 		TotalMillis     float64  `json:"totalMillis"`
 	}
 	o := out{
@@ -253,12 +271,14 @@ func emitJSON(res *contribmax.Result, targets []contribmax.Atom) error {
 		GraphBuilds:     res.Stats.GraphBuilds,
 		AvgGraphSize:    res.Stats.AvgGraphSize(),
 		PeakGraphSize:   res.Stats.PeakResidentSize,
+		RulesTotal:      res.Stats.RulesTotal,
+		RulesPruned:     res.Stats.RulesPruned,
 		TotalMillis:     float64(res.Stats.TotalTime.Microseconds()) / 1000,
 	}
 	for _, s := range res.Seeds {
 		o.Seeds = append(o.Seeds, s.String())
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(o)
 }

@@ -45,11 +45,15 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	solveTimeout := flag.Duration("solve-timeout", 60*time.Second, "per-request solve deadline (0 = none)")
+	warnFlag := flag.String("W", "", `"error" rejects requests whose programs have static-analysis warnings, matching cmrun -W error`)
 	flag.Parse()
+	if *warnFlag != "" && *warnFlag != "error" {
+		return fmt.Errorf("-W accepts only \"error\", got %q", *warnFlag)
+	}
 
 	reg := obs.NewRegistry()
 	mux := http.NewServeMux()
-	mux.Handle("/", server.NewWith(server.Config{Obs: reg, SolveTimeout: *solveTimeout}))
+	mux.Handle("/", server.NewWith(server.Config{Obs: reg, SolveTimeout: *solveTimeout, WarnAsError: *warnFlag == "error"}))
 	// net/http/pprof registers on DefaultServeMux; mount its handlers
 	// explicitly since this server uses its own mux.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -279,8 +279,9 @@ func ApplyFactProbabilities(prog *Program, facts []ProbFact, d Database) (*Progr
 
 // Analyze runs the static analyzer over prog: safety and range
 // restriction, probability validation, arity consistency, undefined and
-// unreachable predicates, negation through recursion, and Magic-Sets
-// applicability, each reported with a stable code (CM001–CM012) and source
+// unreachable predicates, negation through recursion, Magic-Sets
+// applicability, recursion shape, query hierarchy, and dead rules, each
+// reported with a stable code (CM000–CM019, see docs/DIALECT.md) and source
 // positions when the program was parsed from text. The same checks gate
 // every CM algorithm by default (see Options.SkipAnalysis); call Analyze
 // directly for the full finding list rather than the first error.
@@ -307,6 +308,19 @@ func AnalyzeWithDB(prog *Program, d Database, targets []Atom) []Diagnostic {
 		}
 	}
 	return analysis.Analyze(prog, analysis.Options{EDB: edb, Roots: roots})
+}
+
+// ProgramProfile is the machine-readable output of the semantic program
+// profiler: binding patterns per predicate, recursion and hierarchy
+// classification, and prunable rules (see docs/ANALYSIS.md).
+type ProgramProfile = analysis.ProgramProfile
+
+// Profile runs every semantic analysis pass (adornment dataflow,
+// recursion classification, hierarchy detection, dead-rule analysis) and
+// returns the aggregate. The same information drives the CM013–CM019
+// diagnostics and Options.Prune; cmlint -profile exposes it on files.
+func Profile(prog *Program, opts AnalysisOptions) *ProgramProfile {
+	return analysis.Profile(prog, opts)
 }
 
 // OptimizeReport counts the simplifications Optimize performed.

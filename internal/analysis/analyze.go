@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sort"
+	"strconv"
 	"strings"
 
 	"contribmax/internal/ast"
@@ -33,11 +35,16 @@ func Analyze(prog *ast.Program, opts Options) []Diagnostic {
 	}
 	l := &list{}
 	g := NewDepGraph(prog)
+	rec := ClassifyRecursion(prog, g)
 	checkRules(l, prog)
 	checkArities(l, prog, opts)
 	checkDefinitions(l, prog, g, opts)
 	checkStratification(l, g)
 	checkAdornments(l, prog, g, opts)
+	checkRecursionShape(l, prog, g, rec, opts)
+	checkHierarchy(l, prog, g, rec, opts)
+	checkNeverFires(l, prog, opts)
+	checkUnusedRelations(l, prog, g, opts)
 	Sort(l.diags)
 	return l.diags
 }
@@ -260,89 +267,182 @@ func checkStratification(l *list, g *DepGraph) {
 	}
 }
 
-// checkAdornments simulates the Magic-Sets adornment propagation from the
-// roots (full left-to-right SIPS, the strategy of internal/magic — see
-// internal/magic/adorn.go) and warns when a recursive predicate would be
-// processed with an all-free binding pattern: the "relevant" subgraph then
-// degenerates to the full materialization, defeating the point of the
-// rewriting (CM011). The simulation duplicates the adornment arithmetic
-// rather than importing internal/magic, which sits above the engine in the
-// package layering.
+// checkAdornments runs the shared adornment dataflow pass (ComputeFlow,
+// the exact propagation internal/magic performs, full left-to-right SIPS)
+// and reports two findings over its results: a recursive predicate reached
+// with an all-free binding pattern, where the "relevant" subgraph
+// degenerates to the full materialization and defeats the rewriting
+// (CM011); and intensional argument positions that stay free in every
+// binding pattern reaching them, which no query binding will ever restrict
+// (CM013).
 func checkAdornments(l *list, prog *ast.Program, g *DepGraph, opts Options) {
 	if len(opts.Roots) == 0 {
 		return
 	}
+	flow := ComputeFlow(prog, g, opts.Roots, LeftToRight)
 	recursive := g.recursivePreds()
-	arities := prog.Arities()
-
-	type adorned struct {
-		pred string
-		ad   string // binding pattern: 'b'/'f' per argument position
-	}
-	var queue []adorned
-	visited := map[adorned]bool{}
-	enqueue := func(p string, ad string) {
-		key := adorned{p, ad}
-		if !visited[key] {
-			visited[key] = true
-			queue = append(queue, key)
-		}
-	}
-	for _, root := range opts.Roots {
-		if g.IDB[root] {
-			enqueue(root, strings.Repeat("b", arities[root]))
-		}
-	}
 	warned := map[string]bool{}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, r := range prog.RulesFor(cur.pred) {
-			bound := map[string]bool{}
-			for i, t := range r.Head.Terms {
-				if t.IsVar() && i < len(cur.ad) && cur.ad[i] == 'b' {
-					bound[t.Name] = true
-				}
-			}
-			for _, b := range r.Body {
-				if ast.IsBuiltin(b.Predicate) {
-					continue
-				}
-				ad := adornmentFor(b, bound)
-				if g.IDB[b.Predicate] {
-					if len(ad) > 0 && !strings.ContainsRune(ad, 'b') && recursive[b.Predicate] && !warned[b.Predicate] {
-						warned[b.Predicate] = true
-						l.warnf(CodeFreeAdornment, b.Pos, r.Span(),
-							"magic sets: recursive predicate %s is reached with no bound arguments; the relevant subgraph degenerates to the full materialization", b.Predicate)
-					}
-					enqueue(b.Predicate, ad)
-				}
-				if !b.Negated {
-					for _, t := range b.Terms {
-						if t.IsVar() {
-							bound[t.Name] = true
-						}
-					}
-				}
+	for _, oc := range flow.Occurrences {
+		if !oc.IDB || !oc.Adornment.AllFree() {
+			continue
+		}
+		if recursive[oc.Pred] && !warned[oc.Pred] {
+			warned[oc.Pred] = true
+			r := prog.Rules[oc.Rule]
+			l.warnf(CodeFreeAdornment, oc.Pos, r.Span(),
+				"magic sets: recursive predicate %s is reached with no bound arguments; the relevant subgraph degenerates to the full materialization", oc.Pred)
+		}
+	}
+
+	// CM013: positions free in every reached binding pattern. Roots are
+	// reached all-bound, so only strictly-inner predicates can qualify.
+	for _, pred := range sortedPreds(flow.goalPreds()) {
+		bound, ok := flow.BoundSomewhere(pred)
+		if !ok || len(bound) == 0 {
+			continue
+		}
+		var free []string
+		for i, b := range bound {
+			if !b {
+				free = append(free, strconv.Itoa(i+1))
 			}
 		}
+		if len(free) == 0 {
+			continue
+		}
+		pos, span := predAnchor(prog, pred)
+		l.infof(CodeUnboundPosition, pos, span,
+			"argument position(s) %s of predicate %s are never bound in any binding pattern reaching it; query bindings cannot restrict them",
+			strings.Join(free, ", "), pred)
 	}
 }
 
-// adornmentFor computes the binding pattern of atom under the given bound
-// variable set: 'b' where the term is a constant or bound variable, 'f'
-// otherwise. Mirrors internal/magic's adornmentFor.
-func adornmentFor(atom ast.Atom, bound map[string]bool) string {
-	var sb strings.Builder
-	sb.Grow(atom.Arity())
-	for _, t := range atom.Terms {
-		if t.IsConst() || bound[t.Name] {
-			sb.WriteByte('b')
-		} else {
-			sb.WriteByte('f')
+// goalPreds returns the set of predicates the flow reached.
+func (f *Flow) goalPreds() map[string]bool {
+	out := make(map[string]bool, len(f.Goals))
+	for p := range f.Goals {
+		out[p] = true
+	}
+	return out
+}
+
+// predAnchor finds the source anchor for a predicate-level finding: the
+// head of its first defining rule.
+func predAnchor(prog *ast.Program, pred string) (ast.Pos, ast.Span) {
+	for _, r := range prog.Rules {
+		if r.Head.Predicate == pred {
+			return r.Head.Pos, r.Span()
 		}
 	}
-	return sb.String()
+	return ast.Pos{}, ast.Span{}
+}
+
+// checkRecursionShape reports nonlinear recursion inside the query cone
+// (CM015) and mutually recursive components (CM017).
+func checkRecursionShape(l *list, prog *ast.Program, g *DepGraph, rec *Recursion, opts Options) {
+	var cone map[string]bool
+	if len(opts.Roots) > 0 {
+		cone = g.DependenciesOf(opts.Roots)
+	}
+	for _, scc := range rec.SCCs {
+		if scc.Mutual && len(scc.Rules) > 0 {
+			r := prog.Rules[scc.Rules[0]]
+			l.infof(CodeMutualRecursion, r.Pos, r.Span(),
+				"predicates %s are mutually recursive (one strongly connected component)",
+				strings.Join(scc.Preds, ", "))
+		}
+		if scc.Kind != NonlinearRecursive || cone == nil || !inCone(scc.Preds, cone) {
+			continue
+		}
+		r := prog.Rules[scc.NonlinearRule]
+		b := r.Body[scc.NonlinearAtom]
+		l.infof(CodeNonlinearRecursion, b.Pos, r.Span(),
+			"rule %s makes %s nonlinearly recursive (two or more recursive body atoms); semi-naive deltas join full recursive relations and the magic cone grows super-linearly",
+			r.Label, strings.Join(scc.Preds, ", "))
+	}
+}
+
+func inCone(preds []string, cone map[string]bool) bool {
+	for _, p := range preds {
+		if cone[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHierarchy classifies each query root's cone and reports whether an
+// exact lifted tier applies (CM014) or sampling is required because the
+// cone is non-recursive yet non-hierarchical (CM018). Recursive cones get
+// neither: recursion already implies sampling and is reported through
+// CM011/CM015.
+func checkHierarchy(l *list, prog *ast.Program, g *DepGraph, rec *Recursion, opts Options) {
+	if len(opts.Roots) == 0 {
+		return
+	}
+	for _, res := range AnalyzeHierarchy(prog, g, opts.Roots, rec) {
+		pos, span := predAnchor(prog, res.Root)
+		if res.Hierarchical {
+			l.infof(CodeHierarchical, pos, span,
+				"query predicate %s spans a hierarchical non-recursive sub-program; exact lifted evaluation is polynomial", res.Root)
+			continue
+		}
+		if res.Rule < 0 {
+			// Recursive cone: not a hierarchy finding.
+			continue
+		}
+		if res.Pos.IsValid() {
+			pos = res.Pos
+			span = prog.Rules[res.Rule].Span()
+		}
+		l.infof(CodeNonHierarchical, pos, span,
+			"query predicate %s is non-recursive but not hierarchical (%s); exact lifted evaluation may be exponential, sampling required", res.Root, res.Reason)
+	}
+}
+
+// checkNeverFires reports rules with a transitively underivable positive
+// body predicate (CM016, needs EDB info). Subsumes CM008 transitively:
+// CM008 flags the missing predicate itself, CM016 every rule the gap
+// kills downstream.
+func checkNeverFires(l *list, prog *ast.Program, opts Options) {
+	if opts.EDB == nil {
+		return
+	}
+	for _, nf := range NeverFiringRules(prog, opts.EDB) {
+		r := prog.Rules[nf.Rule]
+		b := r.Body[nf.Body]
+		l.warnf(CodeNeverFires, b.Pos, r.Span(),
+			"rule %s can never fire: predicate %s is transitively underivable (no facts and no derivable rule)", r.Label, nf.Pred)
+	}
+}
+
+// checkUnusedRelations reports database relations no rule body, rule
+// head, or query root ever mentions (CM019, needs EDB info).
+func checkUnusedRelations(l *list, prog *ast.Program, g *DepGraph, opts Options) {
+	if opts.EDB == nil {
+		return
+	}
+	used := map[string]bool{}
+	for _, r := range prog.Rules {
+		used[r.Head.Predicate] = true
+		for _, b := range r.Body {
+			used[b.Predicate] = true
+		}
+	}
+	for _, root := range opts.Roots {
+		used[root] = true
+	}
+	rels := make([]string, 0, len(opts.EDB))
+	for p := range opts.EDB {
+		if !used[p] {
+			rels = append(rels, p)
+		}
+	}
+	sort.Strings(rels)
+	for _, p := range rels {
+		l.infof(CodeUnusedRelation, ast.Pos{}, ast.Span{},
+			"database relation %s (arity %d) is never referenced by any rule or query", p, opts.EDB[p])
+	}
 }
 
 // recursivePreds marks predicates on a dependency cycle (an edge to a

@@ -91,6 +91,34 @@ const (
 	// CodeSingletonVar: a variable occurs exactly once in a rule; usually a
 	// typo. Prefix the name with _ to mark an intentional projection.
 	CodeSingletonVar Code = "CM012"
+	// CodeUnboundPosition: an argument position of an intensional predicate
+	// is free in every binding pattern the adornment dataflow reaches it
+	// with, so no query binding ever constrains it (only reported when
+	// roots are known).
+	CodeUnboundPosition Code = "CM013"
+	// CodeHierarchical: a query root's dependency cone is non-recursive,
+	// negation-free, self-join-free, and hierarchical, so exact lifted
+	// evaluation of its contribution is polynomial (no sampling needed).
+	CodeHierarchical Code = "CM014"
+	// CodeNonlinearRecursion: a recursive component inside the query cone
+	// is nonlinear (a rule joins two or more atoms of its own component);
+	// semi-naive deltas join against full recursive relations and the
+	// Magic-Sets cone grows super-linearly.
+	CodeNonlinearRecursion Code = "CM015"
+	// CodeNeverFires: a rule can never fire because a positive body
+	// predicate is transitively underivable — no facts in the database and
+	// no rule chain can produce it (only reported when EDB info is known).
+	CodeNeverFires Code = "CM016"
+	// CodeMutualRecursion: two or more predicates form one strongly
+	// connected component (mutual recursion).
+	CodeMutualRecursion Code = "CM017"
+	// CodeNonHierarchical: a query root's cone is non-recursive and safe
+	// but fails the hierarchy test, so exact lifted evaluation may be
+	// exponential and sampling is required.
+	CodeNonHierarchical Code = "CM018"
+	// CodeUnusedRelation: a database relation is never referenced by any
+	// rule or query root (only reported when EDB info is known).
+	CodeUnusedRelation Code = "CM019"
 )
 
 // Related points at a secondary source location that explains a

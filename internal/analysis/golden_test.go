@@ -62,11 +62,15 @@ func TestGoldenCorpusHasErrors(t *testing.T) {
 	wantError := map[string]bool{
 		"bad_arity.dl":    true,
 		"bad_builtin.dl":  true,
+		"bad_hier.dl":     false, // info only: CM018
+		"bad_mutual.dl":   false, // info only: CM017
 		"bad_negcycle.dl": true,
 		"bad_parse.dl":    true,
 		"bad_prob.dl":     true,
-		"bad_reach.dl":    false, // warnings only: CM008/CM009/CM011
+		"bad_reach.dl":    false, // warnings only: CM008/CM009/CM011/CM016 (+CM015 info)
 		"bad_safety.dl":   true,
+		"bad_unbound.dl":  false, // info only: CM013/CM014
+		"bad_unused.dl":   false, // info only: CM014/CM019
 	}
 	for name, want := range wantError {
 		res, err := LintFile(filepath.Join("..", "..", "testdata", "analysis", name), Options{})

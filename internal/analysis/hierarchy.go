@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"contribmax/internal/ast"
+)
+
+// Hierarchical-query detection (cf. "A Unifying Algorithm for Hierarchical
+// Queries", PODS). For a self-join-free conjunctive query, exact
+// probabilistic evaluation is polynomial exactly when the query is
+// hierarchical: for every pair of existential variables x, y, the sets of
+// atoms containing x and containing y are nested or disjoint. We lift the
+// per-query test to a conservative per-root test over datalog programs: a
+// root's sub-program qualifies when its dependency cone is non-recursive,
+// negation-free, every rule is self-join-free, and every rule body passes
+// the pairwise existential-variable test. Programs that qualify admit an
+// exact lifted contribution tier; everything else needs sampling.
+
+// HierarchyResult is the verdict for one query root.
+type HierarchyResult struct {
+	// Root is the query predicate the cone was analyzed for.
+	Root string
+	// Hierarchical reports whether the root's whole dependency cone passed
+	// the (conservative, sufficient) hierarchy test.
+	Hierarchical bool
+	// Reason explains the first disqualifying finding ("" when
+	// hierarchical): a recursive predicate, a negated literal, a
+	// self-join, or the offending rule and variable pair.
+	Reason string
+	// Rule is the source index of the offending rule (-1 when
+	// hierarchical or when the reason is not rule-specific).
+	Rule int
+	// Pos anchors the reason to a source position when one exists.
+	Pos ast.Pos
+}
+
+// AnalyzeHierarchy classifies each root's dependency cone. Roots that are
+// not intensional in the program yield no result (there is no sub-program
+// to classify). rec may be nil, in which case the recursion structure is
+// computed internally.
+func AnalyzeHierarchy(prog *ast.Program, g *DepGraph, roots []string, rec *Recursion) []HierarchyResult {
+	if prog == nil {
+		return nil
+	}
+	if rec == nil {
+		rec = ClassifyRecursion(prog, g)
+	}
+	var out []HierarchyResult
+	seen := map[string]bool{}
+	for _, root := range roots {
+		if !g.IDB[root] || seen[root] {
+			continue
+		}
+		seen[root] = true
+		out = append(out, classifyCone(prog, g, rec, root))
+	}
+	return out
+}
+
+func classifyCone(prog *ast.Program, g *DepGraph, rec *Recursion, root string) HierarchyResult {
+	res := HierarchyResult{Root: root, Rule: -1}
+	cone := g.DependenciesOf([]string{root})
+
+	// Any recursion in the cone disqualifies: the hierarchy test is
+	// defined for (unions of) conjunctive queries.
+	for _, p := range sortedPreds(cone) {
+		if rec.Kind(p) != NonRecursive {
+			res.Reason = fmt.Sprintf("predicate %s in the cone of %s is recursive", p, root)
+			return res
+		}
+	}
+	for ri, r := range prog.Rules {
+		if !cone[r.Head.Predicate] {
+			continue
+		}
+		seenPred := map[string]ast.Pos{}
+		for _, b := range r.Body {
+			if ast.IsBuiltin(b.Predicate) {
+				continue
+			}
+			if b.Negated {
+				res.Reason = fmt.Sprintf("rule %s uses negation (not %s)", r.Label, b.Predicate)
+				res.Rule, res.Pos = ri, b.Pos
+				return res
+			}
+			if _, dup := seenPred[b.Predicate]; dup {
+				res.Reason = fmt.Sprintf("rule %s self-joins %s", r.Label, b.Predicate)
+				res.Rule, res.Pos = ri, b.Pos
+				return res
+			}
+			seenPred[b.Predicate] = b.Pos
+		}
+		if x, y, ok := nonHierarchicalPair(r); ok {
+			res.Reason = fmt.Sprintf("rule %s is not hierarchical: variables %s and %s share an atom but neither's atom set contains the other's", r.Label, x, y)
+			res.Rule, res.Pos = ri, r.Pos
+			return res
+		}
+	}
+	res.Hierarchical = true
+	return res
+}
+
+// nonHierarchicalPair applies the textbook test to one rule body: for
+// every pair of existential variables (body variables not exported through
+// the head), the sets of non-built-in body atoms containing them must be
+// nested or disjoint. It returns the first offending pair in name order.
+func nonHierarchicalPair(r ast.Rule) (x, y string, found bool) {
+	head := map[string]bool{}
+	for _, v := range r.HeadVars() {
+		head[v] = true
+	}
+	atomsOf := map[string]map[int]bool{}
+	for bi, b := range r.Body {
+		if ast.IsBuiltin(b.Predicate) {
+			continue
+		}
+		for _, v := range b.Vars(nil) {
+			if head[v] {
+				continue
+			}
+			if atomsOf[v] == nil {
+				atomsOf[v] = map[int]bool{}
+			}
+			atomsOf[v][bi] = true
+		}
+	}
+	vars := make([]string, 0, len(atomsOf))
+	for v := range atomsOf {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			a, b := atomsOf[vars[i]], atomsOf[vars[j]]
+			if !nestedOrDisjoint(a, b) {
+				return vars[i], vars[j], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func nestedOrDisjoint(a, b map[int]bool) bool {
+	inter, onlyA, onlyB := 0, 0, 0
+	for k := range a {
+		if b[k] {
+			inter++
+		} else {
+			onlyA++
+		}
+	}
+	for k := range b {
+		if !a[k] {
+			onlyB++
+		}
+	}
+	return inter == 0 || onlyA == 0 || onlyB == 0
+}
+
+func sortedPreds(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -20,6 +20,10 @@ type FileResult struct {
 	// Diagnostics holds the findings, sorted. A parse failure yields a
 	// single CM000 error and no further analysis.
 	Diagnostics []Diagnostic
+	// Options are the analysis options after merging embedded lint
+	// directives, so callers (e.g. cmlint -profile) can rerun passes with
+	// the same configuration the diagnostics were produced under.
+	Options Options
 }
 
 // HasErrors reports whether the result contains error-severity findings.
@@ -76,6 +80,7 @@ func LintSource(path, src string, opts Options) FileResult {
 			})
 		}
 	}
+	res.Options = opts
 	prog, err := parser.ParseProgramLoose(src)
 	if err != nil {
 		res.Diagnostics = append(res.Diagnostics, parseDiagnostic(err))

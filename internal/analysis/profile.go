@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"sort"
+
+	"contribmax/internal/ast"
+)
+
+// ProgramProfile is the machine-readable summary of the semantic passes:
+// what the adornment dataflow, recursion classification, hierarchy
+// detection, and dead-rule elimination discovered about one program. It is
+// what `cmlint -profile` emits and what a binding-aware join planner or an
+// exact-tier dispatcher would consume.
+type ProgramProfile struct {
+	// Roots are the query predicates the binding-sensitive passes ran for
+	// (empty when none were supplied; those sections are then empty too).
+	Roots []string `json:"roots,omitempty"`
+	// Predicates profiles every predicate mentioned by the program,
+	// sorted by name.
+	Predicates []PredicateProfile `json:"predicates"`
+	// Rules profiles every rule in source order.
+	Rules []RuleProfile `json:"rules"`
+	// SCCs lists the recursive components (size >1 or self-recursive);
+	// trivial non-recursive components are omitted for brevity.
+	SCCs []SCCProfile `json:"sccs,omitempty"`
+	// Hierarchy holds one verdict per intensional root.
+	Hierarchy []HierarchyProfile `json:"hierarchy,omitempty"`
+	// Pruning summarizes dead-rule elimination toward the roots,
+	// including never-fires and zero-probability findings (report only;
+	// runtime pruning applies just the unreachable criterion).
+	Pruning *PruningProfile `json:"pruning,omitempty"`
+}
+
+// PredicateProfile is the per-predicate section.
+type PredicateProfile struct {
+	Name  string `json:"name"`
+	Arity int    `json:"arity"`
+	// IDB reports whether some rule defines the predicate.
+	IDB bool `json:"idb"`
+	// Recursion is "non-recursive", "linear", or "nonlinear".
+	Recursion string `json:"recursion"`
+	// Mutual reports membership in a multi-predicate component.
+	Mutual bool `json:"mutual,omitempty"`
+	// Adornments lists the distinct binding patterns the dataflow reached
+	// the predicate with, sorted (empty without roots or when the
+	// predicate is outside the cone).
+	Adornments []string `json:"adornments,omitempty"`
+	// Reachable reports membership in the roots' dependency cone (always
+	// false without roots).
+	Reachable bool `json:"reachable,omitempty"`
+}
+
+// RuleProfile is the per-rule section.
+type RuleProfile struct {
+	Label string  `json:"label"`
+	Head  string  `json:"head"`
+	Prob  float64 `json:"prob"`
+	// Atoms profiles the body atoms in source order.
+	Atoms []AtomProfile `json:"atoms,omitempty"`
+}
+
+// AtomProfile is one body atom's dataflow summary.
+type AtomProfile struct {
+	Pred    string `json:"pred"`
+	Negated bool   `json:"negated,omitempty"`
+	Builtin bool   `json:"builtin,omitempty"`
+	// Adornments lists the distinct binding patterns the dataflow
+	// computed for this occurrence (one per head adornment the enclosing
+	// rule was processed under), sorted.
+	Adornments []string `json:"adornments,omitempty"`
+}
+
+// SCCProfile is one recursive component.
+type SCCProfile struct {
+	Preds []string `json:"preds"`
+	Kind  string   `json:"kind"` // "linear" or "nonlinear"
+	// Mutual reports a multi-predicate component.
+	Mutual bool `json:"mutual,omitempty"`
+}
+
+// HierarchyProfile is one root's hierarchy verdict.
+type HierarchyProfile struct {
+	Root         string `json:"root"`
+	Hierarchical bool   `json:"hierarchical"`
+	Reason       string `json:"reason,omitempty"`
+}
+
+// PruningProfile summarizes dead-rule elimination.
+type PruningProfile struct {
+	RulesTotal  int          `json:"rules_total"`
+	RulesPruned int          `json:"rules_pruned"`
+	Rules       []PrunedInfo `json:"rules,omitempty"`
+}
+
+// PrunedInfo is one eliminated rule.
+type PrunedInfo struct {
+	Label  string `json:"label"`
+	Head   string `json:"head"`
+	Reason string `json:"reason"`
+}
+
+// Profile runs the semantic passes over prog and assembles the profile.
+// opts supplies the roots (binding-sensitive sections stay empty without
+// them) and the extensional schema (enables never-fires pruning info).
+// Analyze need not have been called; the passes tolerate ill-formed
+// programs, though their results are only meaningful for clean ones.
+func Profile(prog *ast.Program, opts Options) *ProgramProfile {
+	p := &ProgramProfile{}
+	if prog == nil {
+		return p
+	}
+	g := NewDepGraph(prog)
+	rec := ClassifyRecursion(prog, g)
+	flow := ComputeFlow(prog, g, opts.Roots, LeftToRight)
+	p.Roots = append(p.Roots, flow.Roots...)
+
+	var cone map[string]bool
+	if len(opts.Roots) > 0 {
+		cone = g.DependenciesOf(opts.Roots)
+	}
+
+	arities := prog.Arities()
+	for p2, a := range opts.EDB {
+		if _, ok := arities[p2]; !ok {
+			arities[p2] = a
+		}
+	}
+	preds := make([]string, 0, len(arities))
+	for name := range arities {
+		preds = append(preds, name)
+	}
+	sort.Strings(preds)
+	for _, name := range preds {
+		scc := rec.ByPred[name]
+		pp := PredicateProfile{
+			Name:      name,
+			Arity:     arities[name],
+			IDB:       g.IDB[name],
+			Recursion: rec.Kind(name).String(),
+			Mutual:    scc != nil && scc.Mutual,
+			Reachable: cone[name],
+		}
+		for _, a := range flow.Adornments(name) {
+			pp.Adornments = append(pp.Adornments, string(a))
+		}
+		p.Predicates = append(p.Predicates, pp)
+	}
+
+	// Per-atom adornments: collect the distinct patterns each (rule, body
+	// index) occurrence received.
+	atomAds := map[[2]int]map[Adornment]bool{}
+	for _, oc := range flow.Occurrences {
+		key := [2]int{oc.Rule, oc.Body}
+		if atomAds[key] == nil {
+			atomAds[key] = map[Adornment]bool{}
+		}
+		atomAds[key][oc.Adornment] = true
+	}
+	for ri, r := range prog.Rules {
+		rp := RuleProfile{Label: r.Label, Head: r.Head.Predicate, Prob: r.Prob}
+		for bi, b := range r.Body {
+			ap := AtomProfile{
+				Pred:    b.Predicate,
+				Negated: b.Negated,
+				Builtin: ast.IsBuiltin(b.Predicate),
+			}
+			ads := make([]string, 0, len(atomAds[[2]int{ri, bi}]))
+			for a := range atomAds[[2]int{ri, bi}] {
+				ads = append(ads, string(a))
+			}
+			sort.Strings(ads)
+			ap.Adornments = ads
+			rp.Atoms = append(rp.Atoms, ap)
+		}
+		p.Rules = append(p.Rules, rp)
+	}
+
+	for _, scc := range rec.SCCs {
+		if scc.Kind == NonRecursive {
+			continue
+		}
+		p.SCCs = append(p.SCCs, SCCProfile{
+			Preds:  append([]string(nil), scc.Preds...),
+			Kind:   scc.Kind.String(),
+			Mutual: scc.Mutual,
+		})
+	}
+
+	for _, h := range AnalyzeHierarchy(prog, g, opts.Roots, rec) {
+		p.Hierarchy = append(p.Hierarchy, HierarchyProfile{
+			Root:         h.Root,
+			Hierarchical: h.Hierarchical,
+			Reason:       h.Reason,
+		})
+	}
+
+	if len(opts.Roots) > 0 || opts.EDB != nil {
+		pr := Prune(prog, PruneOptions{
+			Roots:      opts.Roots,
+			EDB:        opts.EDB,
+			NeverFires: opts.EDB != nil,
+			ZeroProb:   true,
+		})
+		pp := &PruningProfile{RulesTotal: pr.Total, RulesPruned: len(pr.Pruned)}
+		for _, d := range pr.Pruned {
+			pp.Rules = append(pp.Rules, PrunedInfo{Label: d.Label, Head: d.Head, Reason: string(d.Reason)})
+		}
+		p.Pruning = pp
+	}
+	return p
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"contribmax/internal/ast"
+)
+
+// Dead-rule elimination. Three independent criteria, in increasing order
+// of aggressiveness:
+//
+//   - unreachable: the rule's head predicate is outside the roots'
+//     dependency cone, so no derivation of a root fact can use it. Dropping
+//     such rules is byte-exact for every root-directed computation: the
+//     fixpoint restricted to the cone, the Magic-Sets transformation (whose
+//     worklist never leaves the cone), and the WD graph reachable from the
+//     roots are all identical. This is the only criterion cm applies at
+//     runtime (Options.Prune).
+//
+//   - never-fires: some positive body atom's predicate is transitively
+//     underivable (no facts in the database and no derivable rule).
+//     Sound for the fixpoint, but NOT byte-exact for the Magic-Sets
+//     rewriting (the transformed program still emits magic-prefix rules for
+//     the dead body, so generated labels shift); reported, never applied
+//     silently.
+//
+//   - zero-probability: the rule's probability is exactly 0. Sound for the
+//     distribution's support, but removing the rule changes which WD-graph
+//     edges exist and hence perturbs sampling RNG streams; reported, and
+//     applied only when explicitly requested.
+type PruneReason string
+
+const (
+	PruneUnreachable PruneReason = "unreachable"
+	PruneNeverFires  PruneReason = "never-fires"
+	PruneZeroProb    PruneReason = "zero-probability"
+)
+
+// PruneOptions selects which criteria apply.
+type PruneOptions struct {
+	// Roots enables unreachable-rule elimination toward these query/target
+	// predicates. Empty disables the criterion (nothing is unreachable).
+	Roots []string
+	// EDB enables never-fires elimination: predicates present as keys are
+	// derivable axiomatically. Nil disables the criterion (any body-only
+	// predicate might have facts).
+	EDB map[string]int
+	// NeverFires applies the never-fires criterion (requires EDB).
+	NeverFires bool
+	// ZeroProb drops probability-0 rules.
+	ZeroProb bool
+}
+
+// PrunedRule records one eliminated rule.
+type PrunedRule struct {
+	// Rule is the rule's index in the input program.
+	Rule int
+	// Label is the rule's label, Head its head predicate.
+	Label string
+	Head  string
+	// Reason is the first criterion that eliminated the rule (criteria are
+	// tested in the order unreachable, never-fires, zero-probability).
+	Reason PruneReason
+	// Pos is the rule's source position.
+	Pos ast.Pos
+}
+
+// PruneResult is the outcome of Prune.
+type PruneResult struct {
+	// Program is the pruned program: a fresh Program sharing the surviving
+	// Rule values of the input, in source order. When nothing was pruned
+	// it is still a fresh Program (callers may mutate the rule slice).
+	Program *ast.Program
+	// Pruned lists the eliminated rules in source order.
+	Pruned []PrunedRule
+	// Total is the number of rules in the input program.
+	Total int
+}
+
+// Prune eliminates dead rules from prog under the given options and
+// returns the surviving program plus an audit trail of what was removed
+// and why. With only Roots set, the result is provably equivalent for
+// every root-directed computation (see the criteria above); the other
+// criteria preserve the fixpoint but not byte-level artifacts.
+func Prune(prog *ast.Program, opts PruneOptions) PruneResult {
+	res := PruneResult{Program: ast.NewProgram()}
+	if prog == nil {
+		return res
+	}
+	res.Total = len(prog.Rules)
+	g := NewDepGraph(prog)
+
+	var reach map[string]bool
+	if len(opts.Roots) > 0 {
+		reach = g.DependenciesOf(opts.Roots)
+	}
+	var derivable map[string]bool
+	if opts.NeverFires && opts.EDB != nil {
+		derivable = derivablePreds(prog, opts.EDB)
+	}
+
+	for i, r := range prog.Rules {
+		if reason, dead := deadReason(r, reach, derivable, opts.ZeroProb); dead {
+			res.Pruned = append(res.Pruned, PrunedRule{
+				Rule:   i,
+				Label:  r.Label,
+				Head:   r.Head.Predicate,
+				Reason: reason,
+				Pos:    r.Pos,
+			})
+			continue
+		}
+		res.Program.Add(r)
+	}
+	return res
+}
+
+func deadReason(r ast.Rule, reach, derivable map[string]bool, zeroProb bool) (PruneReason, bool) {
+	if reach != nil && !reach[r.Head.Predicate] {
+		return PruneUnreachable, true
+	}
+	if derivable != nil {
+		for _, b := range r.Body {
+			if b.Negated || ast.IsBuiltin(b.Predicate) {
+				continue
+			}
+			if !derivable[b.Predicate] {
+				return PruneNeverFires, true
+			}
+		}
+	}
+	if zeroProb && r.Prob == 0 {
+		return PruneZeroProb, true
+	}
+	return "", false
+}
+
+// derivablePreds computes the predicates that can hold at least one fact:
+// the extensional relations, plus every head whose rule's positive
+// non-built-in body predicates are all derivable (a fixpoint; facts with
+// empty bodies seed it). Negated atoms are ignored — an underivable
+// negated predicate makes the literal trivially true, not the rule dead.
+func derivablePreds(prog *ast.Program, edb map[string]int) map[string]bool {
+	derivable := map[string]bool{}
+	for p := range edb {
+		derivable[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range prog.Rules {
+			if derivable[r.Head.Predicate] {
+				continue
+			}
+			ok := true
+			for _, b := range r.Body {
+				if b.Negated || ast.IsBuiltin(b.Predicate) {
+					continue
+				}
+				if !derivable[b.Predicate] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				derivable[r.Head.Predicate] = true
+				changed = true
+			}
+		}
+	}
+	return derivable
+}
+
+// NeverFiringRules returns, for diagnostic purposes, the rules that can
+// never fire because a positive body predicate is transitively underivable
+// given the extensional schema, along with the first offending body atom
+// of each. The result is in source order.
+func NeverFiringRules(prog *ast.Program, edb map[string]int) []NeverFiring {
+	if prog == nil || edb == nil {
+		return nil
+	}
+	derivable := derivablePreds(prog, edb)
+	var out []NeverFiring
+	for i, r := range prog.Rules {
+		for bi, b := range r.Body {
+			if b.Negated || ast.IsBuiltin(b.Predicate) || derivable[b.Predicate] {
+				continue
+			}
+			out = append(out, NeverFiring{Rule: i, Body: bi, Pred: b.Predicate})
+			break
+		}
+	}
+	return out
+}
+
+// NeverFiring identifies a rule that cannot fire and the body atom that
+// kills it.
+type NeverFiring struct {
+	Rule int
+	Body int
+	Pred string
+}

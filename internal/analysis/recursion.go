@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"sort"
+
+	"contribmax/internal/ast"
+)
+
+// RecursionKind classifies a strongly connected component of the
+// dependency graph by the shape of its recursion, which determines the
+// cost profile of semi-naive evaluation and the effectiveness of the
+// Magic-Sets rewriting.
+type RecursionKind int
+
+const (
+	// NonRecursive components have no internal dependency edge; their
+	// predicates are computable in one bottom-up pass.
+	NonRecursive RecursionKind = iota
+	// LinearRecursive components have internal edges, but every defining
+	// rule mentions at most one body atom from the component — the classic
+	// transitive-closure shape, where each semi-naive iteration joins one
+	// delta against stable relations.
+	LinearRecursive
+	// NonlinearRecursive components have a rule with two or more body
+	// atoms from the component (e.g. tc(X,Y) :- tc(X,Z), tc(Z,Y)); each
+	// iteration joins deltas against full recursive relations, and the
+	// Magic-Sets "relevant" cone grows much faster.
+	NonlinearRecursive
+)
+
+// String renders the kind in the hyphenated lowercase form used by the
+// ProgramProfile JSON schema.
+func (k RecursionKind) String() string {
+	switch k {
+	case LinearRecursive:
+		return "linear"
+	case NonlinearRecursive:
+		return "nonlinear"
+	default:
+		return "non-recursive"
+	}
+}
+
+// SCCInfo describes one strongly connected component of the dependency
+// graph restricted to intensional predicates.
+type SCCInfo struct {
+	// Preds lists the component's predicates, sorted.
+	Preds []string
+	// Kind is the component's recursion shape.
+	Kind RecursionKind
+	// Mutual reports whether the component contains more than one
+	// predicate (mutual recursion).
+	Mutual bool
+	// Rules indexes the program rules whose head predicate is in the
+	// component, in source order.
+	Rules []int
+	// NonlinearRule is the source index of the first rule with two or more
+	// body atoms inside the component (-1 unless Kind is
+	// NonlinearRecursive), and NonlinearAtom the source body index of the
+	// second such atom — the natural anchor for diagnostics.
+	NonlinearRule int
+	NonlinearAtom int
+}
+
+// Recursion is the result of classifying a program's recursion structure.
+type Recursion struct {
+	// SCCs lists the intensional components, ordered by their first
+	// predicate name.
+	SCCs []SCCInfo
+	// ByPred maps each intensional predicate to its component.
+	ByPred map[string]*SCCInfo
+}
+
+// Kind returns the recursion kind of pred (NonRecursive for extensional or
+// unknown predicates).
+func (rec *Recursion) Kind(pred string) RecursionKind {
+	if s := rec.ByPred[pred]; s != nil {
+		return s.Kind
+	}
+	return NonRecursive
+}
+
+// ClassifyRecursion groups the program's intensional predicates into
+// strongly connected components of the dependency graph and classifies
+// each as non-recursive, linearly recursive, or nonlinearly recursive.
+// Extensional predicates are excluded: they have no defining rules and are
+// trivially non-recursive.
+func ClassifyRecursion(prog *ast.Program, g *DepGraph) *Recursion {
+	rec := &Recursion{ByPred: map[string]*SCCInfo{}}
+	if prog == nil {
+		return rec
+	}
+	comp := g.sccs()
+
+	// Gather intensional components; a component is recursive iff it has
+	// an internal edge (which covers self-loops).
+	members := map[int][]string{}
+	for _, p := range g.Preds {
+		if g.IDB[p] {
+			members[comp[p]] = append(members[comp[p]], p)
+		}
+	}
+	internal := map[int]bool{}
+	for _, e := range g.Edges {
+		if comp[e.Head] == comp[e.Body] {
+			internal[comp[e.Head]] = true
+		}
+	}
+
+	ids := make([]int, 0, len(members))
+	for id := range members {
+		ids = append(ids, id)
+	}
+	// Order components by their first (smallest) predicate name for
+	// deterministic output.
+	sort.Slice(ids, func(i, j int) bool {
+		return minName(members[ids[i]]) < minName(members[ids[j]])
+	})
+
+	for _, id := range ids {
+		preds := members[id]
+		sort.Strings(preds)
+		info := SCCInfo{
+			Preds:         preds,
+			Mutual:        len(preds) > 1,
+			NonlinearRule: -1,
+			NonlinearAtom: -1,
+		}
+		inSCC := map[string]bool{}
+		for _, p := range preds {
+			inSCC[p] = true
+		}
+		for ri, r := range prog.Rules {
+			if !inSCC[r.Head.Predicate] {
+				continue
+			}
+			info.Rules = append(info.Rules, ri)
+			if !internal[id] {
+				continue
+			}
+			n := 0
+			for bi, b := range r.Body {
+				if ast.IsBuiltin(b.Predicate) || !inSCC[b.Predicate] {
+					continue
+				}
+				n++
+				if n == 2 && info.NonlinearRule < 0 {
+					info.NonlinearRule, info.NonlinearAtom = ri, bi
+				}
+			}
+		}
+		switch {
+		case !internal[id]:
+			info.Kind = NonRecursive
+		case info.NonlinearRule >= 0:
+			info.Kind = NonlinearRecursive
+		default:
+			info.Kind = LinearRecursive
+		}
+		rec.SCCs = append(rec.SCCs, info)
+	}
+	for i := range rec.SCCs {
+		for _, p := range rec.SCCs[i].Preds {
+			rec.ByPred[p] = &rec.SCCs[i]
+		}
+	}
+	return rec
+}
+
+func minName(names []string) string {
+	min := names[0]
+	for _, n := range names[1:] {
+		if n < min {
+			min = n
+		}
+	}
+	return min
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 emission (Static Analysis Results Interchange Format, the
+// OASIS standard GitHub code scanning and most editors ingest). Only the
+// minimal required surface is produced: one run, the cmlint driver with
+// one reportingDescriptor per diagnostic code that actually fired, and one
+// result per diagnostic with a physical location.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules,omitempty"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifMessage      `json:"shortDescription"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+// sarifLevel maps analyzer severities onto the SARIF level enum.
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// ruleDescriptions gives each code a one-line shortDescription for the
+// driver's rule table. Kept in sync with docs/DIALECT.md.
+var ruleDescriptions = map[Code]string{
+	CodeParse:              "source failed to parse",
+	CodeLabel:              "empty or duplicate rule label",
+	CodeProbRange:          "rule probability outside [0,1]",
+	CodeDeadRule:           "rule probability is 0",
+	CodeRangeRestriction:   "head variable not bound by a positive body atom",
+	CodeUnsafe:             "negated/built-in variable not bound by a positive body atom",
+	CodeArity:              "predicate used with inconsistent arities",
+	CodeBuiltinMisuse:      "built-in comparison misused",
+	CodeUndefinedPred:      "predicate has no rules and no facts",
+	CodeUnreachable:        "rule cannot contribute to the query targets",
+	CodeNegativeCycle:      "recursion through negation (not stratifiable)",
+	CodeFreeAdornment:      "recursive predicate reached with an all-free binding pattern",
+	CodeSingletonVar:       "variable occurs only once in the rule",
+	CodeUnboundPosition:    "argument position never bound by any reaching binding pattern",
+	CodeHierarchical:       "query cone is hierarchical; exact lifted evaluation is polynomial",
+	CodeNonlinearRecursion: "nonlinear recursion in the query cone",
+	CodeNeverFires:         "rule can never fire (transitively underivable body predicate)",
+	CodeMutualRecursion:    "mutually recursive predicate component",
+	CodeNonHierarchical:    "query cone is non-recursive but not hierarchical; sampling required",
+	CodeUnusedRelation:     "database relation never referenced",
+}
+
+// WriteSARIF renders the lint results of one or more files as a single
+// SARIF 2.1.0 log with one run. Diagnostics keep their in-file order; the
+// driver rule table lists exactly the codes that fired, sorted.
+func WriteSARIF(w io.Writer, results []FileResult) error {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:           "cmlint",
+			InformationURI: "https://github.com/contribmax/contribmax/blob/main/docs/DIALECT.md",
+		}},
+		Results: []sarifResult{},
+	}
+	fired := map[Code]bool{}
+	for _, fr := range results {
+		for _, d := range fr.Diagnostics {
+			fired[d.Code] = true
+			res := sarifResult{
+				RuleID:  string(d.Code),
+				Level:   sarifLevel(d.Severity),
+				Message: sarifMessage{Text: d.Message},
+			}
+			loc := sarifLocation{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: fr.Path},
+			}}
+			if d.Pos.IsValid() {
+				reg := &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col}
+				if d.Span.End.IsValid() {
+					reg.EndLine = d.Span.End.Line
+					reg.EndColumn = d.Span.End.Col
+				}
+				loc.PhysicalLocation.Region = reg
+			}
+			res.Locations = append(res.Locations, loc)
+			run.Results = append(run.Results, res)
+		}
+	}
+	codes := make([]string, 0, len(fired))
+	for c := range fired {
+		codes = append(codes, string(c))
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		desc := ruleDescriptions[Code(c)]
+		if desc == "" {
+			desc = "contribmax analyzer diagnostic"
+		}
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               c,
+			ShortDescription: sarifMessage{Text: desc},
+		})
+	}
+	log := sarifLog{Version: sarifVersion, Schema: sarifSchema, Runs: []sarifRun{run}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		return fmt.Errorf("sarif: %w", err)
+	}
+	return nil
+}

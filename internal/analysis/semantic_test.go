@@ -1,0 +1,346 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"contribmax/internal/analysis"
+	"contribmax/internal/ast"
+	"contribmax/internal/magic"
+	"contribmax/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFlowMatchesMagicTransform is the regression test for unifying the
+// analyzer's Magic-Sets simulation with the transformation proper (the
+// CM011 arithmetic used to be a private copy): the goal set ComputeFlow
+// reaches must be exactly the set of adorned predicates
+// magic.TransformWith generates, for both SIPS strategies, on programs
+// covering recursion, symmetry flips, and built-ins.
+func TestFlowMatchesMagicTransform(t *testing.T) {
+	programs := map[string]string{
+		"tc": `
+			0.9 r1: tc(X, Y) :- edge(X, Y).
+			0.8 r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+		`,
+		"symmetric": `
+			r1: tc(X, Y) :- edge(X, Y).
+			r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+			r3: tc(X, Y) :- tc(Y, X).
+			r4: same(X, Y) :- tc(X, Y), tc(Y, X).
+		`,
+		"builtin": `
+			r1: big(X, Y) :- edge(X, Y), lt(X, Y).
+			r2: far(X, Y) :- big(X, Z), big(Z, Y).
+		`,
+	}
+	queries := map[string]ast.Atom{
+		"tc":        {Predicate: "tc", Terms: []ast.Term{ast.C("a"), ast.C("b")}},
+		"symmetric": {Predicate: "same", Terms: []ast.Term{ast.C("a"), ast.C("b")}},
+		"builtin":   {Predicate: "far", Terms: []ast.Term{ast.C("a"), ast.C("b")}},
+	}
+	for name, src := range programs {
+		for _, sips := range []analysis.SIPS{analysis.LeftToRight, analysis.BoundFirst} {
+			prog := mustParse(t, src)
+			g := analysis.NewDepGraph(prog)
+			q := queries[name]
+			flow := analysis.ComputeFlow(prog, g, []string{q.Predicate}, sips)
+
+			tr, err := magic.TransformWith(prog, []ast.Atom{q}, sips)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			want := map[string]bool{}
+			for _, r := range tr.Program.Rules {
+				if orig, ad, isMagic, ok := magic.SplitAdorned(r.Head.Predicate); ok && !isMagic {
+					want[orig+"@"+string(ad)] = true
+				}
+			}
+			got := map[string]bool{}
+			for pred := range flow.Goals {
+				for _, ad := range flow.Adornments(pred) {
+					got[pred+"@"+string(ad)] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Errorf("%s sips=%v: flow reached %v, transform generated %v", name, sips, keys(got), keys(want))
+				continue
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("%s sips=%v: transform generated %s but flow never reached it", name, sips, k)
+				}
+			}
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestClassifyRecursion(t *testing.T) {
+	prog := mustParse(t, `
+		b1: base(X) :- e(X).
+		t1: tc(X, Y) :- edge(X, Y).
+		t2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+		p1: path(X, Y) :- edge(X, Y).
+		p2: path(X, Y) :- path(X, Z), edge(Z, Y).
+		m1: even(X) :- zero(X).
+		m2: even(X) :- succ(Y, X), odd(Y).
+		m3: odd(X) :- succ(Y, X), even(Y).
+	`)
+	rec := analysis.ClassifyRecursion(prog, analysis.NewDepGraph(prog))
+	wantKind := map[string]analysis.RecursionKind{
+		"base": analysis.NonRecursive,
+		"tc":   analysis.NonlinearRecursive,
+		"path": analysis.LinearRecursive,
+		"even": analysis.LinearRecursive,
+		"odd":  analysis.LinearRecursive,
+	}
+	for pred, want := range wantKind {
+		if got := rec.Kind(pred); got != want {
+			t.Errorf("Kind(%s) = %v, want %v", pred, got, want)
+		}
+	}
+	even := rec.ByPred["even"]
+	if even == nil || !even.Mutual || strings.Join(even.Preds, ",") != "even,odd" {
+		t.Errorf("even component = %+v, want mutual {even, odd}", even)
+	}
+	if tc := rec.ByPred["tc"]; tc == nil || tc.Mutual {
+		t.Errorf("tc component = %+v, want non-mutual", tc)
+	}
+}
+
+func TestAnalyzeHierarchy(t *testing.T) {
+	prog := mustParse(t, `
+		h1: good(X) :- r(X, U), s(U).
+		h2: bad(X) :- r(X, U), s2(U, V), t(V, X).
+		h3: selfjoin(X) :- r(X, U), r(U, X).
+		t1: rec(X, Y) :- edge(X, Y).
+		t2: rec(X, Y) :- rec(X, Z), edge(Z, Y).
+	`)
+	g := analysis.NewDepGraph(prog)
+	results := analysis.AnalyzeHierarchy(prog, g, []string{"good", "bad", "selfjoin", "rec"}, nil)
+	byRoot := map[string]analysis.HierarchyResult{}
+	for _, r := range results {
+		byRoot[r.Root] = r
+	}
+	if !byRoot["good"].Hierarchical {
+		t.Errorf("good: not hierarchical: %s", byRoot["good"].Reason)
+	}
+	if byRoot["bad"].Hierarchical || !strings.Contains(byRoot["bad"].Reason, "not hierarchical") {
+		t.Errorf("bad: %+v, want non-hierarchical variable-pair reason", byRoot["bad"])
+	}
+	if byRoot["selfjoin"].Hierarchical || !strings.Contains(byRoot["selfjoin"].Reason, "self-join") {
+		t.Errorf("selfjoin: %+v, want self-join reason", byRoot["selfjoin"])
+	}
+	if byRoot["rec"].Hierarchical || !strings.Contains(byRoot["rec"].Reason, "recursive") {
+		t.Errorf("rec: %+v, want recursion reason", byRoot["rec"])
+	}
+}
+
+func TestPruneCriteria(t *testing.T) {
+	prog := mustParse(t, `
+		r1: tc(X, Y) :- edge(X, Y).
+		r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+		d1: other(X) :- edge(X, X).
+		n1: ghost(X) :- phantom(X).
+		n2: haunted(X) :- tc(X, X), ghost(X).
+		0 z1: tc(X, X) :- edge(X, X).
+	`)
+	edb := map[string]int{"edge": 2}
+
+	// Reachability only: other is outside tc's cone; ghost/haunted too.
+	pr := analysis.Prune(prog, analysis.PruneOptions{Roots: []string{"tc"}})
+	if pr.Total != 6 {
+		t.Fatalf("Total = %d, want 6", pr.Total)
+	}
+	wantPruned := map[string]analysis.PruneReason{
+		"d1": analysis.PruneUnreachable,
+		"n1": analysis.PruneUnreachable,
+		"n2": analysis.PruneUnreachable,
+	}
+	checkPruned(t, pr, wantPruned)
+	if len(pr.Program.Rules) != 3 {
+		t.Errorf("surviving rules = %d, want 3", len(pr.Program.Rules))
+	}
+
+	// All criteria toward haunted: phantom is underivable, so n1 and then
+	// n2 can never fire; z1 has probability 0; d1 is unreachable.
+	pr = analysis.Prune(prog, analysis.PruneOptions{
+		Roots:      []string{"haunted"},
+		EDB:        edb,
+		NeverFires: true,
+		ZeroProb:   true,
+	})
+	wantPruned = map[string]analysis.PruneReason{
+		"d1": analysis.PruneUnreachable,
+		"n1": analysis.PruneNeverFires,
+		"n2": analysis.PruneNeverFires,
+		"z1": analysis.PruneZeroProb,
+	}
+	checkPruned(t, pr, wantPruned)
+}
+
+func checkPruned(t *testing.T, pr analysis.PruneResult, want map[string]analysis.PruneReason) {
+	t.Helper()
+	got := map[string]analysis.PruneReason{}
+	for _, d := range pr.Pruned {
+		got[d.Label] = d.Reason
+	}
+	for label, reason := range want {
+		if got[label] != reason {
+			t.Errorf("rule %s: pruned as %q, want %q", label, got[label], reason)
+		}
+	}
+	for label := range got {
+		if _, ok := want[label]; !ok {
+			t.Errorf("rule %s unexpectedly pruned (%s)", label, got[label])
+		}
+	}
+}
+
+// TestProfileJSON checks the assembled profile on a mixed program and that
+// it round-trips through JSON with the documented field names.
+func TestProfileJSON(t *testing.T) {
+	prog := mustParse(t, `
+		r1: tc(X, Y) :- edge(X, Y).
+		r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+		d1: other(X) :- edge(X, X).
+	`)
+	p := analysis.Profile(prog, analysis.Options{
+		Roots: []string{"tc"},
+		EDB:   map[string]int{"edge": 2},
+	})
+	if p.Pruning == nil || p.Pruning.RulesTotal != 3 || p.Pruning.RulesPruned != 1 {
+		t.Fatalf("pruning section = %+v, want 3 total / 1 pruned", p.Pruning)
+	}
+	var tcProf *analysis.PredicateProfile
+	for i := range p.Predicates {
+		if p.Predicates[i].Name == "tc" {
+			tcProf = &p.Predicates[i]
+		}
+	}
+	if tcProf == nil || tcProf.Recursion != "nonlinear" || !tcProf.Reachable {
+		t.Fatalf("tc profile = %+v, want reachable nonlinear", tcProf)
+	}
+	if len(tcProf.Adornments) == 0 || tcProf.Adornments[0] != "bb" {
+		t.Errorf("tc adornments = %v, want bb first", tcProf.Adornments)
+	}
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"rules_total"`, `"rules_pruned"`, `"predicates"`, `"adornments"`, `"recursion"`} {
+		if !bytes.Contains(data, []byte(field)) {
+			t.Errorf("profile JSON missing %s:\n%s", field, data)
+		}
+	}
+	var back analysis.ProgramProfile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteSARIF validates the emitted log against the SARIF 2.1.0
+// structural requirements: version string, runs with a named driver, rule
+// metadata for every fired code, and results with physical locations.
+func TestWriteSARIF(t *testing.T) {
+	res, err := analysis.LintFile(filepath.Join("..", "..", "testdata", "analysis", "bad_reach.dl"), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, []analysis.FileResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "cmlint" {
+		t.Fatalf("runs = %+v", log.Runs)
+	}
+	run := log.Runs[0]
+	if len(run.Results) != len(res.Diagnostics) {
+		t.Errorf("results = %d, want %d", len(run.Results), len(res.Diagnostics))
+	}
+	levels := map[string]bool{"error": true, "warning": true, "note": true}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	for _, r := range run.Results {
+		if !levels[r.Level] {
+			t.Errorf("result %s has invalid level %q", r.RuleID, r.Level)
+		}
+		if !ruleIDs[r.RuleID] {
+			t.Errorf("result rule %s missing from driver rule table", r.RuleID)
+		}
+		if len(r.Locations) == 0 || r.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" {
+			t.Errorf("result %s has no physical location", r.RuleID)
+		}
+		if r.Locations[0].PhysicalLocation.Region.StartLine <= 0 {
+			t.Errorf("result %s has no startLine", r.RuleID)
+		}
+	}
+}

@@ -30,7 +30,7 @@ type Estimator struct {
 // the target atoms. Input.K is not used and may be left zero-valued by
 // setting it to 1.
 func NewEstimator(in Input) (*Estimator, error) {
-	inst, err := prepare(in, false)
+	inst, err := prepare(in, Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -29,7 +29,7 @@ type GreedyMCOptions struct {
 // completeness and for the ablation benchmark; use MagicSampledCM for real
 // workloads.
 func GreedyMCCM(in Input, opts GreedyMCOptions) (*Result, error) {
-	inst, err := prepare(in, false)
+	inst, err := prepare(in, Options{})
 	if err != nil {
 		return nil, err
 	}

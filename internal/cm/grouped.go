@@ -31,7 +31,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 	sp := opts.Trace.StartChild("MagicGCM")
 	defer sp.End()
 	prep := sp.StartChild("prepare")
-	inst, err := prepare(in, opts.SkipAnalysis)
+	inst, err := prepare(in, opts)
 	prep.End()
 	if err != nil {
 		return nil, err
@@ -40,6 +40,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 	rng := opts.rng()
 	start := time.Now()
 	res := &Result{Algorithm: "MagicGCM"}
+	res.Stats.RulesTotal, res.Stats.RulesPruned = inst.rulesTotal, inst.rulesPruned
 	journalSolveStart(opts, inst, "MagicGCM")
 
 	// In fixed-θ mode the grouped transformation covers exactly the
@@ -72,7 +73,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 
 	buildSpan := sp.StartChild("build")
 	buildStart := time.Now()
-	tr, err := magic.TransformWith(in.Program, queryAtoms, opts.SIPS)
+	tr, err := magic.TransformWith(inst.prog, queryAtoms, opts.SIPS)
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}

@@ -77,6 +77,16 @@ type Options struct {
 	// at load time) or construct programs the analyzer provably accepts;
 	// ast.Program.Validate still runs as a cheap backstop.
 	SkipAnalysis bool
+	// Prune runs the analyzer's provably-sound dead-rule elimination
+	// (analysis.Prune, unreachable criterion only) over the program before
+	// any rewriting or graph construction: rules whose head predicate lies
+	// outside the T2 predicates' dependency cone are dropped. Such rules
+	// cannot appear in any target derivation, so every solver output —
+	// seeds, gains, estimates, RR statistics — is byte-identical with or
+	// without pruning; only the evaluated program (and hence build work
+	// and graph-size stats on programs with dead rules) shrinks.
+	// Stats.RulesTotal / Stats.RulesPruned report the effect.
+	Prune bool
 	// Parallelism is the solver's single concurrency knob. It fans RR-set
 	// generation out over this many goroutines — per-tuple subgraph
 	// constructions for MagicCM / Magic^S CM, reverse walks over the
@@ -185,6 +195,12 @@ type Stats struct {
 	// mode only); AdaptiveCapped reports the MaxRR cap was hit.
 	AdaptiveLowerBound float64
 	AdaptiveCapped     bool
+
+	// RulesTotal is the input program's rule count; RulesPruned how many
+	// of them dead-rule elimination removed before evaluation (always 0
+	// unless Options.Prune is set).
+	RulesTotal  int
+	RulesPruned int
 }
 
 // AvgGraphSize returns the average constructed-graph size (nodes+edges) per
@@ -226,26 +242,36 @@ type FactHandle struct {
 func (f FactHandle) key() string { return f.Pred + "\x00" + f.Tuple.Key() }
 
 // instance is a resolved Input: candidates and targets interned against the
-// database symbol table.
+// database symbol table, plus the program the algorithms must evaluate
+// (the input program, or its pruned form under Options.Prune).
 type instance struct {
 	in         Input
 	candidates []FactHandle
 	candOf     map[string]im.CandidateID // fact key -> candidate id
 	targets    []FactHandle
+	// prog is the program to evaluate/transform. Candidate enumeration,
+	// scratch databases, and constant interning always use the ORIGINAL
+	// in.Program so that pruning cannot perturb symbol tables, relation
+	// attachment, or the T1-defaulting candidate order.
+	prog        *ast.Program
+	rulesTotal  int
+	rulesPruned int
 }
 
-// prepare validates and resolves an Input. Unless skipAnalysis is set it
-// runs the full static analyzer over the program against the database
+// prepare validates and resolves an Input. Unless opts.SkipAnalysis is set
+// it runs the full static analyzer over the program against the database
 // schema and the T2 predicates, rejecting error-severity findings with
 // source positions; Program.Validate runs either way as a cheap backstop.
-func prepare(in Input, skipAnalysis bool) (*instance, error) {
+// With opts.Prune it additionally applies reachability-based dead-rule
+// elimination toward the T2 predicates.
+func prepare(in Input, opts Options) (*instance, error) {
 	if in.Program == nil || in.DB == nil {
 		return nil, fmt.Errorf("cm: nil program or database")
 	}
 	if err := in.Program.Validate(); err != nil {
 		return nil, fmt.Errorf("cm: %w", err)
 	}
-	if !skipAnalysis {
+	if !opts.SkipAnalysis {
 		if err := analysis.FirstError(analysis.Analyze(in.Program, analysisOptions(in))); err != nil {
 			return nil, fmt.Errorf("cm: %w", err)
 		}
@@ -256,7 +282,17 @@ func prepare(in Input, skipAnalysis bool) (*instance, error) {
 	if len(in.T2) == 0 {
 		return nil, fmt.Errorf("cm: empty target set T2")
 	}
-	inst := &instance{in: in, candOf: make(map[string]im.CandidateID)}
+	inst := &instance{
+		in:         in,
+		candOf:     make(map[string]im.CandidateID),
+		prog:       in.Program,
+		rulesTotal: len(in.Program.Rules),
+	}
+	if opts.Prune {
+		pr := analysis.Prune(in.Program, analysis.PruneOptions{Roots: analysisOptions(in).Roots})
+		inst.prog = pr.Program
+		inst.rulesPruned = len(pr.Pruned)
+	}
 
 	// Pre-intern every constant of the program so that no symbol-table
 	// writes happen during (possibly parallel) evaluation: the transformed

@@ -45,7 +45,7 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 	sp := opts.Trace.StartChild(name)
 	defer sp.End()
 	prep := sp.StartChild("prepare")
-	inst, err := prepare(in, opts.SkipAnalysis)
+	inst, err := prepare(in, opts)
 	prep.End()
 	if err != nil {
 		return nil, err
@@ -54,6 +54,7 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 	rng := opts.rng()
 	start := time.Now()
 	res := &Result{Algorithm: name}
+	res.Stats.RulesTotal, res.Stats.RulesPruned = inst.rulesTotal, inst.rulesPruned
 	journalSolveStart(opts, inst, name)
 
 	// The transformed program for a target depends only on the target, so
@@ -66,7 +67,7 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 		trMu.Lock()
 		defer trMu.Unlock()
 		if transforms[ti] == nil {
-			tr, err := magic.TransformWith(in.Program, []ast.Atom{inst.atomOf(inst.targets[ti])}, opts.SIPS)
+			tr, err := magic.TransformWith(inst.prog, []ast.Atom{inst.atomOf(inst.targets[ti])}, opts.SIPS)
 			if err != nil {
 				return nil, err
 			}

@@ -25,7 +25,7 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 	sp := opts.Trace.StartChild("NaiveCM")
 	defer sp.End()
 	prep := sp.StartChild("prepare")
-	inst, err := prepare(in, opts.SkipAnalysis)
+	inst, err := prepare(in, opts)
 	prep.End()
 	if err != nil {
 		return nil, err
@@ -34,13 +34,14 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 	rng := opts.rng()
 	start := time.Now()
 	res := &Result{Algorithm: "NaiveCM"}
+	res.Stats.RulesTotal, res.Stats.RulesPruned = inst.rulesTotal, inst.rulesPruned
 	journalSolveStart(opts, inst, "NaiveCM")
 
 	// Phase 1: full WD graph (Algorithm 1). Definition 3.1 includes a node
 	// for every edb fact in D, hence the preload.
 	buildSpan := sp.StartChild("build")
 	buildStart := time.Now()
-	g, _, err := wdgraph.BuildWith(in.Program, scratchFor(in), wdgraph.BuildConfig{
+	g, _, err := wdgraph.BuildWith(inst.prog, scratchFor(in), wdgraph.BuildConfig{
 		PreloadEDB:  true,
 		Ctx:         ctx,
 		Obs:         opts.Obs,

@@ -32,7 +32,7 @@ type OPTResult struct {
 // (the paper does the same, restricting OPT to graphs where it is
 // computable).
 func BruteForceOPT(in Input, rrSets int, rng *rand.Rand) (*OPTResult, error) {
-	inst, err := prepare(in, false)
+	inst, err := prepare(in, Options{})
 	if err != nil {
 		return nil, err
 	}

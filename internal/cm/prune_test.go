@@ -1,0 +1,123 @@
+package cm_test
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"os"
+	"testing"
+
+	"contribmax/internal/cm"
+	"contribmax/internal/im"
+	"contribmax/internal/parser"
+	"contribmax/internal/workload"
+)
+
+// TestGoldenResultStreamWithPrune locks in the soundness proof behind
+// Options.Prune: with pruning enabled, the seed workload's Result stream
+// must stay byte-identical to the committed golden fingerprints (the same
+// file TestGoldenResultStream checks without pruning). The TC program has
+// no dead rules, so this asserts the pruning path itself — the extra
+// analysis, the fresh program value, the instance plumbing — perturbs
+// nothing.
+func TestGoldenResultStreamWithPrune(t *testing.T) {
+	in := goldenInstance(t)
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-golden): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	pars := []int{0, 1, 4}
+	if testing.Short() {
+		pars = []int{1}
+	}
+	for _, al := range algos {
+		for _, par := range pars {
+			res, err := al.run(in, cm.Options{
+				Theta:       im.ThetaSpec{Explicit: 120},
+				Rand:        rand.New(rand.NewPCG(17, 23)),
+				Parallelism: par,
+				Prune:       true,
+			})
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", al.name, par, err)
+			}
+			key := al.name + "/p" + itoa(par)
+			if got := resultFingerprint(res); got != want[key] {
+				t.Errorf("%s with Prune diverged from golden:\n  got  %s\n  want %s", key, got, want[key])
+			}
+			if res.Stats.RulesTotal != 3 || res.Stats.RulesPruned != 0 {
+				t.Errorf("%s: RulesTotal=%d RulesPruned=%d, want 3/0", key, res.Stats.RulesTotal, res.Stats.RulesPruned)
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}
+
+// TestPruneDeadRulesByteIdentical exercises pruning on a program that
+// actually loses rules: the golden TC program extended with two rules that
+// derive aux predicates no tc derivation can use. Dead-rule elimination
+// must remove exactly those two rules, and every algorithm's full Result
+// fingerprint must be byte-identical with and without pruning — the dead
+// rules add graph nodes in the unpruned run, but never an in-edge on any
+// node a reverse walk from a tc target can reach, so RNG streams, RR sets,
+// and greedy selection coincide.
+func TestPruneDeadRulesByteIdentical(t *testing.T) {
+	prog, err := parser.ParseProgram(`
+		0.7 r1: tc(X, Y) :- edge(X, Y).
+		0.7 r2: tc(X, Y) :- edge(Y, X).
+		0.45 r3: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+		0.5 d1: aux(X, Y) :- edge(X, Y).
+		0.9 d2: aux2(X, Y) :- aux(X, Y), tc(X, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(31, 41))
+	d := workload.RandomGraphM(16, 40, rng)
+	derived := evalFacts(t, prog, d, "tc")
+	if len(derived) < 8 {
+		t.Fatal("sparse instance; pick another generator seed")
+	}
+	in := cm.Input{Program: prog, DB: d, T2: derived[:8], K: 3}
+	opt := func(prune bool) cm.Options {
+		return cm.Options{
+			Theta:       im.ThetaSpec{Explicit: 120},
+			Rand:        rand.New(rand.NewPCG(17, 23)),
+			Parallelism: 1,
+			Prune:       prune,
+		}
+	}
+	for _, al := range algos {
+		t.Run(al.name, func(t *testing.T) {
+			plain, err := al.run(in, opt(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned, err := al.run(in, opt(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g, w := resultFingerprint(pruned), resultFingerprint(plain); g != w {
+				t.Errorf("pruned run diverged:\n  got  %s\n  want %s", g, w)
+			}
+			if pruned.Stats.RulesTotal != 5 || pruned.Stats.RulesPruned != 2 {
+				t.Errorf("RulesTotal=%d RulesPruned=%d, want 5/2",
+					pruned.Stats.RulesTotal, pruned.Stats.RulesPruned)
+			}
+			if plain.Stats.RulesPruned != 0 {
+				t.Errorf("unpruned run reports RulesPruned=%d", plain.Stats.RulesPruned)
+			}
+			// The dead rules inflate the unpruned NaiveCM graph; the pruned
+			// build must never be larger.
+			if pruned.Stats.TotalNodes > plain.Stats.TotalNodes {
+				t.Errorf("pruned build grew: %d nodes > %d", pruned.Stats.TotalNodes, plain.Stats.TotalNodes)
+			}
+		})
+	}
+}

@@ -47,6 +47,24 @@ func DiffReports(baseline, current *Report, threshold float64) []string {
 		base[baseline.Figures[i].Title] = &baseline.Figures[i]
 	}
 	var warnings []string
+	// Dead-rule tracking: the pruning summaries are static program facts,
+	// so any drift between runs means a workload program changed — worth a
+	// line in the log regardless of direction.
+	basePrune := map[string]PruningSummary{}
+	for _, p := range baseline.Pruning {
+		basePrune[p.Dataset] = p
+	}
+	for _, p := range current.Pruning {
+		was, ok := basePrune[p.Dataset]
+		if !ok {
+			continue
+		}
+		if p.RulesTotal != was.RulesTotal || p.RulesPruned != was.RulesPruned {
+			warnings = append(warnings, fmt.Sprintf(
+				"pruning [%s, root=%s]: rules pruned/total %d/%d -> %d/%d",
+				p.Dataset, p.Root, was.RulesPruned, was.RulesTotal, p.RulesPruned, p.RulesTotal))
+		}
+	}
 	for _, fig := range current.Figures {
 		old, ok := base[fig.Title]
 		if !ok {

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"contribmax/internal/analysis"
+)
+
+// flagshipRoots names the query predicate each dataset's figures actually
+// target, so the pruning summary measures the cone the solvers walk.
+var flagshipRoots = map[Dataset]string{
+	TC:      "tc",
+	Explain: "related",
+	IRIS:    "mayMeet",
+	AMIE:    "influences",
+}
+
+// PruningSummaries runs the dead-rule analysis over every dataset's
+// program against its flagship root: rules outside the root's dependency
+// cone plus zero-probability rules. The programs are fixed per dataset
+// (size only scales the databases), so the smallest quick instance
+// suffices and the summary is deterministic.
+func PruningSummaries() ([]PruningSummary, error) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	out := make([]PruningSummary, 0, len(Datasets))
+	for _, ds := range Datasets {
+		root, ok := flagshipRoots[ds]
+		if !ok {
+			return nil, fmt.Errorf("no flagship root for dataset %s", ds)
+		}
+		w, err := buildWorkload(ds, sizesFor(ds, Quick)[0], rng)
+		if err != nil {
+			return nil, err
+		}
+		pr := analysis.Prune(w.Program, analysis.PruneOptions{
+			Roots:    []string{root},
+			ZeroProb: true,
+		})
+		out = append(out, PruningSummary{
+			Dataset:     string(ds),
+			Root:        root,
+			RulesTotal:  pr.Total,
+			RulesPruned: len(pr.Pruned),
+		})
+	}
+	return out, nil
+}

@@ -25,6 +25,22 @@ type Report struct {
 	// JournaledReferenceSolve). Additive and optional: reports written
 	// before this field existed still validate.
 	Journal *JournalSummary `json:"journal,omitempty"`
+	// Pruning, when present, records the dead-rule analysis of each
+	// dataset's program against its flagship query root (see
+	// PruningSummaries), so report diffs track when workload programs
+	// gain or lose prunable rules. Additive and optional like Journal.
+	Pruning []PruningSummary `json:"pruning,omitempty"`
+}
+
+// PruningSummary is the dead-rule analysis of one dataset's program:
+// how many of its rules are provably outside the flagship root's
+// dependency cone (plus zero-probability rules). Static — computed from
+// the program alone, no solve involved.
+type PruningSummary struct {
+	Dataset     string `json:"dataset"`
+	Root        string `json:"root"`
+	RulesTotal  int    `json:"rules_total"`
+	RulesPruned int    `json:"rules_pruned"`
 }
 
 // JournalSummary condenses one solve's event journal into the RR and
@@ -108,6 +124,15 @@ func ValidateReportJSON(data []byte) error {
 	}
 	if len(r.Figures) == 0 {
 		return fmt.Errorf("bench report: no figures")
+	}
+	for pi, p := range r.Pruning {
+		if p.Dataset == "" || p.Root == "" {
+			return fmt.Errorf("bench report: pruning entry %d lacks dataset or root", pi)
+		}
+		if p.RulesTotal <= 0 || p.RulesPruned < 0 || p.RulesPruned > p.RulesTotal {
+			return fmt.Errorf("bench report: pruning entry %q has impossible counts %d/%d",
+				p.Dataset, p.RulesPruned, p.RulesTotal)
+		}
 	}
 	for fi, f := range r.Figures {
 		if f.Title == "" {

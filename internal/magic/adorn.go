@@ -6,63 +6,35 @@
 // rules inherit their origin rule's probability; magic, seed, and query
 // rules get probability 1).
 //
-// The transformation uses the standard full left-to-right sideways
-// information passing strategy (SIPS): when a rule body is processed, every
-// variable of an already-processed body atom is considered bound.
+// The adornment arithmetic (binding patterns, SIPS body ordering) is owned
+// by internal/analysis — the same dataflow the analyzer's Magic-Sets
+// simulation (CM011) and the program profiler run — and aliased here, so
+// the transformation and its static prediction can never drift apart.
 package magic
 
 import (
 	"strings"
 
+	"contribmax/internal/analysis"
 	"contribmax/internal/ast"
 )
 
 // Adornment is a binding pattern: one byte per argument position, 'b' for
-// bound, 'f' for free.
-type Adornment string
+// bound, 'f' for free. It aliases analysis.Adornment; both packages speak
+// the same patterns.
+type Adornment = analysis.Adornment
 
 // AllBound returns the all-'b' adornment of the given arity (the adornment
 // of a ground query atom).
 func AllBound(arity int) Adornment {
-	return Adornment(strings.Repeat("b", arity))
-}
-
-// BoundPositions returns the indices of bound positions, in order.
-func (a Adornment) BoundPositions() []int {
-	var out []int
-	for i := 0; i < len(a); i++ {
-		if a[i] == 'b' {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-// NumBound returns the number of bound positions.
-func (a Adornment) NumBound() int {
-	n := 0
-	for i := 0; i < len(a); i++ {
-		if a[i] == 'b' {
-			n++
-		}
-	}
-	return n
+	return analysis.AllBound(arity)
 }
 
 // adornmentFor computes the adornment of atom given the set of bound
 // variable names: a position is bound iff its term is a constant or a bound
 // variable.
 func adornmentFor(atom ast.Atom, bound map[string]bool) Adornment {
-	var sb strings.Builder
-	sb.Grow(atom.Arity())
-	for _, t := range atom.Terms {
-		if t.IsConst() || bound[t.Name] {
-			sb.WriteByte('b')
-		} else {
-			sb.WriteByte('f')
-		}
-	}
-	return Adornment(sb.String())
+	return analysis.AdornmentFor(atom, bound)
 }
 
 // Naming scheme for generated predicates. The '@' separator cannot occur in

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"contribmax/internal/analysis"
 	"contribmax/internal/ast"
 )
 
@@ -94,18 +95,19 @@ func (t *Transformed) OrigEDB(origPred string) bool { return t.origEDB[origPred]
 // SIPS selects the sideways information passing strategy: the order in
 // which a rule's body atoms are processed during adornment, which
 // determines the binding patterns (and hence how much the transformed
-// program prunes).
-type SIPS int
+// program prunes). It aliases analysis.SIPS, the strategy type of the
+// shared adornment dataflow.
+type SIPS = analysis.SIPS
 
 const (
 	// LeftToRight processes body atoms in source order — the textbook
 	// strategy and the default.
-	LeftToRight SIPS = iota
+	LeftToRight = analysis.LeftToRight
 	// BoundFirst greedily picks the unprocessed atom with the most bound
 	// argument positions (ties: edb before idb, then source order), so
 	// adornments carry as many bindings as possible and built-in filters
 	// run as early as their variables allow.
-	BoundFirst
+	BoundFirst = analysis.BoundFirst
 )
 
 // Transform rewrites prog for the given ground query atoms with the
@@ -289,55 +291,11 @@ func TransformWith(prog *ast.Program, queries []ast.Atom, sips SIPS) (*Transform
 	return out, nil
 }
 
-// orderBody returns the body atoms in SIPS processing order. bound is the
-// initially bound variable set (from the head adornment) and is NOT
-// mutated. For LeftToRight the source order is returned as-is.
+// orderBody returns the body atoms in SIPS processing order; the ordering
+// logic lives in internal/analysis (OrderBody) so the analyzer's dataflow
+// and the transformation agree byte-for-byte.
 func orderBody(body []ast.Atom, bound map[string]bool, sips SIPS, idb map[string]bool) []ast.Atom {
-	if sips == LeftToRight || len(body) < 2 {
-		return body
-	}
-	cur := map[string]bool{}
-	for v := range bound {
-		cur[v] = true
-	}
-	score := func(a ast.Atom) int {
-		s := 0
-		for _, t := range a.Terms {
-			if t.IsConst() || cur[t.Name] {
-				s++
-			}
-		}
-		return s
-	}
-	out := make([]ast.Atom, 0, len(body))
-	used := make([]bool, len(body))
-	for len(out) < len(body) {
-		best, bestKey := -1, -1
-		for i, a := range body {
-			if used[i] {
-				continue
-			}
-			// Score: bound positions dominate; prefer edb atoms on ties;
-			// earliest source position breaks remaining ties (strict >).
-			key := score(a)*2 + b2i(!idb[a.Predicate])
-			if key > bestKey {
-				best, bestKey = i, key
-			}
-		}
-		used[best] = true
-		out = append(out, body[best])
-		for _, v := range body[best].Vars(nil) {
-			cur[v] = true
-		}
-	}
-	return out
-}
-
-func b2i(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
+	return analysis.OrderBody(body, bound, sips, idb)
 }
 
 // canonicalRuleSig renders head :- body with variables renamed to v0, v1,

@@ -1,0 +1,186 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"contribmax/internal/server"
+)
+
+// warnProgram lints clean except for a warning-severity finding (the
+// zero-probability rule), so it solves fine unless warnings are fatal.
+const warnProgram = tcProgram + "\n0.0 dead: tc(X, Y) :- edge(Y, X)."
+
+// errorBody mirrors the server's structured rejection shape.
+type errorBody struct {
+	Error       string `json:"error"`
+	Diagnostics []struct {
+		Severity string `json:"severity"`
+		Code     string `json:"code"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	} `json:"diagnostics"`
+}
+
+func postSolve(t *testing.T, url string, req server.SolveRequest) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/api/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestSolveAPIStructured400 checks that an analysis rejection carries the
+// machine-readable diagnostic list (code, position, message) in a 400 body
+// rather than flattened text.
+func TestSolveAPIStructured400(t *testing.T) {
+	ts := newServer(t)
+	resp := postSolve(t, ts.URL, server.SolveRequest{
+		// Head variable Y never occurs in the body: a safety error.
+		Program: "r1: p(X, Y) :- q(X).",
+		Facts:   "q(a).",
+		Targets: []string{"p(a, b)"},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("400 body is not JSON: %v", err)
+	}
+	if body.Error == "" || len(body.Diagnostics) == 0 {
+		t.Fatalf("body = %+v, want error text and diagnostics", body)
+	}
+	found := false
+	for _, d := range body.Diagnostics {
+		if d.Severity == "error" && d.Code != "" && d.Line > 0 && d.Message != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no positioned error diagnostic in %+v", body.Diagnostics)
+	}
+}
+
+// TestSolveAPIWarnAsError checks Config.WarnAsError parity with cmrun -W
+// error: the same program solves by default but is rejected when warnings
+// are fatal.
+func TestSolveAPIWarnAsError(t *testing.T) {
+	req := server.SolveRequest{
+		Program: warnProgram,
+		Facts:   tcFacts,
+		Targets: []string{"tc(a, c)"},
+		K:       1,
+		RR:      200,
+	}
+
+	lenient := newServer(t)
+	resp := postSolve(t, lenient.URL, req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lenient server: status = %d, want 200", resp.StatusCode)
+	}
+	var out server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Diagnostics) == 0 {
+		t.Errorf("lenient server: warning not surfaced in Diagnostics")
+	}
+
+	strict := httptest.NewServer(server.NewWith(server.Config{WarnAsError: true}))
+	t.Cleanup(strict.Close)
+	resp = postSolve(t, strict.URL, req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("strict server: status = %d, want 400", resp.StatusCode)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	warned := false
+	for _, d := range body.Diagnostics {
+		if d.Severity == "warning" {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("strict server: no warning diagnostic in %+v", body.Diagnostics)
+	}
+}
+
+// TestSolveAPIPrune checks that SolveRequest.Prune reports pruning stats
+// and leaves the result identical to the unpruned solve.
+func TestSolveAPIPrune(t *testing.T) {
+	ts := newServer(t)
+	req := server.SolveRequest{
+		Program: tcProgram + "\n1.0 d1: other(X) :- edge(X, X).",
+		Facts:   tcFacts,
+		Targets: []string{"tc(a, c)"},
+		K:       1,
+		RR:      200,
+	}
+	resp := postSolve(t, ts.URL, req)
+	defer resp.Body.Close()
+	var plain server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.RulesTotal != 3 || plain.RulesPruned != 0 {
+		t.Errorf("unpruned: rules = %d/%d, want 3/0", plain.RulesPruned, plain.RulesTotal)
+	}
+
+	req.Prune = true
+	resp = postSolve(t, ts.URL, req)
+	defer resp.Body.Close()
+	var pruned server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pruned); err != nil {
+		t.Fatal(err)
+	}
+	if pruned.RulesTotal != 3 || pruned.RulesPruned != 1 {
+		t.Errorf("pruned: rules = %d/%d, want 1/3", pruned.RulesPruned, pruned.RulesTotal)
+	}
+	if len(pruned.Seeds) != len(plain.Seeds) || pruned.Seeds[0] != plain.Seeds[0] ||
+		pruned.EstContribution != plain.EstContribution {
+		t.Errorf("pruned solve diverged: %+v vs %+v", pruned, plain)
+	}
+}
+
+// TestAsyncSolveStartRejectsBadProgram checks the asynchronous endpoint
+// applies the same gate synchronously: a structured 400, not a 202 whose
+// run errors immediately.
+func TestAsyncSolveStartRejectsBadProgram(t *testing.T) {
+	ts := newServer(t)
+	req := server.SolveRequest{
+		Program: "r1: p(X, Y) :- q(X).",
+		Facts:   "q(a).",
+		Targets: []string{"p(a, b)"},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/api/solve/start", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("400 body is not JSON: %v", err)
+	}
+	if len(eb.Diagnostics) == 0 {
+		t.Errorf("body lacks diagnostics: %+v", eb)
+	}
+}

@@ -120,6 +120,10 @@ func (s *server) handleSolveStart(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if err := s.preflight(req); err != nil {
+		writeSolveError(w, err)
+		return
+	}
 	id := journal.NewRunID()
 	ru := &run{
 		id:      id,

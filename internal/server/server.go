@@ -64,6 +64,9 @@ type SolveRequest struct {
 	MaxSeedsPerRelation int `json:"maxSeedsPerRelation"`
 	// Seed is the random seed (default 1).
 	Seed uint64 `json:"seed"`
+	// Prune drops rules provably outside the targets' dependency cone
+	// before solving; results are byte-identical (see docs/ANALYSIS.md).
+	Prune bool `json:"prune"`
 }
 
 // SolveResponse is the JSON output of /api/solve.
@@ -76,10 +79,13 @@ type SolveResponse struct {
 	RRSets          int      `json:"rrSets"`
 	AvgGraphSize    float64  `json:"avgGraphSize"`
 	PeakGraphSize   int      `json:"peakGraphSize"`
+	RulesTotal      int      `json:"rulesTotal"`
+	RulesPruned     int      `json:"rulesPruned"`
 	TotalMillis     float64  `json:"totalMillis"`
-	// Diagnostics lists non-error static-analysis findings for the
-	// submitted program ("line:col: warning[CMnnn]: ..."). Error-severity
-	// findings reject the request instead (HTTP 422).
+	// Diagnostics lists non-failing static-analysis findings for the
+	// submitted program ("line:col: warning[CMnnn]: ..."). Failing
+	// findings (errors, or warnings under Config.WarnAsError) reject the
+	// request with a structured HTTP 400 body instead (see errorResponse).
 	Diagnostics []string `json:"diagnostics,omitempty"`
 	// RunID identifies the solve's journal when the solve was journaled
 	// (asynchronous runs started via /api/solve/start). Empty for plain
@@ -112,6 +118,9 @@ type Config struct {
 	// deadline is abandoned mid-phase and answered 503. 0 means no
 	// server-imposed deadline (client disconnects still cancel).
 	SolveTimeout time.Duration
+	// WarnAsError makes warning-severity static-analysis findings reject
+	// requests, matching cmrun/cmlint's -W error.
+	WarnAsError bool
 }
 
 // New returns the HTTP handler with default configuration (no metrics, no
@@ -207,6 +216,92 @@ func httpStatus(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
+// analysisError carries the full diagnostic list when the static-analysis
+// gate rejects a request, so handlers can answer with a structured body
+// instead of flattened text.
+type analysisError struct {
+	diags []analysis.Diagnostic
+	// failSeverity is the severity that caused the rejection (Error, or
+	// Warning under Config.WarnAsError).
+	failSeverity analysis.Severity
+}
+
+func (e *analysisError) Error() string {
+	var lines []string
+	for _, d := range e.diags {
+		if d.Severity >= e.failSeverity {
+			lines = append(lines, d.String())
+		}
+	}
+	return "program rejected by static analysis:\n" + strings.Join(lines, "\n")
+}
+
+// diagnosticJSON is the wire shape of one diagnostic in error bodies,
+// mirroring cmlint -json (1-based positions, zero line = unknown).
+type diagnosticJSON struct {
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// errorResponse is the JSON body of a structured request rejection.
+type errorResponse struct {
+	Error       string           `json:"error"`
+	Diagnostics []diagnosticJSON `json:"diagnostics,omitempty"`
+}
+
+// writeSolveError answers a failed solve/explain. Static-analysis
+// rejections become HTTP 400 with the machine-readable diagnostic list
+// (every finding, failing or not, so clients see the full report);
+// everything else keeps the plain-text httpStatus mapping.
+func writeSolveError(w http.ResponseWriter, err error) {
+	var ae *analysisError
+	if !errors.As(err, &ae) {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	body := errorResponse{Error: ae.Error()}
+	for _, d := range ae.diags {
+		body.Diagnostics = append(body.Diagnostics, diagnosticJSON{
+			Severity: d.Severity.String(),
+			Code:     string(d.Code),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Col,
+			Message:  d.Message,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(body)
+}
+
+// failSeverity is the severity at which analysis findings reject requests.
+func (s *server) failSeverity() analysis.Severity {
+	if s.cfg.WarnAsError {
+		return analysis.Warning
+	}
+	return analysis.Error
+}
+
+// preflight parses and statically analyzes a solve request without running
+// it, so asynchronous starts can reject bad programs synchronously with the
+// same structured 400 the synchronous endpoint produces — instead of
+// burning a run slot on a solve that errors instantly.
+func (s *server) preflight(req SolveRequest) error {
+	prog, err := parser.ParseProgramLoose(req.Program)
+	if err != nil {
+		return fmt.Errorf("program: %w", err)
+	}
+	database, err := loadFacts(req.Facts)
+	if err != nil {
+		return fmt.Errorf("facts: %w", err)
+	}
+	_, err = analyzeRequest(prog, database, req.Targets, s.failSeverity())
+	return err
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Obs == nil {
 		http.Error(w, "metrics disabled", http.StatusNotFound)
@@ -245,7 +340,7 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 	if err != nil {
 		return nil, fmt.Errorf("facts: %w", err)
 	}
-	warnings, err := analyzeRequest(prog, database, req.Targets)
+	warnings, err := analyzeRequest(prog, database, req.Targets, s.failSeverity())
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +360,7 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 		// The request was just analyzed against this schema and these
 		// targets; skip the identical in-algorithm gate.
 		SkipAnalysis: true,
+		Prune:        req.Prune,
 		Context:      ctx,
 		Obs:          s.cfg.Obs,
 		Journal:      jr,
@@ -298,6 +394,8 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 		RRSets:          res.Stats.NumRR,
 		AvgGraphSize:    res.Stats.AvgGraphSize(),
 		PeakGraphSize:   res.Stats.PeakResidentSize,
+		RulesTotal:      res.Stats.RulesTotal,
+		RulesPruned:     res.Stats.RulesPruned,
 		TotalMillis:     float64(res.Stats.TotalTime) / float64(time.Millisecond),
 		RunID:           jr.Run(),
 	}
@@ -312,10 +410,11 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 }
 
 // analyzeRequest runs the static analyzer over a submitted program against
-// the submitted facts and target predicates. Error-severity findings are
-// returned as one multi-line error (the request is rejected); the rest come
-// back as rendered strings for SolveResponse.Diagnostics.
-func analyzeRequest(prog *ast.Program, database *db.Database, targetLines []string) ([]string, error) {
+// the submitted facts and target predicates. Findings at or above
+// failSeverity reject the request with an *analysisError (rendered by
+// writeSolveError as a structured 400); the rest come back as rendered
+// strings for SolveResponse.Diagnostics.
+func analyzeRequest(prog *ast.Program, database *db.Database, targetLines []string, failSeverity analysis.Severity) ([]string, error) {
 	edb := map[string]int{}
 	for _, name := range database.RelationNames() {
 		if rel, ok := database.Lookup(name); ok {
@@ -336,16 +435,16 @@ func analyzeRequest(prog *ast.Program, database *db.Database, targetLines []stri
 	}
 	diags := analysis.Analyze(prog, analysis.Options{EDB: edb, Roots: roots})
 	var warnings []string
-	var errs []string
+	failing := false
 	for _, d := range diags {
-		if d.Severity == analysis.Error {
-			errs = append(errs, d.String())
+		if d.Severity >= failSeverity {
+			failing = true
 		} else {
 			warnings = append(warnings, d.String())
 		}
 	}
-	if len(errs) > 0 {
-		return nil, fmt.Errorf("program rejected by static analysis:\n%s", strings.Join(errs, "\n"))
+	if failing {
+		return nil, &analysisError{diags: diags, failSeverity: failSeverity}
 	}
 	return warnings, nil
 }
@@ -409,7 +508,7 @@ func expandTargets(ctx context.Context, prog *ast.Program, database *db.Database
 }
 
 // explain runs one explanation request.
-func explain(ctx context.Context, req ExplainRequest) (*ExplainResponse, error) {
+func (s *server) explain(ctx context.Context, req ExplainRequest) (*ExplainResponse, error) {
 	prog, err := parser.ParseProgramLoose(req.Program)
 	if err != nil {
 		return nil, fmt.Errorf("program: %w", err)
@@ -418,7 +517,7 @@ func explain(ctx context.Context, req ExplainRequest) (*ExplainResponse, error) 
 	if err != nil {
 		return nil, fmt.Errorf("facts: %w", err)
 	}
-	if _, err := analyzeRequest(prog, database, []string{req.Target}); err != nil {
+	if _, err := analyzeRequest(prog, database, []string{req.Target}, s.failSeverity()); err != nil {
 		return nil, err
 	}
 	target, err := parser.ParseAtom(strings.TrimSpace(req.Target))
@@ -477,7 +576,7 @@ func (s *server) handleSolveAPI(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.solve(ctx, req, nil)
 	if err != nil {
-		http.Error(w, err.Error(), httpStatus(err))
+		writeSolveError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -492,9 +591,9 @@ func (s *server) handleExplainAPI(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	res, err := explain(ctx, req)
+	res, err := s.explain(ctx, req)
 	if err != nil {
-		http.Error(w, err.Error(), httpStatus(err))
+		writeSolveError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
