@@ -35,8 +35,11 @@ func run() error {
 		format  = flag.String("format", "text", "output format: text | csv")
 		jsonOut = flag.String("json", "", "also write every figure to this file as a machine-readable BENCH report")
 		diff    = flag.String("diff", "", "compare this run against a baseline BENCH_*.json and warn (stderr, non-fatal) on >20% regressions")
+		noplan  = flag.Bool("noplan", false, "disable the greedy join planner in every solve (results are byte-identical; for bisecting timing regressions)")
+		planAB  = flag.Bool("plan-ab", false, "also run and print the join-planner A/B measurement (always included in -json reports)")
 	)
 	flag.Parse()
+	experiments.NoPlan = *noplan
 
 	scale := experiments.Quick
 	scaleName := "quick"
@@ -130,6 +133,28 @@ func run() error {
 		}
 		if err := emit(t); err != nil {
 			return err
+		}
+	}
+	if *planAB || report != nil {
+		// The planner A/B times the same Magic^S solves with the join
+		// planner on and off and records the plan cache's accounting.
+		summaries, err := experiments.PlannerSummaries()
+		if err != nil {
+			return err
+		}
+		if report != nil {
+			report.Planner = summaries
+		}
+		if *planAB {
+			t := experiments.PlannerTable(summaries)
+			if *format == "csv" {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+			} else {
+				t.Print(os.Stdout)
+			}
+			fmt.Println()
 		}
 	}
 	if report != nil {

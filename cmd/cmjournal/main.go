@@ -125,6 +125,7 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 		rr     []journal.Event // rr.batch, in seq order
 		imm    []journal.IMMInfo
 		iters  []journal.IterInfo
+		plan   *journal.PlanInfo
 		run    string
 		endNs  int64
 	)
@@ -146,6 +147,8 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 			imm = append(imm, *ev.IMM)
 		case journal.TypeSelectIter:
 			iters = append(iters, *ev.Iter)
+		case journal.TypePlanSummary:
+			plan = ev.Plan
 		}
 	}
 
@@ -240,6 +243,11 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 				it.I+1, it.Seed, it.Gain, it.Covered, 100*it.Coverage, it.ErrProxy)
 		}
 		tw.Flush()
+	}
+
+	if plan != nil {
+		fmt.Fprintf(w, "\njoin planner: %d plans built, %d cache hits, %d atoms reordered\n",
+			plan.Built, plan.Hits, plan.Reordered)
 	}
 
 	if finish != nil {

@@ -61,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nolint      = fs.Bool("nolint", false, "skip the static-analysis gate (errors still fail inside the algorithms; warnings are not printed)")
 		warnFlag    = fs.String("W", "", `"error" makes static-analysis warnings fatal, matching cmlint -W error`)
 		prune       = fs.Bool("prune", false, "drop rules provably outside the targets' dependency cone before solving (results are byte-identical)")
+		noplan      = fs.Bool("noplan", false, "disable the greedy join planner and its plan cache (results are byte-identical; escape hatch / A-B lever)")
 	)
 	var targets targetList
 	fs.Var(&targets, "target", "target output tuple or pattern, e.g. 'dealsWith(usa, iran)' or 'dealsWith(usa, Y)' (repeatable, required; patterns match against the program's derived facts)")
@@ -165,6 +166,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		SkipAnalysis:        true,
 		Prune:               *prune,
 	}
+	if *noplan {
+		opts.Plan = contribmax.PlanOff
+	}
 	var trace *contribmax.TraceSpan
 	if *stats {
 		opts.Obs = contribmax.NewMetricsRegistry()
@@ -231,6 +235,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			st.RulesTotal, st.RulesPruned)
 		fmt.Fprintf(stdout, "time: build=%v rrGen=%v select=%v total=%v\n",
 			st.BuildTime, st.RRGenTime, st.SelectTime, st.TotalTime)
+		if st.PlansBuilt > 0 {
+			fmt.Fprintf(stdout, "plans: built=%d cacheHits=%d reordered=%d\n",
+				st.PlansBuilt, st.PlanCacheHits, st.PlanAtomsReordered)
+		}
 	}
 	if *estimate {
 		est, err := contribmax.NewEstimator(in)

@@ -46,6 +46,7 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	solveTimeout := flag.Duration("solve-timeout", 60*time.Second, "per-request solve deadline (0 = none)")
 	warnFlag := flag.String("W", "", `"error" rejects requests whose programs have static-analysis warnings, matching cmrun -W error`)
+	noplan := flag.Bool("noplan", false, "disable the greedy join planner for every solve (results are byte-identical; escape hatch)")
 	flag.Parse()
 	if *warnFlag != "" && *warnFlag != "error" {
 		return fmt.Errorf("-W accepts only \"error\", got %q", *warnFlag)
@@ -53,7 +54,7 @@ func run() error {
 
 	reg := obs.NewRegistry()
 	mux := http.NewServeMux()
-	mux.Handle("/", server.NewWith(server.Config{Obs: reg, SolveTimeout: *solveTimeout, WarnAsError: *warnFlag == "error"}))
+	mux.Handle("/", server.NewWith(server.Config{Obs: reg, SolveTimeout: *solveTimeout, WarnAsError: *warnFlag == "error", NoPlan: *noplan}))
 	// net/http/pprof registers on DefaultServeMux; mount its handlers
 	// explicitly since this server uses its own mux.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

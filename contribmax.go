@@ -36,6 +36,10 @@ type (
 	Input = cm.Input
 	// Options tunes the CM algorithms (θ policy, randomness source).
 	Options = cm.Options
+	// PlanMode toggles the greedy join planner for Options.Plan: PlanOn
+	// (the zero value) plans and caches join orders; PlanOff evaluates
+	// with the engine's built-in per-rule ordering and no cache.
+	PlanMode = cm.PlanMode
 	// Result is a CM algorithm's outcome: seeds, contribution estimate,
 	// and the cost statistics the paper's figures report.
 	Result = cm.Result
@@ -94,6 +98,14 @@ const (
 	SeverityInfo    = analysis.Info
 	SeverityWarning = analysis.Warning
 	SeverityError   = analysis.Error
+)
+
+// Join-planner modes for Options.Plan. Both modes provably compute the
+// same results (the engine's differential battery holds them byte-
+// identical); PlanOff exists as an escape hatch and an A/B lever.
+const (
+	PlanOn  = cm.PlanOn
+	PlanOff = cm.PlanOff
 )
 
 // NewMetricsRegistry returns an empty metrics registry for Options.Obs.

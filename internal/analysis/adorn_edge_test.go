@@ -1,0 +1,176 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"contribmax/internal/analysis"
+	"contribmax/internal/ast"
+)
+
+// These tests pin ComputeFlow's behavior on the edge shapes the join
+// planner leans on: empty rule bodies, built-ins ahead of binding atoms,
+// and mutually recursive SCCs whose adornment families must close under
+// both SIPS strategies without looping.
+
+var bothSIPS = []analysis.SIPS{analysis.LeftToRight, analysis.BoundFirst}
+
+// TestFlowEmptyBody: a rule with an empty body contributes no occurrences
+// and the pass still terminates and reaches everything else.
+func TestFlowEmptyBody(t *testing.T) {
+	prog := ast.NewProgram(
+		ast.Rule{Label: "r1", Head: ast.NewAtom("p", ast.C("a"))},
+		ast.Rule{Label: "r2", Head: ast.NewAtom("q", ast.V("X")),
+			Body: []ast.Atom{ast.NewAtom("p", ast.V("X"))}},
+	)
+	for _, sips := range bothSIPS {
+		g := analysis.NewDepGraph(prog)
+		flow := analysis.ComputeFlow(prog, g, []string{"q"}, sips)
+		if got := flow.Adornments("q"); !reflect.DeepEqual(got, []analysis.Adornment{"b"}) {
+			t.Errorf("sips=%v: q adornments = %v, want [b]", sips, got)
+		}
+		if got := flow.Adornments("p"); !reflect.DeepEqual(got, []analysis.Adornment{"b"}) {
+			t.Errorf("sips=%v: p adornments = %v, want [b]", sips, got)
+		}
+		// Exactly one occurrence: r2's body atom. The empty body adds none.
+		if len(flow.Occurrences) != 1 || flow.Occurrences[0].Rule != 1 || flow.Occurrences[0].Body != 0 {
+			t.Errorf("sips=%v: occurrences = %+v, want exactly r2/body0", sips, flow.Occurrences)
+		}
+	}
+}
+
+// TestFlowBuiltinFirstAtom: built-ins written ahead of the binding atoms
+// are skipped by the dataflow — they produce no occurrences, bind nothing,
+// and do not perturb the source indices recorded for the real atoms.
+func TestFlowBuiltinFirstAtom(t *testing.T) {
+	prog := ast.NewProgram(
+		ast.Rule{Label: "r1", Head: ast.NewAtom("out", ast.V("X"), ast.V("Y")),
+			Body: []ast.Atom{
+				ast.NewAtom("lt", ast.V("X"), ast.V("Y")),
+				ast.NewAtom("e", ast.V("X"), ast.V("Y")),
+			}},
+		ast.Rule{Label: "r2", Head: ast.NewAtom("far", ast.V("X")),
+			Body: []ast.Atom{
+				ast.NewAtom("gt", ast.V("X"), ast.C("c0")),
+				ast.NewAtom("out", ast.V("X"), ast.V("Z")),
+			}},
+	)
+	for _, sips := range bothSIPS {
+		g := analysis.NewDepGraph(prog)
+		flow := analysis.ComputeFlow(prog, g, []string{"far"}, sips)
+		for _, oc := range flow.Occurrences {
+			if oc.Pred == "lt" || oc.Pred == "gt" {
+				t.Fatalf("sips=%v: built-in %s received an occurrence", sips, oc.Pred)
+			}
+		}
+		// far^b processes out(X,Z) at source index 1 with X bound: "bf".
+		if got := flow.Adornments("out"); !reflect.DeepEqual(got, []analysis.Adornment{"bf"}) {
+			t.Errorf("sips=%v: out adornments = %v, want [bf]", sips, got)
+		}
+		for _, oc := range flow.Occurrences {
+			if oc.Pred == "out" && oc.Body != 1 {
+				t.Errorf("sips=%v: out occurrence at body index %d, want source index 1", sips, oc.Body)
+			}
+		}
+	}
+}
+
+// TestFlowMutualRecursionSCC: a symmetric recursive SCC reached with a
+// partial binding must close over its adornment family ({bf, fb}) exactly
+// once per member under both SIPS strategies — no duplicates, no
+// divergence.
+func TestFlowMutualRecursionSCC(t *testing.T) {
+	prog := ast.NewProgram(
+		ast.Rule{Label: "r1", Head: ast.NewAtom("ans", ast.V("X")),
+			Body: []ast.Atom{
+				ast.NewAtom("p", ast.V("X"), ast.V("Y")),
+				ast.NewAtom("q", ast.V("Y")),
+			}},
+		ast.Rule{Label: "r2", Head: ast.NewAtom("p", ast.V("X"), ast.V("Y")),
+			Body: []ast.Atom{ast.NewAtom("e", ast.V("X"), ast.V("Y"))}},
+		ast.Rule{Label: "r3", Head: ast.NewAtom("p", ast.V("X"), ast.V("Y")),
+			Body: []ast.Atom{ast.NewAtom("p", ast.V("Y"), ast.V("X"))}},
+		ast.Rule{Label: "r4", Head: ast.NewAtom("q", ast.V("Y")),
+			Body: []ast.Atom{ast.NewAtom("p", ast.V("Y"), ast.V("Z"))}},
+	)
+	for _, sips := range bothSIPS {
+		g := analysis.NewDepGraph(prog)
+		flow := analysis.ComputeFlow(prog, g, []string{"ans"}, sips)
+		// The symmetry flip in r3 turns bf into fb and back; the visited set
+		// must stop the oscillation after producing both.
+		if got := flow.Adornments("p"); !reflect.DeepEqual(got, []analysis.Adornment{"bf", "fb"}) {
+			t.Errorf("sips=%v: p adornments = %v, want [bf fb]", sips, got)
+		}
+		if got := flow.Adornments("q"); !reflect.DeepEqual(got, []analysis.Adornment{"b"}) {
+			t.Errorf("sips=%v: q adornments = %v, want [b]", sips, got)
+		}
+		// Goals must be duplicate-free: one entry per (pred, adornment).
+		for pred, ads := range flow.Goals {
+			seen := map[analysis.Adornment]bool{}
+			for _, ad := range ads {
+				if seen[ad] {
+					t.Errorf("sips=%v: %s reached twice with %s", sips, pred, ad)
+				}
+				seen[ad] = true
+			}
+		}
+	}
+}
+
+// TestFlowDegenerateInputs: nil program, no roots, and extensional roots
+// all yield an empty (but non-nil) flow.
+func TestFlowDegenerateInputs(t *testing.T) {
+	prog := ast.NewProgram(
+		ast.Rule{Label: "r1", Head: ast.NewAtom("p", ast.V("X")),
+			Body: []ast.Atom{ast.NewAtom("e", ast.V("X"))}},
+	)
+	g := analysis.NewDepGraph(prog)
+	for name, flow := range map[string]*analysis.Flow{
+		"nil program": analysis.ComputeFlow(nil, g, []string{"p"}, analysis.LeftToRight),
+		"no roots":    analysis.ComputeFlow(prog, g, nil, analysis.LeftToRight),
+		"edb root":    analysis.ComputeFlow(prog, g, []string{"e"}, analysis.LeftToRight),
+	} {
+		if flow == nil {
+			t.Fatalf("%s: ComputeFlow returned nil", name)
+		}
+		if len(flow.Roots) != 0 || len(flow.Goals) != 0 || len(flow.Occurrences) != 0 {
+			t.Errorf("%s: flow not empty: %+v", name, flow)
+		}
+	}
+}
+
+// TestOrderBodyBoundFirstTies pins OrderBody's tie-break chain — bound
+// count first, then edb-before-idb, then source order — since the Magic
+// transform and the flow pass both depend on it being stable.
+func TestOrderBodyBoundFirstTies(t *testing.T) {
+	body := []ast.Atom{
+		ast.NewAtom("i1", ast.V("A")), // idb, score 0
+		ast.NewAtom("e1", ast.V("B")), // edb, score 0 → wins the tie
+		ast.NewAtom("i2", ast.V("A"), ast.V("B")),
+	}
+	idb := map[string]bool{"i1": true, "i2": true}
+	got := analysis.OrderBody(body, nil, analysis.BoundFirst, idb)
+	// e1 wins the zero-score tie as the only edb atom; it binds B, so i2
+	// (score 1) then beats i1 (score 0).
+	want := []string{"e1", "i2", "i1"}
+	for i, a := range got {
+		if a.Predicate != want[i] {
+			t.Fatalf("OrderBody = %v, want %v", preds(got), want)
+		}
+	}
+	// LeftToRight must return the body untouched.
+	ltr := analysis.OrderBody(body, nil, analysis.LeftToRight, idb)
+	for i := range body {
+		if ltr[i].Predicate != body[i].Predicate {
+			t.Fatalf("LeftToRight reordered the body: %v", preds(ltr))
+		}
+	}
+}
+
+func preds(atoms []ast.Atom) []string {
+	out := make([]string, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.Predicate
+	}
+	return out
+}

@@ -39,7 +39,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 	ctx := opts.ctx()
 	rng := opts.rng()
 	start := time.Now()
-	res := &Result{Algorithm: "MagicGCM"}
+	res := &Result{Algorithm: "MagicGCM", pl: opts.solvePlanner()}
 	res.Stats.RulesTotal, res.Stats.RulesPruned = inst.rulesTotal, inst.rulesPruned
 	journalSolveStart(opts, inst, "MagicGCM")
 
@@ -77,7 +77,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}
-	g, err := buildMagicGraph(in, tr, nil, false, ctx, opts.Obs, opts.Journal, opts.Parallelism)
+	g, err := buildMagicGraph(in, tr, nil, false, ctx, opts.Obs, opts.Journal, opts.Parallelism, res.pl)
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}

@@ -18,6 +18,7 @@ import (
 	"contribmax/internal/magic"
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
+	"contribmax/internal/planner"
 )
 
 // Input is one CM problem instance: find the k-size subset of T1 with the
@@ -33,6 +34,26 @@ type Input struct {
 	// K is the seed-set size.
 	K int
 }
+
+// PlanMode selects the join-planning strategy for every fixpoint engine a
+// solve compiles.
+type PlanMode int
+
+const (
+	// PlanOn (the zero value) routes rule compilation through
+	// internal/planner: the positive-atom join order is identical to the
+	// engine's legacy greedy order — the derivation stream, and therefore
+	// every solver output, is byte-for-byte unchanged — but built-in and
+	// negated checks run at the earliest join step where their variables
+	// are bound, and plans are cached solve-wide by rule shape, so the
+	// Magic variants' thousands of per-RR engine compilations replan each
+	// adorned rule family exactly once.
+	PlanOn PlanMode = iota
+	// PlanOff keeps the legacy per-engine planning with checks evaluated
+	// at instantiation completion — the escape hatch behind the
+	// cmrun/cmserve/cmbench -noplan flags and the planner A/B benchmark.
+	PlanOff
+)
 
 // Options tunes the algorithms.
 type Options struct {
@@ -77,6 +98,10 @@ type Options struct {
 	// at load time) or construct programs the analyzer provably accepts;
 	// ast.Program.Validate still runs as a cheap backstop.
 	SkipAnalysis bool
+	// Plan selects the join-planning strategy (see PlanMode; the zero
+	// value keeps planning on). Planning never changes results — only
+	// evaluation cost and the plan.* stats/journal/metric signals.
+	Plan PlanMode
 	// Prune runs the analyzer's provably-sound dead-rule elimination
 	// (analysis.Prune, unreachable criterion only) over the program before
 	// any rewriting or graph construction: rules whose head predicate lies
@@ -138,6 +163,17 @@ func (o Options) ctx() context.Context {
 	return context.Background()
 }
 
+// solvePlanner returns the solve-wide plan cache, nil under PlanOff. One
+// cache spans every engine compilation of the solve — full-graph builds and
+// per-RR subgraph builds alike — so hit counts measure real cross-engine
+// plan reuse.
+func (o Options) solvePlanner() *planner.Planner {
+	if o.Plan == PlanOff {
+		return nil
+	}
+	return planner.New(o.Obs)
+}
+
 func (o Options) rng() *rand.Rand {
 	if o.Rand != nil {
 		return o.Rand
@@ -169,6 +205,9 @@ type Result struct {
 
 	// rrColl retains the RR collection for the selection phase.
 	rrColl *im.RRCollection
+	// pl is the solve's plan cache (nil under PlanOff); finishSelection
+	// folds its counters into Stats.
+	pl *planner.Planner
 }
 
 // Stats carries the measurements plotted in the paper's Figures 2–5.
@@ -201,6 +240,16 @@ type Stats struct {
 	// unless Options.Prune is set).
 	RulesTotal  int
 	RulesPruned int
+
+	// Join-planning totals (all 0 under Options.Plan == PlanOff).
+	// PlansBuilt counts plans computed (cache misses), PlanCacheHits plans
+	// served from the solve-wide shape-keyed cache, PlanAtomsReordered
+	// plan positions deviating from written body order summed over built
+	// plans. Deterministic: a fixed configuration yields the same counts
+	// on every run, at every Parallelism level.
+	PlansBuilt         int64
+	PlanCacheHits      int64
+	PlanAtomsReordered int64
 }
 
 // AvgGraphSize returns the average constructed-graph size (nodes+edges) per

@@ -15,6 +15,7 @@ import (
 	"contribmax/internal/magic"
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
+	"contribmax/internal/planner"
 	"contribmax/internal/wdgraph"
 )
 
@@ -53,7 +54,7 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 	ctx := opts.ctx()
 	rng := opts.rng()
 	start := time.Now()
-	res := &Result{Algorithm: name}
+	res := &Result{Algorithm: name, pl: opts.solvePlanner()}
 	res.Stats.RulesTotal, res.Stats.RulesPruned = inst.rulesTotal, inst.rulesPruned
 	journalSolveStart(opts, inst, name)
 
@@ -88,7 +89,7 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 		// Engine parallelism stays off for per-tuple subgraphs: the RR
 		// phase already runs one worker per Parallelism slot, and the
 		// subgraphs are small — nesting worker pools would oversubscribe.
-		g, err := buildMagicGraph(in, tr, r, sampled, ctx, opts.Obs, nil, 0)
+		g, err := buildMagicGraph(in, tr, r, sampled, ctx, opts.Obs, nil, 0, res.pl)
 		if err != nil {
 			return nil, err
 		}
@@ -256,9 +257,12 @@ func mergeStats(dst, src *Stats) {
 // delegate to wdgraph.BuildWith). jr, when non-nil, receives graph.build
 // and per-round engine.round events — only the grouped variant's one
 // full union-graph build passes it (per-RR subgraph builds number in the
-// thousands and are summarized by rr.batch events instead).
+// thousands and are summarized by rr.batch events instead). pl, when
+// non-nil, is the solve's shared plan cache: the transformed program is
+// recompiled here for every RR set, and the cache turns each recompilation
+// after the first into pure plan lookups per adorned rule family.
 func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bool,
-	ctx context.Context, reg *obs.Registry, jr *journal.Journal, par int) (*wdgraph.Graph, error) {
+	ctx context.Context, reg *obs.Registry, jr *journal.Journal, par int, pl *planner.Planner) (*wdgraph.Graph, error) {
 	start := time.Now()
 	scratch := in.DB.CloneSchema()
 	for _, pred := range in.Program.EDBs() {
@@ -266,7 +270,13 @@ func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bo
 			scratch.Attach(rel)
 		}
 	}
-	eng, err := engine.New(tr.Program, scratch)
+	var eng *engine.Engine
+	var err error
+	if pl != nil {
+		eng, err = engine.NewPlanned(tr.Program, scratch, pl)
+	} else {
+		eng, err = engine.New(tr.Program, scratch)
+	}
 	if err != nil {
 		return nil, err
 	}

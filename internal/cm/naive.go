@@ -7,6 +7,7 @@ import (
 
 	"contribmax/internal/im"
 	"contribmax/internal/obs"
+	"contribmax/internal/obs/journal"
 	"contribmax/internal/wdgraph"
 )
 
@@ -33,7 +34,7 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 	ctx := opts.ctx()
 	rng := opts.rng()
 	start := time.Now()
-	res := &Result{Algorithm: "NaiveCM"}
+	res := &Result{Algorithm: "NaiveCM", pl: opts.solvePlanner()}
 	res.Stats.RulesTotal, res.Stats.RulesPruned = inst.rulesTotal, inst.rulesPruned
 	journalSolveStart(opts, inst, "NaiveCM")
 
@@ -47,6 +48,7 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 		Obs:         opts.Obs,
 		Parallelism: opts.Parallelism,
 		Journal:     opts.Journal,
+		Planner:     res.pl,
 	})
 	if err != nil {
 		return nil, err
@@ -158,6 +160,12 @@ func finishSelection(inst *instance, opts Options, res *Result, sp *obs.Span) {
 	sel.SetAttr("covered", int64(gr.Covered))
 	sel.SetAttr("seeds", int64(len(gr.Seeds)))
 	sel.End()
+	if st := res.pl.Stats(); st.Built > 0 {
+		res.Stats.PlansBuilt = st.Built
+		res.Stats.PlanCacheHits = st.Hits
+		res.Stats.PlanAtomsReordered = st.Reordered
+		opts.Journal.PlanSummary(journal.PlanInfo{Built: st.Built, Hits: st.Hits, Reordered: st.Reordered})
+	}
 	journalSelection(opts, inst, res)
 }
 

@@ -54,7 +54,7 @@ func journalSolveStart(opts Options, inst *instance, name string) {
 		Fingerprint: journal.Fingerprint(
 			name, inst.in.K, len(inst.candidates), len(inst.targets),
 			opts.Theta.Explicit, opts.Theta.Fraction, opts.Theta.Epsilon, opts.Theta.Delta, opts.Theta.MaxAuto,
-			opts.Adaptive, opts.Parallelism, opts.MaxSeedsPerRelation, opts.LazyGreedy, opts.SIPS),
+			opts.Adaptive, opts.Parallelism, opts.MaxSeedsPerRelation, opts.LazyGreedy, opts.SIPS, opts.Plan),
 		K:           inst.in.K,
 		Candidates:  len(inst.candidates),
 		Targets:     len(inst.targets),

@@ -17,6 +17,7 @@ import (
 
 	"contribmax/internal/ast"
 	"contribmax/internal/db"
+	"contribmax/internal/planner"
 )
 
 // atomTerm is one argument position of a compiled atom: either a constant
@@ -65,6 +66,17 @@ type compiledRule struct {
 	// the result set; the semi-naive watermark of each atom depends on its
 	// original position, not its place in the plan.
 	plans [][]int
+
+	// Planner-sourced scheduling (NewPlanned only). planned selects the
+	// early-check evaluation path; the positive-atom order in plans is the
+	// same either way (planner.Build replicates buildPlans exactly), so
+	// planning never changes the derivation stream. checksAt[d][step] lists
+	// check indices to evaluate as soon as plan step `step` of delta
+	// position d binds its atom; preChecks lists ground checks evaluated
+	// once per pass. Both may alias a shared cached Plan — read-only.
+	planned   bool
+	checksAt  [][][]int
+	preChecks []int
 }
 
 // buildPlans fills cr.plans with a greedy bound-first order per delta
@@ -111,6 +123,42 @@ func (cr *compiledRule) buildPlans() {
 		}
 		cr.plans[d] = plan
 	}
+}
+
+// applyPlan swaps the rule onto the planner path: join order from the
+// (possibly cached) Plan, checks scheduled at their earliest bound step.
+func (cr *compiledRule) applyPlan(pl *planner.Planner) {
+	p := pl.PlanRule(plannerRule(cr))
+	cr.plans = p.Order
+	cr.checksAt = p.ChecksAt
+	cr.preChecks = p.Pre
+	cr.planned = true
+}
+
+// plannerRule projects the compiled rule onto the planner's shape view:
+// variable slots kept, constants anonymized (plans never depend on which
+// constant sits in a position).
+func plannerRule(cr *compiledRule) *planner.Rule {
+	shapeTerms := func(terms []atomTerm) []planner.Term {
+		out := make([]planner.Term, len(terms))
+		for j, t := range terms {
+			out[j] = planner.Term{IsVar: t.isVar, Slot: t.slot}
+		}
+		return out
+	}
+	r := &planner.Rule{
+		NumVars: len(cr.varNames),
+		Atoms:   make([]planner.Atom, len(cr.body)),
+		Checks:  make([]planner.Check, len(cr.checks)),
+	}
+	for i := range cr.body {
+		r.Atoms[i] = planner.Atom{Pred: cr.body[i].pred, Terms: shapeTerms(cr.body[i].terms)}
+	}
+	for i := range cr.checks {
+		c := &cr.checks[i]
+		r.Checks[i] = planner.Check{Builtin: c.builtin, Negated: c.negated, Pred: c.pred, Terms: shapeTerms(c.terms)}
+	}
+	return r
 }
 
 // compile resolves a program against a database: it interns all constants,

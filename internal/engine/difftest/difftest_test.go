@@ -65,6 +65,67 @@ func TestExamplesCorpusParallelIdentical(t *testing.T) {
 	}
 }
 
+// TestGeneratedProgramsPlanEquivalent is the planner's differential
+// battery: random stratified programs (negation and built-ins included)
+// must evaluate byte-identically with planning on — sequentially and in
+// parallel — and reach the same fixpoint as strict written-order
+// evaluation.
+func TestGeneratedProgramsPlanEquivalent(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewPCG(uint64(seed), 0x9a7))
+		spec := difftest.Generate(rng)
+		if err := difftest.ComparePlanModes(spec, engine.Options{MaxRounds: 64}, 0, parLevels); err != nil {
+			t.Errorf("seed %d: %v\nprogram:\n%s", seed, err, spec.Prog)
+		}
+	}
+}
+
+// TestMagicProgramsPlanEquivalent runs the same battery over Magic-Sets
+// output — the adorned, guard-heavy rule shape the CM variants actually
+// evaluate and the one the plan cache is keyed for.
+func TestMagicProgramsPlanEquivalent(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewPCG(uint64(seed), 0x3a61c))
+		spec, err := difftest.GenerateMagic(rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := difftest.ComparePlanModes(spec, engine.Options{MaxRounds: 64}, 0, parLevels); err != nil {
+			t.Errorf("seed %d: %v\nprogram:\n%s", seed, err, spec.Prog)
+		}
+	}
+}
+
+// TestExamplesCorpusPlanEquivalent runs the repository's example programs
+// through the plan-mode differential check.
+func TestExamplesCorpusPlanEquivalent(t *testing.T) {
+	entries, err := difftest.LoadCorpus("../../../examples", "../../../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if strings.Contains(e.Path, "analysis") {
+			continue
+		}
+		if err := difftest.ComparePlanModes(e.Spec, engine.Options{}, 0, []int{4}); err != nil {
+			t.Errorf("%s: %v", e.Path, err)
+		}
+		ran++
+	}
+	if ran < 3 {
+		t.Fatalf("only %d corpus programs ran", ran)
+	}
+}
+
 // TestGenerateDeterministic pins that the generator is a pure function of
 // its rng, so failing seeds reported by CI reproduce locally.
 func TestGenerateDeterministic(t *testing.T) {

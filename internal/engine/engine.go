@@ -10,6 +10,7 @@ import (
 	"contribmax/internal/db"
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
+	"contribmax/internal/planner"
 )
 
 // FactRef identifies a ground fact as a tuple of a relation.
@@ -158,6 +159,27 @@ func New(prog *ast.Program, database *db.Database) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{prog: prog, db: database, rules: rules}, nil
+}
+
+// NewPlanned compiles prog like New but sources each rule's join plan from
+// the planner package: the positive-atom order is identical to New's greedy
+// bound-first order (planner.Build replicates it exactly, so the derivation
+// stream — and every golden fingerprint over it — is byte-identical), and
+// additionally every built-in or negated check is evaluated at the earliest
+// join step where its variables are bound, pruning doomed partial bindings
+// instead of fully materializing them. pl, when non-nil, caches plans by
+// rule shape across engines — the Magic variants compile thousands of
+// engines per solve from the same adorned rule families, and each family
+// plans once. A nil pl plans per-engine without caching.
+func NewPlanned(prog *ast.Program, database *db.Database, pl *planner.Planner) (*Engine, error) {
+	e, err := New(prog, database)
+	if err != nil {
+		return nil, err
+	}
+	for _, cr := range e.rules {
+		cr.applyPlan(pl)
+	}
+	return e, nil
 }
 
 // RuleVarNames returns the variable slot names of rule ruleIndex, in slot
@@ -475,6 +497,9 @@ func (jr *joinRun) takeSuppressed() int64 {
 // `p(a) :- lt(1, 2).`).
 func (jr *joinRun) fireFact(cr *compiledRule) {
 	jr.resetScratch(cr)
+	if !jr.preChecksOK(cr) {
+		return
+	}
 	jr.completeInstantiation(cr)
 }
 
@@ -483,7 +508,34 @@ func (jr *joinRun) fireFact(cr *compiledRule) {
 func (jr *joinRun) pass(cr *compiledRule, deltaPos, lo, hi int) {
 	jr.deltaLo, jr.deltaHi = lo, hi
 	jr.resetScratch(cr)
+	if !jr.preChecksOK(cr) {
+		return
+	}
 	jr.joinFrom(cr, deltaPos, 0)
+}
+
+// earlyChecks reports whether the runner evaluates cr's checks on the
+// planner schedule (during the join) instead of at instantiation
+// completion. Written-order evaluation keeps the legacy at-completion path:
+// the planner's step schedule is computed against plan order and need not
+// be bound-safe under DisableJoinReorder.
+func (jr *joinRun) earlyChecks(cr *compiledRule) bool {
+	return cr.planned && !jr.disableReorder
+}
+
+// preChecksOK evaluates a planned rule's ground (variable-free) checks,
+// which hold for every instantiation of the pass or for none: a single
+// failed comparison vetoes the whole pass before any scan.
+func (jr *joinRun) preChecksOK(cr *compiledRule) bool {
+	if !jr.earlyChecks(cr) {
+		return true
+	}
+	for _, ci := range cr.preChecks {
+		if !jr.evalCheck(&cr.checks[ci]) {
+			return false
+		}
+	}
+	return true
 }
 
 // resetScratch prepares the per-instantiation scratch buffers for cr.
@@ -532,6 +584,22 @@ func (jr *joinRun) joinFrom(cr *compiledRule, deltaPos, step int) {
 	}
 	if minID >= maxID {
 		return
+	}
+	if jr.earlyChecks(cr) {
+		if sched := cr.checksAt[deltaPos][step]; len(sched) > 0 {
+			jr.scanAtom(cr, atom, pos, minID, maxID, func() {
+				// All variables of these checks were just bound by this
+				// step; failing one prunes the partial binding and every
+				// join extension under it.
+				for _, ci := range sched {
+					if !jr.evalCheck(&cr.checks[ci]) {
+						return
+					}
+				}
+				jr.joinFrom(cr, deltaPos, step+1)
+			})
+			return
+		}
 	}
 	jr.scanAtom(cr, atom, pos, minID, maxID, func() {
 		jr.joinFrom(cr, deltaPos, step+1)
@@ -627,11 +695,17 @@ func (jr *joinRun) scanAtom(cr *compiledRule, atom *compiledAtom, pos, minID, ma
 
 // completeInstantiation is called with all positive body atoms matched: it
 // evaluates the rule's checks (an instantiation failing a check does not
-// exist), consults the gate, and hands the instantiation to emit.
+// exist), consults the gate, and hands the instantiation to emit. On the
+// planner path every check already ran — at pass level (ground) or at its
+// earliest bound join step — with the same verdicts: built-ins are pure and
+// negated relations are frozen by stratification, so evaluation time never
+// changes a check's outcome.
 func (jr *joinRun) completeInstantiation(cr *compiledRule) {
-	for i := range cr.checks {
-		if !jr.evalCheck(&cr.checks[i]) {
-			return
+	if !jr.earlyChecks(cr) {
+		for i := range cr.checks {
+			if !jr.evalCheck(&cr.checks[i]) {
+				return
+			}
 		}
 	}
 	if jr.gate != nil && !jr.gate.ShouldFire(cr.index, jr.vars) {

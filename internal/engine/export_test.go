@@ -1,0 +1,12 @@
+package engine
+
+// PlanOrders exposes each compiled rule's per-delta join orders so external
+// tests can assert the planner path reproduces the legacy greedy order
+// exactly — the property that keeps the derivation stream byte-identical.
+func (e *Engine) PlanOrders() [][][]int {
+	out := make([][][]int, len(e.rules))
+	for i, cr := range e.rules {
+		out[i] = cr.plans
+	}
+	return out
+}

@@ -96,5 +96,12 @@ func FuzzEvalProgram(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Plan-mode toggle: the planned engine must reproduce the legacy
+		// snapshot byte-for-byte, sequentially and in parallel, on the same
+		// budgeted run.
+		err = difftest.ComparePlanModes(spec, engine.Options{MaxRounds: fuzzMaxRounds}, fuzzMaxDerived, []int{2, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
 	})
 }

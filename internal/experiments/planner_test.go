@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReportPlannerValidation covers the planner block of
+// ValidateReportJSON: a well-formed report with planner entries passes,
+// structurally impossible entries are rejected.
+func TestReportPlannerValidation(t *testing.T) {
+	r := NewReport("quick")
+	r.AddTable(sampleTable())
+	r.Planner = []PlannerSummary{{
+		Dataset: "TC", PlanMillis: 10, NoPlanMillis: 12,
+		PlansBuilt: 4, PlanCacheHits: 40, AtomsReordered: 3,
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReportJSON(buf.Bytes()); err != nil {
+		t.Fatalf("valid planner report rejected: %v", err)
+	}
+
+	figure := `"figures":[{"title":"t","series":["a"],"rows":[{"x":"1","values":{}}]}]`
+	cases := map[string]string{
+		"no dataset": `{"schema":"contribmax/bench/v1","goVersion":"go1.22",` + figure +
+			`,"planner":[{"plan_millis":1,"noplan_millis":1,"plans_built":1}]}`,
+		"negative timing": `{"schema":"contribmax/bench/v1","goVersion":"go1.22",` + figure +
+			`,"planner":[{"dataset":"TC","plan_millis":-1,"noplan_millis":1,"plans_built":1}]}`,
+		"no builds": `{"schema":"contribmax/bench/v1","goVersion":"go1.22",` + figure +
+			`,"planner":[{"dataset":"TC","plan_millis":1,"noplan_millis":1,"plans_built":0}]}`,
+	}
+	for name, src := range cases {
+		if err := ValidateReportJSON([]byte(src)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+}
+
+// TestPlannerSummaries runs the real A/B on the TC workload path (all
+// four datasets under -short would take tens of seconds) and checks the
+// invariants the report consumers rely on: every dataset present, cache
+// hits observed, counts positive.
+func TestPlannerSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner A/B solves all four datasets")
+	}
+	summaries, err := PlannerSummaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every paper dataset plus the synthetic TC-guarded row.
+	if len(summaries) != len(Datasets)+1 {
+		t.Fatalf("got %d summaries, want %d", len(summaries), len(Datasets)+1)
+	}
+	guarded := summaries[len(summaries)-1]
+	if guarded.Dataset != "TC-guarded" {
+		t.Errorf("last summary is %s, want TC-guarded", guarded.Dataset)
+	}
+	for _, s := range summaries {
+		if s.PlansBuilt <= 0 || s.PlanCacheHits <= 0 {
+			t.Errorf("%s: cache counters built=%d hits=%d, want both positive",
+				s.Dataset, s.PlansBuilt, s.PlanCacheHits)
+		}
+		if s.PlanMillis <= 0 || s.NoPlanMillis <= 0 {
+			t.Errorf("%s: non-positive timings %v/%v", s.Dataset, s.PlanMillis, s.NoPlanMillis)
+		}
+	}
+}

@@ -48,6 +48,10 @@ const (
 	// seed, its marginal gain, cumulative coverage, and a running ε-style
 	// error proxy derived from RR coverage concentration.
 	TypeSelectIter EventType = "select.iter"
+	// TypePlanSummary summarizes the solve's join planning: plans built,
+	// plan-cache hits, and atom positions reordered away from written
+	// order. At most one per solve, emitted with the selection phase.
+	TypePlanSummary EventType = "plan.summary"
 )
 
 // Event is the envelope every journal entry shares. Exactly one payload
@@ -72,6 +76,7 @@ type Event struct {
 	RR     *RRBatchInfo `json:"rr,omitempty"`
 	IMM    *IMMInfo     `json:"imm,omitempty"`
 	Iter   *IterInfo    `json:"iter,omitempty"`
+	Plan   *PlanInfo    `json:"plan,omitempty"`
 }
 
 // SolveInfo is the solve.start payload.
@@ -167,6 +172,20 @@ type IterInfo struct {
 	// concentration: sqrt((1-Coverage)/Covered), shrinking as coverage
 	// concentrates (0 when nothing is covered yet — no information).
 	ErrProxy float64 `json:"err_proxy"`
+}
+
+// PlanInfo is the plan.summary payload: the solve-wide join-planning
+// totals. A high Hits/Built ratio on the Magic variants means the adorned
+// rule families replanned once and every later per-RR engine compilation
+// reused the cached plans.
+type PlanInfo struct {
+	// Built counts plans computed (cache misses).
+	Built int64 `json:"built"`
+	// Hits counts plans served from the shape-keyed cache.
+	Hits int64 `json:"hits"`
+	// Reordered counts plan positions that deviate from written body
+	// order, summed over built plans.
+	Reordered int64 `json:"reordered"`
 }
 
 // NewRunID returns a fresh 16-hex-digit run identifier. IDs are random

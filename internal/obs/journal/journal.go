@@ -253,6 +253,14 @@ func (j *Journal) IMMRound(info IMMInfo) {
 	j.append(Event{Type: TypeIMMRound, IMM: &info})
 }
 
+// PlanSummary emits a plan.summary event.
+func (j *Journal) PlanSummary(info PlanInfo) {
+	if j == nil {
+		return
+	}
+	j.append(Event{Type: TypePlanSummary, Plan: &info})
+}
+
 // SelectIter emits a select.iter event.
 func (j *Journal) SelectIter(info IterInfo) {
 	if j == nil {

@@ -15,6 +15,11 @@ const (
 	EngineWorkerBusy     = "engine.worker_busy"    // histogram: per-worker busy ns per parallel round
 	EngineMergeWait      = "engine.merge_wait"     // histogram: ns the coordinator waits for workers per round
 
+	// Join planner (internal/planner).
+	PlanBuilt     = "plan.built"      // counter: plans computed (cache misses)
+	PlanCacheHits = "plan.cache_hits" // counter: plans served from the shape-keyed cache
+	PlanReordered = "plan.reordered"  // counter: plan positions deviating from written body order
+
 	// WD-graph construction.
 	GraphBuilds  = "wdgraph.builds"   // counter: graphs constructed
 	GraphNodes   = "wdgraph.nodes"    // counter: nodes summed over builds

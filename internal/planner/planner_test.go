@@ -1,0 +1,452 @@
+package planner
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+
+	"contribmax/internal/analysis"
+)
+
+func v(slot int) Term                      { return Term{IsVar: true, Slot: slot} }
+func c() Term                              { return Term{} }
+func atom(pred string, terms ...Term) Atom { return Atom{Pred: pred, Terms: terms} }
+
+func builtin(pred string, terms ...Term) Check {
+	return Check{Builtin: true, Pred: pred, Terms: terms}
+}
+func negated(pred string, terms ...Term) Check {
+	return Check{Negated: true, Pred: pred, Terms: terms}
+}
+
+// TestBuildGreedyOrder pins the greedy bound-first order on a rule where it
+// deviates from written order: after the delta binds X, the atom sharing X
+// is more bound than the written-next atom and must be pulled forward.
+func TestBuildGreedyOrder(t *testing.T) {
+	// r(X,Z) :- a(X), b(Y,W), c(X,Y).
+	r := &Rule{
+		NumVars: 4,
+		Atoms: []Atom{
+			atom("a", v(0)),
+			atom("b", v(1), v(2)),
+			atom("c", v(0), v(1)),
+		},
+	}
+	p := Build(r)
+	if got, want := p.Order[0], []int{0, 2, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Order[0] = %v, want %v (c shares X with the delta and must come before b)", got, want)
+	}
+	// With b as delta, Y is bound, so c scores 1 vs a's 0 — c again first.
+	if got, want := p.Order[1], []int{1, 2, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Order[1] = %v, want %v", got, want)
+	}
+	// With c as delta both X and Y are bound; a (score 1) beats b (score 1)?
+	// a scores 1/1 terms, b scores 1/2 — raw bound-count ties at 1, and the
+	// tie goes to the earlier body position: a.
+	if got, want := p.Order[2], []int{2, 0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Order[2] = %v, want %v", got, want)
+	}
+	for d, order := range p.Order {
+		if order[0] != d {
+			t.Errorf("Order[%d][0] = %d, want the delta position", d, order[0])
+		}
+	}
+}
+
+// TestBuildTieBreakIsWrittenOrder pins the tie-break: equal scores resolve
+// to the earliest body position, which is exactly the legacy engine order.
+func TestBuildTieBreakIsWrittenOrder(t *testing.T) {
+	// No shared variables anywhere: every non-delta atom always scores 0,
+	// so every plan must collapse to written order and Reordered must be 0.
+	r := &Rule{
+		NumVars: 3,
+		Atoms: []Atom{
+			atom("a", v(0)),
+			atom("b", v(1)),
+			atom("c", v(2)),
+		},
+	}
+	p := Build(r)
+	for d := range r.Atoms {
+		for s, pos := range p.Order[d] {
+			if pos != writtenOrderAtom(d, s) {
+				t.Errorf("Order[%d] = %v deviates from written order at step %d", d, p.Order[d], s)
+			}
+		}
+	}
+	if p.Reordered != 0 {
+		t.Errorf("Reordered = %d, want 0 for an all-ties rule", p.Reordered)
+	}
+}
+
+// TestCheckScheduling pins the earliest-step placement of filters and the
+// pass-level placement of ground checks.
+func TestCheckScheduling(t *testing.T) {
+	// r(X,Y) :- a(X), b(X,Y), lt(X, c), neq(X, Y), not d(Y), eq(c, c).
+	r := &Rule{
+		NumVars: 2,
+		Atoms: []Atom{
+			atom("a", v(0)),
+			atom("b", v(0), v(1)),
+		},
+		Checks: []Check{
+			builtin("lt", v(0), c()),   // bound after step 0 (delta 0)
+			builtin("neq", v(0), v(1)), // bound after step 1
+			negated("d", v(1)),         // bound after the step binding Y
+			builtin("eq", c(), c()),    // ground: pass-level
+		},
+	}
+	p := Build(r)
+	if got, want := p.Pre, []int{3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Pre = %v, want %v", got, want)
+	}
+	// Delta 0: step 0 = a(X) binds X → lt; step 1 = b(X,Y) binds Y → neq, not d.
+	if got, want := p.ChecksAt[0], [][]int{{0}, {1, 2}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ChecksAt[0] = %v, want %v", got, want)
+	}
+	// Delta 1: step 0 = b(X,Y) binds both → everything non-ground at step 0.
+	if got, want := p.ChecksAt[1], [][]int{{0, 1, 2}, nil}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ChecksAt[1] = %v, want %v", got, want)
+	}
+}
+
+// TestBodylessRule: rules with only checks get everything at pass level and
+// empty plan tables.
+func TestBodylessRule(t *testing.T) {
+	r := &Rule{Checks: []Check{builtin("eq", c(), c())}}
+	p := Build(r)
+	if len(p.Order) != 0 || len(p.ChecksAt) != 0 {
+		t.Errorf("body-less rule produced non-empty plan tables: %+v", p)
+	}
+	if got, want := p.Pre, []int{0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Pre = %v, want %v", got, want)
+	}
+}
+
+// TestUnsafeCheckFallback: a check over a variable no positive atom binds
+// (an unsafe shape) must still be scheduled — at the final step — rather
+// than dropped.
+func TestUnsafeCheckFallback(t *testing.T) {
+	r := &Rule{
+		NumVars: 2,
+		Atoms:   []Atom{atom("a", v(0))},
+		Checks:  []Check{builtin("lt", v(1), c())}, // slot 1 never bound
+	}
+	p := Build(r)
+	if got, want := p.ChecksAt[0], [][]int{{0}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ChecksAt[0] = %v, want the leftover check at the final step (%v)", got, want)
+	}
+}
+
+// TestAdornments pins the recorded binding patterns.
+func TestAdornments(t *testing.T) {
+	// r(X,Y) :- a(X), b(X,Y,c).
+	r := &Rule{
+		NumVars: 2,
+		Atoms: []Atom{
+			atom("a", v(0)),
+			atom("b", v(0), v(1), c()),
+		},
+	}
+	p := Build(r)
+	want0 := []analysis.Adornment{"f", "bfb"}
+	if !reflect.DeepEqual(p.Adorn[0], want0) {
+		t.Errorf("Adorn[0] = %v, want %v", p.Adorn[0], want0)
+	}
+	want1 := []analysis.Adornment{"ffb", "b"}
+	if !reflect.DeepEqual(p.Adorn[1], want1) {
+		t.Errorf("Adorn[1] = %v, want %v", p.Adorn[1], want1)
+	}
+}
+
+// TestKeyShape: the key identifies shapes — constant identity is invisible,
+// everything structural is not.
+func TestKeyShape(t *testing.T) {
+	base := &Rule{NumVars: 2, Atoms: []Atom{atom("e", v(0), c()), atom("f", v(0), v(1))}}
+	same := &Rule{NumVars: 2, Atoms: []Atom{atom("e", v(0), c()), atom("f", v(0), v(1))}}
+	if Key(base) != Key(same) {
+		t.Error("identical shapes produced different keys")
+	}
+	variants := []*Rule{
+		{NumVars: 3, Atoms: base.Atoms},                                            // different var count
+		{NumVars: 2, Atoms: []Atom{atom("e2", v(0), c()), atom("f", v(0), v(1))}},  // predicate name
+		{NumVars: 2, Atoms: []Atom{atom("e", v(1), c()), atom("f", v(0), v(1))}},   // slot pattern
+		{NumVars: 2, Atoms: []Atom{atom("e", v(0), v(1)), atom("f", v(0), v(1))}},  // const vs var
+		{NumVars: 2, Atoms: base.Atoms, Checks: []Check{builtin("lt", v(0), c())}}, // extra check
+	}
+	for i, r := range variants {
+		if Key(r) == Key(base) {
+			t.Errorf("variant %d collided with base key %q", i, Key(base))
+		}
+	}
+	// Builtin vs negated with the same predicate and terms must differ.
+	b := &Rule{NumVars: 1, Atoms: []Atom{atom("a", v(0))}, Checks: []Check{builtin("p", v(0))}}
+	n := &Rule{NumVars: 1, Atoms: []Atom{atom("a", v(0))}, Checks: []Check{negated("p", v(0))}}
+	if Key(b) == Key(n) {
+		t.Error("builtin and negated checks collided in the key")
+	}
+}
+
+// TestCacheHit: second request for a shape is a hit returning the shared
+// plan; constants don't fragment the cache.
+func TestCacheHit(t *testing.T) {
+	pl := New(nil)
+	r1 := &Rule{NumVars: 1, Atoms: []Atom{atom("e", v(0), c())}}
+	r2 := &Rule{NumVars: 1, Atoms: []Atom{atom("e", v(0), c())}} // different const identity, same shape
+	p1 := pl.PlanRule(r1)
+	p2 := pl.PlanRule(r2)
+	if p1 != p2 {
+		t.Error("equal shapes did not share a cached plan")
+	}
+	st := pl.Stats()
+	if st.Built != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("Stats = %+v, want Built=1 Hits=1 Entries=1", st)
+	}
+}
+
+// TestCacheReorderedCounter: the cache accumulates Reordered over built
+// plans only — hits don't recount.
+func TestCacheReorderedCounter(t *testing.T) {
+	pl := New(nil)
+	r := &Rule{
+		NumVars: 4,
+		Atoms:   []Atom{atom("a", v(0)), atom("b", v(1), v(2)), atom("c", v(0), v(1))},
+	}
+	want := int64(Build(r).Reordered)
+	if want == 0 {
+		t.Fatal("test rule unexpectedly plans in written order")
+	}
+	pl.PlanRule(r)
+	pl.PlanRule(r)
+	if st := pl.Stats(); st.Reordered != want {
+		t.Errorf("Reordered = %d after build+hit, want %d", st.Reordered, want)
+	}
+}
+
+// TestNilPlanner: a nil *Planner plans without caching and reports zeros.
+func TestNilPlanner(t *testing.T) {
+	var pl *Planner
+	r := &Rule{NumVars: 1, Atoms: []Atom{atom("e", v(0))}}
+	if p := pl.PlanRule(r); p == nil || len(p.Order) != 1 {
+		t.Errorf("nil planner returned %+v", p)
+	}
+	if st := pl.Stats(); st != (CacheStats{}) {
+		t.Errorf("nil planner Stats = %+v, want zero", st)
+	}
+}
+
+// TestCacheCap: past the cap the cache stops admitting but keeps planning,
+// and the resident set stays bounded.
+func TestCacheCap(t *testing.T) {
+	pl := New(nil)
+	for i := 0; i < maxCacheEntries+10; i++ {
+		r := &Rule{NumVars: 1, Atoms: []Atom{atom(fmt.Sprintf("p%d", i), v(0))}}
+		if pl.PlanRule(r) == nil {
+			t.Fatal("PlanRule returned nil past the cap")
+		}
+	}
+	st := pl.Stats()
+	if st.Entries != maxCacheEntries {
+		t.Errorf("Entries = %d, want exactly the cap %d", st.Entries, maxCacheEntries)
+	}
+	if st.Built != int64(maxCacheEntries+10) || st.Hits != 0 {
+		t.Errorf("Stats = %+v, want Built=%d Hits=0", st, maxCacheEntries+10)
+	}
+	// A shape rejected at the cap rebuilds on re-request rather than hitting.
+	r := &Rule{NumVars: 1, Atoms: []Atom{atom(fmt.Sprintf("p%d", maxCacheEntries+5), v(0))}}
+	pl.PlanRule(r)
+	if st := pl.Stats(); st.Built != int64(maxCacheEntries+11) {
+		t.Errorf("Built = %d after re-requesting an unadmitted shape, want %d", st.Built, maxCacheEntries+11)
+	}
+}
+
+// TestCacheConcurrentDeterministicCounts: hammering one planner from many
+// goroutines over a fixed shape set must produce exactly one build per
+// distinct shape — builds happen under the lock, so hit/miss totals are a
+// pure function of the request multiset.
+func TestCacheConcurrentDeterministicCounts(t *testing.T) {
+	const workers, shapes, reqs = 8, 13, 200
+	pl := New(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0xc0ffee))
+			for i := 0; i < reqs; i++ {
+				s := rng.IntN(shapes)
+				r := &Rule{NumVars: 2, Atoms: []Atom{
+					atom(fmt.Sprintf("p%d", s), v(0), v(1)),
+					atom("e", v(1), c()),
+				}}
+				pl.PlanRule(r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := pl.Stats()
+	if st.Built != shapes {
+		t.Errorf("Built = %d across %d concurrent requests, want exactly %d (one per shape)", st.Built, workers*reqs, shapes)
+	}
+	if st.Hits != workers*reqs-shapes {
+		t.Errorf("Hits = %d, want %d", st.Hits, workers*reqs-shapes)
+	}
+}
+
+// genRule derives a random rule shape — not necessarily safe — from rng.
+// Shared by the fuzz target and benchmarks.
+func genRule(rng *rand.Rand) *Rule {
+	r := &Rule{NumVars: 1 + rng.IntN(6)}
+	nAtoms := rng.IntN(5)
+	for i := 0; i < nAtoms; i++ {
+		a := Atom{Pred: fmt.Sprintf("p%d", rng.IntN(4))}
+		for j, nt := 0, 1+rng.IntN(3); j < nt; j++ {
+			if rng.IntN(4) == 0 {
+				a.Terms = append(a.Terms, c())
+			} else {
+				a.Terms = append(a.Terms, v(rng.IntN(r.NumVars)))
+			}
+		}
+		r.Atoms = append(r.Atoms, a)
+	}
+	nChecks := rng.IntN(4)
+	for i := 0; i < nChecks; i++ {
+		ch := Check{Pred: "lt", Builtin: true}
+		if rng.IntN(3) == 0 {
+			ch = Check{Pred: fmt.Sprintf("n%d", rng.IntN(3)), Negated: true}
+		}
+		for j, nt := 0, 1+rng.IntN(2); j < nt; j++ {
+			if rng.IntN(4) == 0 {
+				ch.Terms = append(ch.Terms, c())
+			} else {
+				ch.Terms = append(ch.Terms, v(rng.IntN(r.NumVars)))
+			}
+		}
+		r.Checks = append(r.Checks, ch)
+	}
+	return r
+}
+
+// FuzzPlanRule checks the planner's structural invariants over arbitrary
+// rule shapes (including unsafe ones): every plan is a delta-first
+// permutation, no check is scheduled before its variables are bound (except
+// the unsafe-leftover fallback at the final step), ground checks are
+// pass-level, scheduling is exactly-once, and Build is deterministic.
+func FuzzPlanRule(f *testing.F) {
+	for seed := uint64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		r := genRule(rand.New(rand.NewPCG(seed, 0xfeed)))
+		p := Build(r)
+		if p2 := Build(r); !reflect.DeepEqual(p, p2) {
+			t.Fatal("Build is not deterministic")
+		}
+		n := len(r.Atoms)
+		if len(p.Order) != n || len(p.ChecksAt) != n || len(p.Adorn) != n {
+			t.Fatalf("plan tables sized %d/%d/%d for %d atoms", len(p.Order), len(p.ChecksAt), len(p.Adorn), n)
+		}
+		for _, ci := range p.Pre {
+			if hasVars(&r.Checks[ci]) {
+				t.Fatalf("check %d has variables but is scheduled pass-level", ci)
+			}
+		}
+		for d := 0; d < n; d++ {
+			order := p.Order[d]
+			if len(order) != n || order[0] != d {
+				t.Fatalf("Order[%d] = %v: not a delta-first sequence", d, order)
+			}
+			seen := make([]bool, n)
+			for _, pos := range order {
+				if pos < 0 || pos >= n || seen[pos] {
+					t.Fatalf("Order[%d] = %v is not a permutation", d, order)
+				}
+				seen[pos] = true
+			}
+			// Replay the plan, tracking bound variables, and verify check
+			// placement: bound when scheduled (earliest such step), and
+			// every check scheduled exactly once per delta (Pre included).
+			bound := make([]bool, r.NumVars)
+			times := make([]int, len(r.Checks))
+			for _, ci := range p.Pre {
+				times[ci]++
+			}
+			for s, pos := range order {
+				if got := adornmentOf(&r.Atoms[pos], bound); got != p.Adorn[d][s] {
+					t.Fatalf("Adorn[%d][%d] = %q, want %q", d, s, p.Adorn[d][s], got)
+				}
+				prevBound := append([]bool(nil), bound...)
+				for _, tm := range r.Atoms[pos].Terms {
+					if tm.IsVar {
+						bound[tm.Slot] = true
+					}
+				}
+				for _, ci := range p.ChecksAt[d][s] {
+					times[ci]++
+					ch := &r.Checks[ci]
+					if checkBound(ch, prevBound) && s > 0 {
+						t.Fatalf("delta %d: check %d bound before step %d but scheduled there", d, ci, s)
+					}
+					if !checkBound(ch, bound) && s != n-1 {
+						t.Fatalf("delta %d: check %d scheduled at step %d with unbound variables", d, ci, s)
+					}
+				}
+			}
+			for ci, k := range times {
+				if k != 1 {
+					t.Fatalf("delta %d: check %d scheduled %d times, want exactly once", d, ci, k)
+				}
+			}
+		}
+		// Independent recount of the reordered metric.
+		reordered := 0
+		for d := 0; d < n; d++ {
+			for s, pos := range p.Order[d] {
+				if pos != writtenOrderAtom(d, s) {
+					reordered++
+				}
+			}
+		}
+		if p.Reordered != reordered {
+			t.Fatalf("Reordered = %d, recount says %d", p.Reordered, reordered)
+		}
+	})
+}
+
+func benchRule() *Rule {
+	// A representative Magic^S-ish shape: guard + three joinable atoms +
+	// two filters.
+	return &Rule{
+		NumVars: 5,
+		Atoms: []Atom{
+			atom("m_p_bf", v(0)),
+			atom("e", v(0), v(1)),
+			atom("e", v(1), v(2)),
+			atom("f", v(2), v(3), v(4)),
+		},
+		Checks: []Check{
+			builtin("neq", v(0), v(2)),
+			negated("blocked", v(3)),
+		},
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := benchRule()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(r)
+	}
+}
+
+func BenchmarkPlanRuleCached(b *testing.B) {
+	pl := New(nil)
+	r := benchRule()
+	pl.PlanRule(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pl.PlanRule(r)
+	}
+}

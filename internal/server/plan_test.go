@@ -1,0 +1,50 @@
+package server_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"contribmax/internal/server"
+)
+
+// TestSolveAPINoPlan checks that SolveRequest.NoPlan disables the join
+// planner (no plan counters reported) while leaving the solve result
+// byte-identical — the planner's core equivalence promise, observed over
+// the HTTP surface.
+func TestSolveAPINoPlan(t *testing.T) {
+	ts := newServer(t)
+	req := server.SolveRequest{
+		Program:   tcProgram,
+		Facts:     tcFacts,
+		Targets:   []string{"tc(a, c)"},
+		K:         1,
+		RR:        200,
+		Algorithm: "magic",
+	}
+	resp := postSolve(t, ts.URL, req)
+	defer resp.Body.Close()
+	var planned server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&planned); err != nil {
+		t.Fatal(err)
+	}
+	if planned.PlansBuilt == 0 || planned.PlanCacheHits == 0 {
+		t.Errorf("planned solve reported no planner activity: built=%d hits=%d",
+			planned.PlansBuilt, planned.PlanCacheHits)
+	}
+
+	req.NoPlan = true
+	resp = postSolve(t, ts.URL, req)
+	defer resp.Body.Close()
+	var unplanned server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&unplanned); err != nil {
+		t.Fatal(err)
+	}
+	if unplanned.PlansBuilt != 0 || unplanned.PlanCacheHits != 0 {
+		t.Errorf("noplan solve reported planner activity: built=%d hits=%d",
+			unplanned.PlansBuilt, unplanned.PlanCacheHits)
+	}
+	if len(unplanned.Seeds) != len(planned.Seeds) || unplanned.Seeds[0] != planned.Seeds[0] ||
+		unplanned.EstContribution != planned.EstContribution {
+		t.Errorf("noplan solve diverged: %+v vs %+v", unplanned, planned)
+	}
+}

@@ -67,6 +67,10 @@ type SolveRequest struct {
 	// Prune drops rules provably outside the targets' dependency cone
 	// before solving; results are byte-identical (see docs/ANALYSIS.md).
 	Prune bool `json:"prune"`
+	// NoPlan disables the greedy join planner and its plan cache for this
+	// solve; results are byte-identical (see docs/PERFORMANCE.md). The
+	// server-wide Config.NoPlan disables it for every request.
+	NoPlan bool `json:"noplan"`
 }
 
 // SolveResponse is the JSON output of /api/solve.
@@ -81,6 +85,8 @@ type SolveResponse struct {
 	PeakGraphSize   int      `json:"peakGraphSize"`
 	RulesTotal      int      `json:"rulesTotal"`
 	RulesPruned     int      `json:"rulesPruned"`
+	PlansBuilt      int64    `json:"plansBuilt,omitempty"`
+	PlanCacheHits   int64    `json:"planCacheHits,omitempty"`
 	TotalMillis     float64  `json:"totalMillis"`
 	// Diagnostics lists non-failing static-analysis findings for the
 	// submitted program ("line:col: warning[CMnnn]: ..."). Failing
@@ -121,6 +127,10 @@ type Config struct {
 	// WarnAsError makes warning-severity static-analysis findings reject
 	// requests, matching cmrun/cmlint's -W error.
 	WarnAsError bool
+	// NoPlan disables the greedy join planner for every solve the server
+	// runs, matching cmrun's -noplan escape hatch. Individual requests
+	// can also opt out via SolveRequest.NoPlan.
+	NoPlan bool
 }
 
 // New returns the HTTP handler with default configuration (no metrics, no
@@ -365,6 +375,9 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 		Obs:          s.cfg.Obs,
 		Journal:      jr,
 	}
+	if req.NoPlan || s.cfg.NoPlan {
+		opts.Plan = cm.PlanOff
+	}
 	var res *cm.Result
 	// The pprof label makes per-algorithm cost visible in CPU profiles
 	// taken through /debug/pprof while solves are in flight.
@@ -396,6 +409,8 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 		PeakGraphSize:   res.Stats.PeakResidentSize,
 		RulesTotal:      res.Stats.RulesTotal,
 		RulesPruned:     res.Stats.RulesPruned,
+		PlansBuilt:      res.Stats.PlansBuilt,
+		PlanCacheHits:   res.Stats.PlanCacheHits,
 		TotalMillis:     float64(res.Stats.TotalTime) / float64(time.Millisecond),
 		RunID:           jr.Run(),
 	}

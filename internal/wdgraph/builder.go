@@ -11,6 +11,7 @@ import (
 	"contribmax/internal/engine"
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
+	"contribmax/internal/planner"
 )
 
 // Projection controls how fired rule instantiations map into WD-graph nodes
@@ -337,6 +338,12 @@ type BuildConfig struct {
 	// engine for its per-round engine.round events. Full-graph builds set
 	// it; the Magic variants' per-RR subgraph builds leave it nil.
 	Journal *journal.Journal
+	// Planner, when non-nil, routes rule compilation through
+	// engine.NewPlanned: identical join order (the derivation stream — and
+	// hence the constructed graph — is byte-for-byte unchanged), checks
+	// evaluated at their earliest bound join step, and plans shared across
+	// builds through the planner's shape-keyed cache.
+	Planner *planner.Planner
 }
 
 // Build evaluates prog over database and returns the projected WD graph.
@@ -368,7 +375,13 @@ func BuildWith(prog *ast.Program, database *db.Database, cfg BuildConfig) (*Grap
 	if cfg.PreloadEDB {
 		b.PreloadEDB(prog, database)
 	}
-	eng, err := engine.New(prog, database)
+	var eng *engine.Engine
+	var err error
+	if cfg.Planner != nil {
+		eng, err = engine.NewPlanned(prog, database, cfg.Planner)
+	} else {
+		eng, err = engine.New(prog, database)
+	}
 	if err != nil {
 		return nil, engine.Stats{}, err
 	}
