@@ -29,14 +29,17 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 7a, 7b, or all")
-		ds      = flag.String("ds", "all", "dataset: TC, Explain, IRIS, AMIE, or all")
-		full    = flag.Bool("full", false, "run the full-scale sweep (minutes) instead of the quick one")
-		format  = flag.String("format", "text", "output format: text | csv")
-		jsonOut = flag.String("json", "", "also write every figure to this file as a machine-readable BENCH report")
-		diff    = flag.String("diff", "", "compare this run against a baseline BENCH_*.json and warn (stderr, non-fatal) on >20% regressions")
-		noplan  = flag.Bool("noplan", false, "disable the greedy join planner in every solve (results are byte-identical; for bisecting timing regressions)")
-		planAB  = flag.Bool("plan-ab", false, "also run and print the join-planner A/B measurement (always included in -json reports)")
+		fig           = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 7a, 7b, or all")
+		ds            = flag.String("ds", "all", "dataset: TC, Explain, IRIS, AMIE, or all")
+		full          = flag.Bool("full", false, "run the full-scale sweep (minutes) instead of the quick one")
+		format        = flag.String("format", "text", "output format: text | csv")
+		jsonOut       = flag.String("json", "", "also write every figure to this file as a machine-readable BENCH report")
+		diff          = flag.String("diff", "", "compare this run against a baseline BENCH_*.json and warn (stderr) on regressions beyond -diff-threshold")
+		diffThreshold = flag.Float64("diff-threshold", 0.20, "relative slowdown that counts as a regression for -diff (0.20 = 20%)")
+		diffStrict    = flag.Bool("diff-strict", false, "exit nonzero when -diff finds regressions (default: warn only, for noisy CI runners)")
+		noplan        = flag.Bool("noplan", false, "disable the greedy join planner in every solve (results are byte-identical; for bisecting timing regressions)")
+		planAB        = flag.Bool("plan-ab", false, "also run and print the join-planner A/B measurement (always included in -json reports)")
+		cacheAB       = flag.Bool("cache-ab", false, "also run and print the solve-cache cold/warm A/B (always included in -json reports)")
 	)
 	flag.Parse()
 	experiments.NoPlan = *noplan
@@ -157,6 +160,28 @@ func run() error {
 			fmt.Println()
 		}
 	}
+	if *cacheAB || report != nil {
+		// The cache A/B resolves the same request cold and warm against the
+		// solve cache and fails hard if the warm replay misses or diverges.
+		summaries, err := experiments.CacheSummaries()
+		if err != nil {
+			return err
+		}
+		if report != nil {
+			report.Cache = summaries
+		}
+		if *cacheAB {
+			t := experiments.CacheTable(summaries)
+			if *format == "csv" {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+			} else {
+				t.Print(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
 	if report != nil {
 		// The journaled reference solve gives every report a comparable
 		// RR/coverage telemetry block alongside the figures.
@@ -196,14 +221,17 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("baseline %s: %w", *diff, err)
 		}
-		warnings := experiments.DiffReports(baseline, report, 0.20)
+		warnings := experiments.DiffReports(baseline, report, *diffThreshold)
 		if len(warnings) == 0 {
-			fmt.Fprintf(os.Stderr, "cmbench: no regressions >20%% vs %s\n", *diff)
+			fmt.Fprintf(os.Stderr, "cmbench: no regressions >%.0f%% vs %s\n", *diffThreshold*100, *diff)
 		}
-		// Warn-only: benchmark noise on shared CI runners must not fail
-		// the build; the warnings are for humans reading the log.
+		// Warn-only by default: benchmark noise on shared CI runners must
+		// not fail the build; -diff-strict opts into a hard gate.
 		for _, w := range warnings {
 			fmt.Fprintf(os.Stderr, "cmbench: WARNING: regression vs %s: %s\n", *diff, w)
+		}
+		if *diffStrict && len(warnings) > 0 {
+			return fmt.Errorf("%d regression(s) beyond %.0f%% vs %s", len(warnings), *diffThreshold*100, *diff)
 		}
 	}
 	return nil

@@ -126,6 +126,7 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 		imm    []journal.IMMInfo
 		iters  []journal.IterInfo
 		plan   *journal.PlanInfo
+		cache  *journal.CacheInfo
 		run    string
 		endNs  int64
 	)
@@ -149,6 +150,8 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 			iters = append(iters, *ev.Iter)
 		case journal.TypePlanSummary:
 			plan = ev.Plan
+		case journal.TypeCacheSummary:
+			cache = ev.Cache
 		}
 	}
 
@@ -248,6 +251,15 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 	if plan != nil {
 		fmt.Fprintf(w, "\njoin planner: %d plans built, %d cache hits, %d atoms reordered\n",
 			plan.Built, plan.Hits, plan.Reordered)
+	}
+
+	if cache != nil {
+		fmt.Fprintf(w, "\nsolve cache: graph %d hit / %d miss, rr %d hit / %d miss",
+			cache.GraphHits, cache.GraphMisses, cache.RRHits, cache.RRMisses)
+		if cache.BytesReused > 0 {
+			fmt.Fprintf(w, ", %.1f MiB reused", float64(cache.BytesReused)/(1<<20))
+		}
+		fmt.Fprintln(w)
 	}
 
 	if finish != nil {

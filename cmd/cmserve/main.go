@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	cmserve -addr :8080 [-solve-timeout 30s]
+//	cmserve -addr :8080 [-solve-timeout 30s] [-cache-size 256] [-max-concurrent 4] [-tenant-quota 2]
 //	# then open http://localhost:8080/ or:
 //	curl -s localhost:8080/api/solve -d '{"program":"...","facts":"...","targets":["p(a, X)"]}'
+//	curl -s localhost:8080/api/solve/batch -d '{"program":"...","facts":"...","solves":[{"targets":["p(a, X)"],"k":1},{"targets":["p(a, X)"],"k":2}]}'
 //	curl -s localhost:8080/metrics          # live counters, expvar-style JSON
 //	curl -s 'localhost:8080/metrics?format=prometheus'  # Prometheus text format
 //	curl -s localhost:8080/api/solve/start -d @req.json # async journaled solve (202 + run ID)
@@ -47,14 +48,35 @@ func run() error {
 	solveTimeout := flag.Duration("solve-timeout", 60*time.Second, "per-request solve deadline (0 = none)")
 	warnFlag := flag.String("W", "", `"error" rejects requests whose programs have static-analysis warnings, matching cmrun -W error`)
 	noplan := flag.Bool("noplan", false, "disable the greedy join planner for every solve (results are byte-identical; escape hatch)")
+	cacheMB := flag.Int64("cache-size", 0, "solve-cache bound in MiB (0 = default 256; negative disables caching)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max solves executing at once (0 = unlimited); excess queues, then sheds with 429")
+	maxQueue := flag.Int("queue", 0, "max solves waiting for a slot (0 = 2 x max-concurrent)")
+	queueWait := flag.Duration("queue-wait", 0, "max time a queued solve waits before shedding (0 = 10s)")
+	tenantQuota := flag.Int("tenant-quota", 0, "max concurrent solves per tenant, keyed by the X-Tenant header (0 = no quotas)")
+	maxRuns := flag.Int("max-runs", 0, "max async runs retained (0 = default 128); finished runs evict LRU-first")
 	flag.Parse()
 	if *warnFlag != "" && *warnFlag != "error" {
 		return fmt.Errorf("-W accepts only \"error\", got %q", *warnFlag)
 	}
+	cacheBytes := *cacheMB * (1 << 20)
+	if *cacheMB < 0 {
+		cacheBytes = -1
+	}
 
 	reg := obs.NewRegistry()
 	mux := http.NewServeMux()
-	mux.Handle("/", server.NewWith(server.Config{Obs: reg, SolveTimeout: *solveTimeout, WarnAsError: *warnFlag == "error", NoPlan: *noplan}))
+	mux.Handle("/", server.NewWith(server.Config{
+		Obs:                 reg,
+		SolveTimeout:        *solveTimeout,
+		WarnAsError:         *warnFlag == "error",
+		NoPlan:              *noplan,
+		CacheBytes:          cacheBytes,
+		MaxConcurrentSolves: *maxConcurrent,
+		MaxQueueDepth:       *maxQueue,
+		QueueWait:           *queueWait,
+		TenantQuota:         *tenantQuota,
+		MaxRuns:             *maxRuns,
+	}))
 	// net/http/pprof registers on DefaultServeMux; mount its handlers
 	// explicitly since this server uses its own mux.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -17,6 +17,7 @@ import (
 	"contribmax/internal/optimize"
 	"contribmax/internal/parser"
 	"contribmax/internal/provenance"
+	"contribmax/internal/solvecache"
 	"contribmax/internal/wdgraph"
 )
 
@@ -84,6 +85,21 @@ type (
 	// ID, type tag, and exactly one typed payload.
 	JournalEvent = journal.Event
 
+	// SolveCache memoizes built WD graphs and finalized RR collections
+	// across solves, keyed by content fingerprints (database, program,
+	// evaluation config, rng identity). Hand one to Options.Cache and
+	// repeated solves of the same instance replay instead of rebuilding —
+	// byte-identically. Safe for concurrent use; see NewSolveCache.
+	SolveCache = solvecache.Cache
+	// CacheIdentity names a solve's inputs to the cache (Options.CacheID).
+	// The Rand field asserts the identity of the rng stream — required for
+	// RR-collection reuse, since the multiset depends on the draws; leave
+	// it empty (with a caller-supplied Rand) to cache graphs only.
+	CacheIdentity = solvecache.Identity
+	// SolveCacheStats is a point-in-time snapshot of a cache's hit, miss,
+	// eviction, and byte accounting.
+	SolveCacheStats = solvecache.Stats
+
 	// Diagnostic is one static-analysis finding (severity, stable code,
 	// source position, message); see Analyze.
 	Diagnostic = analysis.Diagnostic
@@ -110,6 +126,11 @@ const (
 
 // NewMetricsRegistry returns an empty metrics registry for Options.Obs.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSolveCache returns a solve cache bounded to maxBytes of resident
+// graph and RR-collection payload (LRU-evicted; maxBytes <= 0 uses the
+// 256 MiB default). Share one cache across all solves of a process.
+func NewSolveCache(maxBytes int64) *SolveCache { return solvecache.New(maxBytes) }
 
 // StartTrace opens a root trace span for Options.Trace. End it (or its
 // children) and render the phase tree with its Render method.

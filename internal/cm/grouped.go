@@ -7,7 +7,6 @@ import (
 
 	"contribmax/internal/ast"
 	"contribmax/internal/im"
-	"contribmax/internal/magic"
 	"contribmax/internal/wdgraph"
 )
 
@@ -23,7 +22,7 @@ import (
 // which is why, as the paper's experiments show, Magic^G CM's memory
 // footprint grows with the number of RR sets while Magic^S CM's does not.
 func MagicGroupedCM(in Input, opts Options) (*Result, error) {
-	res, err := magicGroupedCM(in, opts)
+	res, err := solveVia(in, opts, "MagicGCM", magicGroupedCM)
 	return observeSolve(opts, res, err)
 }
 
@@ -71,13 +70,12 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 		queryAtoms = append(queryAtoms, inst.atomOf(inst.targets[ti]))
 	}
 
+	// The θ roots above are drawn from the rng BEFORE this lookup, so the
+	// rng state — and every later draw — is identical whether the graph is
+	// built or served from the cache.
 	buildSpan := sp.StartChild("build")
 	buildStart := time.Now()
-	tr, err := magic.TransformWith(inst.prog, queryAtoms, opts.SIPS)
-	if err != nil {
-		return nil, fmt.Errorf("MagicGCM: %w", err)
-	}
-	g, err := buildMagicGraph(in, tr, nil, false, ctx, opts.Obs, opts.Journal, opts.Parallelism, res.pl)
+	g, err := cachedGroupedGraph(in, opts, inst, res, queryAtoms)
 	if err != nil {
 		return nil, fmt.Errorf("MagicGCM: %w", err)
 	}

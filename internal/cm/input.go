@@ -19,6 +19,7 @@ import (
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
 	"contribmax/internal/planner"
+	"contribmax/internal/solvecache"
 )
 
 // Input is one CM problem instance: find the k-size subset of T1 with the
@@ -153,6 +154,29 @@ type Options struct {
 	// it and return its error promptly (within one RR set or one
 	// semi-naive round).
 	Context context.Context
+	// Cache, when non-nil, memoizes the expensive phases across solves:
+	// full/grouped WD graphs and finalized RR collections, keyed by content
+	// fingerprints of the database, program, targets, and effective RR
+	// parameters (see internal/solvecache). A cached repeat of a solve
+	// costs only the selection phase and returns byte-identical results;
+	// Stats.CacheGraphHits/CacheRRHits report what was reused. Safe to
+	// share one cache across concurrent solves and tenants.
+	Cache *solvecache.Cache
+	// CacheID optionally asserts content identities for the cache, letting
+	// callers that already know a cheap identity (e.g. a hash of the fact
+	// file and program text, plus a seed label for Rand) skip the
+	// database-fingerprint pass. Zero-value fields are derived from the
+	// inputs; see solvecache.Identity for the contract. Ignored without
+	// Cache. When Rand is non-nil and CacheID.Rand is empty, RR collections
+	// are NOT cached (the stream is unidentified); graph caching still
+	// applies.
+	CacheID solvecache.Identity
+
+	// cacheIdentity is the resolved identity solveVia computed for this
+	// solve, handed down to the per-algorithm graph hooks.
+	cacheIdentity solvecache.Identity
+	// cacheIDValid reports cacheIdentity's Database/Program are filled.
+	cacheIDValid bool
 }
 
 // ctx returns the solve context, never nil.
@@ -250,6 +274,17 @@ type Stats struct {
 	PlansBuilt         int64
 	PlanCacheHits      int64
 	PlanAtomsReordered int64
+
+	// Solve-cache interaction (all 0 without Options.Cache). Hits mean the
+	// phase was skipped entirely and its output reused; the graph/RR cost
+	// stats above still describe the original computation, so cold and
+	// warm runs report the same shape. CacheBytesReused is the resident
+	// size of the reused entries.
+	CacheGraphHits   int64
+	CacheGraphMisses int64
+	CacheRRHits      int64
+	CacheRRMisses    int64
+	CacheBytesReused int64
 }
 
 // AvgGraphSize returns the average constructed-graph size (nodes+edges) per

@@ -26,7 +26,9 @@ import (
 // the WD graph backward-reachable from t; the RR set is then sampled from
 // that subgraph and the subgraph is discarded.
 func MagicCM(in Input, opts Options) (*Result, error) {
-	res, err := magicVariant(in, opts, "MagicCM", false)
+	res, err := solveVia(in, opts, "MagicCM", func(in Input, opts Options) (*Result, error) {
+		return magicVariant(in, opts, "MagicCM", false)
+	})
 	return observeSolve(opts, res, err)
 }
 
@@ -38,7 +40,9 @@ func MagicCM(in Input, opts Options) (*Result, error) {
 // of the subgraph is ever materialized, and the subsequent RR extraction is
 // a deterministic reverse reachability.
 func MagicSampledCM(in Input, opts Options) (*Result, error) {
-	res, err := magicVariant(in, opts, "MagicSCM", true)
+	res, err := solveVia(in, opts, "MagicSCM", func(in Input, opts Options) (*Result, error) {
+		return magicVariant(in, opts, "MagicSCM", true)
+	})
 	return observeSolve(opts, res, err)
 }
 

@@ -18,7 +18,7 @@ import (
 // ≥ 1 − δ (Proposition 4.1) but materializes a graph polynomial in |D|,
 // which is what the optimized variants avoid.
 func NaiveCM(in Input, opts Options) (*Result, error) {
-	res, err := naiveCM(in, opts)
+	res, err := solveVia(in, opts, "NaiveCM", naiveCM)
 	return observeSolve(opts, res, err)
 }
 
@@ -42,14 +42,7 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 	// for every edb fact in D, hence the preload.
 	buildSpan := sp.StartChild("build")
 	buildStart := time.Now()
-	g, _, err := wdgraph.BuildWith(inst.prog, scratchFor(in), wdgraph.BuildConfig{
-		PreloadEDB:  true,
-		Ctx:         ctx,
-		Obs:         opts.Obs,
-		Parallelism: opts.Parallelism,
-		Journal:     opts.Journal,
-		Planner:     res.pl,
-	})
+	g, err := cachedFullGraph(in, opts, inst, res)
 	if err != nil {
 		return nil, err
 	}

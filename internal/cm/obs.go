@@ -1,8 +1,12 @@
 package cm
 
 import (
+	"fmt"
+
+	"contribmax/internal/ast"
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
+	"contribmax/internal/solvecache"
 )
 
 // observeSolve folds one finished solve into the metrics registry and
@@ -16,6 +20,22 @@ func observeSolve(opts Options, res *Result, err error) (*Result, error) {
 			reg.Counter(obs.CMSolves).Inc()
 			reg.Histogram(obs.CMSolveNs).Observe(int64(res.Stats.TotalTime))
 		}
+	}
+	if opts.Cache != nil && res != nil && err == nil {
+		st := res.Stats
+		if reg := opts.Obs; reg != nil {
+			reg.Counter(obs.CacheGraphHits).Add(st.CacheGraphHits)
+			reg.Counter(obs.CacheGraphMisses).Add(st.CacheGraphMisses)
+			reg.Counter(obs.CacheRRHits).Add(st.CacheRRHits)
+			reg.Counter(obs.CacheRRMisses).Add(st.CacheRRMisses)
+		}
+		opts.Journal.CacheSummary(journal.CacheInfo{
+			GraphHits:   st.CacheGraphHits,
+			GraphMisses: st.CacheGraphMisses,
+			RRHits:      st.CacheRRHits,
+			RRMisses:    st.CacheRRMisses,
+			BytesReused: st.CacheBytesReused,
+		})
 	}
 	if j := opts.Journal; j != nil {
 		var fin journal.FinishInfo
@@ -51,10 +71,27 @@ func journalSolveStart(opts Options, inst *instance, name string) {
 	}
 	j.SolveStart(journal.SolveInfo{
 		Algorithm: name,
-		Fingerprint: journal.Fingerprint(
-			name, inst.in.K, len(inst.candidates), len(inst.targets),
-			opts.Theta.Explicit, opts.Theta.Fraction, opts.Theta.Epsilon, opts.Theta.Delta, opts.Theta.MaxAuto,
-			opts.Adaptive, opts.Parallelism, opts.MaxSeedsPerRelation, opts.LazyGreedy, opts.SIPS, opts.Plan),
+		Fingerprint: journal.FingerprintInput{
+			Algorithm:           name,
+			Database:            opts.cacheIdentity.Database,
+			Program:             opts.cacheIdentity.Program,
+			Target:              targetsHash(inst),
+			K:                   inst.in.K,
+			Candidates:          len(inst.candidates),
+			Targets:             len(inst.targets),
+			ThetaExplicit:       opts.Theta.Explicit,
+			ThetaFraction:       opts.Theta.Fraction,
+			ThetaEpsilon:        opts.Theta.Epsilon,
+			ThetaDelta:          opts.Theta.Delta,
+			ThetaMaxAuto:        opts.Theta.MaxAuto,
+			Adaptive:            opts.Adaptive,
+			Parallelism:         opts.Parallelism,
+			MaxSeedsPerRelation: opts.MaxSeedsPerRelation,
+			LazyGreedy:          opts.LazyGreedy,
+			SIPS:                fmt.Sprintf("%d", opts.SIPS),
+			Plan:                opts.Plan == PlanOn,
+			Prune:               opts.Prune,
+		}.Hash(),
 		K:           inst.in.K,
 		Candidates:  len(inst.candidates),
 		Targets:     len(inst.targets),
@@ -62,6 +99,16 @@ func journalSolveStart(opts Options, inst *instance, name string) {
 		Adaptive:    opts.Adaptive,
 		Parallelism: opts.Parallelism,
 	})
+}
+
+// targetsHash fingerprints the resolved target list, order-sensitively —
+// the Target field of the solve fingerprint.
+func targetsHash(inst *instance) string {
+	atoms := make([]ast.Atom, len(inst.targets))
+	for i, t := range inst.targets {
+		atoms[i] = inst.atomOf(t)
+	}
+	return solvecache.HashAtoms(atoms)
 }
 
 // journalSelection replays the greedy selection into the journal as one

@@ -1,7 +1,9 @@
 package db
 
 import (
+	"encoding/hex"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"contribmax/internal/ast"
@@ -188,6 +190,31 @@ func (d *Database) Attach(rel *Relation) {
 	if err := d.AttachShared(rel); err != nil {
 		invariantf("%v", err)
 	}
+}
+
+// Fingerprint returns a content identity of the database: an FNV-1a hash
+// over every relation (in creation order) and every tuple (in insertion
+// order), with constants rendered by name so two databases built by the
+// same insertion sequence — even with different symbol tables — agree.
+// Creation and insertion order participate deliberately: downstream
+// candidate ids are positional, so "same content, different build order"
+// must be a different identity. Cost is one pass over every term; callers
+// that already know a cheaper identity (e.g. a hash of the fact file the
+// database was loaded from) should use that instead.
+func (d *Database) Fingerprint() string {
+	h := fnv.New64a()
+	for _, name := range d.order {
+		rel := d.relations[name]
+		fmt.Fprintf(h, "%d:%s/%d#%d;", len(name), name, rel.arity, rel.Len())
+		for i := 0; i < rel.Len(); i++ {
+			for _, s := range rel.tuples[i] {
+				n := d.symbols.Name(s)
+				fmt.Fprintf(h, "%d:%s,", len(n), n)
+			}
+			h.Write([]byte{'\n'})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Stats returns a deterministic, human-readable per-relation tuple count

@@ -35,6 +35,11 @@ type Report struct {
 	// the planner on and off, plus the plan cache's hit accounting.
 	// Additive and optional like Journal and Pruning.
 	Planner []PlannerSummary `json:"planner,omitempty"`
+	// Cache, when present, records the solve-cache A/B per dataset (see
+	// CacheSummaries): the same Magic^S request resolved cold and warm,
+	// with the warm replay's hit accounting and speedup. Additive and
+	// optional like the other measurement blocks.
+	Cache []CacheSummary `json:"cache,omitempty"`
 }
 
 // PruningSummary is the dead-rule analysis of one dataset's program:
@@ -149,6 +154,18 @@ func ValidateReportJSON(data []byte) error {
 		if p.PlansBuilt <= 0 || p.PlanCacheHits < 0 {
 			return fmt.Errorf("bench report: planner entry %q has impossible cache counts %d/%d",
 				p.Dataset, p.PlanCacheHits, p.PlansBuilt)
+		}
+	}
+	for ci, c := range r.Cache {
+		if c.Dataset == "" {
+			return fmt.Errorf("bench report: cache entry %d lacks a dataset", ci)
+		}
+		if c.ColdMillis < 0 || c.WarmMillis < 0 || c.Speedup < 0 {
+			return fmt.Errorf("bench report: cache entry %q has negative measurements", c.Dataset)
+		}
+		if c.RRHits <= 0 {
+			return fmt.Errorf("bench report: cache entry %q reports a warm solve that never hit (rr_hits=%d)",
+				c.Dataset, c.RRHits)
 		}
 	}
 	for fi, f := range r.Figures {

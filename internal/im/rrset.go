@@ -95,6 +95,35 @@ func (c *RRCollection) ArenaBytes() int64 {
 	return int64(cap(c.members))*candSize + int64(cap(c.setOff))*offSize
 }
 
+// MemoryBytes returns the resident size of the collection including the
+// memberOf index and scratch — the quantity a cache charges an entry for.
+func (c *RRCollection) MemoryBytes() int64 {
+	const i32 = 4
+	return c.ArenaBytes() +
+		int64(cap(c.memberOf))*i32 + int64(cap(c.memberOfOff))*i32 +
+		int64(cap(c.seedMark))*i32 + int64(cap(c.setMark))*i32
+}
+
+// Snapshot returns a read-only view of a finalized collection: it shares
+// the member arena, offsets, and memberOf index (all immutable once no
+// further Adds happen) but owns fresh coverage scratch, so any number of
+// snapshots can serve concurrent solves without aliasing mutable state.
+// The receiver is finalized if it was not already; neither the receiver
+// nor any snapshot may receive further Adds afterwards (the shared index
+// would go stale for all of them).
+func (c *RRCollection) Snapshot() *RRCollection {
+	c.Finalize()
+	return &RRCollection{
+		numCandidates: c.numCandidates,
+		members:       c.members,
+		setOff:        c.setOff,
+		totalMembers:  c.totalMembers,
+		memberOf:      c.memberOf,
+		memberOfOff:   c.memberOfOff,
+		indexedSets:   c.indexedSets,
+	}
+}
+
 // Set returns the i-th RR set as a subslice of the arena; do not modify.
 func (c *RRCollection) Set(i int) []CandidateID {
 	return c.members[c.setOff[i]:c.setOff[i+1]]

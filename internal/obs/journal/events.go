@@ -52,6 +52,10 @@ const (
 	// plan-cache hits, and atom positions reordered away from written
 	// order. At most one per solve, emitted with the selection phase.
 	TypePlanSummary EventType = "plan.summary"
+	// TypeCacheSummary summarizes the solve's use of the solve cache: graph
+	// and RR hit/miss counts and bytes reused. At most one per solve,
+	// emitted right before solve.finish, and only when a cache is attached.
+	TypeCacheSummary EventType = "cache.summary"
 )
 
 // Event is the envelope every journal entry shares. Exactly one payload
@@ -77,6 +81,7 @@ type Event struct {
 	IMM    *IMMInfo     `json:"imm,omitempty"`
 	Iter   *IterInfo    `json:"iter,omitempty"`
 	Plan   *PlanInfo    `json:"plan,omitempty"`
+	Cache  *CacheInfo   `json:"cache,omitempty"`
 }
 
 // SolveInfo is the solve.start payload.
@@ -188,6 +193,20 @@ type PlanInfo struct {
 	Reordered int64 `json:"reordered"`
 }
 
+// CacheInfo is the cache.summary payload: how the solve interacted with
+// the attached solve cache.
+type CacheInfo struct {
+	// GraphHits / GraphMisses count WD-graph cache lookups this solve made.
+	GraphHits   int64 `json:"graph_hits"`
+	GraphMisses int64 `json:"graph_misses"`
+	// RRHits / RRMisses count RR-collection cache lookups.
+	RRHits   int64 `json:"rr_hits"`
+	RRMisses int64 `json:"rr_misses"`
+	// BytesReused is the resident size of cached entries this solve reused
+	// instead of recomputing.
+	BytesReused int64 `json:"bytes_reused,omitempty"`
+}
+
 // NewRunID returns a fresh 16-hex-digit run identifier. IDs are random
 // (crypto/rand), not sequential, so concurrent processes cannot collide.
 func NewRunID() string {
@@ -200,14 +219,94 @@ func NewRunID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// Fingerprint hashes the parts of a solve configuration that determine
-// what was computed (FNV-1a over a canonical rendering). Fields that only
-// affect speed, not the answer, still participate — the fingerprint
-// identifies the full effective configuration for run comparison.
+// FingerprintInput is the typed, versioned input of a solve fingerprint.
+// Every field is hashed as a tagged, length-prefixed record, so two inputs
+// differing in which field holds a value can never collide — the failure
+// mode of the old variadic Fingerprint, where ("a", "bc") and ("ab", "c")
+// hashed the same formatted stream. The zero value of a field still
+// participates (tag plus empty/zero rendering), keeping the schema
+// positionless but fixed.
+type FingerprintInput struct {
+	// Version names the hash schema; bump when fields are added or
+	// reinterpreted so old and new fingerprints cannot be confused.
+	// FillDefaults sets it; zero means "current".
+	Version int
+
+	// Identity of what was solved.
+	Algorithm string // solver name, e.g. "MagicSampledCM"
+	Database  string // database content identity (db.Fingerprint or a caller hash)
+	Program   string // program content identity
+	Target    string // hashed target list (order-sensitive)
+	K         int
+
+	// Instance shape.
+	Candidates int
+	Targets    int
+
+	// Configuration knobs. Fields that only affect speed still participate
+	// — the fingerprint identifies the full effective configuration.
+	ThetaExplicit       int
+	ThetaFraction       float64
+	ThetaEpsilon        float64
+	ThetaDelta          float64
+	ThetaMaxAuto        int
+	Adaptive            bool
+	Parallelism         int
+	MaxSeedsPerRelation int
+	LazyGreedy          bool
+	SIPS                string
+	Plan                bool
+	Prune               bool
+}
+
+// fingerprintVersion is the current FingerprintInput schema version.
+const fingerprintVersion = 2
+
+// Hash renders the input as tagged length-prefixed records and returns the
+// FNV-1a 64 fingerprint. The rendering is pinned by golden tests: it may
+// only change together with a Version bump.
+func (in FingerprintInput) Hash() string {
+	if in.Version == 0 {
+		in.Version = fingerprintVersion
+	}
+	h := fnv.New64a()
+	field := func(tag, val string) {
+		fmt.Fprintf(h, "%s=%d:%s\x1f", tag, len(val), val)
+	}
+	field("v", fmt.Sprintf("%d", in.Version))
+	field("algo", in.Algorithm)
+	field("db", in.Database)
+	field("prog", in.Program)
+	field("target", in.Target)
+	field("k", fmt.Sprintf("%d", in.K))
+	field("cands", fmt.Sprintf("%d", in.Candidates))
+	field("targets", fmt.Sprintf("%d", in.Targets))
+	field("theta", fmt.Sprintf("%d", in.ThetaExplicit))
+	field("frac", fmt.Sprintf("%g", in.ThetaFraction))
+	field("eps", fmt.Sprintf("%g", in.ThetaEpsilon))
+	field("delta", fmt.Sprintf("%g", in.ThetaDelta))
+	field("maxauto", fmt.Sprintf("%d", in.ThetaMaxAuto))
+	field("adaptive", fmt.Sprintf("%t", in.Adaptive))
+	field("par", fmt.Sprintf("%d", in.Parallelism))
+	field("maxseeds", fmt.Sprintf("%d", in.MaxSeedsPerRelation))
+	field("lazy", fmt.Sprintf("%t", in.LazyGreedy))
+	field("sips", in.SIPS)
+	field("plan", fmt.Sprintf("%t", in.Plan))
+	field("prune", fmt.Sprintf("%t", in.Prune))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprint hashes an ad-hoc part list (FNV-1a over length-prefixed
+// renderings, so adjacent parts cannot blur into each other).
+//
+// Deprecated: solve fingerprints should use FingerprintInput.Hash, whose
+// typed fields also rule out collisions across part orderings. Fingerprint
+// remains for ad-hoc callers with genuinely positional data.
 func Fingerprint(parts ...any) string {
 	h := fnv.New64a()
 	for _, p := range parts {
-		fmt.Fprintf(h, "%v\x1f", p)
+		s := fmt.Sprintf("%v", p)
+		fmt.Fprintf(h, "%d:%s\x1f", len(s), s)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -261,6 +261,14 @@ func (j *Journal) PlanSummary(info PlanInfo) {
 	j.append(Event{Type: TypePlanSummary, Plan: &info})
 }
 
+// CacheSummary emits a cache.summary event.
+func (j *Journal) CacheSummary(info CacheInfo) {
+	if j == nil {
+		return
+	}
+	j.append(Event{Type: TypeCacheSummary, Cache: &info})
+}
+
 // SelectIter emits a select.iter event.
 func (j *Journal) SelectIter(info IterInfo) {
 	if j == nil {

@@ -320,6 +320,54 @@ func TestFingerprintStability(t *testing.T) {
 	}
 }
 
+func TestFingerprintInputGolden(t *testing.T) {
+	// Pinned hashes: the rendering of FingerprintInput.Hash may only change
+	// together with a schema Version bump. If this test fails because the
+	// rendering changed, bump fingerprintVersion and re-pin.
+	zero := FingerprintInput{}
+	if got, want := zero.Hash(), "69b0b8b7dd10ae66"; got != want {
+		t.Fatalf("zero-value hash = %s, want %s", got, want)
+	}
+	full := FingerprintInput{
+		Algorithm: "MagicSampledCM", Database: "db-hash", Program: "prog-hash",
+		Target: "target-hash", K: 5, Candidates: 100, Targets: 40,
+		ThetaExplicit: 400, ThetaFraction: 0.3, ThetaEpsilon: 0.1,
+		ThetaDelta: 0.01, ThetaMaxAuto: 100000, Adaptive: false,
+		Parallelism: 4, MaxSeedsPerRelation: 2, LazyGreedy: true,
+		SIPS: "left-to-right", Plan: true, Prune: true,
+	}
+	if got, want := full.Hash(), "89de274bbbf08793"; got != want {
+		t.Fatalf("full hash = %s, want %s", got, want)
+	}
+}
+
+func TestFingerprintInputTypedFieldsCannotCollide(t *testing.T) {
+	// The variadic Fingerprint's failure mode: the same bytes shifted across
+	// a field boundary. With tagged fields this must be two distinct keys.
+	a := FingerprintInput{Database: "ab", Program: "c"}
+	b := FingerprintInput{Database: "a", Program: "bc"}
+	if a.Hash() == b.Hash() {
+		t.Fatal("field boundary collision across Database/Program")
+	}
+	// Same value in a different field is a different key.
+	c := FingerprintInput{Database: "x"}
+	d := FingerprintInput{Program: "x"}
+	if c.Hash() == d.Hash() {
+		t.Fatal("cross-field collision")
+	}
+	// Explicit current version and zero version agree (zero means current).
+	e := FingerprintInput{Algorithm: "NaiveCM", Version: fingerprintVersion}
+	f := FingerprintInput{Algorithm: "NaiveCM"}
+	if e.Hash() != f.Hash() {
+		t.Fatal("zero Version must default to the current schema version")
+	}
+	// A different version is a different key space.
+	g := FingerprintInput{Algorithm: "NaiveCM", Version: fingerprintVersion + 1}
+	if g.Hash() == f.Hash() {
+		t.Fatal("version must partition the key space")
+	}
+}
+
 func TestErrProxy(t *testing.T) {
 	if got := ErrProxy(0, 100); got != 0 {
 		t.Fatalf("ErrProxy(0,100) = %v", got)

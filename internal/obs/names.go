@@ -41,9 +41,27 @@ const (
 	CMErrors  = "cm.errors"   // counter: solves returning an error
 	CMSolveNs = "cm.solve_ns" // histogram: ns per solve
 
+	// Solve cache (internal/solvecache).
+	CacheGraphHits    = "cache.graph_hits"          // counter: WD-graph lookups served from cache
+	CacheGraphMisses  = "cache.graph_misses"        // counter: WD-graph lookups that built
+	CacheRRHits       = "cache.rr_hits"             // counter: RR-collection lookups served from cache
+	CacheRRMisses     = "cache.rr_misses"           // counter: RR-collection lookups that generated
+	CacheEvictions    = "cache.evictions"           // counter: entries evicted by the byte bound
+	CacheRejected     = "cache.rejected"            // counter: entries refused admission (oversized)
+	CacheSingleFlight = "cache.singleflight_shared" // counter: lookups that waited on another goroutine's build
+	CacheBytes        = "cache.bytes"               // gauge: resident bytes over both stores
+	CacheEntries      = "cache.entries"             // gauge: resident entries over both stores
+
 	// HTTP server.
 	ServerRequests  = "server.requests"   // counter: requests handled
 	ServerErrors    = "server.errors"     // counter: responses with status >= 400
 	ServerInflight  = "server.inflight"   // gauge: requests currently in flight
 	ServerLatencyNs = "server.latency_ns" // histogram: ns per request
+
+	// Solve pool, tenant quotas, and async run store (internal/server).
+	ServerQueueDepth   = "server.queue_depth"   // gauge: solves waiting for a pool slot
+	ServerPoolBusy     = "server.pool_busy"     // gauge: pool slots currently executing solves
+	ServerShed         = "server.shed"          // counter: solves refused with 429 (pool saturated)
+	ServerTenantDenied = "server.tenant_denied" // counter: solves refused with 429 (tenant over quota)
+	ServerRunsEvicted  = "runs.evicted"         // counter: finished async runs evicted by the run-store LRU
 )

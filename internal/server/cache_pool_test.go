@@ -1,0 +1,536 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"contribmax/internal/obs"
+	"contribmax/internal/server"
+)
+
+// waitGauge polls a registry gauge until it reaches want — how the tests
+// observe "a solve now holds a pool slot" without racing the handlers.
+func waitGauge(t *testing.T, reg *obs.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Gauge(name).Value() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge %s = %d, want %d", name, reg.Gauge(name).Value(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// slowSolve fires a synchronous solve that cannot finish on its own
+// (per-tuple Magic with a huge θ) and returns a cancel that drops the
+// client connection plus a done channel that closes when the request
+// goroutine exits. The optional tenant goes out as the X-Tenant header.
+func slowSolve(t *testing.T, ts *httptest.Server, tenant string) (cancel func(), done chan struct{}) {
+	t.Helper()
+	ctx, stop := context.WithCancel(context.Background())
+	body, err := json.Marshal(server.SolveRequest{
+		Program:   tcProgram,
+		Facts:     tcFacts,
+		Targets:   []string{"tc(a, c)"},
+		K:         1,
+		RR:        2_000_000,
+		Algorithm: "magic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/api/solve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	return stop, done
+}
+
+// TestSolveAPIWarmCache sends the same request twice and checks the second
+// is served from the solve cache — the response reports the RR hit, the
+// registry counts it, and the answer is identical to the cold one.
+func TestSolveAPIWarmCache(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{Obs: reg}))
+	defer ts.Close()
+
+	req := server.SolveRequest{
+		Program: tcProgram,
+		Facts:   tcFacts,
+		Targets: []string{"tc(a, c)"},
+		K:       1,
+		RR:      400,
+	}
+	solve := func() server.SolveResponse {
+		t.Helper()
+		resp := postSolve(t, ts.URL, req)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status = %d (body %q)", resp.StatusCode, body)
+		}
+		var out server.SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cold := solve()
+	if cold.CacheRRMisses != 1 || cold.CacheRRHits != 0 {
+		t.Fatalf("cold solve: rr misses=%d hits=%d, want 1/0", cold.CacheRRMisses, cold.CacheRRHits)
+	}
+	warm := solve()
+	if warm.CacheRRHits != 1 || warm.CacheRRMisses != 0 {
+		t.Fatalf("warm solve: rr hits=%d misses=%d, want 1/0", warm.CacheRRHits, warm.CacheRRMisses)
+	}
+	if !equalSolves(cold, warm) {
+		t.Errorf("warm response diverged:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	if got := reg.Counter(obs.CacheRRHits).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.CacheRRHits, got)
+	}
+}
+
+// equalSolves compares the deterministic part of two solve responses.
+func equalSolves(a, b server.SolveResponse) bool {
+	if a.Algorithm != b.Algorithm || a.EstContribution != b.EstContribution ||
+		a.RRSets != b.RRSets || len(a.Seeds) != len(b.Seeds) {
+		return false
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] || a.SeedGains[i] != b.SeedGains[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolveAPICacheDisabled checks the escape hatch: with CacheBytes < 0
+// repeated identical solves never touch a cache.
+func TestSolveAPICacheDisabled(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{Obs: reg, CacheBytes: -1}))
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		resp := postSolve(t, ts.URL, server.SolveRequest{
+			Program: tcProgram, Facts: tcFacts, Targets: []string{"tc(a, c)"}, K: 1, RR: 300,
+		})
+		var out server.SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.CacheRRHits != 0 || out.CacheRRMisses != 0 {
+			t.Fatalf("solve %d reports cache traffic with caching disabled: %+v", i, out)
+		}
+	}
+	if got := reg.Counter(obs.CacheRRMisses).Value(); got != 0 {
+		t.Errorf("%s = %d with caching disabled", obs.CacheRRMisses, got)
+	}
+}
+
+// TestBatchSolveKSweep drives the headline batch scenario: one program and
+// fact set, a sweep over k. The first variation generates the RR
+// collection, every later one replays it (the fixed-θ cache key excludes
+// K), and each answer matches the equivalent standalone solve.
+func TestBatchSolveKSweep(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{Obs: reg}))
+	defer ts.Close()
+
+	ks := []int{1, 2, 3}
+	batch := server.BatchSolveRequest{Program: tcProgram, Facts: tcFacts}
+	for _, k := range ks {
+		batch.Solves = append(batch.Solves, server.SolveRequest{
+			Targets: []string{"tc(a, c)"}, K: k, RR: 400,
+		})
+	}
+	body, _ := json.Marshal(batch)
+	resp, err := http.Post(ts.URL+"/api/solve/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch status = %d (body %q)", resp.StatusCode, raw)
+	}
+	var out server.BatchSolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(ks) {
+		t.Fatalf("results = %d, want %d", len(out.Results), len(ks))
+	}
+	if out.CacheRRMisses != 1 || out.CacheRRHits != int64(len(ks)-1) {
+		t.Fatalf("batch cache: rr misses=%d hits=%d, want 1/%d",
+			out.CacheRRMisses, out.CacheRRHits, len(ks)-1)
+	}
+	for i, k := range ks {
+		item := out.Results[i]
+		if item.Error != "" || item.Response == nil {
+			t.Fatalf("solves[%d]: error %q", i, item.Error)
+		}
+		// Each sweep point equals the standalone solve with the same k.
+		resp := postSolve(t, ts.URL, server.SolveRequest{
+			Program: tcProgram, Facts: tcFacts, Targets: []string{"tc(a, c)"}, K: k, RR: 400,
+		})
+		var single server.SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&single); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !equalSolves(*item.Response, single) {
+			t.Errorf("solves[%d] diverged from standalone solve:\nbatch %+v\nsolo  %+v",
+				i, item.Response, single)
+		}
+	}
+}
+
+// TestBatchSolveValidation checks the envelope rules: bounded size,
+// non-empty, and per-item program/facts rejected.
+func TestBatchSolveValidation(t *testing.T) {
+	ts := newServer(t)
+	post := func(req server.BatchSolveRequest) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/api/solve/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	cases := map[string]server.BatchSolveRequest{
+		"empty": {Program: tcProgram, Facts: tcFacts},
+		"item program": {Program: tcProgram, Facts: tcFacts, Solves: []server.SolveRequest{
+			{Program: tcProgram, Targets: []string{"tc(a, c)"}},
+		}},
+		"oversized": {Program: tcProgram, Facts: tcFacts,
+			Solves: make([]server.SolveRequest, 65)},
+	}
+	for name, req := range cases {
+		resp := post(req)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestSolvePoolSaturation429 fills the pool (one slot) and the queue (one
+// waiter) and checks the next solve is shed immediately: 429, a
+// Retry-After hint, and the shed counter.
+func TestSolvePoolSaturation429(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{
+		Obs:                 reg,
+		MaxConcurrentSolves: 1,
+		MaxQueueDepth:       1,
+		QueueWait:           5 * time.Second,
+		SolveTimeout:        20 * time.Second,
+	}))
+	defer ts.Close()
+
+	cancelA, doneA := slowSolve(t, ts, "")
+	waitGauge(t, reg, obs.ServerPoolBusy, 1)
+	cancelB, doneB := slowSolve(t, ts, "")
+	waitGauge(t, reg, obs.ServerQueueDepth, 1)
+
+	resp := postSolve(t, ts.URL, server.SolveRequest{
+		Program: tcProgram, Facts: tcFacts, Targets: []string{"tc(a, c)"}, K: 1, RR: 300,
+	})
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (body %q), want 429", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Errorf("Retry-After = %q, want %q", got, "5")
+	}
+	if !strings.Contains(string(body), "saturated") {
+		t.Errorf("shed body = %q", body)
+	}
+	if got := reg.Counter(obs.ServerShed).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.ServerShed, got)
+	}
+
+	cancelB()
+	cancelA()
+	<-doneA
+	<-doneB
+}
+
+// TestTenantQuota429 checks per-tenant admission: with a quota of one, a
+// tenant's second concurrent solve is refused while other tenants proceed.
+func TestTenantQuota429(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{
+		Obs:          reg,
+		TenantQuota:  1,
+		QueueWait:    2 * time.Second,
+		SolveTimeout: 20 * time.Second,
+	}))
+	defer ts.Close()
+
+	cancelA, doneA := slowSolve(t, ts, "alice")
+	waitGauge(t, reg, "server.tenant_inflight.alice", 1)
+
+	send := func(tenant string) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(server.SolveRequest{
+			Program: tcProgram, Facts: tcFacts, Targets: []string{"tc(a, c)"}, K: 1, RR: 300,
+		})
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/solve", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := send("alice")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("over-quota response missing Retry-After")
+	}
+	if got := reg.Counter(obs.ServerTenantDenied).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.ServerTenantDenied, got)
+	}
+
+	resp = send("bob")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant status = %d, want 200", resp.StatusCode)
+	}
+
+	cancelA()
+	<-doneA
+}
+
+// TestConcurrentIdenticalSolvesSingleComputation hits the synchronous
+// endpoint with identical requests in parallel: the cache's single-flight
+// layer must run one RR generation regardless of arrival order.
+func TestConcurrentIdenticalSolvesSingleComputation(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{Obs: reg}))
+	defer ts.Close()
+
+	const clients = 6
+	var wg sync.WaitGroup
+	outs := make([]server.SolveResponse, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postSolve(t, ts.URL, server.SolveRequest{
+				Program: tcProgram, Facts: tcFacts, Targets: []string{"tc(a, c)"}, K: 1, RR: 400,
+			})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d", i, resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&outs[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := reg.Counter(obs.CacheRRMisses).Value(); got != 1 {
+		t.Fatalf("%d concurrent identical solves ran %d generations, want 1", clients, got)
+	}
+	for i := 1; i < clients; i++ {
+		if !equalSolves(outs[0], outs[i]) {
+			t.Errorf("client %d answer diverged: %+v vs %+v", i, outs[i], outs[0])
+		}
+	}
+}
+
+// TestRunStoreEviction fills a two-run store and checks LRU eviction only
+// ever removes finished runs: the running solve survives two eviction
+// rounds while the finished ones around it are dropped and counted.
+func TestRunStoreEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{
+		Obs:          reg,
+		MaxRuns:      2,
+		SolveTimeout: 1500 * time.Millisecond,
+	}))
+	defer ts.Close()
+
+	fast := func() string {
+		st := startRun(t, ts, []string{"tc(a, c)"}, 300, "magics")
+		waitForRun(t, ts, st["run"])
+		return st["run"]
+	}
+	a := fast()
+	slow := startRun(t, ts, []string{"tc(a, c)"}, 2_000_000, "magic")["run"]
+	c := fast() // store full: evicts a (finished), keeps slow (in flight)
+	if got := reg.Counter(obs.ServerRunsEvicted).Value(); got != 1 {
+		t.Fatalf("%s = %d after first eviction, want 1", obs.ServerRunsEvicted, got)
+	}
+	if resp, err := http.Get(ts.URL + "/api/solve/" + a); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("evicted run %s still resolves (status %d)", a, resp.StatusCode)
+		}
+	}
+	d := fast() // evicts c; the in-flight run is older but must survive
+	if got := reg.Counter(obs.ServerRunsEvicted).Value(); got != 2 {
+		t.Fatalf("%s = %d after second eviction, want 2", obs.ServerRunsEvicted, got)
+	}
+	if resp, err := http.Get(ts.URL + "/api/solve/" + c); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("evicted run %s still resolves (status %d)", c, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/api/solve/" + slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st runStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Run != slow {
+		t.Fatalf("in-flight run evicted: got %+v", st)
+	}
+	_ = d
+	waitForRun(t, ts, slow) // let the slow run hit its timeout before Close
+}
+
+// TestRunStoreFullOfInflight checks the refusal path: a store whose every
+// run is still solving answers 503 instead of evicting live state.
+func TestRunStoreFullOfInflight(t *testing.T) {
+	ts := httptest.NewServer(server.NewWith(server.Config{
+		MaxRuns:      1,
+		SolveTimeout: 1500 * time.Millisecond,
+	}))
+	defer ts.Close()
+
+	slow := startRun(t, ts, []string{"tc(a, c)"}, 2_000_000, "magic")["run"]
+	resp, err := http.Post(ts.URL+"/api/solve/start", "application/json",
+		solveBody(t, []string{"tc(a, c)"}, 300, "magics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (body %q), want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "in flight") {
+		t.Errorf("refusal body = %q", body)
+	}
+	waitForRun(t, ts, slow)
+}
+
+// TestSSEQueuedRunDisconnectNoGoroutineLeak extends the SSE leak check to
+// queued runs: subscribers attach to a run still waiting for a pool slot
+// (its journal has no events yet), disconnect, and everything must drain
+// once the runs wind down.
+func TestSSEQueuedRunDisconnectNoGoroutineLeak(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(server.NewWith(server.Config{
+		Obs:                 reg,
+		MaxConcurrentSolves: 1,
+		MaxQueueDepth:       4,
+		QueueWait:           10 * time.Second,
+		SolveTimeout:        1500 * time.Millisecond,
+	}))
+	defer ts.Close()
+
+	baseline := runtime.NumGoroutine()
+
+	running := startRun(t, ts, []string{"tc(a, c)"}, 2_000_000, "magic")["run"]
+	waitGauge(t, reg, obs.ServerPoolBusy, 1)
+	queued := startRun(t, ts, []string{"tc(a, c)"}, 2_000_000, "magic")["run"]
+	waitGauge(t, reg, obs.ServerQueueDepth, 1)
+
+	const clients = 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/solve/"+queued+"/events", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// The queued run has emitted nothing: drop the stream while the
+			// handler blocks on the live channel.
+			time.Sleep(100 * time.Millisecond)
+			cancel()
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+
+	// Both runs terminate via SolveTimeout (the queued one acquires the
+	// freed slot with its deadline nearly spent, or is cut off in acquire).
+	waitForRun(t, ts, running)
+	waitForRun(t, ts, queued)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d + 3\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"contribmax/internal/obs"
+)
+
+// solvePool bounds how many solves execute concurrently and how many may
+// wait for a slot, with per-tenant concurrency quotas on top. Saturation
+// is answered by load-shedding (shedError → 429 + Retry-After) instead of
+// unbounded queueing: a solve can hold a core for seconds, so an unbounded
+// queue would turn overload into timeout cascades.
+type solvePool struct {
+	// slots is a counting semaphore of MaxConcurrentSolves capacity; nil
+	// means unlimited.
+	slots     chan struct{}
+	maxQueue  int
+	queueWait time.Duration
+	quota     int
+
+	mu      sync.Mutex
+	queued  int
+	tenants map[string]int
+	// buckets pins each active tenant's gauge name for the lifetime of its
+	// in-flight solves, so enter and leave always move the same gauge even
+	// as the tenant count crosses the cardinality cap.
+	buckets map[string]string
+
+	reg *obs.Registry
+}
+
+// defaultQueueWait bounds how long a solve waits for a slot when the
+// config leaves QueueWait zero.
+const defaultQueueWait = 10 * time.Second
+
+// tenantGaugeCap bounds the per-tenant gauge cardinality in /metrics;
+// tenants beyond the cap aggregate under "other". Quotas are still
+// enforced per real tenant.
+const tenantGaugeCap = 32
+
+func newSolvePool(cfg Config) *solvePool {
+	p := &solvePool{
+		maxQueue:  cfg.MaxQueueDepth,
+		queueWait: cfg.QueueWait,
+		quota:     cfg.TenantQuota,
+		tenants:   make(map[string]int),
+		buckets:   make(map[string]string),
+		reg:       cfg.Obs,
+	}
+	if cfg.MaxConcurrentSolves > 0 {
+		p.slots = make(chan struct{}, cfg.MaxConcurrentSolves)
+		if p.maxQueue <= 0 {
+			p.maxQueue = 2 * cfg.MaxConcurrentSolves
+		}
+	}
+	if p.queueWait <= 0 {
+		p.queueWait = defaultQueueWait
+	}
+	return p
+}
+
+// shedError reports a refused solve: the pool (or the caller's tenant
+// quota) is saturated. Handlers answer 429 with the Retry-After hint.
+type shedError struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string { return e.reason }
+
+// retrySeconds renders the Retry-After header value (whole seconds, >= 1).
+func (e *shedError) retrySeconds() int {
+	return int(math.Max(1, math.Ceil(e.retryAfter.Seconds())))
+}
+
+// acquire claims a slot for tenant, waiting up to the queue-wait budget
+// (or ctx). The returned release must be called exactly once. A nil pool
+// or an unbounded one without quotas returns immediately.
+func (p *solvePool) acquire(ctx context.Context, tenant string) (release func(), err error) {
+	if p == nil {
+		return func() {}, nil
+	}
+	if err := p.enterTenant(tenant); err != nil {
+		return nil, err
+	}
+	if p.slots == nil {
+		return func() { p.leaveTenant(tenant) }, nil
+	}
+	select {
+	case p.slots <- struct{}{}: // free slot, no queueing
+		p.gauge(obs.ServerPoolBusy, len(p.slots))
+		return p.releaseFunc(tenant), nil
+	default:
+	}
+	if !p.enqueue() {
+		p.leaveTenant(tenant)
+		p.count(obs.ServerShed)
+		return nil, &shedError{
+			reason:     fmt.Sprintf("solve pool saturated: %d queued", p.maxQueue),
+			retryAfter: p.queueWait,
+		}
+	}
+	defer p.dequeue()
+	timer := time.NewTimer(p.queueWait)
+	defer timer.Stop()
+	select {
+	case p.slots <- struct{}{}:
+		p.gauge(obs.ServerPoolBusy, len(p.slots))
+		return p.releaseFunc(tenant), nil
+	case <-timer.C:
+		p.leaveTenant(tenant)
+		p.count(obs.ServerShed)
+		return nil, &shedError{
+			reason:     fmt.Sprintf("solve pool saturated: no slot within %s", p.queueWait),
+			retryAfter: p.queueWait,
+		}
+	case <-ctx.Done():
+		p.leaveTenant(tenant)
+		return nil, ctx.Err()
+	}
+}
+
+func (p *solvePool) releaseFunc(tenant string) func() {
+	return func() {
+		<-p.slots
+		p.gauge(obs.ServerPoolBusy, len(p.slots))
+		p.leaveTenant(tenant)
+	}
+}
+
+// enterTenant enforces the per-tenant concurrency quota.
+func (p *solvePool) enterTenant(tenant string) error {
+	if p.quota <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tenants[tenant] >= p.quota {
+		p.count(obs.ServerTenantDenied)
+		return &shedError{
+			reason:     fmt.Sprintf("tenant %q over quota: %d solves in flight", tenant, p.quota),
+			retryAfter: p.queueWait,
+		}
+	}
+	p.tenants[tenant]++
+	if _, ok := p.buckets[tenant]; !ok {
+		name := "server.tenant_inflight." + sanitizeMetricPart(tenant)
+		if len(p.tenants) > tenantGaugeCap {
+			name = "server.tenant_inflight.other"
+		}
+		p.buckets[tenant] = name
+	}
+	p.tenantGauge(tenant, 1)
+	return nil
+}
+
+func (p *solvePool) leaveTenant(tenant string) {
+	if p.quota <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tenantGauge(tenant, -1)
+	if p.tenants[tenant] <= 1 {
+		delete(p.tenants, tenant)
+		delete(p.buckets, tenant)
+	} else {
+		p.tenants[tenant]--
+	}
+}
+
+// enqueue registers a waiter; false when the queue is at its depth bound.
+func (p *solvePool) enqueue() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.maxQueue > 0 && p.queued >= p.maxQueue {
+		return false
+	}
+	p.queued++
+	p.gauge(obs.ServerQueueDepth, p.queued)
+	return true
+}
+
+func (p *solvePool) dequeue() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.queued--
+	p.gauge(obs.ServerQueueDepth, p.queued)
+}
+
+func (p *solvePool) count(name string) {
+	if p.reg != nil {
+		p.reg.Counter(name).Inc()
+	}
+}
+
+func (p *solvePool) gauge(name string, v int) {
+	if p.reg != nil {
+		p.reg.Gauge(name).Set(int64(v))
+	}
+}
+
+// tenantGauge mirrors a tenant's in-flight count into /metrics under its
+// pinned bucket name (cardinality capped at tenantGaugeCap distinct
+// tenants; the overflow aggregates as "other"). Callers hold p.mu.
+func (p *solvePool) tenantGauge(tenant string, delta int64) {
+	if p.reg == nil {
+		return
+	}
+	if name, ok := p.buckets[tenant]; ok {
+		p.reg.Gauge(name).Add(delta)
+	}
+}
+
+// sanitizeMetricPart maps a tenant name onto the metric-name alphabet.
+func sanitizeMetricPart(s string) string {
+	if s == "" {
+		return "default"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// tenantOf extracts the request's tenant identity (X-Tenant header;
+// "default" when absent). Quotas and the per-tenant gauges key on it.
+func tenantOf(h interface{ Get(string) string }) string {
+	if t := strings.TrimSpace(h.Get("X-Tenant")); t != "" {
+		return t
+	}
+	return "default"
+}

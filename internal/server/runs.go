@@ -8,13 +8,15 @@ import (
 	"sync"
 	"time"
 
+	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
 )
 
-// maxRuns bounds the run store. When full, the oldest finished run is
-// evicted to make room; if every run is still in flight the start request
-// is refused (503) rather than growing without bound.
-const maxRuns = 128
+// defaultMaxRuns bounds the run store when Config.MaxRuns is zero. When
+// full, the least-recently-accessed finished run is evicted to make room;
+// if every run is still in flight the start request is refused (503)
+// rather than growing without bound.
+const defaultMaxRuns = 128
 
 // run is one journaled asynchronous solve tracked by the server.
 type run struct {
@@ -44,24 +46,37 @@ func (r *run) state() string {
 	return "done"
 }
 
-// runStore is the server's bounded registry of asynchronous runs.
+// runStore is the server's bounded registry of asynchronous runs,
+// evicted in least-recently-accessed order: a run whose status, events,
+// or journal a client still polls stays resident over one nobody reads.
 type runStore struct {
 	mu   sync.Mutex
+	max  int
 	runs map[string]*run
-	// order holds run IDs oldest-first for eviction.
-	order []string
+	// order holds run IDs least-recently-accessed first for eviction.
+	order   []string
+	evicted *obs.Counter
 }
 
-func newRunStore() *runStore {
-	return &runStore{runs: make(map[string]*run)}
+func newRunStore(max int, reg *obs.Registry) *runStore {
+	if max <= 0 {
+		max = defaultMaxRuns
+	}
+	return &runStore{
+		max:     max,
+		runs:    make(map[string]*run),
+		evicted: reg.Counter(obs.ServerRunsEvicted),
+	}
 }
 
-// add registers a new run, evicting the oldest finished run when full.
-// Returns an error when the store is full of in-flight runs.
+// add registers a new run, evicting the least-recently-accessed finished
+// run when full. In-flight runs are never evicted — their journals are
+// live and their goroutines still report into them; when the store is
+// full of in-flight runs the start request is refused instead.
 func (st *runStore) add(r *run) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if len(st.runs) >= maxRuns {
+	if len(st.runs) >= st.max {
 		evicted := false
 		for i, id := range st.order {
 			old := st.runs[id]
@@ -69,6 +84,7 @@ func (st *runStore) add(r *run) error {
 			case <-old.done:
 				delete(st.runs, id)
 				st.order = append(st.order[:i], st.order[i+1:]...)
+				st.evicted.Inc()
 				evicted = true
 			default:
 				continue
@@ -88,7 +104,21 @@ func (st *runStore) get(id string) (*run, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	r, ok := st.runs[id]
+	if ok {
+		st.touch(id)
+	}
 	return r, ok
+}
+
+// touch moves id to the most-recently-accessed end. Callers hold st.mu.
+func (st *runStore) touch(id string) {
+	for i, v := range st.order {
+		if v == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			st.order = append(st.order, id)
+			return
+		}
+	}
 }
 
 // startResponse is the JSON shape of POST /api/solve/start.
@@ -135,6 +165,7 @@ func (s *server) handleSolveStart(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	tenant := tenantOf(r.Header)
 	go func() {
 		// Detached from the request context: the start call has already
 		// returned by the time the solve makes progress.
@@ -144,7 +175,15 @@ func (s *server) handleSolveStart(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
 		}
 		defer cancel()
-		resp, err := s.solve(ctx, req, ru.journal)
+		// Async runs go through the same solve pool as synchronous ones —
+		// the 202 means accepted, not scheduled. A shed surfaces as the
+		// run's error.
+		var resp *SolveResponse
+		release, err := s.pool.acquire(ctx, tenant)
+		if err == nil {
+			resp, err = s.solve(ctx, req, ru.journal)
+			release()
+		}
 		ru.mu.Lock()
 		ru.resp, ru.err = resp, err
 		ru.finished = time.Now()

@@ -28,6 +28,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +43,7 @@ import (
 	"contribmax/internal/obs/journal"
 	"contribmax/internal/parser"
 	"contribmax/internal/provenance"
+	"contribmax/internal/solvecache"
 	"contribmax/internal/wdgraph"
 )
 
@@ -87,7 +89,14 @@ type SolveResponse struct {
 	RulesPruned     int      `json:"rulesPruned"`
 	PlansBuilt      int64    `json:"plansBuilt,omitempty"`
 	PlanCacheHits   int64    `json:"planCacheHits,omitempty"`
-	TotalMillis     float64  `json:"totalMillis"`
+	// Cache counters report how this solve used the server's shared solve
+	// cache: hits replay a memoized WD graph or RR collection, misses paid
+	// the full build. All zero (and omitted) when caching is disabled.
+	CacheGraphHits   int64   `json:"cacheGraphHits,omitempty"`
+	CacheGraphMisses int64   `json:"cacheGraphMisses,omitempty"`
+	CacheRRHits      int64   `json:"cacheRRHits,omitempty"`
+	CacheRRMisses    int64   `json:"cacheRRMisses,omitempty"`
+	TotalMillis      float64 `json:"totalMillis"`
 	// Diagnostics lists non-failing static-analysis findings for the
 	// submitted program ("line:col: warning[CMnnn]: ..."). Failing
 	// findings (errors, or warnings under Config.WarnAsError) reject the
@@ -131,6 +140,27 @@ type Config struct {
 	// runs, matching cmrun's -noplan escape hatch. Individual requests
 	// can also opt out via SolveRequest.NoPlan.
 	NoPlan bool
+	// CacheBytes bounds the fingerprint-keyed solve cache shared by every
+	// request (memoized WD graphs and finalized RR collections). 0 uses the
+	// solvecache default (256 MiB); a negative value disables caching.
+	CacheBytes int64
+	// MaxConcurrentSolves bounds how many solves execute at once. Excess
+	// requests queue (up to MaxQueueDepth, waiting at most QueueWait) and
+	// beyond that are shed with 429 + Retry-After. 0 means unlimited.
+	MaxConcurrentSolves int
+	// MaxQueueDepth bounds how many solves may wait for a pool slot
+	// (default 2 x MaxConcurrentSolves).
+	MaxQueueDepth int
+	// QueueWait bounds how long a queued solve waits for a slot before
+	// being shed (default 10s). Also the Retry-After hint on 429s.
+	QueueWait time.Duration
+	// TenantQuota bounds concurrent solves per tenant, identified by the
+	// X-Tenant request header ("default" when absent). Over-quota requests
+	// are shed with 429. 0 disables per-tenant quotas.
+	TenantQuota int
+	// MaxRuns bounds the asynchronous run store (default 128); the
+	// least-recently-accessed finished run is evicted when full.
+	MaxRuns int
 }
 
 // New returns the HTTP handler with default configuration (no metrics, no
@@ -139,11 +169,19 @@ func New() http.Handler { return NewWith(Config{}) }
 
 // NewWith returns the HTTP handler with cfg applied.
 func NewWith(cfg Config) http.Handler {
-	s := &server{cfg: cfg, runs: newRunStore()}
+	s := &server{
+		cfg:  cfg,
+		runs: newRunStore(cfg.MaxRuns, cfg.Obs),
+		pool: newSolvePool(cfg),
+	}
+	if cfg.CacheBytes >= 0 {
+		s.cache = solvecache.NewWith(cfg.CacheBytes, cfg.Obs)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", handleForm)
 	mux.HandleFunc("POST /solve", s.handleSolveForm)
 	mux.HandleFunc("POST /api/solve", s.handleSolveAPI)
+	mux.HandleFunc("POST /api/solve/batch", s.handleSolveBatch)
 	mux.HandleFunc("POST /api/explain", s.handleExplainAPI)
 	mux.HandleFunc("POST /api/solve/start", s.handleSolveStart)
 	mux.HandleFunc("GET /api/solve/{id}", s.handleSolveStatus)
@@ -158,8 +196,10 @@ func NewWith(cfg Config) http.Handler {
 }
 
 type server struct {
-	cfg  Config
-	runs *runStore
+	cfg   Config
+	runs  *runStore
+	cache *solvecache.Cache // nil when Config.CacheBytes < 0
+	pool  *solvePool
 }
 
 // instrument wraps h with the server.* request metrics. With a nil
@@ -262,11 +302,18 @@ type errorResponse struct {
 	Diagnostics []diagnosticJSON `json:"diagnostics,omitempty"`
 }
 
-// writeSolveError answers a failed solve/explain. Static-analysis
-// rejections become HTTP 400 with the machine-readable diagnostic list
-// (every finding, failing or not, so clients see the full report);
-// everything else keeps the plain-text httpStatus mapping.
+// writeSolveError answers a failed solve/explain. Load-shed refusals
+// become 429 with a Retry-After hint; static-analysis rejections become
+// HTTP 400 with the machine-readable diagnostic list (every finding,
+// failing or not, so clients see the full report); everything else keeps
+// the plain-text httpStatus mapping.
 func writeSolveError(w http.ResponseWriter, err error) {
+	var se *shedError
+	if errors.As(err, &se) {
+		w.Header().Set("Retry-After", strconv.Itoa(se.retrySeconds()))
+		http.Error(w, se.Error(), http.StatusTooManyRequests)
+		return
+	}
 	var ae *analysisError
 	if !errors.As(err, &ae) {
 		http.Error(w, err.Error(), httpStatus(err))
@@ -326,10 +373,54 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.cfg.Obs.WriteJSON(w)
 }
 
+// parsedRequest holds a solve request's program and facts parsed exactly
+// once, plus the content hashes that identify them to the solve cache.
+// Batch solving runs many parameter variations against one parsedRequest.
+type parsedRequest struct {
+	prog     *ast.Program
+	database *db.Database
+	// progID and factsID fingerprint the submitted source text, so
+	// identical submissions — across requests and across time — resolve to
+	// the same cache entries.
+	progID  string
+	factsID string
+}
+
+// parseRequest parses program and facts source text once.
+func parseRequest(program, facts string) (*parsedRequest, error) {
+	prog, err := parser.ParseProgramLoose(program)
+	if err != nil {
+		return nil, fmt.Errorf("program: %w", err)
+	}
+	database, err := loadFacts(facts)
+	if err != nil {
+		return nil, fmt.Errorf("facts: %w", err)
+	}
+	return &parsedRequest{
+		prog:     prog,
+		database: database,
+		progID:   solvecache.HashText(program),
+		factsID:  solvecache.HashText(facts),
+	}, nil
+}
+
 // solve runs one CM request. jr, when non-nil, receives the solve's
 // structured event stream (asynchronous runs pass their run journal;
 // synchronous endpoints pass nil).
 func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journal) (*SolveResponse, error) {
+	p, err := parseRequest(req.Program, req.Facts)
+	if err != nil {
+		return nil, err
+	}
+	return s.solveParsed(ctx, p, req, jr)
+}
+
+// solveParsed runs one CM request against an already-parsed program and
+// database. The parse may be shared: batch solving calls this once per
+// sweep point against one parsedRequest, so every point resolves to the
+// same cache identity and the WD graph (and, for k-sweeps, the RR
+// collection) is built once and replayed.
+func (s *server) solveParsed(ctx context.Context, p *parsedRequest, req SolveRequest, jr *journal.Journal) (*SolveResponse, error) {
 	if req.K <= 0 {
 		req.K = 5
 	}
@@ -342,19 +433,11 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
-	prog, err := parser.ParseProgramLoose(req.Program)
-	if err != nil {
-		return nil, fmt.Errorf("program: %w", err)
-	}
-	database, err := loadFacts(req.Facts)
-	if err != nil {
-		return nil, fmt.Errorf("facts: %w", err)
-	}
-	warnings, err := analyzeRequest(prog, database, req.Targets, s.failSeverity())
+	warnings, err := analyzeRequest(p.prog, p.database, req.Targets, s.failSeverity())
 	if err != nil {
 		return nil, err
 	}
-	targets, err := expandTargets(ctx, prog, database, req.Targets)
+	targets, err := expandTargets(ctx, p.prog, p.database, req.Targets)
 	if err != nil {
 		return nil, err
 	}
@@ -362,7 +445,7 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 		return nil, fmt.Errorf("no targets (patterns matched no derived facts?)")
 	}
 
-	in := cm.Input{Program: prog, DB: database, T2: targets, K: req.K}
+	in := cm.Input{Program: p.prog, DB: p.database, T2: targets, K: req.K}
 	opts := cm.Options{
 		Theta:               im.ThetaSpec{Explicit: req.RR},
 		MaxSeedsPerRelation: req.MaxSeedsPerRelation,
@@ -374,6 +457,15 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 		Context:      ctx,
 		Obs:          s.cfg.Obs,
 		Journal:      jr,
+		Cache:        s.cache,
+		// The rng is fully determined by the request seed, so it is safe to
+		// assert its identity to the cache: same (facts, program, seed)
+		// means the same walk stream.
+		CacheID: solvecache.Identity{
+			Database: p.factsID,
+			Program:  p.progID,
+			Rand:     "seed:" + strconv.FormatUint(req.Seed, 10),
+		},
 	}
 	if req.NoPlan || s.cfg.NoPlan {
 		opts.Plan = cm.PlanOff
@@ -401,18 +493,22 @@ func (s *server) solve(ctx context.Context, req SolveRequest, jr *journal.Journa
 	}
 
 	out := &SolveResponse{
-		Algorithm:       res.Algorithm,
-		SeedGains:       res.SeedGains,
-		EstContribution: res.EstContribution,
-		RRSets:          res.Stats.NumRR,
-		AvgGraphSize:    res.Stats.AvgGraphSize(),
-		PeakGraphSize:   res.Stats.PeakResidentSize,
-		RulesTotal:      res.Stats.RulesTotal,
-		RulesPruned:     res.Stats.RulesPruned,
-		PlansBuilt:      res.Stats.PlansBuilt,
-		PlanCacheHits:   res.Stats.PlanCacheHits,
-		TotalMillis:     float64(res.Stats.TotalTime) / float64(time.Millisecond),
-		RunID:           jr.Run(),
+		Algorithm:        res.Algorithm,
+		SeedGains:        res.SeedGains,
+		EstContribution:  res.EstContribution,
+		RRSets:           res.Stats.NumRR,
+		AvgGraphSize:     res.Stats.AvgGraphSize(),
+		PeakGraphSize:    res.Stats.PeakResidentSize,
+		RulesTotal:       res.Stats.RulesTotal,
+		RulesPruned:      res.Stats.RulesPruned,
+		PlansBuilt:       res.Stats.PlansBuilt,
+		PlanCacheHits:    res.Stats.PlanCacheHits,
+		CacheGraphHits:   res.Stats.CacheGraphHits,
+		CacheGraphMisses: res.Stats.CacheGraphMisses,
+		CacheRRHits:      res.Stats.CacheRRHits,
+		CacheRRMisses:    res.Stats.CacheRRMisses,
+		TotalMillis:      float64(res.Stats.TotalTime) / float64(time.Millisecond),
+		RunID:            jr.Run(),
 	}
 	for _, s := range res.Seeds {
 		out.Seeds = append(out.Seeds, s.String())
@@ -589,6 +685,12 @@ func (s *server) handleSolveAPI(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	release, err := s.pool.acquire(ctx, tenantOf(r.Header))
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	defer release()
 	res, err := s.solve(ctx, req, nil)
 	if err != nil {
 		writeSolveError(w, err)
@@ -606,6 +708,12 @@ func (s *server) handleExplainAPI(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	release, err := s.pool.acquire(ctx, tenantOf(r.Header))
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	defer release()
 	res, err := s.explain(ctx, req)
 	if err != nil {
 		writeSolveError(w, err)
@@ -639,11 +747,16 @@ func (s *server) handleSolveForm(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	data := pageData{Req: req}
-	res, err := s.solve(ctx, req, nil)
-	if err != nil {
+	if release, err := s.pool.acquire(ctx, tenantOf(r.Header)); err != nil {
 		data.Error = err.Error()
 	} else {
-		data.Res = res
+		res, err := s.solve(ctx, req, nil)
+		release()
+		if err != nil {
+			data.Error = err.Error()
+		} else {
+			data.Res = res
+		}
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	pageTmpl.Execute(w, data)

@@ -1,0 +1,276 @@
+package solvecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"contribmax/internal/im"
+	"contribmax/internal/obs"
+)
+
+// testColl builds a finalized RR collection with sets sets of width members
+// each, over a universe of width candidates.
+func testColl(sets, width int) *im.RRCollection {
+	c := im.NewRRCollection(width)
+	members := make([]im.CandidateID, width)
+	for i := range members {
+		members[i] = im.CandidateID(i)
+	}
+	for i := 0; i < sets; i++ {
+		c.Add(members)
+	}
+	c.Finalize()
+	return c
+}
+
+func rrKey(i int) RRKey {
+	return RRKey{Algorithm: "test", Database: "db", Program: "p", Rand: "default",
+		Targets: fmt.Sprintf("t%d", i), Candidates: "edb", Params: "theta=4"}
+}
+
+func mustRR(t *testing.T, c *Cache, key RRKey, coll *im.RRCollection) Source {
+	t.Helper()
+	e, src, err := c.RR(context.Background(), key, func() (*RREntry, error) {
+		return &RREntry{Coll: coll}, nil
+	})
+	if err != nil {
+		t.Fatalf("RR(%v): %v", key, err)
+	}
+	if e == nil || e.Coll == nil {
+		t.Fatalf("RR(%v): nil entry", key)
+	}
+	return src
+}
+
+func TestCacheHitMissAndByteAccounting(t *testing.T) {
+	c := New(1 << 20)
+	coll := testColl(8, 16)
+	if src := mustRR(t, c, rrKey(0), coll); src != Miss {
+		t.Fatalf("first lookup: got %v, want Miss", src)
+	}
+	if src := mustRR(t, c, rrKey(0), nil); src != Hit {
+		t.Fatalf("second lookup: got %v, want Hit", src)
+	}
+	st := c.Stats()
+	if st.RRHits != 1 || st.RRMisses != 1 {
+		t.Fatalf("stats: hits=%d misses=%d, want 1/1", st.RRHits, st.RRMisses)
+	}
+	if st.Entries != 1 || st.Bytes != coll.MemoryBytes() {
+		t.Fatalf("stats: entries=%d bytes=%d, want 1/%d", st.Entries, st.Bytes, coll.MemoryBytes())
+	}
+	// The hit hands back the stored entry, not a rebuild: the nil build
+	// closure above would have panicked sizing a nil collection.
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	per := testColl(8, 16).MemoryBytes()
+	// Room for exactly four entries; each is per == bound/4, right at the
+	// admission limit.
+	c := New(4 * per)
+	for i := 0; i < 4; i++ {
+		mustRR(t, c, rrKey(i), testColl(8, 16))
+	}
+	mustRR(t, c, rrKey(0), nil) // refresh 0: now 1 is least recently used
+	mustRR(t, c, rrKey(4), testColl(8, 16))
+
+	st := c.Stats()
+	if st.Rejected != 0 {
+		t.Fatalf("rejected=%d, want 0 (entries are exactly at the admission bound)", st.Rejected)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", st.Evictions)
+	}
+	if st.Entries != 4 || st.Bytes != 4*per {
+		t.Fatalf("entries=%d bytes=%d, want 4/%d", st.Entries, st.Bytes, 4*per)
+	}
+	// 1 was the least recently used, so it (and only it) was evicted: the
+	// refreshed 0 and the newer 2, 3, 4 are still resident.
+	for _, i := range []int{4, 0, 3, 2} {
+		if src := mustRR(t, c, rrKey(i), nil); src != Hit {
+			t.Fatalf("key %d: got %v, want Hit (only the LRU key is evicted)", i, src)
+		}
+	}
+	built := false
+	_, src, err := c.RR(context.Background(), rrKey(1), func() (*RREntry, error) {
+		built = true
+		return &RREntry{Coll: testColl(8, 16)}, nil
+	})
+	if err != nil || src != Miss || !built {
+		t.Fatalf("evicted key: src=%v built=%v err=%v, want Miss rebuild", src, built, err)
+	}
+}
+
+func TestCacheAdmissionRejectsOversized(t *testing.T) {
+	coll := testColl(64, 64)
+	c := New(coll.MemoryBytes()) // bound/4 < entry size
+	e, src, err := c.RR(context.Background(), rrKey(0), func() (*RREntry, error) {
+		return &RREntry{Coll: coll}, nil
+	})
+	if err != nil || src != Miss || e == nil {
+		t.Fatalf("oversized build: src=%v err=%v", src, err)
+	}
+	st := c.Stats()
+	if st.Rejected != 1 || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after rejection: %+v", st)
+	}
+	if src := mustRR(t, c, rrKey(0), coll); src != Miss {
+		t.Fatalf("rejected entry must not be resident: got %v", src)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	_, _, err := c.RR(context.Background(), rrKey(0), func() (*RREntry, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want boom", err)
+	}
+	if src := mustRR(t, c, rrKey(0), testColl(2, 2)); src != Miss {
+		t.Fatalf("after failed build: got %v, want Miss (errors are not cached)", src)
+	}
+	if st := c.Stats(); st.RRMisses != 2 {
+		t.Fatalf("misses=%d, want 2", st.RRMisses)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewWith(1<<20, reg)
+	const workers = 8
+	gate := make(chan struct{})
+	var builds int64
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	sources := make([]Source, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, src, err := c.RR(context.Background(), rrKey(0), func() (*RREntry, error) {
+				mu.Lock()
+				builds++
+				mu.Unlock()
+				<-gate // hold the flight open so followers pile up
+				return &RREntry{Coll: testColl(4, 4)}, nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			sources[i] = src
+		}(i)
+	}
+	// Wait until the leader is in flight and the rest are enqueued behind it,
+	// then release.
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		waiting := len(c.inflight) == 1
+		c.mu.Unlock()
+		if waiting {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("leader never took flight")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	if builds != 1 {
+		t.Fatalf("builds=%d, want exactly 1 (single-flight)", builds)
+	}
+	var miss, shared, hit int
+	for _, s := range sources {
+		switch s {
+		case Miss:
+			miss++
+		case Shared:
+			shared++
+		case Hit:
+			hit++
+		}
+	}
+	if miss != 1 || shared+hit != workers-1 {
+		t.Fatalf("sources: miss=%d shared=%d hit=%d", miss, shared, hit)
+	}
+	st := c.Stats()
+	if st.RRMisses != 1 || st.RRHits != int64(workers-1) {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.SharedFlights != int64(shared) {
+		t.Fatalf("sharedFlights=%d, want %d", st.SharedFlights, shared)
+	}
+	if got := reg.Counter(obs.CacheSingleFlight).Value(); got != int64(shared) {
+		t.Fatalf("obs %s=%d, want %d", obs.CacheSingleFlight, got, shared)
+	}
+}
+
+func TestCacheFollowerHonorsContext(t *testing.T) {
+	c := New(1 << 20)
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, err := c.RR(context.Background(), rrKey(0), func() (*RREntry, error) {
+			close(leaderIn)
+			<-gate
+			return &RREntry{Coll: testColl(2, 2)}, nil
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.RR(ctx, rrKey(0), func() (*RREntry, error) {
+		t.Error("follower must not build")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err=%v, want context.Canceled", err)
+	}
+	close(gate)
+	<-done
+	// The leader's value was still cached despite the follower bailing.
+	if src := mustRR(t, c, rrKey(0), nil); src != Hit {
+		t.Fatalf("after leader finished: got %v, want Hit", src)
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	if got := c.Stats(); got != (Stats{}) {
+		t.Fatalf("nil Stats: %+v", got)
+	}
+	if c.MaxBytes() != 0 {
+		t.Fatal("nil MaxBytes")
+	}
+}
+
+func TestKeyRecordsCannotCollide(t *testing.T) {
+	a := GraphKey{Database: "ab", Program: "c", Config: "full"}
+	b := GraphKey{Database: "a", Program: "bc", Config: "full"}
+	if a.id() == b.id() {
+		t.Fatal("field boundary collision in GraphKey.id")
+	}
+	r1 := RRKey{Targets: "xy", Candidates: "z"}
+	r2 := RRKey{Targets: "x", Candidates: "yz"}
+	if r1.id() == r2.id() {
+		t.Fatal("field boundary collision in RRKey.id")
+	}
+	if (GraphKey{Database: "x"}).id() == (RRKey{Algorithm: "x"}).id() {
+		t.Fatal("graph and RR namespaces collide")
+	}
+}
