@@ -40,13 +40,16 @@ journal-demo:
 		-journal /tmp/contribmax-journal.jsonl
 	$(GO) run ./cmd/cmjournal /tmp/contribmax-journal.jsonl
 
-# Short fuzz run of the parse -> analyze -> stratify -> evaluate pipeline,
-# asserting parallel evaluation stays byte-identical to sequential on every
-# input the pipeline accepts. CI runs the same smoke; longer local runs:
-# make fuzz FUZZTIME=10m
+# Short fuzz runs: the parse -> analyze -> stratify -> evaluate pipeline
+# (asserting parallel evaluation stays byte-identical to sequential on
+# every input the pipeline accepts), then the exact-vs-RIS estimator
+# differential (random hierarchical instances; the sampled estimate must
+# stay within its error proxy of the exact lifted value). CI runs the same
+# smokes; longer local runs: make fuzz FUZZTIME=10m
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/engine -run=NONE -fuzz=FuzzEvalProgram -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/cm -run=NONE -fuzz=FuzzExactVsRIS -fuzztime=$(FUZZTIME)
 
 check: build test race
 	$(GO) vet ./...

@@ -2,6 +2,7 @@ package contribmax_test
 
 import (
 	"os"
+	"path/filepath"
 	"testing"
 
 	"contribmax/internal/experiments"
@@ -20,5 +21,29 @@ func TestCommittedBaselineReport(t *testing.T) {
 	}
 	if err := experiments.ValidateReportJSON(data); err != nil {
 		t.Errorf("BENCH_baseline.json invalid: %v", err)
+	}
+}
+
+// TestCommittedBenchReports validates every checked-in BENCH_*.json — the
+// per-PR measurement snapshots as well as the baseline — against the
+// report schema, so an additive schema change can never silently orphan
+// an older committed report.
+func TestCommittedBenchReports(t *testing.T) {
+	reports, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no committed BENCH_*.json reports found")
+	}
+	for _, path := range reports {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if err := experiments.ValidateReportJSON(data); err != nil {
+			t.Errorf("%s invalid: %v", path, err)
+		}
 	}
 }

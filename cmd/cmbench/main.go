@@ -40,6 +40,7 @@ func run() error {
 		noplan        = flag.Bool("noplan", false, "disable the greedy join planner in every solve (results are byte-identical; for bisecting timing regressions)")
 		planAB        = flag.Bool("plan-ab", false, "also run and print the join-planner A/B measurement (always included in -json reports)")
 		cacheAB       = flag.Bool("cache-ab", false, "also run and print the solve-cache cold/warm A/B (always included in -json reports)")
+		estimatorAB   = flag.Bool("estimator-ab", false, "also run and print the exact/RIS/DNF estimator A/B (always included in -json reports)")
 	)
 	flag.Parse()
 	experiments.NoPlan = *noplan
@@ -172,6 +173,29 @@ func run() error {
 		}
 		if *cacheAB {
 			t := experiments.CacheTable(summaries)
+			if *format == "csv" {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+			} else {
+				t.Print(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
+	if *estimatorAB || report != nil {
+		// The estimator A/B solves the same power-law instances with the
+		// exact lifted tier, RIS, and DNF world sampling, and fails hard if
+		// a sampler strays beyond its error proxy of the exact value.
+		summaries, err := experiments.EstimatorSummaries()
+		if err != nil {
+			return err
+		}
+		if report != nil {
+			report.Estimators = summaries
+		}
+		if *estimatorAB {
+			t := experiments.EstimatorTable(summaries)
 			if *format == "csv" {
 				if err := t.WriteCSV(os.Stdout); err != nil {
 					return err

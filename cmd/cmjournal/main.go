@@ -127,6 +127,7 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 		iters  []journal.IterInfo
 		plan   *journal.PlanInfo
 		cache  *journal.CacheInfo
+		est    *journal.EstInfo
 		run    string
 		endNs  int64
 	)
@@ -152,6 +153,8 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 			plan = ev.Plan
 		case journal.TypeCacheSummary:
 			cache = ev.Cache
+		case journal.TypeEstimatorSummary:
+			est = ev.Est
 		}
 	}
 
@@ -251,6 +254,19 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 	if plan != nil {
 		fmt.Fprintf(w, "\njoin planner: %d plans built, %d cache hits, %d atoms reordered\n",
 			plan.Built, plan.Hits, plan.Reordered)
+	}
+
+	if est != nil {
+		if est.Fallback != "" {
+			fmt.Fprintf(w, "\nestimator: fell back to %s sampling (%s)\n", est.Algorithm, est.Fallback)
+		} else {
+			fmt.Fprintf(w, "\nestimator (%s): %d lineages, %d clauses / %d vars, extracted in %s",
+				est.Algorithm, est.Targets, est.Clauses, est.Vars, durStr(est.LineageNs))
+			if est.Samples > 0 {
+				fmt.Fprintf(w, ", %d worlds sampled", est.Samples)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 
 	if cache != nil {

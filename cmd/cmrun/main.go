@@ -9,7 +9,11 @@
 //	      -target 'dealsWith(usa, iran)' -target 'dealsWith(russia, ukraine)' \
 //	      -k 2 [-algo magics] [-rr 300] [-seed 42] [-verbose]
 //
-// Algorithms: naive | magic | magics (default) | magicg.
+// Algorithms: naive | magic | magics (default) | magicg | exact | dnf.
+// exact answers by lifted inference — no sampling error — when every
+// target's dependency cone is hierarchical, and falls back to magic
+// sampling otherwise; dnf estimates by Monte-Carlo possible-world
+// sampling over derivation lineages.
 package main
 
 import (
@@ -47,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		programPath = fs.String("program", "", "path to the datalog program file (required)")
 		factsPath   = fs.String("facts", "", "path to the fact file or .cmdb snapshot (required)")
 		k           = fs.Int("k", 10, "seed-set size")
-		algo        = fs.String("algo", "magics", "algorithm: naive | magic | magics | magicg")
+		algo        = fs.String("algo", "magics", "algorithm: naive | magic | magics | magicg | exact | dnf")
 		rr          = fs.Int("rr", 0, "number of RR sets (0 = 30% of #targets, floored at 1000)")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		parallel    = fs.Int("parallel", 1, "worker goroutines: RR generation (magic/magics) and, when >= 2, the fixpoint engine for full-graph builds (naive/magicg); results are identical at every level")
@@ -193,6 +197,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		res, err = contribmax.MagicSampledCM(in, opts)
 	case "magicg":
 		res, err = contribmax.MagicGroupedCM(in, opts)
+	case "exact":
+		res, err = contribmax.ExactCM(in, opts)
+	case "dnf":
+		res, err = contribmax.DNFCM(in, opts)
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
@@ -223,6 +231,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return emitJSON(stdout, res, T2)
 	}
 	fmt.Fprintf(stdout, "algorithm: %s\n", res.Algorithm)
+	if res.Stats.ExactFallback != "" {
+		fmt.Fprintf(stderr, "cmrun: exact tier unavailable (%s); answered by %s sampling\n",
+			res.Stats.ExactFallback, res.Algorithm)
+	}
 	fmt.Fprintf(stdout, "estimated contribution to %d targets: %.4f\n", len(T2), res.EstContribution)
 	fmt.Fprintln(stdout, "seeds (greedy order):")
 	for i, s := range res.Seeds {
@@ -268,6 +280,7 @@ func emitJSON(w io.Writer, res *contribmax.Result, targets []contribmax.Atom) er
 		PeakGraphSize   int      `json:"peakGraphSize"`
 		RulesTotal      int      `json:"rulesTotal"`
 		RulesPruned     int      `json:"rulesPruned"`
+		ExactFallback   string   `json:"exactFallback,omitempty"`
 		TotalMillis     float64  `json:"totalMillis"`
 	}
 	o := out{
@@ -281,6 +294,7 @@ func emitJSON(w io.Writer, res *contribmax.Result, targets []contribmax.Atom) er
 		PeakGraphSize:   res.Stats.PeakResidentSize,
 		RulesTotal:      res.Stats.RulesTotal,
 		RulesPruned:     res.Stats.RulesPruned,
+		ExactFallback:   res.Stats.ExactFallback,
 		TotalMillis:     float64(res.Stats.TotalTime.Microseconds()) / 1000,
 	}
 	for _, s := range res.Seeds {

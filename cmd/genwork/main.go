@@ -8,7 +8,8 @@
 //	genwork -ds AMIE -size 12  -out /tmp/w -snapshot
 //
 // Datasets: TC (size = node count), Explain (people), IRIS (people),
-// AMIE (countries), Trade (the Table I example; size ignored).
+// AMIE (countries), Trade (the Table I example; size ignored), PowerLaw
+// (people; -alpha overrides the Zipf skew exponent).
 package main
 
 import (
@@ -33,18 +34,30 @@ func main() {
 
 func run() error {
 	var (
-		ds       = flag.String("ds", "TC", "dataset: TC | Explain | IRIS | AMIE | Trade")
+		ds       = flag.String("ds", "TC", "dataset: TC | Explain | IRIS | AMIE | Trade | PowerLaw")
 		size     = flag.Int("size", 60, "instance size (dataset-specific unit)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		alpha    = flag.Float64("alpha", -1, "PowerLaw only: Zipf skew exponent (negative = dataset default)")
 		out      = flag.String("out", ".", "output directory")
 		snapshot = flag.Bool("snapshot", false, "write a binary .cmdb snapshot instead of a .facts file")
 	)
 	flag.Parse()
 
 	rng := rand.New(rand.NewPCG(*seed, *seed^0xABCDEF))
-	w, err := workload.ByName(*ds, *size, rng)
-	if err != nil {
-		return err
+	var w workload.Workload
+	if strings.EqualFold(*ds, "powerlaw") && *alpha >= 0 {
+		if *size <= 0 {
+			return fmt.Errorf("dataset %s needs a positive size, got %d", *ds, *size)
+		}
+		p := workload.DefaultPowerLawParams(*size)
+		p.Alpha = *alpha
+		w = workload.PowerLaw(p, rng)
+	} else {
+		var err error
+		w, err = workload.ByName(*ds, *size, rng)
+		if err != nil {
+			return err
+		}
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

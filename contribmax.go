@@ -382,6 +382,34 @@ func MagicSampledCM(in Input, opts Options) (*Result, error) { return cm.MagicSa
 // transformation and one shared subgraph for all sampled targets.
 func MagicGroupedCM(in Input, opts Options) (*Result, error) { return cm.MagicGroupedCM(in, opts) }
 
+// ExactCM solves the CM instance exactly by lifted inference when every
+// target's cone is hierarchical (non-recursive, negation-free,
+// self-join-free, nested-or-disjoint existential variables), and falls
+// back to MagicCM sampling otherwise (Result.Stats.ExactFallback names
+// the reason). Exact answers carry no sampling error: EstContribution and
+// SeedGains are closed-form edge-percolation probabilities.
+func ExactCM(in Input, opts Options) (*Result, error) { return cm.ExactCM(in, opts) }
+
+// DNFCM solves the CM instance by Monte-Carlo possible-world sampling
+// over per-target reachability DNFs from the provenance layer — an
+// estimator with per-variable lineage, independent of the RIS machinery,
+// used to cross-validate the samplers. Falls back to MagicCM when a
+// lineage exceeds the clause budget.
+func DNFCM(in Input, opts Options) (*Result, error) { return cm.DNFCM(in, opts) }
+
+// ExactContribution evaluates C(S ⇝ T2) exactly for a specific seed set
+// on a hierarchical instance (errors when ineligible).
+func ExactContribution(in Input, seeds []Atom, opts Options) (float64, error) {
+	return cm.ExactContribution(in, seeds, opts)
+}
+
+// ExactQueryProbability computes the exact edge-percolation probability
+// that target is derivable, by lifted inference over its reachability
+// lineage (errors when the cone is not hierarchical).
+func ExactQueryProbability(prog *Program, d Database, target Atom) (float64, error) {
+	return cm.ExactQueryProbability(prog, d.Database, target)
+}
+
 // GreedyMCOptions tunes GreedyMCCM.
 type GreedyMCOptions = cm.GreedyMCOptions
 

@@ -383,6 +383,16 @@ func checkHierarchy(l *list, prog *ast.Program, g *DepGraph, rec *Recursion, opt
 	for _, res := range AnalyzeHierarchy(prog, g, opts.Roots, rec) {
 		pos, span := predAnchor(prog, res.Root)
 		if res.Hierarchical {
+			if !g.IDB[res.Root] {
+				// Extensional (rule-less) root: trivially hierarchical when
+				// it names a known database relation; silent otherwise —
+				// unknown predicates are the reachability passes' finding.
+				if _, known := opts.EDB[res.Root]; known {
+					l.infof(CodeHierarchical, pos, span,
+						"query predicate %s is extensional (no rules); exact evaluation reads the fact probability directly", res.Root)
+				}
+				continue
+			}
 			l.infof(CodeHierarchical, pos, span,
 				"query predicate %s spans a hierarchical non-recursive sub-program; exact lifted evaluation is polynomial", res.Root)
 			continue

@@ -60,17 +60,19 @@ func TestGoldenCorpus(t *testing.T) {
 // least one hard error (as opposed to warnings/infos only).
 func TestGoldenCorpusHasErrors(t *testing.T) {
 	wantError := map[string]bool{
-		"bad_arity.dl":    true,
-		"bad_builtin.dl":  true,
-		"bad_hier.dl":     false, // info only: CM018
-		"bad_mutual.dl":   false, // info only: CM017
-		"bad_negcycle.dl": true,
-		"bad_parse.dl":    true,
-		"bad_prob.dl":     true,
-		"bad_reach.dl":    false, // warnings only: CM008/CM009/CM011/CM016 (+CM015 info)
-		"bad_safety.dl":   true,
-		"bad_unbound.dl":  false, // info only: CM013/CM014
-		"bad_unused.dl":   false, // info only: CM014/CM019
+		"bad_arity.dl":      true,
+		"bad_builtin.dl":    true,
+		"bad_edbquery.dl":   false, // info only: CM014 (extensional + hierarchical)
+		"bad_ghostquery.dl": false, // warning only: CM008; hierarchy pass silent for ghost
+		"bad_hier.dl":       false, // info only: CM018
+		"bad_mutual.dl":     false, // info only: CM017
+		"bad_negcycle.dl":   true,
+		"bad_parse.dl":      true,
+		"bad_prob.dl":       true,
+		"bad_reach.dl":      false, // warnings only: CM008/CM009/CM011/CM016 (+CM015 info)
+		"bad_safety.dl":     true,
+		"bad_unbound.dl":    false, // info only: CM013/CM014
+		"bad_unused.dl":     false, // info only: CM014/CM019
 	}
 	for name, want := range wantError {
 		res, err := LintFile(filepath.Join("..", "..", "testdata", "analysis", name), Options{})

@@ -36,10 +36,11 @@ type HierarchyResult struct {
 	Pos ast.Pos
 }
 
-// AnalyzeHierarchy classifies each root's dependency cone. Roots that are
-// not intensional in the program yield no result (there is no sub-program
-// to classify). rec may be nil, in which case the recursion structure is
-// computed internally.
+// AnalyzeHierarchy classifies each root's dependency cone. A root with no
+// rules (an extensional or EDB-only target) classifies as hierarchical: its
+// "sub-program" is empty, so exact evaluation is trivial — reading the
+// fact's own probability. rec may be nil, in which case the recursion
+// structure is computed internally.
 func AnalyzeHierarchy(prog *ast.Program, g *DepGraph, roots []string, rec *Recursion) []HierarchyResult {
 	if prog == nil {
 		return nil
@@ -50,10 +51,14 @@ func AnalyzeHierarchy(prog *ast.Program, g *DepGraph, roots []string, rec *Recur
 	var out []HierarchyResult
 	seen := map[string]bool{}
 	for _, root := range roots {
-		if !g.IDB[root] || seen[root] {
+		if seen[root] {
 			continue
 		}
 		seen[root] = true
+		if !g.IDB[root] {
+			out = append(out, HierarchyResult{Root: root, Hierarchical: true, Rule: -1})
+			continue
+		}
 		out = append(out, classifyCone(prog, g, rec, root))
 	}
 	return out

@@ -1,6 +1,7 @@
 package cm_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"os"
@@ -90,6 +91,99 @@ func loadAgreeCorpus(t *testing.T) []agreeCase {
 // agree within the sampling tolerance. The solvers share one RR-set
 // distribution (Proposition 4.4), so disagreement beyond the statistical
 // bound is an implementation bug, not noise.
+// TestThreeWayAgreement is the exact/RIS/DNF differential battery: on
+// every corpus instance and at Parallelism 1, 4, and 8, the RIS sampler
+// (MagicCM) and the DNF possible-world sampler must agree within the
+// statistical tolerance, and — whenever the instance is hierarchical, so
+// the exact lifted tier applies — each sampler's estimate must lie within
+// its error proxy of the exact contribution of the very seed set it chose.
+// Three independently implemented evaluation paths (RR-set coverage, DNF
+// world sampling, lifted inference) bounding each other leaves little room
+// for a shared bug.
+//
+// The RIS leg is MagicCM, not Magic^S: both estimate Definition 3.4's
+// edge-percolation contribution on chain-shaped programs, but Magic^S
+// folds its draws into evaluation, so an instantiation whose body contains
+// an underived idb atom never grounds. On joins over derived atoms that
+// conditions RR membership on derivability — a strictly smaller event than
+// path presence — so Magic^S is not comparable against the exact
+// percolation value (see hier_star for the minimal separating instance).
+func TestThreeWayAgreement(t *testing.T) {
+	const theta = 2000
+	for _, tc := range loadAgreeCorpus(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			in := cm.Input{Program: tc.prog, DB: tc.db, T2: tc.targets, K: 2}
+			// Each sampler estimate has stderr <= |T2|/(2 sqrt θ); 6 combined
+			// sigmas between two samplers, 3 against an exact value.
+			tol := 6 * float64(len(tc.targets)) / math.Sqrt(theta)
+			exTol := tol / 2
+
+			exact, err := cm.ExactCM(in, cm.Options{
+				Theta: im.ThetaSpec{Explicit: theta},
+				Rand:  rand.New(rand.NewPCG(9, 0xE5AC7)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exactTier := exact.Stats.ExactFallback == ""
+			if exactTier {
+				// The exact tier's reported objective must equal the exact
+				// contribution of its own seeds, bit-for-bit up to float noise.
+				self, err := cm.ExactContribution(in, exact.Seeds, cm.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff := math.Abs(self - exact.EstContribution); diff > 1e-9 {
+					t.Errorf("ExactCM self-inconsistent: greedy %.12f vs ExactContribution %.12f", exact.EstContribution, self)
+				}
+			}
+
+			for _, par := range []int{1, 4, 8} {
+				t.Run(fmt.Sprintf("P%d", par), func(t *testing.T) {
+					opt := func(seed uint64) cm.Options {
+						return cm.Options{
+							Theta:       im.ThetaSpec{Explicit: theta},
+							Parallelism: par,
+							Rand:        rand.New(rand.NewPCG(seed, 0xE5AC7)),
+						}
+					}
+					ris, err := cm.MagicCM(in, opt(uint64(par)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					dnf, err := cm.DNFCM(in, opt(uint64(par)+100))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if diff := math.Abs(ris.EstContribution - dnf.EstContribution); diff > tol {
+						t.Errorf("RIS %.4f vs DNF %.4f: diff %.4f > tol %.4f",
+							ris.EstContribution, dnf.EstContribution, diff, tol)
+					}
+					if !exactTier {
+						return
+					}
+					for _, sampled := range []*cm.Result{ris, dnf} {
+						ex, err := cm.ExactContribution(in, sampled.Seeds, cm.Options{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if diff := math.Abs(sampled.EstContribution - ex); diff > exTol {
+							t.Errorf("%s %.4f vs exact value of its seeds %.4f: diff %.4f > tol %.4f",
+								sampled.Algorithm, sampled.EstContribution, ex, diff, exTol)
+						}
+						// Greedy over the exact objective can only do at least
+						// as well as any sampled seed set, up to exact ties.
+						if exact.EstContribution < ex-1e-9 {
+							t.Errorf("exact greedy %.6f below exact value %.6f of %s seeds",
+								exact.EstContribution, ex, sampled.Algorithm)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 func TestSolverAgreementCorpus(t *testing.T) {
 	const theta = 2000
 	const mcSamples = 4000

@@ -1,0 +1,323 @@
+package cm_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/cm"
+	"contribmax/internal/db"
+	"contribmax/internal/im"
+	"contribmax/internal/parser"
+)
+
+// exactCase builds a cm.Input from sources. Targets are parsed atoms.
+func exactCase(t *testing.T, progSrc, factsSrc string, targets []string, k int) cm.Input {
+	t.Helper()
+	prog, err := parser.ParseProgram(progSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := parser.ParseFacts(factsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewDatabase()
+	for _, f := range facts {
+		d.MustInsertAtom(f)
+	}
+	t2 := make([]ast.Atom, len(targets))
+	for i, s := range targets {
+		a, err := parser.ParseAtom(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2[i] = a
+	}
+	return cm.Input{Program: prog, DB: d, T2: t2, K: k}
+}
+
+// mustExact runs ExactCM and fails on any fallback: these fixtures are all
+// hierarchical, so the exact tier must answer.
+func mustExact(t *testing.T, in cm.Input, opts cm.Options) *cm.Result {
+	t.Helper()
+	res, err := cm.ExactCM(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ExactFallback != "" {
+		t.Fatalf("unexpected fallback: %s", res.Stats.ExactFallback)
+	}
+	if res.Algorithm != "ExactCM" {
+		t.Fatalf("algorithm = %s, want ExactCM", res.Algorithm)
+	}
+	if res.Stats.NumRR != 0 {
+		t.Fatalf("exact tier sampled %d RR sets, want 0", res.Stats.NumRR)
+	}
+	return res
+}
+
+const chainProg = `
+	0.5 r1: a(X) :- e(X).
+	0.8 r2: b(X) :- a(X).
+`
+
+func TestExactCMChain(t *testing.T) {
+	in := exactCase(t, chainProg, `e(n1).`, []string{"b(n1)"}, 1)
+	res := mustExact(t, in, cm.Options{})
+	if len(res.Seeds) != 1 || res.Seeds[0].String() != "e(n1)" {
+		t.Fatalf("seeds = %v, want [e(n1)]", res.Seeds)
+	}
+	// Pr[b(n1) reachable from e(n1)] = 0.5 * 0.8 exactly.
+	if math.Abs(res.EstContribution-0.4) > 1e-12 {
+		t.Fatalf("contribution = %.15f, want 0.4", res.EstContribution)
+	}
+	if len(res.ExactGains) != 1 || math.Abs(res.ExactGains[0]-0.4) > 1e-12 {
+		t.Fatalf("exact gains = %v, want [0.4]", res.ExactGains)
+	}
+	if res.Stats.ExactTargets != 1 || res.Stats.LineageVars == 0 {
+		t.Fatalf("lineage stats not filled: %+v", res.Stats)
+	}
+}
+
+func TestExactCMDiamond(t *testing.T) {
+	// Two variable-disjoint derivation paths e → t:
+	// 1 − (1 − 0.5·0.9)(1 − 0.6·0.7) = 0.681.
+	in := exactCase(t, `
+		0.5 p1: p(X) :- e(X).
+		0.6 p2: q(X) :- e(X).
+		0.9 t1: t(X) :- p(X).
+		0.7 t2: t(X) :- q(X).
+	`, `e(n1).`, []string{"t(n1)"}, 1)
+	res := mustExact(t, in, cm.Options{})
+	want := 1 - (1-0.45)*(1-0.42)
+	if math.Abs(res.EstContribution-want) > 1e-12 {
+		t.Fatalf("contribution = %.15f, want %.15f", res.EstContribution, want)
+	}
+}
+
+func TestExactCMSharedPrefix(t *testing.T) {
+	// Paths {r0,t1} and {r0,a,b} share the r0 variable, forcing the
+	// independent-AND factoring: 0.5 · (1 − (1−0.9)(1−0.7·0.6)) = 0.471.
+	in := exactCase(t, `
+		0.5 r0: m(X) :- e(X).
+		0.9 t1: t(X) :- m(X).
+		0.7 a: q(X) :- m(X).
+		0.6 b: t(X) :- q(X).
+	`, `e(n1).`, []string{"t(n1)"}, 1)
+	res := mustExact(t, in, cm.Options{})
+	want := 0.5 * (1 - (1-0.9)*(1-0.42))
+	if math.Abs(res.EstContribution-want) > 1e-12 {
+		t.Fatalf("contribution = %.15f, want %.15f", res.EstContribution, want)
+	}
+}
+
+func TestExactCMTwoSeeds(t *testing.T) {
+	// Two independent chains; K=2 must take both, gains 0.5 each, total 1.
+	in := exactCase(t, `0.5 r1: t(X) :- e(X).`, `e(n1). e(n2).`,
+		[]string{"t(n1)", "t(n2)"}, 2)
+	res := mustExact(t, in, cm.Options{})
+	if len(res.Seeds) != 2 {
+		t.Fatalf("seeds = %v, want 2", res.Seeds)
+	}
+	if math.Abs(res.EstContribution-1.0) > 1e-12 {
+		t.Fatalf("contribution = %.15f, want 1.0", res.EstContribution)
+	}
+	for i, g := range res.ExactGains {
+		if math.Abs(g-0.5) > 1e-12 {
+			t.Fatalf("gain[%d] = %.15f, want 0.5", i, g)
+		}
+	}
+}
+
+func TestExactCMJointBeatsIndividual(t *testing.T) {
+	// hub reaches both targets individually best (2·0.6 = 1.2), but after
+	// taking it the greedy must diversify: the second seed should be one of
+	// the per-target specialists, not determined by individual rank alone.
+	in := exactCase(t, `
+		0.6 h1: t(X) :- hub(X).
+		0.9 s1: t(X) :- spoke(X).
+	`, `hub(n1). hub(n2). spoke(n1).`, []string{"t(n1)", "t(n2)"}, 2)
+	res := mustExact(t, in, cm.Options{RankCandidates: true})
+	if len(res.Seeds) != 2 {
+		t.Fatalf("seeds = %v, want 2", res.Seeds)
+	}
+	// Exact objective: {hub(n1), hub(n2)} gives 1.2; swapping either hub for
+	// spoke(n1) gives 0.6 + (1 − 0.4·0.1) = 1.56... compute: first seed is
+	// spoke(n1) (0.9 < 1.2? no — hub seeds give 0.6 each individually,
+	// spoke gives 0.9, so spoke(n1) is first), then hub(n2) adds 0.6 and
+	// hub(n1) adds only (1−(1−0.9)(1−0.6)) − 0.9 = 0.06.
+	wantFirst, wantSecond := "spoke(n1)", "hub(n2)"
+	if res.Seeds[0].String() != wantFirst || res.Seeds[1].String() != wantSecond {
+		t.Fatalf("seeds = [%s, %s], want [%s, %s]",
+			res.Seeds[0], res.Seeds[1], wantFirst, wantSecond)
+	}
+	want := 0.9 + 0.6
+	if math.Abs(res.EstContribution-want) > 1e-12 {
+		t.Fatalf("contribution = %.15f, want %.15f", res.EstContribution, want)
+	}
+	// The exact ranking lists individual contributions: spoke(n1) 0.9 first.
+	if len(res.Ranking) == 0 || res.Ranking[0].Fact.String() != "spoke(n1)" {
+		t.Fatalf("ranking head = %+v, want spoke(n1)", res.Ranking)
+	}
+	if math.Abs(res.Ranking[0].EstContribution-0.9) > 1e-12 {
+		t.Fatalf("ranking[0] = %.15f, want 0.9", res.Ranking[0].EstContribution)
+	}
+}
+
+func TestExactCMFallbackOnRecursion(t *testing.T) {
+	in := exactCase(t, `
+		0.6 r1: tc(X, Y) :- e(X, Y).
+		0.5 r2: tc(X, Y) :- tc(X, Z), e(Z, Y).
+	`, `e(a, b). e(b, c).`, []string{"tc(a, c)"}, 1)
+	res, err := cm.ExactCM(in, cm.Options{Theta: im.ThetaSpec{Explicit: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ExactFallback == "" {
+		t.Fatal("expected a fallback reason on a recursive cone")
+	}
+	if res.Algorithm != "MagicCM" {
+		t.Fatalf("fallback algorithm = %s, want MagicCM", res.Algorithm)
+	}
+	if res.Stats.NumRR == 0 || len(res.Seeds) == 0 {
+		t.Fatalf("fallback did not sample: %+v", res.Stats)
+	}
+}
+
+func TestExactCMFallbackOnSelfJoin(t *testing.T) {
+	in := exactCase(t, `
+		0.5 r1: p(X, Y) :- e(X, Y).
+		0.6 r2: t(X, Y) :- p(X, Z), p(Z, Y).
+	`, `e(a, b). e(b, c).`, []string{"t(a, c)"}, 1)
+	res, err := cm.ExactCM(in, cm.Options{Theta: im.ThetaSpec{Explicit: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ExactFallback == "" {
+		t.Fatal("expected a fallback reason on a self-join")
+	}
+}
+
+func TestExactContributionMatchesExactCM(t *testing.T) {
+	in := exactCase(t, `
+		0.5 p1: p(X) :- e(X).
+		0.6 p2: q(X) :- e(X).
+		0.9 t1: t(X) :- p(X).
+		0.7 t2: t(X) :- q(X).
+	`, `e(n1).`, []string{"t(n1)"}, 1)
+	res := mustExact(t, in, cm.Options{})
+	got, err := cm.ExactContribution(in, res.Seeds, cm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-res.EstContribution) > 1e-12 {
+		t.Fatalf("ExactContribution = %.15f, ExactCM = %.15f", got, res.EstContribution)
+	}
+}
+
+func TestExactContributionOnRecursiveCone(t *testing.T) {
+	// The oracle is exact on recursive cones too: reachability lineages
+	// enumerate simple paths. tc(a,c) from e(a,b): the only path uses
+	// r1(a,b)? No — reaching tc(a,c) needs r2 composition. Closed form:
+	// tc(a,c) derives via r2(tc(a,b), e(b,c)) with tc(a,b) via r1(a,b).
+	// Path from e(a,b): r1(a,b) → tc(a,b) → r2 → tc(a,c): 0.6 · 0.5 = 0.3.
+	in := exactCase(t, `
+		0.6 r1: tc(X, Y) :- e(X, Y).
+		0.5 r2: tc(X, Y) :- tc(X, Z), e(Z, Y).
+	`, `e(a, b). e(b, c).`, []string{"tc(a, c)"}, 1)
+	seed, err := parser.ParseAtom("e(a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cm.ExactContribution(in, []ast.Atom{seed}, cm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("ExactContribution = %.15f, want 0.3", got)
+	}
+}
+
+func TestExactQueryProbability(t *testing.T) {
+	mk := func(progSrc, factsSrc string) (*ast.Program, *db.Database) {
+		prog, err := parser.ParseProgram(progSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts, err := parser.ParseFacts(factsSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := db.NewDatabase()
+		for _, f := range facts {
+			d.MustInsertAtom(f)
+		}
+		return prog, d
+	}
+	atom := func(s string) ast.Atom {
+		a, err := parser.ParseAtom(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	prog, d := mk(chainProg, `e(n1).`)
+	p, err := cm.ExactQueryProbability(prog, d, atom("b(n1)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.4) > 1e-12 {
+		t.Fatalf("chain probability = %.15f, want 0.4", p)
+	}
+
+	prog, d = mk(`0.5 r: t(X) :- e(X), f(X).`, `e(n1). f(n1).`)
+	if p, err = cm.ExactQueryProbability(prog, d, atom("t(n1)")); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("join probability = %.15f, want 0.5", p)
+	}
+
+	// Underived fact: probability 0, no error.
+	if p, err = cm.ExactQueryProbability(prog, d, atom("t(n2)")); err != nil || p != 0 {
+		t.Fatalf("underived probability = %v, %v; want 0, nil", p, err)
+	}
+}
+
+// TestExactBoundsRIS: the RIS estimate of the exact tier's seed set must
+// land within the sampling tolerance of the exact value.
+func TestExactBoundsRIS(t *testing.T) {
+	const theta = 4000
+	in := exactCase(t, `
+		0.5 p1: p(X) :- e(X).
+		0.6 p2: q(X) :- e(X).
+		0.9 t1: t(X) :- p(X).
+		0.7 t2: t(X) :- q(X).
+	`, `e(n1). e(n2). e(n3).`, []string{"t(n1)", "t(n2)", "t(n3)"}, 2)
+	exact := mustExact(t, in, cm.Options{})
+	ris, err := cm.NaiveCM(in, cm.Options{
+		Theta: im.ThetaSpec{Explicit: theta},
+		Rand:  rand.New(rand.NewPCG(7, 11)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same instance, same greedy objective: the seed sets must agree (all
+	// candidates are symmetric here, so compare values not identities).
+	risExact, err := cm.ExactContribution(in, ris.Seeds, cm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 6 * float64(3) / math.Sqrt(theta)
+	if diff := math.Abs(ris.EstContribution - risExact); diff > tol {
+		t.Fatalf("RIS %.4f vs exact %.4f: diff %.4f > tol %.4f",
+			ris.EstContribution, risExact, diff, tol)
+	}
+	if exact.EstContribution < risExact-1e-12 {
+		t.Fatalf("exact greedy %.6f below RIS seed set's exact value %.6f",
+			exact.EstContribution, risExact)
+	}
+}

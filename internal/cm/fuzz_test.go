@@ -1,0 +1,123 @@
+package cm_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/cm"
+	"contribmax/internal/db"
+	"contribmax/internal/im"
+	"contribmax/internal/obs/journal"
+	"contribmax/internal/parser"
+)
+
+// genHierFuzzInstance derives a random safe, non-recursive, hierarchical CM
+// instance from the fuzz input: a chain of unary rules over base facts,
+// optionally widened by a union rule and capped by a binary join. Every
+// shape this generator can emit is hierarchical by construction (no
+// recursion, no self-joins, and the only join's variables are both
+// head-exported), so the exact tier must accept it.
+func genHierFuzzInstance(t *testing.T, seed uint64, layersB, factsB, kB uint8) cm.Input {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xF022))
+	prob := func() float64 { return 0.05 + 0.9*rng.Float64() }
+
+	depth := int(layersB%3) + 1
+	withUnion := layersB&4 != 0
+	withJoin := layersB&8 != 0
+	nBase := int(factsB%4) + 2
+
+	var prog strings.Builder
+	prev := "base"
+	for i := 1; i <= depth; i++ {
+		cur := fmt.Sprintf("l%d", i)
+		fmt.Fprintf(&prog, "%.3f p%d: %s(X) :- %s(X).\n", prob(), i, cur, prev)
+		prev = cur
+	}
+	if withUnion {
+		fmt.Fprintf(&prog, "%.3f pu: %s(X) :- alt(X).\n", prob(), prev)
+	}
+	if withJoin {
+		fmt.Fprintf(&prog, "%.3f pj: out(X, T) :- %s(X), attr(X, T).\n", prob(), prev)
+	}
+
+	p, err := parser.ParseProgram(prog.String())
+	if err != nil {
+		t.Fatalf("generated program invalid:\n%s\n%v", prog.String(), err)
+	}
+	d := db.NewDatabase()
+	for i := 0; i < nBase; i++ {
+		d.MustInsertAtom(ast.NewAtom("base", ast.C(fmt.Sprintf("n%d", i))))
+		if withJoin {
+			d.MustInsertAtom(ast.NewAtom("attr", ast.C(fmt.Sprintf("n%d", i)), ast.C(fmt.Sprintf("t%d", i%2))))
+		}
+	}
+	if withUnion {
+		for i := 0; i < nBase; i += 2 {
+			d.MustInsertAtom(ast.NewAtom("alt", ast.C(fmt.Sprintf("n%d", i))))
+		}
+	}
+
+	var targets []ast.Atom
+	for i := 0; i < nBase && i < 3; i++ {
+		if withJoin {
+			targets = append(targets, ast.NewAtom("out", ast.C(fmt.Sprintf("n%d", i)), ast.C(fmt.Sprintf("t%d", i%2))))
+		} else {
+			targets = append(targets, ast.NewAtom(prev, ast.C(fmt.Sprintf("n%d", i))))
+		}
+	}
+	return cm.Input{Program: p, DB: d, T2: targets, K: int(kB%3) + 1}
+}
+
+// FuzzExactVsRIS cross-checks the two contribution evaluation paths on
+// randomly shaped hierarchical instances: the exact lifted tier must accept
+// every generated program (they are hierarchical by construction), and the
+// RIS estimate of the sampled solver's chosen seed set must lie within its
+// error proxy of the exact lifted value of that same set.
+func FuzzExactVsRIS(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint8(0), uint8(1))
+	f.Add(uint64(2), uint8(8), uint8(3), uint8(2))
+	f.Add(uint64(3), uint8(12), uint8(2), uint8(0))
+	f.Add(uint64(4), uint8(7), uint8(1), uint8(2))
+	f.Add(uint64(5), uint8(15), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, layersB, factsB, kB uint8) {
+		in := genHierFuzzInstance(t, seed, layersB, factsB, kB)
+		const theta = 1500
+
+		ex, err := cm.ExactCM(in, cm.Options{
+			Theta: im.ThetaSpec{Explicit: theta},
+			Rand:  rand.New(rand.NewPCG(seed, 0xE)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Stats.ExactFallback != "" {
+			t.Fatalf("hierarchical-by-construction instance fell back: %s", ex.Stats.ExactFallback)
+		}
+
+		ris, err := cm.NaiveCM(in, cm.Options{
+			Theta: im.ThetaSpec{Explicit: theta},
+			Rand:  rand.New(rand.NewPCG(seed, 0x15)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := cm.ExactContribution(in, ris.Seeds, cm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The estimate's 1σ absolute error is est·ErrProxy(covered, θ); add
+		// a |T2|-scaled binomial floor for near-zero coverage. 6σ keeps the
+		// flake probability negligible over long fuzz soaks.
+		tol := 6*ris.EstContribution*journal.ErrProxy(ris.Stats.CoveredRR, theta) +
+			3*float64(len(in.T2))/math.Sqrt(theta)
+		if diff := math.Abs(ris.EstContribution - exact); diff > tol {
+			t.Errorf("RIS %.4f vs exact %.4f of seeds %v: diff %.4f > tol %.4f",
+				ris.EstContribution, exact, ris.Seeds, diff, tol)
+		}
+	})
+}

@@ -218,6 +218,11 @@ type Result struct {
 	// SeedGains[i] is the marginal number of RR sets newly covered by
 	// Seeds[i] during greedy selection — a per-seed importance signal.
 	SeedGains []int
+	// ExactGains[i] is the exact marginal contribution of Seeds[i] when the
+	// exact lifted tier answered (ExactCM without fallback); nil for every
+	// sampling algorithm, which reports integer RR coverage in SeedGains
+	// instead.
+	ExactGains []float64
 	// Ranking, filled when Options.RankCandidates is set, lists every T1
 	// candidate with its individual contribution estimate, sorted
 	// descending (ties by first appearance). Selecting the top k of this
@@ -274,6 +279,21 @@ type Stats struct {
 	PlansBuilt         int64
 	PlanCacheHits      int64
 	PlanAtomsReordered int64
+
+	// Exact lifted tier (all zero unless ExactCM answered exactly).
+	// ExactTargets counts targets with a derivable lineage, LineageClauses /
+	// LineageVars the normalized clause and variable totals over them, and
+	// LineageTime the reachability-lineage extraction phase.
+	ExactTargets   int
+	LineageClauses int
+	LineageVars    int
+	LineageTime    time.Duration
+	// ExactFallback names the reason an ExactCM solve fell back to MagicCM
+	// sampling ("" when the exact tier answered, or for other algorithms).
+	ExactFallback string
+
+	// DNFSamples counts the possible worlds DNFCM sampled (0 elsewhere).
+	DNFSamples int
 
 	// Solve-cache interaction (all 0 without Options.Cache). Hits mean the
 	// phase was skipped entirely and its output reused; the graph/RR cost

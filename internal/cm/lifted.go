@@ -1,0 +1,266 @@
+package cm
+
+import (
+	"errors"
+
+	"contribmax/internal/provenance"
+)
+
+// The lifted engine computes the exact probability of a monotone DNF over
+// independent Bernoulli variables with the classic Dalvi–Suciu safe-plan
+// decomposition rules:
+//
+//   - independent OR over variable-disjoint connected components:
+//     P(F1 ∨ F2) = 1 − (1−P(F1))(1−P(F2)) when F1, F2 share no variable;
+//   - independent AND factoring variables common to every clause:
+//     P(x ∧ F') = p_x · P(F');
+//   - Shannon expansion on the most frequent variable otherwise:
+//     P(F) = p_v · P(F|v=1) + (1−p_v) · P(F|v=0).
+//
+// On hierarchical lineages the first two rules alone decompose the DNF, so
+// evaluation is polynomial; Shannon expansion keeps the engine *exact* on
+// arbitrary DNFs at (budgeted) exponential worst-case cost. Sub-results are
+// memoized on the canonical clause-set encoding, so the greedy loop's
+// repeated unions share work across iterations.
+
+// errLiftedBudget reports a lifted evaluation that exceeded its step
+// budget; ExactCM treats it as "fall back to sampling", not a failure.
+var errLiftedBudget = errors.New("cm: lifted evaluation exceeds its step budget")
+
+// lifted evaluates normalized clause sets over one fixed variable table.
+// Not safe for concurrent use.
+type lifted struct {
+	probs    []float64
+	memo     map[string]float64
+	steps    int
+	maxSteps int
+}
+
+func newLifted(probs []float64) *lifted {
+	return &lifted{probs: probs, memo: map[string]float64{}, maxSteps: 1 << 20}
+}
+
+// prob returns the exact probability that the monotone DNF holds. clauses
+// must be normalized (provenance.NormalizeClauses): each clause strictly
+// ascending, no duplicate or subsumed clauses, shortest-first order — which
+// also makes the memo key canonical.
+func (l *lifted) prob(clauses [][]int32) (float64, error) {
+	if len(clauses) == 0 {
+		return 0, nil
+	}
+	if len(clauses[0]) == 0 {
+		// Normalization sorts shortest-first, so an empty (always-true)
+		// clause is at position 0 and subsumes everything else.
+		return 1, nil
+	}
+	key := clauseSetKey(clauses)
+	if p, ok := l.memo[key]; ok {
+		return p, nil
+	}
+	if l.steps++; l.steps > l.maxSteps {
+		return 0, errLiftedBudget
+	}
+	p, err := l.decompose(clauses)
+	if err != nil {
+		return 0, err
+	}
+	l.memo[key] = p
+	return p, nil
+}
+
+func (l *lifted) decompose(clauses [][]int32) (float64, error) {
+	// Independent OR: clauses in different variable-connected components
+	// are independent events.
+	if comps := components(clauses); len(comps) > 1 {
+		q := 1.0
+		for _, comp := range comps {
+			p, err := l.prob(comp)
+			if err != nil {
+				return 0, err
+			}
+			q *= 1 - p
+		}
+		return 1 - q, nil
+	}
+	// Independent AND: a variable in every clause is required by the whole
+	// formula and independent of the remainder.
+	if common := commonVars(clauses); len(common) > 0 {
+		f := 1.0
+		for _, v := range common {
+			f *= l.probs[v]
+		}
+		rest, err := l.prob(removeVars(clauses, common))
+		if err != nil {
+			return 0, err
+		}
+		return f * rest, nil
+	}
+	v := mostFrequentVar(clauses)
+	pv := l.probs[v]
+	pos, err := l.prob(conditionTrue(clauses, v))
+	if err != nil {
+		return 0, err
+	}
+	neg, err := l.prob(conditionFalse(clauses, v))
+	if err != nil {
+		return 0, err
+	}
+	return pv*pos + (1-pv)*neg, nil
+}
+
+// components partitions the clause set into variable-connected components
+// (union-find over clause indices). Each component keeps the input's
+// clause order, so normalized inputs yield normalized components.
+func components(clauses [][]int32) [][][]int32 {
+	parent := make([]int, len(clauses))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := map[int32]int{}
+	for i, c := range clauses {
+		for _, v := range c {
+			if j, ok := owner[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				owner[v] = i
+			}
+		}
+	}
+	groups := map[int][][]int32{}
+	var order []int
+	for i, c := range clauses {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], c)
+	}
+	out := make([][][]int32, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// commonVars returns the ascending intersection of all clauses.
+func commonVars(clauses [][]int32) []int32 {
+	common := clauses[0]
+	for _, c := range clauses[1:] {
+		if len(common) == 0 {
+			return nil
+		}
+		next := make([]int32, 0, len(common))
+		i := 0
+		for _, v := range common {
+			for i < len(c) && c[i] < v {
+				i++
+			}
+			if i < len(c) && c[i] == v {
+				next = append(next, v)
+			}
+		}
+		common = next
+	}
+	return common
+}
+
+// removeVars drops the given ascending variable set from every clause and
+// renormalizes.
+func removeVars(clauses [][]int32, drop []int32) [][]int32 {
+	out := make([][]int32, 0, len(clauses))
+	for _, c := range clauses {
+		kept := make([]int32, 0, len(c))
+		i := 0
+		for _, v := range c {
+			for i < len(drop) && drop[i] < v {
+				i++
+			}
+			if i < len(drop) && drop[i] == v {
+				continue
+			}
+			kept = append(kept, v)
+		}
+		out = append(out, kept)
+	}
+	return provenance.NormalizeClauses(out)
+}
+
+// mostFrequentVar picks the Shannon-expansion pivot: the variable in the
+// most clauses, ties broken by smallest id for determinism.
+func mostFrequentVar(clauses [][]int32) int32 {
+	counts := map[int32]int{}
+	for _, c := range clauses {
+		for _, v := range c {
+			counts[v]++
+		}
+	}
+	best, bestN := int32(-1), 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// conditionTrue substitutes v=true: v disappears from its clauses, and the
+// result is renormalized (an emptied clause makes the formula true).
+func conditionTrue(clauses [][]int32, v int32) [][]int32 {
+	out := make([][]int32, 0, len(clauses))
+	for _, c := range clauses {
+		kept := make([]int32, 0, len(c))
+		for _, x := range c {
+			if x != v {
+				kept = append(kept, x)
+			}
+		}
+		out = append(out, kept)
+	}
+	return provenance.NormalizeClauses(out)
+}
+
+// conditionFalse substitutes v=false: clauses containing v are dropped.
+// Dropping clauses from a normalized set keeps it normalized.
+func conditionFalse(clauses [][]int32, v int32) [][]int32 {
+	out := make([][]int32, 0, len(clauses))
+	for _, c := range clauses {
+		has := false
+		for _, x := range c {
+			if x == v {
+				has = true
+				break
+			}
+		}
+		if !has {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// clauseSetKey encodes a normalized clause set unambiguously (a length
+// prefix per clause, 4 little-endian bytes per value) for memoization.
+func clauseSetKey(clauses [][]int32) string {
+	n := 0
+	for _, c := range clauses {
+		n += 4 + len(c)*4
+	}
+	b := make([]byte, 0, n)
+	put := func(v int32) {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	for _, c := range clauses {
+		put(int32(len(c)))
+		for _, v := range c {
+			put(v)
+		}
+	}
+	return string(b)
+}

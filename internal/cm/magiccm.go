@@ -310,6 +310,9 @@ func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bo
 type rrScratch struct {
 	walker *wdgraph.Walker
 	keyBuf []byte
+	// world is DNFCM's per-worker possible-world buffer (unused by the
+	// Magic variants).
+	world []bool
 }
 
 func newRRScratch() *rrScratch { return &rrScratch{walker: wdgraph.NewWalker(nil)} }

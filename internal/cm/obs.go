@@ -37,6 +37,18 @@ func observeSolve(opts Options, res *Result, err error) (*Result, error) {
 			BytesReused: st.CacheBytesReused,
 		})
 	}
+	if res != nil && err == nil &&
+		(res.Stats.ExactTargets > 0 || res.Stats.DNFSamples > 0 || res.Stats.ExactFallback != "") {
+		opts.Journal.EstimatorSummary(journal.EstInfo{
+			Algorithm: res.Algorithm,
+			Targets:   res.Stats.ExactTargets,
+			Clauses:   res.Stats.LineageClauses,
+			Vars:      res.Stats.LineageVars,
+			LineageNs: int64(res.Stats.LineageTime),
+			Samples:   res.Stats.DNFSamples,
+			Fallback:  res.Stats.ExactFallback,
+		})
+	}
 	if j := opts.Journal; j != nil {
 		var fin journal.FinishInfo
 		if err != nil {

@@ -47,6 +47,38 @@ func TestDiffReportsDirections(t *testing.T) {
 	}
 }
 
+// TestDiffReportsEstimatorDrift: the exact value and lineage size are
+// deterministic per workload, so any change — in either direction — warns;
+// noisy fields (timings, sampler estimates) never do.
+func TestDiffReportsEstimatorDrift(t *testing.T) {
+	baseline := &Report{Estimators: []EstimatorSummary{
+		{Dataset: "PowerLaw-a1", ExactValue: 13.4360, LineageClauses: 120, RISEst: 13.1, RISMillis: 15},
+	}}
+	same := &Report{Estimators: []EstimatorSummary{
+		{Dataset: "PowerLaw-a1", ExactValue: 13.4360, LineageClauses: 120, RISEst: 12.2, RISMillis: 40},
+	}}
+	if w := DiffReports(baseline, same, 0.20); len(w) != 0 {
+		t.Errorf("noisy-field change warned: %v", w)
+	}
+	drifted := &Report{Estimators: []EstimatorSummary{
+		{Dataset: "PowerLaw-a1", ExactValue: 13.2, LineageClauses: 118},
+	}}
+	w := DiffReports(baseline, drifted, 0.20)
+	if len(w) != 2 {
+		t.Fatalf("warnings = %v, want exact-value and lineage drift", w)
+	}
+	if !strings.Contains(w[0], "exact value") || !strings.Contains(w[1], "lineage clauses") {
+		t.Errorf("drift warnings = %v", w)
+	}
+	// Improvements warn too — drift is semantic, not performance.
+	improved := &Report{Estimators: []EstimatorSummary{
+		{Dataset: "PowerLaw-a1", ExactValue: 14.0, LineageClauses: 120},
+	}}
+	if w := DiffReports(baseline, improved, 0.20); len(w) != 1 {
+		t.Errorf("upward exact-value drift warnings = %v, want 1", w)
+	}
+}
+
 func TestSummarizeJournal(t *testing.T) {
 	j := journal.New("sum", journal.Options{})
 	j.RRBatch(journal.RRBatchInfo{Worker: 0, Sets: 60, Members: 120, TotalSets: 60})

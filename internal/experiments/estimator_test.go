@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReportEstimatorValidation covers the estimator block of
+// ValidateReportJSON: a well-formed report with estimator entries passes,
+// structurally impossible entries are rejected.
+func TestReportEstimatorValidation(t *testing.T) {
+	r := NewReport("quick")
+	r.AddTable(sampleTable())
+	r.Estimators = []EstimatorSummary{{
+		Dataset: "PowerLaw-a1", Alpha: 1.0, Targets: 30,
+		ExactMillis: 3, RISMillis: 15, DNFMillis: 2,
+		ExactValue: 13.4, RISEst: 13.1, DNFEst: 13.6,
+		MaxDeviation: 0.5, LineageClauses: 120,
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReportJSON(buf.Bytes()); err != nil {
+		t.Fatalf("valid estimator report rejected: %v", err)
+	}
+
+	figure := `"figures":[{"title":"t","series":["a"],"rows":[{"x":"1","values":{}}]}]`
+	cases := map[string]string{
+		"no dataset": `{"schema":"contribmax/bench/v1","goVersion":"go1.22",` + figure +
+			`,"estimators":[{"targets":3,"exact_millis":1,"ris_millis":1,"dnf_millis":1,"lineage_clauses":5}]}`,
+		"no targets": `{"schema":"contribmax/bench/v1","goVersion":"go1.22",` + figure +
+			`,"estimators":[{"dataset":"PL","targets":0,"exact_millis":1,"ris_millis":1,"dnf_millis":1,"lineage_clauses":5}]}`,
+		"negative timing": `{"schema":"contribmax/bench/v1","goVersion":"go1.22",` + figure +
+			`,"estimators":[{"dataset":"PL","targets":3,"exact_millis":-1,"ris_millis":1,"dnf_millis":1,"lineage_clauses":5}]}`,
+		"negative deviation": `{"schema":"contribmax/bench/v1","goVersion":"go1.22",` + figure +
+			`,"estimators":[{"dataset":"PL","targets":3,"exact_millis":1,"ris_millis":1,"dnf_millis":1,"max_deviation":-0.1,"lineage_clauses":5}]}`,
+		"no lineage": `{"schema":"contribmax/bench/v1","goVersion":"go1.22",` + figure +
+			`,"estimators":[{"dataset":"PL","targets":3,"exact_millis":1,"ris_millis":1,"dnf_millis":1,"lineage_clauses":0}]}`,
+	}
+	for name, src := range cases {
+		if err := ValidateReportJSON([]byte(src)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+}
+
+// TestEstimatorSummaries runs the real three-way A/B. The measurement
+// itself enforces the hard contracts (no exact-tier fallback on the
+// hierarchical power-law programs, every sampler within its error proxy
+// of the exact value of its own seeds), so a non-error return already
+// certifies agreement; the assertions below pin the report shape.
+func TestEstimatorSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("estimator A/B solves three power-law instances nine ways")
+	}
+	summaries, err := EstimatorSummaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 3 {
+		t.Fatalf("got %d summaries, want 3", len(summaries))
+	}
+	prevAlpha := -1.0
+	for _, s := range summaries {
+		if s.Alpha <= prevAlpha {
+			t.Errorf("%s: alphas not increasing (%g after %g)", s.Dataset, s.Alpha, prevAlpha)
+		}
+		prevAlpha = s.Alpha
+		if s.Targets <= 0 {
+			t.Errorf("%s: no targets", s.Dataset)
+		}
+		if s.ExactMillis <= 0 || s.RISMillis <= 0 || s.DNFMillis <= 0 {
+			t.Errorf("%s: non-positive timings exact=%v ris=%v dnf=%v",
+				s.Dataset, s.ExactMillis, s.RISMillis, s.DNFMillis)
+		}
+		if s.ExactValue <= 0 {
+			t.Errorf("%s: exact value %g, want positive (targets are derivable)", s.Dataset, s.ExactValue)
+		}
+		if s.LineageClauses <= 0 {
+			t.Errorf("%s: exact solve recorded no lineage clauses", s.Dataset)
+		}
+	}
+
+	// Round-trip through a report: the emitted JSON must validate.
+	r := NewReport("quick")
+	r.AddTable(EstimatorTable(summaries))
+	r.Estimators = summaries
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReportJSON(buf.Bytes()); err != nil {
+		t.Fatalf("estimator report failed validation: %v", err)
+	}
+}

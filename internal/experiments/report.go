@@ -40,6 +40,11 @@ type Report struct {
 	// with the warm replay's hit accounting and speedup. Additive and
 	// optional like the other measurement blocks.
 	Cache []CacheSummary `json:"cache,omitempty"`
+	// Estimators, when present, records the three-way estimator A/B on the
+	// power-law family (see EstimatorSummaries): the exact lifted tier,
+	// RIS, and DNF world sampling on identical inputs. Additive and
+	// optional like the other measurement blocks.
+	Estimators []EstimatorSummary `json:"estimators,omitempty"`
 }
 
 // PruningSummary is the dead-rule analysis of one dataset's program:
@@ -166,6 +171,25 @@ func ValidateReportJSON(data []byte) error {
 		if c.RRHits <= 0 {
 			return fmt.Errorf("bench report: cache entry %q reports a warm solve that never hit (rr_hits=%d)",
 				c.Dataset, c.RRHits)
+		}
+	}
+	for ei, e := range r.Estimators {
+		if e.Dataset == "" {
+			return fmt.Errorf("bench report: estimator entry %d lacks a dataset", ei)
+		}
+		if e.Targets <= 0 {
+			return fmt.Errorf("bench report: estimator entry %q has no targets", e.Dataset)
+		}
+		if e.ExactMillis < 0 || e.RISMillis < 0 || e.DNFMillis < 0 {
+			return fmt.Errorf("bench report: estimator entry %q has negative timings", e.Dataset)
+		}
+		if e.MaxDeviation < 0 || e.ExactValue < 0 {
+			return fmt.Errorf("bench report: estimator entry %q has impossible values (exact %g, dev %g)",
+				e.Dataset, e.ExactValue, e.MaxDeviation)
+		}
+		if e.LineageClauses <= 0 {
+			return fmt.Errorf("bench report: estimator entry %q reports an exact solve with no lineage clauses",
+				e.Dataset)
 		}
 	}
 	for fi, f := range r.Figures {

@@ -56,6 +56,11 @@ const (
 	// and RR hit/miss counts and bytes reused. At most one per solve,
 	// emitted right before solve.finish, and only when a cache is attached.
 	TypeCacheSummary EventType = "cache.summary"
+	// TypeEstimatorSummary summarizes an exact-tier or DNF-sampling solve:
+	// lineage extraction totals, possible worlds sampled, and the fallback
+	// reason when the tier rerouted to RIS sampling. At most one per
+	// solve, emitted right before solve.finish by ExactCM / DNFCM.
+	TypeEstimatorSummary EventType = "estimator.summary"
 )
 
 // Event is the envelope every journal entry shares. Exactly one payload
@@ -82,6 +87,7 @@ type Event struct {
 	Iter   *IterInfo    `json:"iter,omitempty"`
 	Plan   *PlanInfo    `json:"plan,omitempty"`
 	Cache  *CacheInfo   `json:"cache,omitempty"`
+	Est    *EstInfo     `json:"est,omitempty"`
 }
 
 // SolveInfo is the solve.start payload.
@@ -205,6 +211,26 @@ type CacheInfo struct {
 	// BytesReused is the resident size of cached entries this solve reused
 	// instead of recomputing.
 	BytesReused int64 `json:"bytes_reused,omitempty"`
+}
+
+// EstInfo is the estimator.summary payload: the exact-tier / DNF-sampler
+// telemetry of one solve.
+type EstInfo struct {
+	// Algorithm is the answering solver ("ExactCM", "DNFCM", or the
+	// fallback's name when the tier rerouted).
+	Algorithm string `json:"algorithm"`
+	// Targets counts targets with a derivable lineage; Clauses / Vars the
+	// normalized clause and variable totals over their DNFs.
+	Targets int `json:"targets"`
+	Clauses int `json:"clauses"`
+	Vars    int `json:"vars"`
+	// LineageNs is wall time spent extracting reachability lineages.
+	LineageNs int64 `json:"lineage_ns"`
+	// Samples counts sampled possible worlds (DNFCM only, 0 for exact).
+	Samples int `json:"samples,omitempty"`
+	// Fallback names why the solve rerouted to RIS sampling ("" when the
+	// tier answered).
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // NewRunID returns a fresh 16-hex-digit run identifier. IDs are random

@@ -269,6 +269,14 @@ func (j *Journal) CacheSummary(info CacheInfo) {
 	j.append(Event{Type: TypeCacheSummary, Cache: &info})
 }
 
+// EstimatorSummary emits an estimator.summary event.
+func (j *Journal) EstimatorSummary(info EstInfo) {
+	if j == nil {
+		return
+	}
+	j.append(Event{Type: TypeEstimatorSummary, Est: &info})
+}
+
 // SelectIter emits a select.iter event.
 func (j *Journal) SelectIter(info IterInfo) {
 	if j == nil {

@@ -41,6 +41,13 @@ const (
 	CMErrors  = "cm.errors"   // counter: solves returning an error
 	CMSolveNs = "cm.solve_ns" // histogram: ns per solve
 
+	// Exact lifted tier and DNF possible-world sampling (internal/cm
+	// exact.go / greedydnf.go).
+	ExactSolves    = "exact.solves"    // counter: solves answered by the exact lifted tier
+	ExactFallbacks = "exact.fallbacks" // counter: exact-tier solves that fell back to RIS sampling
+	LineageClauses = "lineage.clauses" // histogram: normalized clauses per target lineage
+	DNFSamples     = "dnf.samples"     // counter: DNF possible-world samples drawn
+
 	// Solve cache (internal/solvecache).
 	CacheGraphHits    = "cache.graph_hits"          // counter: WD-graph lookups served from cache
 	CacheGraphMisses  = "cache.graph_misses"        // counter: WD-graph lookups that built

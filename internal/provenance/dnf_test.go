@@ -1,0 +1,155 @@
+package provenance_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"contribmax/internal/provenance"
+	"contribmax/internal/wdgraph"
+)
+
+// reachOf extracts the reachability lineage and indexes it by source atom
+// rendering for assertions.
+func reachOf(t *testing.T, g *wdgraph.Graph, root wdgraph.NodeID) *provenance.ReachLineage {
+	t.Helper()
+	lin, err := provenance.ReachabilityLineage(g, root, provenance.DNFBudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lin
+}
+
+func TestReachabilityLineageChain(t *testing.T) {
+	g, d := build(t, `
+		0.5 r1: a(X) :- e(X).
+		0.8 r2: b(X) :- a(X).
+	`, `e(n1).`)
+	lin := reachOf(t, g, factNode(t, g, d, "b(n1)"))
+	if len(lin.Sources) != 1 {
+		t.Fatalf("sources = %d, want 1", len(lin.Sources))
+	}
+	if got := lin.Clauses[0]; len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("clauses = %s, want one 2-variable clause", provenance.ClausesString(got))
+	}
+	p := lin.Vars.Probs[lin.Clauses[0][0][0]] * lin.Vars.Probs[lin.Clauses[0][0][1]]
+	if math.Abs(p-0.4) > 1e-15 {
+		t.Fatalf("clause probability product = %v, want 0.4", p)
+	}
+}
+
+func TestReachabilityLineageDeterministicRule(t *testing.T) {
+	// Weight-1 instantiations are deterministic: they never become
+	// variables, so the only clause variable is r2's.
+	g, d := build(t, `
+		1.0 r1: a(X) :- e(X).
+		0.8 r2: b(X) :- a(X).
+	`, `e(n1).`)
+	lin := reachOf(t, g, factNode(t, g, d, "b(n1)"))
+	if lin.Vars.Len() != 1 {
+		t.Fatalf("vars = %d, want 1", lin.Vars.Len())
+	}
+	if got := lin.Clauses[0]; len(got) != 1 || len(got[0]) != 1 {
+		t.Fatalf("clauses = %s, want one 1-variable clause", provenance.ClausesString(got))
+	}
+	if p := lin.Vars.Probs[0]; p != 0.8 {
+		t.Fatalf("var probability = %v, want 0.8", p)
+	}
+}
+
+func TestReachabilityLineageDiamond(t *testing.T) {
+	// Two disjoint paths e -> t: the DNF has two variable-disjoint
+	// 2-variable clauses.
+	g, d := build(t, `
+		0.5 p1: p(X) :- e(X).
+		0.6 p2: q(X) :- e(X).
+		0.9 t1: t(X) :- p(X).
+		0.7 t2: t(X) :- q(X).
+	`, `e(n1).`)
+	lin := reachOf(t, g, factNode(t, g, d, "t(n1)"))
+	if len(lin.Sources) != 1 {
+		t.Fatalf("sources = %d, want 1", len(lin.Sources))
+	}
+	cl := lin.Clauses[0]
+	if len(cl) != 2 || len(cl[0]) != 2 || len(cl[1]) != 2 {
+		t.Fatalf("clauses = %s, want two 2-variable clauses", provenance.ClausesString(cl))
+	}
+	seen := map[int32]int{}
+	for _, c := range cl {
+		for _, v := range c {
+			seen[v]++
+		}
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("variable %d appears in %d clauses, want 1", v, n)
+		}
+	}
+}
+
+func TestReachabilityLineageRecursiveCone(t *testing.T) {
+	// Recursion is fine for reachability: simple-path enumeration skips
+	// cycles. tc(a,c) is reached from e(a,b) via {r1(a,b), r2} composition.
+	g, d := build(t, `
+		0.6 r1: tc(X, Y) :- e(X, Y).
+		0.5 r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`, `e(a, b). e(b, c).`)
+	lin := reachOf(t, g, factNode(t, g, d, "tc(a, c)"))
+	if len(lin.Sources) != 2 {
+		t.Fatalf("sources = %d, want 2 (both edges reach tc(a,c))", len(lin.Sources))
+	}
+	for i, cl := range lin.Clauses {
+		if len(cl) == 0 {
+			t.Fatalf("source %d has empty DNF", i)
+		}
+	}
+}
+
+func TestDerivationLineageJoin(t *testing.T) {
+	g, d := build(t, `
+		0.5 r: t(X) :- e(X), f(X).
+	`, `e(n1). f(n1).`)
+	vt, dnf, err := provenance.DerivationLineage(g, factNode(t, g, d, "t(n1)"), provenance.DNFBudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.Len() != 1 || len(dnf) != 1 || len(dnf[0]) != 1 {
+		t.Fatalf("dnf = %s over %d vars, want one singleton clause over 1 var",
+			provenance.ClausesString(dnf), vt.Len())
+	}
+}
+
+func TestDerivationLineageRecursionRejected(t *testing.T) {
+	g, d := build(t, `
+		0.6 r1: tc(X, Y) :- e(X, Y).
+		0.5 r2: tc(X, Y) :- tc(X, Z), tc(Z, Y).
+	`, `e(a, b). e(b, a).`)
+	_, _, err := provenance.DerivationLineage(g, factNode(t, g, d, "tc(a, a)"), provenance.DNFBudget{})
+	if err == nil {
+		t.Fatal("expected an error on a recursive cone")
+	}
+}
+
+func TestLineageBudget(t *testing.T) {
+	g, d := build(t, `
+		0.5 p1: p(X) :- e(X).
+		0.6 p2: q(X) :- e(X).
+		0.9 t1: t(X) :- p(X).
+		0.7 t2: t(X) :- q(X).
+	`, `e(n1).`)
+	_, err := provenance.ReachabilityLineage(g, factNode(t, g, d, "t(n1)"), provenance.DNFBudget{MaxClauses: 1})
+	if !errors.Is(err, provenance.ErrLineageBudget) {
+		t.Fatalf("err = %v, want ErrLineageBudget", err)
+	}
+}
+
+func TestNormalizeClauses(t *testing.T) {
+	in := [][]int32{{2, 1, 2}, {1}, {3, 2}, {1, 2, 3}, {2, 3}}
+	got := provenance.NormalizeClauses(in)
+	want := [][]int32{{1}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NormalizeClauses = %s, want %s",
+			provenance.ClausesString(got), provenance.ClausesString(want))
+	}
+}

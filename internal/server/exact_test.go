@@ -1,0 +1,85 @@
+package server_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"contribmax/internal/server"
+)
+
+// A hierarchical two-layer program: non-recursive, self-join-free,
+// nested existential variables — the exact tier must answer it without
+// falling back.
+const hierProgram = `0.5 r1: mid(X) :- src(X).
+0.8 r2: out(X) :- mid(X).`
+
+const hierFacts = `src(a). src(b).`
+
+// TestSolveAPIExact drives algorithm "exact" and "dnf" over HTTP: the
+// exact solve must answer in the lifted tier (no fallback) with the
+// closed-form contribution, the DNF solve must land within sampling
+// distance of it, and the recursive TC program must fall back with a
+// stamped reason rather than fail.
+func TestSolveAPIExact(t *testing.T) {
+	ts := newServer(t)
+	req := server.SolveRequest{
+		Program:   hierProgram,
+		Facts:     hierFacts,
+		Targets:   []string{"out(a)", "out(b)"},
+		K:         1,
+		RR:        2000,
+		Algorithm: "exact",
+	}
+	resp := postSolve(t, ts.URL, req)
+	defer resp.Body.Close()
+	var exact server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Algorithm != "ExactCM" || exact.ExactFallback != "" {
+		t.Fatalf("exact solve: algorithm=%s fallback=%q", exact.Algorithm, exact.ExactFallback)
+	}
+	// One seed covers one target's chain exactly: 0.5 * 0.8.
+	if math.Abs(exact.EstContribution-0.4) > 1e-12 {
+		t.Errorf("exact contribution = %.15f, want 0.4", exact.EstContribution)
+	}
+
+	req.Algorithm = "dnf"
+	resp = postSolve(t, ts.URL, req)
+	defer resp.Body.Close()
+	var dnf server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dnf); err != nil {
+		t.Fatal(err)
+	}
+	if dnf.Algorithm != "DNFCM" || dnf.ExactFallback != "" {
+		t.Fatalf("dnf solve: algorithm=%s fallback=%q", dnf.Algorithm, dnf.ExactFallback)
+	}
+	// 6σ over θ=2000 Bernoulli samples of a {0,1} indicator.
+	if math.Abs(dnf.EstContribution-0.4) > 6*0.5/math.Sqrt(2000) {
+		t.Errorf("dnf contribution = %.4f, want ~0.4", dnf.EstContribution)
+	}
+
+	// Recursive cone: the exact tier refuses and reroutes to MagicCM.
+	fallback := server.SolveRequest{
+		Program:   tcProgram,
+		Facts:     tcFacts,
+		Targets:   []string{"tc(a, c)"},
+		K:         1,
+		RR:        500,
+		Algorithm: "exact",
+	}
+	resp = postSolve(t, ts.URL, fallback)
+	defer resp.Body.Close()
+	var fb server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Algorithm != "MagicCM" || fb.ExactFallback == "" {
+		t.Errorf("fallback solve: algorithm=%s fallback=%q, want MagicCM with a reason",
+			fb.Algorithm, fb.ExactFallback)
+	}
+	if len(fb.Seeds) != 1 {
+		t.Errorf("fallback seeds = %v", fb.Seeds)
+	}
+}

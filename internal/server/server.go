@@ -58,7 +58,11 @@ type SolveRequest struct {
 	Targets []string `json:"targets"`
 	// K is the seed-set size (default 5).
 	K int `json:"k"`
-	// Algorithm: naive | magic | magics (default) | magicg.
+	// Algorithm: naive | magic | magics (default) | magicg | exact | dnf.
+	// exact answers by lifted inference (no sampling error) when every
+	// target's cone is hierarchical and falls back to magic sampling
+	// otherwise (see SolveResponse.ExactFallback); dnf estimates by
+	// Monte-Carlo possible-world sampling over derivation lineages.
 	Algorithm string `json:"algorithm"`
 	// RR is the number of RR sets (default 1000).
 	RR int `json:"rr"`
@@ -92,11 +96,15 @@ type SolveResponse struct {
 	// Cache counters report how this solve used the server's shared solve
 	// cache: hits replay a memoized WD graph or RR collection, misses paid
 	// the full build. All zero (and omitted) when caching is disabled.
-	CacheGraphHits   int64   `json:"cacheGraphHits,omitempty"`
-	CacheGraphMisses int64   `json:"cacheGraphMisses,omitempty"`
-	CacheRRHits      int64   `json:"cacheRRHits,omitempty"`
-	CacheRRMisses    int64   `json:"cacheRRMisses,omitempty"`
-	TotalMillis      float64 `json:"totalMillis"`
+	CacheGraphHits   int64 `json:"cacheGraphHits,omitempty"`
+	CacheGraphMisses int64 `json:"cacheGraphMisses,omitempty"`
+	CacheRRHits      int64 `json:"cacheRRHits,omitempty"`
+	CacheRRMisses    int64 `json:"cacheRRMisses,omitempty"`
+	// ExactFallback, for algorithm "exact" or "dnf", names why the request
+	// was answered by magic sampling instead (non-hierarchical cone,
+	// lineage budget). Empty when the tier answered or for the samplers.
+	ExactFallback string  `json:"exactFallback,omitempty"`
+	TotalMillis   float64 `json:"totalMillis"`
 	// Diagnostics lists non-failing static-analysis findings for the
 	// submitted program ("line:col: warning[CMnnn]: ..."). Failing
 	// findings (errors, or warnings under Config.WarnAsError) reject the
@@ -484,6 +492,10 @@ func (s *server) solveParsed(ctx context.Context, p *parsedRequest, req SolveReq
 			res, err = cm.MagicSampledCM(in, opts)
 		case "magicg":
 			res, err = cm.MagicGroupedCM(in, opts)
+		case "exact":
+			res, err = cm.ExactCM(in, opts)
+		case "dnf":
+			res, err = cm.DNFCM(in, opts)
 		default:
 			err = fmt.Errorf("unknown algorithm %q", req.Algorithm)
 		}
@@ -507,6 +519,7 @@ func (s *server) solveParsed(ctx context.Context, p *parsedRequest, req SolveReq
 		CacheGraphMisses: res.Stats.CacheGraphMisses,
 		CacheRRHits:      res.Stats.CacheRRHits,
 		CacheRRMisses:    res.Stats.CacheRRMisses,
+		ExactFallback:    res.Stats.ExactFallback,
 		TotalMillis:      float64(res.Stats.TotalTime) / float64(time.Millisecond),
 		RunID:            jr.Run(),
 	}
@@ -818,6 +831,8 @@ algorithm <select name="algorithm">
   <option{{if eq .Req.Algorithm "magic"}} selected{{end}}>magic</option>
   <option{{if eq .Req.Algorithm "magicg"}} selected{{end}}>magicg</option>
   <option{{if eq .Req.Algorithm "naive"}} selected{{end}}>naive</option>
+  <option{{if eq .Req.Algorithm "exact"}} selected{{end}}>exact</option>
+  <option{{if eq .Req.Algorithm "dnf"}} selected{{end}}>dnf</option>
 </select>
 RR sets <input name="rr" size="6" value="{{.Req.RR}}">
 max/relation <input name="diverse" size="3" value="{{.Req.MaxSeedsPerRelation}}">

@@ -6,16 +6,17 @@ import (
 	"strings"
 )
 
-// Names lists the datasets ByName accepts, in the paper's order.
-var Names = []string{"TC", "Explain", "IRIS", "AMIE", "Trade"}
+// Names lists the datasets ByName accepts, in the paper's order, plus the
+// PowerLaw social-influence family used by the estimator battery.
+var Names = []string{"TC", "Explain", "IRIS", "AMIE", "Trade", "PowerLaw"}
 
 // ByName constructs a dataset instance by name (case-insensitive), the
 // shared front door for the genwork and cmbench CLIs and the experiment
 // driver. The size parameter means: TC — node count of the ring+chords
 // graph; Explain — people count; IRIS — people count; AMIE — country count;
-// Trade — ignored (the fixed Table I example). Unknown names and
-// non-positive sizes are errors, not panics, so tools can report usable
-// messages.
+// Trade — ignored (the fixed Table I example); PowerLaw — people count
+// (sized through DefaultPowerLawParams). Unknown names and non-positive
+// sizes are errors, not panics, so tools can report usable messages.
 func ByName(name string, size int, rng *rand.Rand) (Workload, error) {
 	key := strings.ToLower(name)
 	if key != "trade" && size <= 0 {
@@ -39,6 +40,8 @@ func ByName(name string, size int, rng *rand.Rand) (Workload, error) {
 		return AMIE(AMIEDBParams{Countries: size, People: 6 * size}, rng), nil
 	case "trade":
 		return Trade(), nil
+	case "powerlaw":
+		return PowerLaw(DefaultPowerLawParams(size), rng), nil
 	default:
 		return Workload{}, fmt.Errorf("workload: unknown dataset %q (known: %s)", name, strings.Join(Names, ", "))
 	}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+)
+
+// PowerLawProgram returns a 5-rule non-recursive social-influence program
+// whose every query cone is hierarchical (self-join-free, and each rule's
+// existential variables have nested-or-disjoint atom sets), so the exact
+// lifted tier applies end to end. It models topic diffusion over a
+// follower graph:
+//
+//	0.9 f1: connected(X, Y)  :- follows(X, Y).
+//	0.8 f2: influences(X, T) :- follows(X, Y), interest(Y, T).
+//	0.6 f3: interested(X, T) :- interest(X, T).
+//	0.7 f4: reaches(X, T)    :- connected(X, Y), influences(Y, T).
+//	0.5 f5: reaches(X, T)    :- interested(X, T).
+func PowerLawProgram() *ast.Program {
+	return mustParse(`
+		0.9 f1: connected(X, Y)  :- follows(X, Y).
+		0.8 f2: influences(X, T) :- follows(X, Y), interest(Y, T).
+		0.6 f3: interested(X, T) :- interest(X, T).
+		0.7 f4: reaches(X, T)    :- connected(X, Y), influences(Y, T).
+		0.5 f5: reaches(X, T)    :- interested(X, T).
+	`)
+}
+
+// PowerLawParams sizes and shapes the synthetic follower graph.
+type PowerLawParams struct {
+	// Nodes is the number of people (u0..u{Nodes-1}).
+	Nodes int
+	// Edges is the number of distinct follows(src, dst) facts (clamped to
+	// Nodes*(Nodes-1)).
+	Edges int
+	// Topics is the number of topic constants (t0..t{Topics-1}).
+	Topics int
+	// Interests is the number of distinct interest(person, topic) facts
+	// (clamped to Nodes*Topics).
+	Interests int
+	// Alpha is the Zipf skew exponent: follow targets and topics are drawn
+	// with probability proportional to rank^-Alpha, so larger Alpha
+	// concentrates in-degree (and topic popularity) on the low-rank nodes.
+	// Alpha = 0 degenerates to the uniform distribution.
+	Alpha float64
+	// Communities partitions people into Communities groups by node id
+	// modulo Communities (so each community mixes popular and unpopular
+	// ranks); values <= 1 disable community structure.
+	Communities int
+	// PIntra is the probability a follow edge stays inside the source's
+	// community.
+	PIntra float64
+}
+
+// DefaultPowerLawParams returns the sizing used by ByName and the CLIs for
+// a given node count: average out-degree 4, one topic per ten people, two
+// interests per person, unit skew, and four communities with 70%
+// intra-community edges.
+func DefaultPowerLawParams(nodes int) PowerLawParams {
+	return PowerLawParams{
+		Nodes:       nodes,
+		Edges:       4 * nodes,
+		Topics:      nodes/10 + 3,
+		Interests:   2 * nodes,
+		Alpha:       1.0,
+		Communities: 4,
+		PIntra:      0.7,
+	}
+}
+
+// zipfSampler draws ranks 0..n-1 with probability proportional to
+// (rank+1)^-alpha via inverse-CDF binary search over precomputed cumulative
+// weights. (math/rand/v2 ships no Zipf generator, and building our own
+// keeps draws deterministic and seed-stable across Go releases.)
+type zipfSampler struct {
+	cum []float64
+}
+
+func newZipfSampler(n int, alpha float64) *zipfSampler {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -alpha)
+		cum[i] = total
+	}
+	return &zipfSampler{cum: cum}
+}
+
+func (z *zipfSampler) draw(r *rand.Rand) int {
+	u := r.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// PowerLawDB populates follows and interest relations. Follow sources are
+// uniform; follow targets and topics are Zipf-distributed with exponent
+// p.Alpha, so in-degree follows a power law. With community structure
+// enabled, a PIntra fraction of edges is resampled until the target shares
+// the source's community (with a bounded retry budget so degenerate
+// parameter mixes still terminate).
+func PowerLawDB(p PowerLawParams, rng *rand.Rand) *db.Database {
+	d := db.NewDatabase()
+	person := func(i int) ast.Term { return ast.C(fmt.Sprintf("u%d", i)) }
+	topic := func(i int) ast.Term { return ast.C(fmt.Sprintf("t%d", i)) }
+	popularity := newZipfSampler(p.Nodes, p.Alpha)
+	topicPop := newZipfSampler(p.Topics, p.Alpha)
+
+	community := func(i int) int {
+		if p.Communities <= 1 {
+			return 0
+		}
+		return i % p.Communities
+	}
+	drawTarget := func(src int) int {
+		if p.Communities > 1 && rng.Float64() < p.PIntra {
+			want := community(src)
+			for tries := 0; tries < 32*p.Communities; tries++ {
+				if j := popularity.draw(rng); community(j) == want {
+					return j
+				}
+			}
+		}
+		return popularity.draw(rng)
+	}
+
+	edges := min(p.Edges, p.Nodes*(p.Nodes-1))
+	for added := 0; added < edges; {
+		i := rng.IntN(p.Nodes)
+		j := drawTarget(i)
+		if i == j {
+			continue
+		}
+		if _, fresh := d.MustInsertAtom(ast.NewAtom("follows", person(i), person(j))); fresh {
+			added++
+		}
+	}
+	interests := min(p.Interests, p.Nodes*p.Topics)
+	for added := 0; added < interests; {
+		i := rng.IntN(p.Nodes)
+		t := topicPop.draw(rng)
+		if _, fresh := d.MustInsertAtom(ast.NewAtom("interest", person(i), topic(t))); fresh {
+			added++
+		}
+	}
+	return d
+}
+
+// PowerLaw builds the power-law social-influence workload.
+func PowerLaw(p PowerLawParams, rng *rand.Rand) Workload {
+	return Workload{Name: "PowerLaw", Program: PowerLawProgram(), DB: PowerLawDB(p, rng)}
+}

@@ -1,0 +1,177 @@
+package workload_test
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"contribmax/internal/analysis"
+	"contribmax/internal/ast"
+	"contribmax/internal/db"
+	"contribmax/internal/parser"
+	"contribmax/internal/workload"
+)
+
+func powerLawAt(alpha float64, seed uint64) workload.Workload {
+	p := workload.DefaultPowerLawParams(300)
+	p.Edges = 1500
+	p.Alpha = alpha
+	return workload.PowerLaw(p, rand.New(rand.NewPCG(seed, seed^0xFACE)))
+}
+
+// topDecileInDegreeShare measures how concentrated follow targets are: the
+// fraction of all follows edges landing on the 10% most-followed people.
+func topDecileInDegreeShare(t *testing.T, w workload.Workload) float64 {
+	t.Helper()
+	indeg := map[string]int{}
+	total := 0
+	for _, a := range w.DB.Facts("follows") {
+		tgt := a.Terms[1]
+		if tgt.Kind != ast.Const {
+			t.Fatalf("non-constant follow target in %s", a.String())
+		}
+		indeg[tgt.Name]++
+		total++
+	}
+	if total == 0 {
+		t.Fatal("no follows facts")
+	}
+	counts := make([]int, 0, len(indeg))
+	for _, c := range indeg {
+		counts = append(counts, c)
+	}
+	// Selection of the top decile by repeated max would be quadratic; a
+	// simple descending sort is fine at this size.
+	for i := range counts {
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[i] {
+				counts[i], counts[j] = counts[j], counts[i]
+			}
+		}
+	}
+	top := 300 / 10
+	sum := 0
+	for i := 0; i < top && i < len(counts); i++ {
+		sum += counts[i]
+	}
+	return float64(sum) / float64(total)
+}
+
+// TestPowerLawSkewMonotone checks the defining property of the generator:
+// raising the Zipf exponent concentrates in-degree, so the top decile's
+// share of follow edges grows monotonically in Alpha.
+func TestPowerLawSkewMonotone(t *testing.T) {
+	shares := make([]float64, 0, 3)
+	for _, alpha := range []float64{0.2, 1.0, 2.5} {
+		shares = append(shares, topDecileInDegreeShare(t, powerLawAt(alpha, 17)))
+	}
+	for i := 1; i < len(shares); i++ {
+		if shares[i] <= shares[i-1] {
+			t.Errorf("top-decile in-degree share not monotone in alpha: %v", shares)
+		}
+	}
+	// Sanity-pin the endpoints: near-uniform at 0.2, clearly skewed at 2.5.
+	if shares[0] > 0.25 {
+		t.Errorf("alpha=0.2 share %v too skewed for a near-uniform draw", shares[0])
+	}
+	if shares[2] < 0.5 {
+		t.Errorf("alpha=2.5 share %v not skewed enough", shares[2])
+	}
+}
+
+// renderFacts renders every relation of the database in RelationNames
+// order, the byte-stable view used for determinism comparisons.
+func renderFacts(t *testing.T, d *db.Database) []byte {
+	t.Helper()
+	var all []ast.Atom
+	for _, name := range d.RelationNames() {
+		all = append(all, d.Facts(name)...)
+	}
+	var buf bytes.Buffer
+	if err := parser.WriteFacts(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPowerLawDeterministicPerSeed pins the generator to its seed: two
+// builds from identically seeded PRNGs must agree byte-for-byte, and a
+// different seed must not.
+func TestPowerLawDeterministicPerSeed(t *testing.T) {
+	a := powerLawAt(1.0, 23)
+	b := powerLawAt(1.0, 23)
+	if a.Program.String() != b.Program.String() {
+		t.Error("same seed produced different programs")
+	}
+	fa, fb := renderFacts(t, a.DB), renderFacts(t, b.DB)
+	if !bytes.Equal(fa, fb) {
+		t.Error("same seed produced different databases")
+	}
+	other := renderFacts(t, powerLawAt(1.0, 24).DB)
+	if bytes.Equal(fa, other) {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+// TestPowerLawRoundTrip pushes the generated program and facts through the
+// parser: the .dl/.facts files genwork writes must reload into an
+// equivalent instance.
+func TestPowerLawRoundTrip(t *testing.T) {
+	w := powerLawAt(1.0, 31)
+	prog, err := parser.ParseProgram(w.Program.String())
+	if err != nil {
+		t.Fatalf("program round-trip: %v", err)
+	}
+	if got, want := len(prog.Rules), len(w.Program.Rules); got != want {
+		t.Fatalf("round-tripped rules = %d, want %d", got, want)
+	}
+	facts, err := parser.ParseFacts(string(renderFacts(t, w.DB)))
+	if err != nil {
+		t.Fatalf("facts round-trip: %v", err)
+	}
+	reloaded := db.NewDatabase()
+	for _, a := range facts {
+		reloaded.MustInsertAtom(a)
+	}
+	if got, want := reloaded.TotalTuples(), w.DB.TotalTuples(); got != want {
+		t.Errorf("round-tripped tuples = %d, want %d", got, want)
+	}
+	if derive(t, workload.Workload{Name: "PowerLaw", Program: prog, DB: reloaded}, "reaches") == 0 {
+		t.Error("round-tripped instance derives no reaches tuples")
+	}
+}
+
+// TestPowerLawHierarchical guards the property the estimator battery
+// depends on: every cone of the PowerLaw program passes the hierarchy
+// test, so ExactCM never falls back on these workloads.
+func TestPowerLawHierarchical(t *testing.T) {
+	prog := workload.PowerLawProgram()
+	g := analysis.NewDepGraph(prog)
+	for _, res := range analysis.AnalyzeHierarchy(prog, g, []string{"reaches", "influences", "connected", "interested"}, nil) {
+		if !res.Hierarchical {
+			t.Errorf("%s: not hierarchical: %s", res.Root, res.Reason)
+		}
+	}
+}
+
+// TestPowerLawSizing checks clamping and the fact counts the params promise.
+func TestPowerLawSizing(t *testing.T) {
+	p := workload.DefaultPowerLawParams(50)
+	w := workload.PowerLaw(p, rand.New(rand.NewPCG(3, 3)))
+	if got := len(w.DB.Facts("follows")); got != p.Edges {
+		t.Errorf("follows = %d, want %d", got, p.Edges)
+	}
+	if got := len(w.DB.Facts("interest")); got != p.Interests {
+		t.Errorf("interest = %d, want %d", got, p.Interests)
+	}
+	// Requesting more edges than the complete graph holds must clamp, not
+	// hang.
+	tiny := workload.PowerLawParams{Nodes: 4, Edges: 100, Topics: 2, Interests: 100, Alpha: 1.0}
+	d := workload.PowerLawDB(tiny, rand.New(rand.NewPCG(4, 4)))
+	if got, want := len(d.Facts("follows")), 4*3; got != want {
+		t.Errorf("clamped follows = %d, want %d", got, want)
+	}
+	if got, want := len(d.Facts("interest")), 4*2; got != want {
+		t.Errorf("clamped interest = %d, want %d", got, want)
+	}
+}

@@ -42,6 +42,7 @@ func TestProgramsValidate(t *testing.T) {
 		workload.IRIS(30, 5, 3, 10, rng),
 		workload.AMIE(workload.AMIEDBParams{}, rng),
 		workload.Trade(),
+		workload.PowerLaw(workload.DefaultPowerLawParams(30), rng),
 	} {
 		if err := w.Program.Validate(); err != nil {
 			t.Errorf("%s: %v", w.Name, err)
@@ -79,6 +80,9 @@ func TestRecursionShapes(t *testing.T) {
 	}
 	if !workload.AMIEProgram().IsRecursive() {
 		t.Error("AMIE should be recursive")
+	}
+	if workload.PowerLawProgram().IsRecursive() {
+		t.Error("PowerLaw should be non-recursive")
 	}
 }
 
