@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"contribmax"
 	"contribmax/internal/cm"
@@ -22,6 +23,7 @@ import (
 	"contribmax/internal/im"
 	"contribmax/internal/magic"
 	"contribmax/internal/obs/journal"
+	"contribmax/internal/prof"
 	"contribmax/internal/wdgraph"
 	"contribmax/internal/workload"
 )
@@ -539,4 +541,79 @@ func BenchmarkRRGenSelectJournaled(b *testing.B) {
 	}
 	b.Run("disabled", func(b *testing.B) { run(b, nil) })
 	b.Run("enabled", func(b *testing.B) { run(b, journal.New("bench", journal.Options{})) })
+}
+
+// BenchmarkRRGenSelectProfiled is BenchmarkRRGenSelect under the runtime
+// profiler's overhead contract: "disabled" drives the exact production
+// instrumentation shape with a nil profiler (the time.Now calls are gated
+// behind the nil check, so the walk loop must be indistinguishable from
+// the plain benchmark and allocation-free), "enabled" attributes every
+// walk through RecordWalk's atomic adds plus a Report render per
+// iteration. The acceptance bound for enabled is 5%.
+func BenchmarkRRGenSelectProfiled(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	d := workload.RandomGraphM(40, 70, rng)
+	prog := workload.TCProgram(0.7, 0.45)
+	g, _, err := wdgraph.Build(prog, d, nil, true, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	candOfNode := make([]int32, g.NumNodes())
+	for i := range candOfNode {
+		candOfNode[i] = -1
+	}
+	numCands := int32(0)
+	var roots []wdgraph.NodeID
+	g.FactNodes(func(id wdgraph.NodeID, n wdgraph.Node) {
+		if n.EDB {
+			candOfNode[id] = numCands
+			numCands++
+		} else {
+			roots = append(roots, id)
+		}
+	})
+	if len(roots) == 0 || numCands == 0 {
+		b.Fatal("degenerate instance")
+	}
+	const theta, k = 2000, 5
+	walker := wdgraph.NewWalker(g)
+	var buf []im.CandidateID
+	run := func(b *testing.B, newProf func() *prof.Profile) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wrng := rand.New(rand.NewPCG(uint64(i), 7))
+			coll := im.NewRRCollection(int(numCands))
+			p := newProf()
+			p.EnsureTargets(1)
+			for jj := 0; jj < theta; jj++ {
+				buf = buf[:0]
+				var t0 time.Time
+				if p != nil {
+					t0 = time.Now()
+				}
+				root := roots[wrng.IntN(len(roots))]
+				walker.ReverseReachable(root, wrng, false, func(v wdgraph.NodeID) {
+					if c := candOfNode[v]; c >= 0 {
+						buf = append(buf, im.CandidateID(c))
+					}
+				})
+				coll.Add(buf)
+				if p != nil {
+					p.RecordWalk(0, len(buf), int64(time.Since(t0)))
+				}
+			}
+			res := im.Greedy(coll, k)
+			if res.Covered == 0 {
+				b.Fatal("no coverage")
+			}
+			if p != nil {
+				if rep := p.Report(); rep.RR == nil || rep.RR.Walks != theta {
+					b.Fatalf("profile lost walks: %+v", rep.RR)
+				}
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, func() *prof.Profile { return nil }) })
+	b.Run("enabled", func(b *testing.B) { run(b, prof.New) })
 }

@@ -41,6 +41,7 @@ func run() error {
 		planAB        = flag.Bool("plan-ab", false, "also run and print the join-planner A/B measurement (always included in -json reports)")
 		cacheAB       = flag.Bool("cache-ab", false, "also run and print the solve-cache cold/warm A/B (always included in -json reports)")
 		estimatorAB   = flag.Bool("estimator-ab", false, "also run and print the exact/RIS/DNF estimator A/B (always included in -json reports)")
+		profileRun    = flag.Bool("profile", false, "also run and print the runtime-profiled reference solve's rule hotspots (always included in -json reports)")
 	)
 	flag.Parse()
 	experiments.NoPlan = *noplan
@@ -196,6 +197,28 @@ func run() error {
 		}
 		if *estimatorAB {
 			t := experiments.EstimatorTable(summaries)
+			if *format == "csv" {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+			} else {
+				t.Print(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
+	if *profileRun || report != nil {
+		// The profiled reference solve embeds rule-level hotspots so report
+		// diffs notice when evaluation behavior shifts, not just timings.
+		summary, err := experiments.ProfiledReferenceSolve(scale)
+		if err != nil {
+			return err
+		}
+		if report != nil {
+			report.Profile = summary
+		}
+		if *profileRun {
+			t := experiments.ProfileTable(summary)
 			if *format == "csv" {
 				if err := t.WriteCSV(os.Stdout); err != nil {
 					return err

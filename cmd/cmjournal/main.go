@@ -128,6 +128,7 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 		plan   *journal.PlanInfo
 		cache  *journal.CacheInfo
 		est    *journal.EstInfo
+		prof   *journal.ProfileInfo
 		run    string
 		endNs  int64
 	)
@@ -155,6 +156,8 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 			cache = ev.Cache
 		case journal.TypeEstimatorSummary:
 			est = ev.Est
+		case journal.TypeProfileSummary:
+			prof = ev.Profile
 		}
 	}
 
@@ -266,6 +269,24 @@ func render(w io.Writer, evs []journal.Event, maxRound int) error {
 				fmt.Fprintf(w, ", %d worlds sampled", est.Samples)
 			}
 			fmt.Fprintln(w)
+		}
+	}
+
+	if prof != nil {
+		fmt.Fprintf(w, "\nruntime profile: %d engine runs over %d rules, %d derived / %d attempted in %s",
+			prof.EngineRuns, prof.Rules, prof.Derived, prof.Attempted, durStr(prof.EvalNs))
+		if prof.Walks > 0 {
+			fmt.Fprintf(w, "; %d RR walks in %s", prof.Walks, durStr(prof.WalkNs))
+		}
+		fmt.Fprintln(w)
+		if len(prof.TopRules) > 0 {
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "rule\tderived\tself time")
+			for _, r := range prof.TopRules {
+				fmt.Fprintf(tw, "%s\t%d\t%s\n", r.Rule, r.Derived, durStr(r.SelfNs))
+			}
+			tw.Flush()
+			fmt.Fprintln(w, "  (full per-rule detail: cmrun -explain / -profile-json)")
 		}
 	}
 

@@ -66,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		warnFlag    = fs.String("W", "", `"error" makes static-analysis warnings fatal, matching cmlint -W error`)
 		prune       = fs.Bool("prune", false, "drop rules provably outside the targets' dependency cone before solving (results are byte-identical)")
 		noplan      = fs.Bool("noplan", false, "disable the greedy join planner and its plan cache (results are byte-identical; escape hatch / A-B lever)")
+		explain     = fs.Bool("explain", false, "profile the solve and print an EXPLAIN ANALYZE-style tree on stderr: rules ranked by self-time, per-stratum convergence, RR-phase attribution (results are byte-identical)")
+		profileOut  = fs.String("profile-json", "", "profile the solve and write the full runtime profile artifact (schema contribmax/profile/v1) to this file as JSON")
 	)
 	var targets targetList
 	fs.Var(&targets, "target", "target output tuple or pattern, e.g. 'dealsWith(usa, iran)' or 'dealsWith(usa, Y)' (repeatable, required; patterns match against the program's derived facts)")
@@ -187,6 +189,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		opts.Journal = contribmax.NewJournal("", contribmax.JournalOptions{Sink: journalFile})
 	}
+	if *explain || *profileOut != "" {
+		opts.Profile = contribmax.NewRuntimeProfiler()
+	}
 	var res *contribmax.Result
 	switch *algo {
 	case "naive":
@@ -225,6 +230,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if opts.Profile != nil {
+		rep := opts.Profile.Report()
+		if *explain {
+			fmt.Fprintln(stderr, "explain:")
+			if err := rep.WriteText(stderr); err != nil {
+				return err
+			}
+		}
+		if *profileOut != "" {
+			f, ferr := os.Create(*profileOut)
+			if ferr != nil {
+				return ferr
+			}
+			werr := rep.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("profile %s: %w", *profileOut, werr)
+			}
+			fmt.Fprintf(stderr, "cmrun: runtime profile written to %s\n", *profileOut)
+		}
 	}
 
 	if *jsonOut {

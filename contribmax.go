@@ -16,6 +16,7 @@ import (
 	"contribmax/internal/obs/journal"
 	"contribmax/internal/optimize"
 	"contribmax/internal/parser"
+	"contribmax/internal/prof"
 	"contribmax/internal/provenance"
 	"contribmax/internal/solvecache"
 	"contribmax/internal/wdgraph"
@@ -100,6 +101,18 @@ type (
 	// eviction, and byte accounting.
 	SolveCacheStats = solvecache.Stats
 
+	// RuntimeProfiler is the solve-scoped EXPLAIN ANALYZE collector: hand
+	// one (NewRuntimeProfiler) to Options.Profile and the solve records
+	// per-rule fixpoint accounting, per-stratum convergence curves, and
+	// RR-phase attribution without perturbing results; render it afterwards
+	// with Report. A nil profiler costs nothing.
+	RuntimeProfiler = prof.Profile
+	// RuntimeProfile is the finalized profile artifact (schema
+	// contribmax/profile/v1): rules ranked by self-time, targets by walk
+	// time, plus planner and phase reconciliation. WriteText renders the
+	// cmrun -explain text tree, WriteJSON the JSON artifact.
+	RuntimeProfile = prof.RuntimeProfile
+
 	// Diagnostic is one static-analysis finding (severity, stable code,
 	// source position, message); see Analyze.
 	Diagnostic = analysis.Diagnostic
@@ -144,6 +157,11 @@ func NewJournal(runID string, opts JournalOptions) *Journal { return journal.New
 // NewRunID returns a fresh random run identifier for correlating a solve's
 // journal, metrics, and logs.
 func NewRunID() string { return journal.NewRunID() }
+
+// NewRuntimeProfiler returns an empty runtime profiler for Options.Profile.
+// One profiler observes one solve; call Report on it after the solve
+// returns.
+func NewRuntimeProfiler() *RuntimeProfiler { return prof.New() }
 
 // V returns a variable term.
 func V(name string) Term { return ast.V(name) }

@@ -265,6 +265,7 @@ func cachedFullGraph(in Input, opts Options, inst *instance, res *Result) (*wdgr
 			Parallelism: opts.Parallelism,
 			Journal:     opts.Journal,
 			Planner:     res.pl,
+			Prof:        opts.Profile,
 		})
 		return g, err
 	}
@@ -280,7 +281,7 @@ func cachedGroupedGraph(in Input, opts Options, inst *instance, res *Result, que
 		if err != nil {
 			return nil, err
 		}
-		return buildMagicGraph(in, tr, nil, false, opts.ctx(), opts.Obs, opts.Journal, opts.Parallelism, res.pl)
+		return buildMagicGraph(in, tr, nil, false, opts.ctx(), opts.Obs, opts.Journal, opts.Parallelism, res.pl, opts.Profile)
 	}
 	config := fmt.Sprintf("magicg|sips=%d|roots=%s", opts.SIPS, solvecache.HashAtoms(queryAtoms))
 	return cachedGraph(opts, res, config, inst, build)

@@ -41,6 +41,7 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 	res := &Result{Algorithm: "MagicGCM", pl: opts.solvePlanner()}
 	res.Stats.RulesTotal, res.Stats.RulesPruned = inst.rulesTotal, inst.rulesPruned
 	journalSolveStart(opts, inst, "MagicGCM")
+	opts.Profile.EnsureTargets(len(inst.targets))
 
 	// In fixed-θ mode the grouped transformation covers exactly the
 	// distinct sampled root tuples (Remark 1); in adaptive mode the number
@@ -108,12 +109,19 @@ func magicGroupedCM(in Input, opts Options) (*Result, error) {
 				next++
 			}
 			members = members[:0]
+			var t0 time.Time
+			if opts.Profile != nil {
+				t0 = time.Now()
+			}
 			if targetOK[ti] {
 				walker.ReverseReachable(targetIDs[ti], rng, false, func(v wdgraph.NodeID) {
 					if c := candOfNode[v]; c >= 0 {
 						members = append(members, im.CandidateID(c))
 					}
 				})
+			}
+			if opts.Profile != nil {
+				opts.Profile.RecordWalk(ti, len(members), int64(time.Since(t0)))
 			}
 			return members
 		}

@@ -19,6 +19,7 @@ import (
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
 	"contribmax/internal/planner"
+	"contribmax/internal/prof"
 	"contribmax/internal/solvecache"
 )
 
@@ -171,6 +172,17 @@ type Options struct {
 	// are NOT cached (the stream is unidentified); graph caching still
 	// applies.
 	CacheID solvecache.Identity
+	// Profile, when non-nil, collects an EXPLAIN ANALYZE-style runtime
+	// profile of the solve (see internal/prof): per-rule fixpoint
+	// accounting, per-stratum delta curves, RR walk time and arena bytes
+	// per target, hot WD-graph nodes, and planner/phase attribution. Same
+	// contract as Obs/Journal: profiling never perturbs the solver (a
+	// profiled solve is byte-identical to an unprofiled one, and the
+	// profile's counts are identical at every Parallelism level), and nil
+	// disables collection at one pointer check per site. One Profile
+	// should observe one solve; Report() renders it after the solve
+	// returns.
+	Profile *prof.Profile
 
 	// cacheIdentity is the resolved identity solveVia computed for this
 	// solve, handed down to the per-algorithm graph hooks.

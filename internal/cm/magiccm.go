@@ -16,6 +16,7 @@ import (
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
 	"contribmax/internal/planner"
+	"contribmax/internal/prof"
 	"contribmax/internal/wdgraph"
 )
 
@@ -61,6 +62,7 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 	res := &Result{Algorithm: name, pl: opts.solvePlanner()}
 	res.Stats.RulesTotal, res.Stats.RulesPruned = inst.rulesTotal, inst.rulesPruned
 	journalSolveStart(opts, inst, name)
+	opts.Profile.EnsureTargets(len(inst.targets))
 
 	// The transformed program for a target depends only on the target, so
 	// it is computed once per distinct target and reused across RR sets
@@ -86,6 +88,10 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 	// carries the caller's persistent walker and key buffer, so in steady
 	// state the only allocations are the subgraph build itself.
 	oneRR := func(ti int, r *rand.Rand, st *Stats, sc *rrScratch, arena []im.CandidateID) ([]im.CandidateID, error) {
+		var t0 time.Time
+		if opts.Profile != nil {
+			t0 = time.Now()
+		}
 		tr, err := transformFor(ti)
 		if err != nil {
 			return nil, err
@@ -93,14 +99,22 @@ func magicVariant(in Input, opts Options, name string, sampled bool) (*Result, e
 		// Engine parallelism stays off for per-tuple subgraphs: the RR
 		// phase already runs one worker per Parallelism slot, and the
 		// subgraphs are small — nesting worker pools would oversubscribe.
-		g, err := buildMagicGraph(in, tr, r, sampled, ctx, opts.Obs, nil, 0, res.pl)
+		g, err := buildMagicGraph(in, tr, r, sampled, ctx, opts.Obs, nil, 0, res.pl, opts.Profile)
 		if err != nil {
 			return nil, err
 		}
 		recordBuild(st, g)
 		// PeakResidentSize for the per-tuple variants is the largest single
 		// subgraph: each one is discarded after use (Section V-A).
-		return collectRR(g, inst, inst.targets[ti], r, sampled, sc, arena), nil
+		out := collectRR(g, inst, inst.targets[ti], r, sampled, sc, arena)
+		if opts.Profile != nil {
+			// Per-target attribution covers the whole per-RR pipeline —
+			// subgraph build plus extraction — since both are target work
+			// for the per-tuple variants. RecordWalk is atomic, so the
+			// parallel RR workers share the counters race-free.
+			opts.Profile.RecordWalk(ti, len(out)-len(arena), int64(time.Since(t0)))
+		}
+		return out, nil
 	}
 
 	rrSpan := sp.StartChild("rrgen")
@@ -264,9 +278,12 @@ func mergeStats(dst, src *Stats) {
 // thousands and are summarized by rr.batch events instead). pl, when
 // non-nil, is the solve's shared plan cache: the transformed program is
 // recompiled here for every RR set, and the cache turns each recompilation
-// after the first into pure plan lookups per adorned rule family.
+// after the first into pure plan lookups per adorned rule family. pf, when
+// non-nil, receives per-rule fixpoint accounting (keyed by source rule
+// text, so the thousands of per-target engines of one solve merge into one
+// adorned-rule-family ledger).
 func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bool,
-	ctx context.Context, reg *obs.Registry, jr *journal.Journal, par int, pl *planner.Planner) (*wdgraph.Graph, error) {
+	ctx context.Context, reg *obs.Registry, jr *journal.Journal, par int, pl *planner.Planner, pf *prof.Profile) (*wdgraph.Graph, error) {
 	start := time.Now()
 	scratch := in.DB.CloneSchema()
 	for _, pred := range in.Program.EDBs() {
@@ -289,7 +306,7 @@ func buildMagicGraph(in Input, tr *magic.Transformed, rng *rand.Rand, sampled bo
 	if sampled {
 		gate = magic.NewHashGate(tr, eng, rng.Uint64())
 	}
-	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate, Context: ctx, Obs: reg, Parallelism: par, Journal: jr}); err != nil {
+	if _, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: gate, Context: ctx, Obs: reg, Parallelism: par, Journal: jr, Prof: pf}); err != nil {
 		return nil, err
 	}
 	g := b.Graph()

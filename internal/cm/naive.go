@@ -37,6 +37,7 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 	res := &Result{Algorithm: "NaiveCM", pl: opts.solvePlanner()}
 	res.Stats.RulesTotal, res.Stats.RulesPruned = inst.rulesTotal, inst.rulesPruned
 	journalSolveStart(opts, inst, "NaiveCM")
+	opts.Profile.EnsureTargets(len(inst.targets))
 
 	// Phase 1: full WD graph (Algorithm 1). Definition 3.1 includes a node
 	// for every edb fact in D, hence the preload.
@@ -71,12 +72,19 @@ func naiveCM(in Input, opts Options) (*Result, error) {
 		gen := func() []im.CandidateID {
 			members = members[:0]
 			ti := rng.IntN(len(inst.targets))
+			var t0 time.Time
+			if opts.Profile != nil {
+				t0 = time.Now()
+			}
 			if targetOK[ti] {
 				walker.ReverseReachable(targetIDs[ti], rng, false, func(v wdgraph.NodeID) {
 					if c := candOfNode[v]; c >= 0 {
 						members = append(members, im.CandidateID(c))
 					}
 				})
+			}
+			if opts.Profile != nil {
+				opts.Profile.RecordWalk(ti, len(members), int64(time.Since(t0)))
 			}
 			return members
 		}
@@ -160,6 +168,7 @@ func finishSelection(inst *instance, opts Options, res *Result, sp *obs.Span) {
 		opts.Journal.PlanSummary(journal.PlanInfo{Built: st.Built, Hits: st.Hits, Reordered: st.Reordered})
 	}
 	journalSelection(opts, inst, res)
+	finishProfile(inst, opts, res)
 }
 
 // rankCandidates computes every candidate's individual coverage over the

@@ -117,6 +117,10 @@ func parallelWalkPhase(ctx context.Context, inst *instance, opts Options, res *R
 				}
 				s := slots[i]
 				lo := len(arena)
+				var t0 time.Time
+				if opts.Profile != nil {
+					t0 = time.Now()
+				}
 				if targetOK[s.ti] {
 					r := rand.New(rand.NewPCG(s.seedA, s.seedB))
 					walker.ReverseReachable(targetIDs[s.ti], r, false, func(v wdgraph.NodeID) {
@@ -124,6 +128,13 @@ func parallelWalkPhase(ctx context.Context, inst *instance, opts Options, res *R
 							arena = append(arena, im.CandidateID(c))
 						}
 					})
+				}
+				if opts.Profile != nil {
+					// Atomic per-target adds: walk counts and members are a
+					// fixed function of the pre-seeded slots, so they are
+					// byte-identical at every worker count; only the times
+					// vary.
+					opts.Profile.RecordWalk(s.ti, len(arena)-lo, int64(time.Since(t0)))
 				}
 				segs[i] = rrSeg{worker: int32(w), lo: int64(lo), hi: int64(len(arena))}
 				ro.observe(len(arena) - lo)

@@ -11,6 +11,7 @@ import (
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
 	"contribmax/internal/planner"
+	"contribmax/internal/prof"
 )
 
 // FactRef identifies a ground fact as a tuple of a relation.
@@ -115,6 +116,14 @@ type Options struct {
 	// way; the per-RR subgraph builds of the Magic variants leave it nil
 	// (thousands of tiny fixpoints would drown the stream).
 	Journal *journal.Journal
+	// Prof, when non-nil, collects the run's rule-level runtime profile:
+	// per-rule instantiation/dedup counts, per-plan-step join fan-out and
+	// hoisted-check vetoes, wall time per rule per round, and per-stratum
+	// delta curves, merged into the solve-scoped profile at run end. All
+	// counts are recorded on deterministic paths, so they are identical at
+	// every Parallelism level; times live in separate fields. Nil costs
+	// one pointer check per run.
+	Prof *prof.Profile
 }
 
 // Stats summarizes an evaluation run.
@@ -206,9 +215,24 @@ func (e *Engine) Run(opts Options) (Stats, error) {
 	}
 	ev := &evaluator{engine: e, opts: opts, par: par, stats: &stats,
 		deltaHist: opts.Obs.Histogram(obs.EngineDeltaSize)}
+	if opts.Prof != nil {
+		names := make([]string, len(e.rules))
+		lens := make([]int, len(e.rules))
+		for i, cr := range e.rules {
+			names[i] = cr.src.String()
+			lens[i] = len(cr.body)
+		}
+		ev.prof = opts.Prof.StartEngine(names)
+		ev.profLens = lens
+	}
 	ev.seq.init(e, opts, ev.emitSequential)
+	ev.seq.prof = ev.prof.NewCounters(ev.profLens)
 	runErr := ev.run()
 	stats.Suppressed += ev.seq.takeSuppressed()
+	if ev.prof != nil {
+		ev.prof.FlushRoundNs(ev.seq.prof)
+		ev.prof.Finish()
+	}
 
 	stats.Elapsed = time.Since(start)
 	if reg := opts.Obs; reg != nil {
@@ -237,6 +261,14 @@ type evaluator struct {
 	par       int // effective parallelism (gate-safe), <2 means sequential
 	stats     *Stats
 	deltaHist *obs.Histogram // per-round delta sizes; nil when disabled
+
+	// prof records this run for the solve-scoped profiler (nil when
+	// disabled); profLens caches per-rule body lengths for sizing worker
+	// counter blocks, and stratum is the ordinal of the stratum currently
+	// evaluating (set by run's stratum loop).
+	prof     *prof.EngineRun
+	profLens []int
+	stratum  int
 
 	// watermarks: processedLen[rel] is the tuple count of rel that has been
 	// fully processed by previous rounds; roundLen[rel] is the count
@@ -290,7 +322,8 @@ func (ev *evaluator) run() error {
 	}
 	sort.Slice(relList, func(i, j int) bool { return relList[i].Name() < relList[j].Name() })
 
-	for _, ruleIdxs := range strata {
+	for si, ruleIdxs := range strata {
+		ev.stratum = si
 		if err := ev.runStratum(ruleIdxs, relList); err != nil {
 			return err
 		}
@@ -352,6 +385,7 @@ func (ev *evaluator) runStratum(ruleIdxs []int, relList []*db.Relation) error {
 		ev.deltaHist.Observe(delta)
 		ev.stats.Rounds++
 		ev.opts.Journal.EngineRound(ev.stats.Rounds, int(delta))
+		ev.prof.BeginRound(ev.stratum, int(delta))
 		if ev.par >= 2 {
 			ev.runRoundParallel(ruleIdxs)
 		} else {
@@ -381,8 +415,21 @@ func (ev *evaluator) applyRule(cr *compiledRule) {
 		if lo >= hi || !ev.passViable(cr, i) {
 			continue
 		}
-		ev.seq.pass(cr, i, lo, hi)
+		ev.timedPass(cr, i, lo, hi)
 	}
+}
+
+// timedPass runs one sequential pass on the coordinator's runner,
+// attributing its wall time to the rule when profiling is on (timing wraps
+// the pass; it never reorders or perturbs it).
+func (ev *evaluator) timedPass(cr *compiledRule, deltaPos, lo, hi int) {
+	if ev.prof == nil {
+		ev.seq.pass(cr, deltaPos, lo, hi)
+		return
+	}
+	t0 := time.Now()
+	ev.seq.pass(cr, deltaPos, lo, hi)
+	ev.prof.RuleTime(cr.index, int64(time.Since(t0)))
 }
 
 // passViable prunes a whole delta pass when any other atom's id range is
@@ -430,6 +477,7 @@ func (ev *evaluator) emitSequential(cr *compiledRule, vars []db.Sym, body []Fact
 	if added {
 		ev.stats.NewFacts++
 	}
+	ev.prof.RuleFired(cr.index, added)
 	if ev.opts.Listener != nil {
 		ev.opts.Listener(Derivation{
 			RuleIndex: cr.index,
@@ -463,6 +511,10 @@ type joinRun struct {
 	emit func(cr *compiledRule, vars []db.Sym, body []FactRef)
 
 	suppressed int64 // gate-vetoed instantiations since the last take
+
+	// prof is this goroutine's private profiler counter block (nil when
+	// profiling is off); the coordinator folds blocks at run end.
+	prof *prof.JoinCounters
 
 	// scratch buffers reused across instantiations.
 	vars     []db.Sym
@@ -588,11 +640,17 @@ func (jr *joinRun) joinFrom(cr *compiledRule, deltaPos, step int) {
 	if jr.earlyChecks(cr) {
 		if sched := cr.checksAt[deltaPos][step]; len(sched) > 0 {
 			jr.scanAtom(cr, atom, pos, minID, maxID, func() {
+				if jr.prof != nil {
+					jr.prof.StepMatches[cr.index][step]++
+				}
 				// All variables of these checks were just bound by this
 				// step; failing one prunes the partial binding and every
 				// join extension under it.
 				for _, ci := range sched {
 					if !jr.evalCheck(&cr.checks[ci]) {
+						if jr.prof != nil {
+							jr.prof.StepVetoes[cr.index][step]++
+						}
 						return
 					}
 				}
@@ -602,6 +660,9 @@ func (jr *joinRun) joinFrom(cr *compiledRule, deltaPos, step int) {
 		}
 	}
 	jr.scanAtom(cr, atom, pos, minID, maxID, func() {
+		if jr.prof != nil {
+			jr.prof.StepMatches[cr.index][step]++
+		}
 		jr.joinFrom(cr, deltaPos, step+1)
 	})
 }
@@ -708,8 +769,14 @@ func (jr *joinRun) completeInstantiation(cr *compiledRule) {
 			}
 		}
 	}
+	if jr.prof != nil {
+		jr.prof.Attempted[cr.index]++
+	}
 	if jr.gate != nil && !jr.gate.ShouldFire(cr.index, jr.vars) {
 		jr.suppressed++
+		if jr.prof != nil {
+			jr.prof.Suppressed[cr.index]++
+		}
 		return
 	}
 	jr.emit(cr, jr.vars, jr.bodyRefs[:len(cr.body)])

@@ -96,6 +96,7 @@ func (ev *evaluator) ensureWorkers() {
 		w := &parWorker{}
 		w.jr.init(ev.engine, ev.opts, w.emitBuffered)
 		w.jr.attach(ev)
+		w.jr.prof = ev.prof.NewCounters(ev.profLens)
 		ev.workers[i] = w
 	}
 }
@@ -180,7 +181,7 @@ func (ev *evaluator) runRoundParallel(ruleIdxs []int) {
 		// sequential pass.
 		for i := range tasks {
 			t := &tasks[i]
-			ev.seq.pass(t.cr, t.deltaPos, t.lo, t.hi)
+			ev.timedPass(t.cr, t.deltaPos, t.lo, t.hi)
 		}
 		return
 	}
@@ -208,7 +209,13 @@ func (ev *evaluator) runRoundParallel(ruleIdxs []int) {
 				t.headLo = len(w.heads)
 				t.bodyLo = len(w.bodies)
 				t.resLo = len(w.resolved)
-				w.jr.pass(t.cr, t.deltaPos, t.lo, t.hi)
+				if w.jr.prof != nil {
+					p0 := time.Now()
+					w.jr.pass(t.cr, t.deltaPos, t.lo, t.hi)
+					w.jr.prof.RoundNs[t.cr.index] += int64(time.Since(p0))
+				} else {
+					w.jr.pass(t.cr, t.deltaPos, t.lo, t.hi)
+				}
 				t.n = len(w.resolved) - t.resLo
 				t.suppressed = w.jr.takeSuppressed()
 			}
@@ -220,6 +227,14 @@ func (ev *evaluator) runRoundParallel(ruleIdxs []int) {
 	mergeWait := time.Since(waitStart)
 
 	ev.mergeTasks(tasks)
+
+	if ev.prof != nil {
+		// Fold the workers' per-rule pass times into the round now closing,
+		// before the next round reuses the counter blocks.
+		for _, w := range ev.workers {
+			ev.prof.FlushRoundNs(w.jr.prof)
+		}
+	}
 
 	if reg := ev.opts.Obs; reg != nil {
 		reg.Counter(obs.EngineBatches).Add(int64(len(tasks)))
@@ -265,6 +280,7 @@ func (ev *evaluator) mergeTasks(tasks []evalTask) {
 			if added {
 				ev.stats.NewFacts++
 			}
+			ev.prof.RuleFired(cr.index, added)
 			if ev.opts.Listener != nil {
 				ids := w.bodies[t.bodyLo+r*bs : t.bodyLo+r*bs+bs]
 				for j := range ids {

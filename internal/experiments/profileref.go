@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"contribmax/internal/cm"
+	"contribmax/internal/im"
+	"contribmax/internal/prof"
+)
+
+// profileTopRules caps the rule hotspots a BENCH report embeds; the full
+// ranking lives in the profile artifact (`cmrun -profile-json`), the report
+// tracks just the head so diffs stay readable.
+const profileTopRules = 5
+
+// ProfileSummary is the runtime-profile block of a BENCH report: the fixed
+// reference solve's rule-level hotspots. The counts (derived, attempted)
+// are deterministic for the reference seed, so report diffs catch evaluation
+// regressions; the timings are informational.
+type ProfileSummary struct {
+	Algorithm  string        `json:"algorithm"`
+	EngineRuns int64         `json:"engine_runs"`
+	Rules      int           `json:"rules"`
+	Attempted  int64         `json:"attempted"`
+	Derived    int64         `json:"derived"`
+	EvalMillis float64       `json:"eval_millis"`
+	WalkMillis float64       `json:"walk_millis"`
+	TopRules   []ProfileRule `json:"top_rules"`
+}
+
+// ProfileRule is one hotspot rule: identity plus its fixpoint accounting.
+type ProfileRule struct {
+	Rule       string  `json:"rule"`
+	Derived    int64   `json:"derived"`
+	Attempted  int64   `json:"attempted"`
+	SelfMillis float64 `json:"self_millis"`
+}
+
+// ProfiledReferenceSolve runs the same fixed reference instance as
+// JournaledReferenceSolve with a runtime profiler attached and condenses
+// the profile into the report block — the rule-level hotspot telemetry
+// `cmbench -json` embeds so evaluation behavior is comparable across BENCH
+// files.
+func ProfiledReferenceSolve(scale Scale) (*ProfileSummary, error) {
+	rng := rngFor(97)
+	w, err := buildWorkload(TC, sizesFor(TC, scale)[0], rng)
+	if err != nil {
+		return nil, err
+	}
+	_, outputs, err := evalOutputs(w)
+	if err != nil {
+		return nil, err
+	}
+	targets := sampleTargets(outputs, targetCount(scale), rng)
+	p := prof.New()
+	_, err = cm.MagicSampledCM(
+		cm.Input{Program: w.Program, DB: w.DB, T2: targets, K: defaultK},
+		cm.Options{Theta: im.ThetaSpec{Explicit: 1000}, Rand: rng, Profile: p},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rep := p.Report()
+	s := &ProfileSummary{
+		Algorithm:  rep.Algorithm,
+		EngineRuns: rep.EngineRuns,
+		Rules:      len(rep.Rules) + rep.RulesOmitted,
+		Attempted:  rep.Attempted,
+		Derived:    rep.Derived,
+		EvalMillis: float64(rep.EvalNs) / 1e6,
+	}
+	if rep.RR != nil {
+		s.WalkMillis = float64(rep.RR.WalkNs) / 1e6
+	}
+	for i, r := range rep.Rules {
+		if i == profileTopRules {
+			break
+		}
+		s.TopRules = append(s.TopRules, ProfileRule{
+			Rule:       r.Rule,
+			Derived:    r.Derived,
+			Attempted:  r.Attempted,
+			SelfMillis: float64(r.SelfNs) / 1e6,
+		})
+	}
+	if len(s.TopRules) == 0 {
+		return nil, fmt.Errorf("profiled reference solve recorded no rules")
+	}
+	return s, nil
+}
+
+// ProfileTable renders the summary's hotspots as a printable table.
+func ProfileTable(s *ProfileSummary) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Runtime profile hotspots (%s reference solve)", s.Algorithm),
+		XLabel: "rule",
+		YLabel: "fixpoint accounting",
+		Series: []string{"derived", "attempted", "self ms"},
+	}
+	for _, r := range s.TopRules {
+		t.AddRow(r.Rule, float64(r.Derived), float64(r.Attempted), r.SelfMillis)
+	}
+	return t
+}

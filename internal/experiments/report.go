@@ -45,6 +45,11 @@ type Report struct {
 	// RIS, and DNF world sampling on identical inputs. Additive and
 	// optional like the other measurement blocks.
 	Estimators []EstimatorSummary `json:"estimators,omitempty"`
+	// Profile, when present, records the runtime-profiled reference solve's
+	// rule-level hotspots (see ProfiledReferenceSolve): which rules derive
+	// the most tuples and where fixpoint time goes. Additive and optional
+	// like the other measurement blocks.
+	Profile *ProfileSummary `json:"profile,omitempty"`
 }
 
 // PruningSummary is the dead-rule analysis of one dataset's program:
@@ -190,6 +195,26 @@ func ValidateReportJSON(data []byte) error {
 		if e.LineageClauses <= 0 {
 			return fmt.Errorf("bench report: estimator entry %q reports an exact solve with no lineage clauses",
 				e.Dataset)
+		}
+	}
+	if p := r.Profile; p != nil {
+		if p.Algorithm == "" || p.EngineRuns <= 0 || p.Rules <= 0 {
+			return fmt.Errorf("bench report: profile block lacks an algorithm or engine accounting")
+		}
+		if p.Derived < 0 || p.Attempted < p.Derived {
+			return fmt.Errorf("bench report: profile block has impossible counts (derived %d, attempted %d)",
+				p.Derived, p.Attempted)
+		}
+		if len(p.TopRules) == 0 {
+			return fmt.Errorf("bench report: profile block has no rule hotspots")
+		}
+		for ri, tr := range p.TopRules {
+			if tr.Rule == "" {
+				return fmt.Errorf("bench report: profile rule %d has no identity", ri)
+			}
+			if tr.Derived < 0 || tr.Attempted < tr.Derived || tr.SelfMillis < 0 {
+				return fmt.Errorf("bench report: profile rule %q has impossible accounting", tr.Rule)
+			}
 		}
 	}
 	for fi, f := range r.Figures {

@@ -61,6 +61,12 @@ const (
 	// reason when the tier rerouted to RIS sampling. At most one per
 	// solve, emitted right before solve.finish by ExactCM / DNFCM.
 	TypeEstimatorSummary EventType = "estimator.summary"
+	// TypeProfileSummary summarizes the solve's runtime profile when one
+	// was attached (cm.Options.Profile): engine/RR totals plus the top
+	// rules by self-time. At most one per solve, emitted with the
+	// selection phase; the full RuntimeProfile artifact is reported out of
+	// band (cmrun -profile-json, SolveResponse.Profile).
+	TypeProfileSummary EventType = "profile.summary"
 )
 
 // Event is the envelope every journal entry shares. Exactly one payload
@@ -78,16 +84,17 @@ type Event struct {
 	// Type discriminates the payload.
 	Type EventType `json:"type"`
 
-	Solve  *SolveInfo   `json:"solve,omitempty"`
-	Finish *FinishInfo  `json:"finish,omitempty"`
-	Round  *RoundInfo   `json:"round,omitempty"`
-	Build  *BuildInfo   `json:"build,omitempty"`
-	RR     *RRBatchInfo `json:"rr,omitempty"`
-	IMM    *IMMInfo     `json:"imm,omitempty"`
-	Iter   *IterInfo    `json:"iter,omitempty"`
-	Plan   *PlanInfo    `json:"plan,omitempty"`
-	Cache  *CacheInfo   `json:"cache,omitempty"`
-	Est    *EstInfo     `json:"est,omitempty"`
+	Solve   *SolveInfo   `json:"solve,omitempty"`
+	Finish  *FinishInfo  `json:"finish,omitempty"`
+	Round   *RoundInfo   `json:"round,omitempty"`
+	Build   *BuildInfo   `json:"build,omitempty"`
+	RR      *RRBatchInfo `json:"rr,omitempty"`
+	IMM     *IMMInfo     `json:"imm,omitempty"`
+	Iter    *IterInfo    `json:"iter,omitempty"`
+	Plan    *PlanInfo    `json:"plan,omitempty"`
+	Cache   *CacheInfo   `json:"cache,omitempty"`
+	Est     *EstInfo     `json:"est,omitempty"`
+	Profile *ProfileInfo `json:"profile,omitempty"`
 }
 
 // SolveInfo is the solve.start payload.
@@ -231,6 +238,40 @@ type EstInfo struct {
 	// Fallback names why the solve rerouted to RIS sampling ("" when the
 	// tier answered).
 	Fallback string `json:"fallback,omitempty"`
+}
+
+// ProfileInfo is the profile.summary payload: the headline numbers of the
+// solve's runtime profile. Counts are deterministic (identical at every
+// Parallelism level); the *Ns fields are wall times and are not.
+type ProfileInfo struct {
+	Algorithm string `json:"algorithm"`
+	// EngineRuns counts fixpoint evaluations profiled (1 for full-graph
+	// algorithms, ~θ for the per-tuple Magic variants); Rules counts
+	// distinct rule families that participated.
+	EngineRuns int64 `json:"engine_runs"`
+	Rules      int   `json:"rules"`
+	// Attempted / Derived / NewFacts are the engine totals: fully matched
+	// instantiations (pre-gate), fired instantiations (== the
+	// engine.instantiations counter), and first derivations.
+	Attempted int64 `json:"attempted"`
+	Derived   int64 `json:"derived"`
+	NewFacts  int64 `json:"new_facts"`
+	// EarlyVetoes counts partial bindings cut by planner-hoisted checks.
+	EarlyVetoes int64 `json:"early_vetoes,omitempty"`
+	// EvalNs is the summed per-rule pass self time.
+	EvalNs int64 `json:"eval_ns"`
+	// Walks / WalkNs total the RR-phase reverse walks.
+	Walks  int64 `json:"walks,omitempty"`
+	WalkNs int64 `json:"walk_ns,omitempty"`
+	// TopRules lists the hottest rules by self-time (bounded).
+	TopRules []TopRule `json:"top_rules,omitempty"`
+}
+
+// TopRule is one hot rule in a profile.summary event.
+type TopRule struct {
+	Rule    string `json:"rule"`
+	Derived int64  `json:"derived"`
+	SelfNs  int64  `json:"self_ns"`
 }
 
 // NewRunID returns a fresh 16-hex-digit run identifier. IDs are random

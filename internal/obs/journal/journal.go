@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"contribmax/internal/obs"
 )
 
 // DefaultCapacity is the in-memory ring-buffer size when Options.Capacity
@@ -23,6 +25,10 @@ type Options struct {
 	// a bufio.Writer and flush on Close). Write errors are remembered and
 	// reported by Close, not surfaced per-event.
 	Sink io.Writer
+	// Obs, when non-nil, surfaces the journal's two silent data-loss modes
+	// as counters: journal.dropped (slow subscribers disconnected) and
+	// journal.overwritten (ring-buffer entries evicted before replay).
+	Obs *obs.Registry
 }
 
 // Journal is one run's event stream. All methods are safe for concurrent
@@ -40,6 +46,11 @@ type Journal struct {
 	subs   map[int]*subscriber
 	nextID int
 	closed bool
+
+	// dropped / overwritten are the pre-resolved loss counters (nil
+	// handles no-op when Options.Obs was nil).
+	dropped     *obs.Counter
+	overwritten *obs.Counter
 }
 
 type subscriber struct {
@@ -57,10 +68,12 @@ func New(runID string, opts Options) *Journal {
 		capacity = DefaultCapacity
 	}
 	j := &Journal{
-		run:   runID,
-		start: time.Now(),
-		ring:  make([]Event, 0, capacity),
-		subs:  make(map[int]*subscriber),
+		run:         runID,
+		start:       time.Now(),
+		ring:        make([]Event, 0, capacity),
+		subs:        make(map[int]*subscriber),
+		dropped:     opts.Obs.Counter(obs.JournalDropped),
+		overwritten: opts.Obs.Counter(obs.JournalOverwritten),
 	}
 	if opts.Sink != nil {
 		j.enc = json.NewEncoder(opts.Sink)
@@ -97,6 +110,7 @@ func (j *Journal) append(ev Event) {
 		j.ring[j.head] = ev
 		j.head = (j.head + 1) % len(j.ring)
 		j.full = true
+		j.overwritten.Inc()
 	}
 	if j.enc != nil && j.encErr == nil {
 		j.encErr = j.enc.Encode(ev)
@@ -111,6 +125,7 @@ func (j *Journal) append(ev Event) {
 			s.dropped = true
 			close(s.ch)
 			delete(j.subs, id)
+			j.dropped.Inc()
 		}
 	}
 }
@@ -275,6 +290,14 @@ func (j *Journal) EstimatorSummary(info EstInfo) {
 		return
 	}
 	j.append(Event{Type: TypeEstimatorSummary, Est: &info})
+}
+
+// ProfileSummary emits a profile.summary event.
+func (j *Journal) ProfileSummary(info ProfileInfo) {
+	if j == nil {
+		return
+	}
+	j.append(Event{Type: TypeProfileSummary, Profile: &info})
 }
 
 // SelectIter emits a select.iter event.

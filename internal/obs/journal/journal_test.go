@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"contribmax/internal/obs"
 )
 
 func TestNilJournalIsNoOp(t *testing.T) {
@@ -176,6 +178,72 @@ func TestSlowSubscriberIsDroppedNotBlocking(t *testing.T) {
 	}
 	if n > 2 {
 		t.Fatalf("received %d events from a buffer of 2", n)
+	}
+}
+
+// TestLossCountersOnRegistry forces both of the journal's data-loss modes
+// and asserts they surface on the wired obs registry: a slow subscriber
+// disconnect increments journal.dropped, a ring overwrite increments
+// journal.overwritten.
+func TestLossCountersOnRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	j := New("loss", Options{Capacity: 4, Obs: reg})
+	// A 1-slot subscriber that is never read: the first emit fills the
+	// buffer, the second finds it full and disconnects the subscriber.
+	_, ch, cancel := j.Subscribe(1)
+	defer cancel()
+	j.EngineRound(1, 1)
+	j.EngineRound(2, 2)
+	if got := reg.Snapshot().Counters[obs.JournalDropped]; got != 1 {
+		t.Fatalf("journal.dropped = %d after forced disconnect, want 1", got)
+	}
+	if _, open := <-ch; !open {
+		// first buffered event; fine either way
+	}
+	// Overflow the 4-slot ring: 10 appends total leave 6 overwritten.
+	for i := 3; i <= 10; i++ {
+		j.EngineRound(i, i)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.JournalOverwritten]; got != 6 {
+		t.Fatalf("journal.overwritten = %d, want 6", got)
+	}
+	if got := snap.Counters[obs.JournalDropped]; got != 1 {
+		t.Fatalf("journal.dropped = %d after subscriber already gone, want still 1", got)
+	}
+}
+
+// TestProfileSummaryEvent checks the profile.summary event round-trips
+// through JSONL with its typed payload intact.
+func TestProfileSummaryEvent(t *testing.T) {
+	var buf bytes.Buffer
+	j := New("p", Options{Sink: &buf})
+	j.ProfileSummary(ProfileInfo{
+		Algorithm:  "MagicSCM",
+		EngineRuns: 42,
+		Rules:      7,
+		Attempted:  100,
+		Derived:    90,
+		NewFacts:   30,
+		EvalNs:     12345,
+		Walks:      42,
+		WalkNs:     678,
+		TopRules:   []TopRule{{Rule: "r0", Derived: 50, SelfNs: 999}},
+	})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != TypeProfileSummary || ev.Profile == nil {
+		t.Fatalf("event = %+v", ev)
+	}
+	p := ev.Profile
+	if p.Algorithm != "MagicSCM" || p.EngineRuns != 42 || p.Derived != 90 ||
+		len(p.TopRules) != 1 || p.TopRules[0].SelfNs != 999 {
+		t.Fatalf("payload lost fields: %+v", p)
 	}
 }
 

@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // Canonical metric names used across the pipeline, so dashboards and tests
 // reference one vocabulary (documented in docs/OBSERVABILITY.md).
 const (
@@ -71,4 +73,24 @@ const (
 	ServerShed         = "server.shed"          // counter: solves refused with 429 (pool saturated)
 	ServerTenantDenied = "server.tenant_denied" // counter: solves refused with 429 (tenant over quota)
 	ServerRunsEvicted  = "runs.evicted"         // counter: finished async runs evicted by the run-store LRU
+
+	// Journal data-loss signals (internal/obs/journal, satellite of the
+	// runtime profiler): both losses were previously silent.
+	JournalDropped     = "journal.dropped"     // counter: slow subscribers disconnected mid-stream
+	JournalOverwritten = "journal.overwritten" // counter: ring-buffer events evicted before replay
+
+	// Go runtime gauges (Registry.UpdateGoRuntime).
+	GoGoroutines = "go.goroutines" // gauge: live goroutines
+	GoHeapBytes  = "go.heap_bytes" // gauge: heap bytes in use (MemStats.HeapAlloc)
+	GoGCPauses   = "go.gc_pauses"  // gauge: cumulative GC stop-the-world pause ns (MemStats.PauseTotalNs)
 )
+
+// ProfileRuleSelfNs and ProfileRuleDerived name the top-K hot-rule gauges a
+// profiled solve publishes (rank is 1-based). The names are rank-keyed, not
+// rule-keyed, so the metric cardinality stays bounded; the rule identity
+// lives in the RuntimeProfile artifact and the profile.summary event.
+func ProfileRuleSelfNs(rank int) string { return fmt.Sprintf("profile.rule%d.self_ns", rank) }
+
+// ProfileRuleDerived names the derived-tuples gauge of the rank-th hottest
+// rule of the last profiled solve.
+func ProfileRuleDerived(rank int) string { return fmt.Sprintf("profile.rule%d.derived", rank) }

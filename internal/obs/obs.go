@@ -17,6 +17,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -305,6 +306,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// UpdateGoRuntime refreshes the Go runtime gauges — go.goroutines,
+// go.heap_bytes, go.gc_pauses — from the live runtime. Metric endpoints
+// call it right before rendering a snapshot so every scrape sees current
+// values; ReadMemStats costs a brief stop-the-world, so it belongs on the
+// scrape path, not in solver hot loops. No-op on a nil registry.
+func (r *Registry) UpdateGoRuntime() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(GoGoroutines).Set(int64(runtime.NumGoroutine()))
+	r.Gauge(GoHeapBytes).Set(int64(ms.HeapAlloc))
+	r.Gauge(GoGCPauses).Set(int64(ms.PauseTotalNs))
 }
 
 // Snapshot captures every metric's current value.

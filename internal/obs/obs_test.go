@@ -146,6 +146,37 @@ func TestWriteJSONIsExpvarStyle(t *testing.T) {
 	}
 }
 
+// TestUpdateGoRuntime checks the scrape-path runtime gauges: live values
+// on a real registry, no-op on nil, and Prometheus exposition under the
+// sanitized go_* names.
+func TestUpdateGoRuntime(t *testing.T) {
+	var nilReg *obs.Registry
+	nilReg.UpdateGoRuntime()
+
+	r := obs.NewRegistry()
+	r.UpdateGoRuntime()
+	snap := r.Snapshot()
+	if g := snap.Gauges[obs.GoGoroutines]; g < 1 {
+		t.Errorf("go.goroutines = %d, want >= 1", g)
+	}
+	if g := snap.Gauges[obs.GoHeapBytes]; g <= 0 {
+		t.Errorf("go.heap_bytes = %d, want > 0", g)
+	}
+	if g := snap.Gauges[obs.GoGCPauses]; g < 0 {
+		t.Errorf("go.gc_pauses = %d, want >= 0", g)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# TYPE go_goroutines gauge", "# TYPE go_heap_bytes gauge", "# TYPE go_gc_pauses gauge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus exposition missing %q", want)
+		}
+	}
+}
+
 func TestSpanTree(t *testing.T) {
 	root := obs.StartSpan("solve")
 	build := root.StartChild("build")

@@ -1,0 +1,472 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema identifies the RuntimeProfile JSON artifact format.
+const Schema = "contribmax/profile/v1"
+
+// RuntimeProfile is the finalized EXPLAIN ANALYZE artifact for one solve.
+// Totals cover every rule, run, and target; the per-item breakdowns are
+// ranked and capped, with *Omitted reporting how many items were folded
+// into the totals but not listed.
+type RuntimeProfile struct {
+	Schema    string `json:"schema"`
+	Algorithm string `json:"algorithm,omitempty"`
+
+	// Engine totals. Derived reconciles with the engine.instantiations
+	// counter (both count fired instantiations on the deterministic
+	// emit/merge path); Attempted additionally includes gate-suppressed
+	// matches.
+	EngineRuns  int64 `json:"engine_runs"`
+	Attempted   int64 `json:"attempted"`
+	Derived     int64 `json:"derived"`
+	NewFacts    int64 `json:"new_facts"`
+	Suppressed  int64 `json:"suppressed,omitempty"`
+	EarlyVetoes int64 `json:"early_vetoes,omitempty"`
+	EvalNs      int64 `json:"eval_ns"`
+
+	Rules        []RuleProfile    `json:"rules,omitempty"`
+	RulesOmitted int              `json:"rules_omitted,omitempty"`
+	Strata       []StratumProfile `json:"strata,omitempty"`
+	RR           *RRProfile       `json:"rr,omitempty"`
+	Plan         *PlanProfile     `json:"plan,omitempty"`
+	Phases       []PhaseProfile   `json:"phases,omitempty"`
+}
+
+// RuleProfile is one rule family's ledger, aggregated across every engine
+// run of the solve (the Magic variants evaluate the same source rule in
+// thousands of per-target subgraph fixpoints; they merge here by source
+// text).
+type RuleProfile struct {
+	Rule        string        `json:"rule"`
+	Attempted   int64         `json:"attempted"`
+	Derived     int64         `json:"derived"`
+	NewFacts    int64         `json:"new_facts"`
+	Suppressed  int64         `json:"suppressed,omitempty"`
+	EarlyVetoes int64         `json:"early_vetoes,omitempty"`
+	DedupRate   float64       `json:"dedup_rate"` // share of derivations that were duplicates
+	SelfNs      int64         `json:"self_ns"`
+	Steps       []StepProfile `json:"steps,omitempty"`
+	Rounds      []RuleRound   `json:"rounds,omitempty"`
+}
+
+// StepProfile is the runtime fan-out of one join-plan step: Matches
+// counts bindings surviving the step, Vetoes counts partial bindings cut
+// by checks the planner hoisted to this step (check-hoist savings).
+type StepProfile struct {
+	Step    int   `json:"step"`
+	Matches int64 `json:"matches"`
+	Vetoes  int64 `json:"vetoes,omitempty"`
+}
+
+// RuleRound is one round's slice of a rule's work (round ordinals past
+// the tracking cap aggregate into the last entry).
+type RuleRound struct {
+	Round   int   `json:"round"`
+	Derived int64 `json:"derived"`
+	SelfNs  int64 `json:"self_ns"`
+}
+
+// StratumProfile is one stratum's convergence curve, summed across engine
+// runs: Delta is the new-fact delta per round ordinal, Runs how many runs
+// reached that round.
+type StratumProfile struct {
+	Stratum int          `json:"stratum"`
+	Rounds  []DeltaPoint `json:"rounds"`
+}
+
+// DeltaPoint is one (round ordinal, delta) sample of a stratum curve.
+type DeltaPoint struct {
+	Round int   `json:"round"`
+	Delta int64 `json:"delta"`
+	Runs  int64 `json:"runs"`
+}
+
+// RRProfile attributes the RR-generation phase: per-target walk counts,
+// collected members, and wall time, plus the hottest WD-graph nodes by
+// RR-set membership.
+type RRProfile struct {
+	Walks          int64           `json:"walks"`
+	Members        int64           `json:"members"`
+	WalkNs         int64           `json:"walk_ns"`
+	ArenaBytes     int64           `json:"arena_bytes,omitempty"`
+	Targets        []TargetProfile `json:"targets,omitempty"`
+	TargetsOmitted int             `json:"targets_omitted,omitempty"`
+	HotNodes       []HotNode       `json:"hot_nodes,omitempty"`
+}
+
+// TargetProfile is one query target's share of the RR phase. Bytes is the
+// target's arena footprint (4 bytes per collected member in the
+// CandidateID arena).
+type TargetProfile struct {
+	Target  string `json:"target"`
+	Walks   int64  `json:"walks"`
+	Members int64  `json:"members"`
+	Bytes   int64  `json:"bytes"`
+	WalkNs  int64  `json:"walk_ns"`
+}
+
+// HotNode is one WD-graph candidate node ranked by how many RR sets
+// contain it (its memberOf CSR degree) — the nodes selection gravity
+// concentrates on.
+type HotNode struct {
+	Node   string `json:"node"`
+	Visits int64  `json:"visits"`
+}
+
+// PlanProfile reconciles the profile against the join planner's
+// plan.summary counters.
+type PlanProfile struct {
+	Built     int64 `json:"built"`
+	Hits      int64 `json:"hits"`
+	Reordered int64 `json:"reordered"`
+}
+
+// PhaseProfile is one solve phase's wall time.
+type PhaseProfile struct {
+	Phase string `json:"phase"`
+	Ns    int64  `json:"ns"`
+}
+
+// Report finalizes the collector into a RuntimeProfile snapshot. Rules
+// are ranked by self-time (then derived count, then source text) and
+// capped; targets likewise by walk time. Safe to call while the profile
+// is still attached, though normally called after the solve returns.
+func (p *Profile) Report() *RuntimeProfile {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rp := &RuntimeProfile{Schema: Schema, Algorithm: p.algorithm, EngineRuns: p.runs}
+
+	names := make([]string, 0, len(p.rules))
+	for name := range p.rules {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := p.rules[names[i]], p.rules[names[j]]
+		if a.selfNs != b.selfNs {
+			return a.selfNs > b.selfNs
+		}
+		if a.derived != b.derived {
+			return a.derived > b.derived
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		acc := p.rules[name]
+		rp.Attempted += acc.attempted
+		rp.Derived += acc.derived
+		rp.NewFacts += acc.newFacts
+		rp.Suppressed += acc.suppressed
+		rp.EarlyVetoes += acc.earlyVeto
+		rp.EvalNs += acc.selfNs
+		if len(rp.Rules) >= maxRulesReported {
+			rp.RulesOmitted++
+			continue
+		}
+		r := RuleProfile{
+			Rule:        name,
+			Attempted:   acc.attempted,
+			Derived:     acc.derived,
+			NewFacts:    acc.newFacts,
+			Suppressed:  acc.suppressed,
+			EarlyVetoes: acc.earlyVeto,
+			SelfNs:      acc.selfNs,
+		}
+		if acc.derived > 0 {
+			r.DedupRate = 1 - float64(acc.newFacts)/float64(acc.derived)
+		}
+		for s := range acc.stepMatches {
+			sp := StepProfile{Step: s, Matches: acc.stepMatches[s]}
+			if s < len(acc.stepVetoes) {
+				sp.Vetoes = acc.stepVetoes[s]
+			}
+			r.Steps = append(r.Steps, sp)
+		}
+		n := len(acc.roundDerived)
+		if len(acc.roundNs) > n {
+			n = len(acc.roundNs)
+		}
+		for i := 0; i < n; i++ {
+			rr := RuleRound{Round: i + 1}
+			if i < len(acc.roundDerived) {
+				rr.Derived = acc.roundDerived[i]
+			}
+			if i < len(acc.roundNs) {
+				rr.SelfNs = acc.roundNs[i]
+			}
+			if rr.Derived != 0 || rr.SelfNs != 0 {
+				r.Rounds = append(r.Rounds, rr)
+			}
+		}
+		rp.Rules = append(rp.Rules, r)
+	}
+
+	for si, sa := range p.strata {
+		if len(sa.delta) == 0 {
+			continue
+		}
+		sp := StratumProfile{Stratum: si}
+		for i := range sa.delta {
+			sp.Rounds = append(sp.Rounds, DeltaPoint{Round: i + 1, Delta: sa.delta[i], Runs: sa.runs[i]})
+		}
+		rp.Strata = append(rp.Strata, sp)
+	}
+
+	if len(p.walkCount) > 0 {
+		rr := &RRProfile{ArenaBytes: p.arena, HotNodes: p.hot}
+		order := make([]int, len(p.walkCount))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if p.walkNs[ia] != p.walkNs[ib] {
+				return p.walkNs[ia] > p.walkNs[ib]
+			}
+			if p.walkMembers[ia] != p.walkMembers[ib] {
+				return p.walkMembers[ia] > p.walkMembers[ib]
+			}
+			return ia < ib
+		})
+		for _, ti := range order {
+			rr.Walks += p.walkCount[ti]
+			rr.Members += p.walkMembers[ti]
+			rr.WalkNs += p.walkNs[ti]
+			if p.walkCount[ti] == 0 {
+				continue
+			}
+			if len(rr.Targets) >= maxTargetsReported {
+				rr.TargetsOmitted++
+				continue
+			}
+			name := fmt.Sprintf("target[%d]", ti)
+			if ti < len(p.targetNames) && p.targetNames[ti] != "" {
+				name = p.targetNames[ti]
+			}
+			rr.Targets = append(rr.Targets, TargetProfile{
+				Target:  name,
+				Walks:   p.walkCount[ti],
+				Members: p.walkMembers[ti],
+				Bytes:   4 * p.walkMembers[ti],
+				WalkNs:  p.walkNs[ti],
+			})
+		}
+		if rr.Walks > 0 || rr.ArenaBytes > 0 || len(rr.HotNodes) > 0 {
+			rp.RR = rr
+		}
+	} else if p.arena > 0 || len(p.hot) > 0 {
+		rp.RR = &RRProfile{ArenaBytes: p.arena, HotNodes: p.hot}
+	}
+
+	if p.plan != nil {
+		c := *p.plan
+		rp.Plan = &c
+	}
+	rp.Phases = append(rp.Phases, p.phases...)
+	return rp
+}
+
+// CountsJSON marshals only the deterministic portion of the profile —
+// every count, no wall times — with rules and targets sorted by name, so
+// two profiles of the same solve at different Parallelism levels compare
+// byte-identical. Used by the determinism tests.
+func (rp *RuntimeProfile) CountsJSON() ([]byte, error) {
+	if rp == nil {
+		return []byte("null"), nil
+	}
+	type stepC struct {
+		Step    int   `json:"step"`
+		Matches int64 `json:"matches"`
+		Vetoes  int64 `json:"vetoes"`
+	}
+	type ruleC struct {
+		Rule        string  `json:"rule"`
+		Attempted   int64   `json:"attempted"`
+		Derived     int64   `json:"derived"`
+		NewFacts    int64   `json:"new_facts"`
+		Suppressed  int64   `json:"suppressed"`
+		EarlyVetoes int64   `json:"early_vetoes"`
+		Steps       []stepC `json:"steps"`
+	}
+	type targetC struct {
+		Target  string `json:"target"`
+		Walks   int64  `json:"walks"`
+		Members int64  `json:"members"`
+	}
+	type countsC struct {
+		EngineRuns  int64            `json:"engine_runs"`
+		Attempted   int64            `json:"attempted"`
+		Derived     int64            `json:"derived"`
+		NewFacts    int64            `json:"new_facts"`
+		Suppressed  int64            `json:"suppressed"`
+		EarlyVetoes int64            `json:"early_vetoes"`
+		Rules       []ruleC          `json:"rules"`
+		Strata      []StratumProfile `json:"strata"`
+		Targets     []targetC        `json:"targets"`
+	}
+	c := countsC{
+		EngineRuns:  rp.EngineRuns,
+		Attempted:   rp.Attempted,
+		Derived:     rp.Derived,
+		NewFacts:    rp.NewFacts,
+		Suppressed:  rp.Suppressed,
+		EarlyVetoes: rp.EarlyVetoes,
+		Strata:      rp.Strata,
+	}
+	for _, r := range rp.Rules {
+		rc := ruleC{
+			Rule:        r.Rule,
+			Attempted:   r.Attempted,
+			Derived:     r.Derived,
+			NewFacts:    r.NewFacts,
+			Suppressed:  r.Suppressed,
+			EarlyVetoes: r.EarlyVetoes,
+		}
+		for _, s := range r.Steps {
+			rc.Steps = append(rc.Steps, stepC{Step: s.Step, Matches: s.Matches, Vetoes: s.Vetoes})
+		}
+		c.Rules = append(c.Rules, rc)
+	}
+	sort.Slice(c.Rules, func(i, j int) bool { return c.Rules[i].Rule < c.Rules[j].Rule })
+	if rp.RR != nil {
+		for _, t := range rp.RR.Targets {
+			c.Targets = append(c.Targets, targetC{Target: t.Target, Walks: t.Walks, Members: t.Members})
+		}
+		sort.Slice(c.Targets, func(i, j int) bool { return c.Targets[i].Target < c.Targets[j].Target })
+	}
+	return json.Marshal(c)
+}
+
+// WriteJSON writes the artifact as indented JSON.
+func (rp *RuntimeProfile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rp)
+}
+
+// WriteText renders the profile as an EXPLAIN ANALYZE-style text tree:
+// solve phases, then rules ranked by self-time with their per-step
+// fan-out, then stratum curves and RR attribution.
+func (rp *RuntimeProfile) WriteText(w io.Writer) error {
+	if rp == nil {
+		_, err := fmt.Fprintln(w, "no profile")
+		return err
+	}
+	bw := &errWriter{w: w}
+	alg := rp.Algorithm
+	if alg == "" {
+		alg = "?"
+	}
+	bw.printf("EXPLAIN ANALYZE (%s)\n", alg)
+	for _, ph := range rp.Phases {
+		bw.printf("├─ phase %-8s %s\n", ph.Phase, durNs(ph.Ns))
+	}
+	bw.printf("├─ engine: %d runs, %d derived (%d new, %.1f%% dup), %d attempted",
+		rp.EngineRuns, rp.Derived, rp.NewFacts, 100*dupRate(rp.NewFacts, rp.Derived), rp.Attempted)
+	if rp.Suppressed > 0 {
+		bw.printf(", %d gate-suppressed", rp.Suppressed)
+	}
+	if rp.EarlyVetoes > 0 {
+		bw.printf(", %d early vetoes", rp.EarlyVetoes)
+	}
+	bw.printf("  [%s]\n", durNs(rp.EvalNs))
+	for i, r := range rp.Rules {
+		branch := "├─"
+		if i == len(rp.Rules)-1 && rp.RulesOmitted == 0 && len(rp.Strata) == 0 && rp.RR == nil && rp.Plan == nil {
+			branch = "└─"
+		}
+		bw.printf("%s rule %s\n", branch, r.Rule)
+		bw.printf("│    self=%s derived=%d new=%d dup=%.1f%% attempted=%d",
+			durNs(r.SelfNs), r.Derived, r.NewFacts, 100*r.DedupRate, r.Attempted)
+		if r.Suppressed > 0 {
+			bw.printf(" suppressed=%d", r.Suppressed)
+		}
+		if r.EarlyVetoes > 0 {
+			bw.printf(" early_vetoes=%d", r.EarlyVetoes)
+		}
+		bw.printf("\n")
+		for _, s := range r.Steps {
+			bw.printf("│    step %d: %d matches", s.Step, s.Matches)
+			if s.Vetoes > 0 {
+				bw.printf(", %d hoisted-check vetoes", s.Vetoes)
+			}
+			bw.printf("\n")
+		}
+	}
+	if rp.RulesOmitted > 0 {
+		bw.printf("├─ ... %d more rules folded into totals\n", rp.RulesOmitted)
+	}
+	for _, s := range rp.Strata {
+		var parts []string
+		for _, d := range s.Rounds {
+			parts = append(parts, fmt.Sprintf("%d", d.Delta))
+		}
+		bw.printf("├─ stratum %d deltas: %s\n", s.Stratum, strings.Join(parts, " "))
+	}
+	if rr := rp.RR; rr != nil {
+		bw.printf("├─ rr phase: %d walks, %d members", rr.Walks, rr.Members)
+		if rr.ArenaBytes > 0 {
+			bw.printf(", arena %s", byteStr(rr.ArenaBytes))
+		}
+		bw.printf("  [%s]\n", durNs(rr.WalkNs))
+		for _, t := range rr.Targets {
+			bw.printf("│    %s: %d walks, %d members (%s)  [%s]\n",
+				t.Target, t.Walks, t.Members, byteStr(t.Bytes), durNs(t.WalkNs))
+		}
+		if rr.TargetsOmitted > 0 {
+			bw.printf("│    ... %d more targets folded into totals\n", rr.TargetsOmitted)
+		}
+		for _, h := range rr.HotNodes {
+			bw.printf("│    hot node %s: in %d RR sets\n", h.Node, h.Visits)
+		}
+	}
+	if pl := rp.Plan; pl != nil {
+		bw.printf("└─ planner: %d plans built, %d cache hits, %d atoms reordered\n",
+			pl.Built, pl.Hits, pl.Reordered)
+	}
+	return bw.err
+}
+
+func dupRate(newFacts, derived int64) float64 {
+	if derived == 0 {
+		return 0
+	}
+	return 1 - float64(newFacts)/float64(derived)
+}
+
+func durNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func byteStr(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

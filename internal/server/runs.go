@@ -156,8 +156,10 @@ func (s *server) handleSolveStart(w http.ResponseWriter, r *http.Request) {
 	}
 	id := journal.NewRunID()
 	ru := &run{
-		id:      id,
-		journal: journal.New(id, journal.Options{}),
+		id: id,
+		// The registry hookup surfaces the journal's data-loss modes
+		// (journal.dropped / journal.overwritten) on /metrics.
+		journal: journal.New(id, journal.Options{Obs: s.cfg.Obs}),
 		started: time.Now(),
 		done:    make(chan struct{}),
 	}
@@ -224,6 +226,30 @@ func (s *server) handleSolveStatus(w http.ResponseWriter, r *http.Request) {
 	ru.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
+}
+
+// handleSolveProfile serves a finished run's runtime profile as the full
+// JSON artifact (schema contribmax/profile/v1). 404 for unknown runs and
+// for runs started without SolveRequest.Profile; 409 while still running.
+func (s *server) handleSolveProfile(w http.ResponseWriter, r *http.Request) {
+	ru, ok := s.runs.get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown run", http.StatusNotFound)
+		return
+	}
+	if ru.state() == "running" {
+		http.Error(w, "run still in progress", http.StatusConflict)
+		return
+	}
+	ru.mu.Lock()
+	resp := ru.resp
+	ru.mu.Unlock()
+	if resp == nil || resp.Profile == nil {
+		http.Error(w, "run was not profiled (set \"profile\": true on start)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	resp.Profile.WriteJSON(w)
 }
 
 // handleEvents streams a run's journal as Server-Sent Events: the buffered

@@ -42,6 +42,7 @@ import (
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
 	"contribmax/internal/parser"
+	"contribmax/internal/prof"
 	"contribmax/internal/provenance"
 	"contribmax/internal/solvecache"
 	"contribmax/internal/wdgraph"
@@ -77,6 +78,11 @@ type SolveRequest struct {
 	// solve; results are byte-identical (see docs/PERFORMANCE.md). The
 	// server-wide Config.NoPlan disables it for every request.
 	NoPlan bool `json:"noplan"`
+	// Profile attaches a runtime profiler to the solve and returns the
+	// EXPLAIN ANALYZE artifact in SolveResponse.Profile (and, for
+	// asynchronous runs, at GET /api/solve/{id}/profile). Profiling never
+	// changes results (see docs/OBSERVABILITY.md).
+	Profile bool `json:"profile"`
 }
 
 // SolveResponse is the JSON output of /api/solve.
@@ -114,6 +120,9 @@ type SolveResponse struct {
 	// (asynchronous runs started via /api/solve/start). Empty for plain
 	// synchronous solves.
 	RunID string `json:"runId,omitempty"`
+	// Profile is the solve's runtime profile (schema contribmax/profile/v1)
+	// when SolveRequest.Profile was set; nil otherwise.
+	Profile *prof.RuntimeProfile `json:"profile,omitempty"`
 }
 
 // ExplainRequest is the JSON input for /api/explain.
@@ -193,6 +202,7 @@ func NewWith(cfg Config) http.Handler {
 	mux.HandleFunc("POST /api/explain", s.handleExplainAPI)
 	mux.HandleFunc("POST /api/solve/start", s.handleSolveStart)
 	mux.HandleFunc("GET /api/solve/{id}", s.handleSolveStatus)
+	mux.HandleFunc("GET /api/solve/{id}/profile", s.handleSolveProfile)
 	mux.HandleFunc("GET /solve/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /journal/{id}", s.handleJournal)
 	// The metrics endpoint sits outside the instrumented wrapper so that
@@ -372,6 +382,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "metrics disabled", http.StatusNotFound)
 		return
 	}
+	s.cfg.Obs.UpdateGoRuntime()
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", obs.PrometheusContentType)
 		s.cfg.Obs.WritePrometheus(w)
@@ -478,6 +489,9 @@ func (s *server) solveParsed(ctx context.Context, p *parsedRequest, req SolveReq
 	if req.NoPlan || s.cfg.NoPlan {
 		opts.Plan = cm.PlanOff
 	}
+	if req.Profile {
+		opts.Profile = prof.New()
+	}
 	var res *cm.Result
 	// The pprof label makes per-algorithm cost visible in CPU profiles
 	// taken through /debug/pprof while solves are in flight.
@@ -522,6 +536,7 @@ func (s *server) solveParsed(ctx context.Context, p *parsedRequest, req SolveReq
 		ExactFallback:    res.Stats.ExactFallback,
 		TotalMillis:      float64(res.Stats.TotalTime) / float64(time.Millisecond),
 		RunID:            jr.Run(),
+		Profile:          opts.Profile.Report(),
 	}
 	for _, s := range res.Seeds {
 		out.Seeds = append(out.Seeds, s.String())

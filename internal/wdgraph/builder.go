@@ -12,6 +12,7 @@ import (
 	"contribmax/internal/obs"
 	"contribmax/internal/obs/journal"
 	"contribmax/internal/planner"
+	"contribmax/internal/prof"
 )
 
 // Projection controls how fired rule instantiations map into WD-graph nodes
@@ -344,6 +345,10 @@ type BuildConfig struct {
 	// evaluated at their earliest bound join step, and plans shared across
 	// builds through the planner's shape-keyed cache.
 	Planner *planner.Planner
+	// Prof, when non-nil, is forwarded to engine.Options.Prof so the
+	// fixpoint records per-rule runtime accounting into the solve's
+	// profile. Like Obs/Journal it never changes the constructed graph.
+	Prof *prof.Profile
 }
 
 // Build evaluates prog over database and returns the projected WD graph.
@@ -385,7 +390,7 @@ func BuildWith(prog *ast.Program, database *db.Database, cfg BuildConfig) (*Grap
 	if err != nil {
 		return nil, engine.Stats{}, err
 	}
-	stats, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: cfg.Gate, Context: cfg.Ctx, Obs: cfg.Obs, Parallelism: cfg.Parallelism, Journal: cfg.Journal})
+	stats, err := eng.Run(engine.Options{Listener: b.Listener(), Gate: cfg.Gate, Context: cfg.Ctx, Obs: cfg.Obs, Parallelism: cfg.Parallelism, Journal: cfg.Journal, Prof: cfg.Prof})
 	if err != nil {
 		return nil, stats, err
 	}
